@@ -1,0 +1,119 @@
+//! Global similarity `sim(S1, S2)` — the affine-gap alignment of two whole
+//! strings (Section 2: "the similarity between two sequences S1 and S2 is
+//! defined as the value of the alignment of S1 and S2 that maximizes total
+//! alignment score").
+
+use crate::NEG_INF;
+use alae_bioseq::ScoringScheme;
+
+/// The affine-gap global alignment score of `s1` and `s2`.
+///
+/// Both strings are aligned end to end (Needleman–Wunsch with Gotoh's affine
+/// gap handling); leading and trailing gaps are charged like any other gap.
+pub fn global_similarity(s1: &[u8], s2: &[u8], scheme: &ScoringScheme) -> i64 {
+    let n = s1.len();
+    let m = s2.len();
+    if n == 0 && m == 0 {
+        return 0;
+    }
+    if n == 0 {
+        return scheme.gap_cost(m);
+    }
+    if m == 0 {
+        return scheme.gap_cost(n);
+    }
+
+    // Row-by-row DP over s1; columns over s2.
+    let mut prev_m = vec![NEG_INF; m + 1];
+    let mut prev_ga = vec![NEG_INF; m + 1];
+    let mut curr_m = vec![NEG_INF; m + 1];
+    let mut curr_ga = vec![NEG_INF; m + 1];
+
+    // Initial row: aligning the empty prefix of s1 against prefixes of s2
+    // costs one gap of the prefix length.
+    prev_m[0] = 0;
+    for j in 1..=m {
+        prev_m[j] = scheme.gap_cost(j);
+        prev_ga[j] = NEG_INF;
+    }
+
+    for (i, &c1) in s1.iter().enumerate() {
+        let row = i + 1;
+        curr_m[0] = scheme.gap_cost(row);
+        curr_ga[0] = scheme.gap_cost(row);
+        let mut gb = NEG_INF;
+        for (j, &c2) in s2.iter().enumerate() {
+            let col = j + 1;
+            let ga = (prev_ga[col] + scheme.ss).max(prev_m[col] + scheme.gap_open_extend());
+            gb = (gb + scheme.ss).max(curr_m[col - 1] + scheme.gap_open_extend());
+            let diag = prev_m[col - 1] + scheme.delta(c1, c2);
+            curr_m[col] = diag.max(ga).max(gb);
+            curr_ga[col] = ga;
+        }
+        std::mem::swap(&mut prev_m, &mut curr_m);
+        std::mem::swap(&mut prev_ga, &mut curr_ga);
+    }
+    prev_m[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alae_bioseq::Alphabet;
+
+    fn encode(ascii: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(ascii).unwrap()
+    }
+
+    #[test]
+    fn paper_example_sim_aaacg_aaccg() {
+        // Section 2.1: sim(AAACG, AACCG) = 1·4 + (−3) = 1.
+        let s1 = encode(b"AAACG");
+        let s2 = encode(b"AACCG");
+        assert_eq!(global_similarity(&s1, &s2, &ScoringScheme::DEFAULT), 1);
+    }
+
+    #[test]
+    fn identical_strings_score_all_matches() {
+        let s = encode(b"GATTACA");
+        assert_eq!(global_similarity(&s, &s, &ScoringScheme::DEFAULT), 7);
+    }
+
+    #[test]
+    fn empty_strings() {
+        let s = encode(b"ACGT");
+        let scheme = ScoringScheme::DEFAULT;
+        assert_eq!(global_similarity(&[], &[], &scheme), 0);
+        assert_eq!(global_similarity(&s, &[], &scheme), scheme.gap_cost(4));
+        assert_eq!(global_similarity(&[], &s, &scheme), scheme.gap_cost(4));
+    }
+
+    #[test]
+    fn single_insertion_uses_affine_cost() {
+        let s1 = encode(b"ACGTACGT");
+        let s2 = encode(b"ACGTAACGT"); // one extra A
+        let scheme = ScoringScheme::DEFAULT;
+        assert_eq!(global_similarity(&s1, &s2, &scheme), 8 + scheme.gap_cost(1));
+    }
+
+    #[test]
+    fn long_gap_cheaper_than_many_opens() {
+        let s1 = encode(b"AAAAAAAA");
+        let s2 = encode(b"AAAAAAAAGGG"); // three extra characters
+        let scheme = ScoringScheme::DEFAULT;
+        // One gap of 3: 8·1 + (−5 − 6) = −3.  (Alternative alignments with
+        // mismatches are worse.)
+        assert_eq!(global_similarity(&s1, &s2, &scheme), 8 + scheme.gap_cost(3));
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let s1 = encode(b"GCTAGCTAAC");
+        let s2 = encode(b"GCTAGGTA");
+        let scheme = ScoringScheme::DEFAULT;
+        assert_eq!(
+            global_similarity(&s1, &s2, &scheme),
+            global_similarity(&s2, &s1, &scheme)
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Full Smith–Waterman local alignment with affine gaps (the Gotoh
+//! formulation of Section 2.2), used as
+//!
+//! 1. the paper's slowest baseline (Section 7.1: "the Smith-Waterman
+//!    algorithm took 7.7 hours to align a query with 10 thousand characters
+//!    against a text with 50 million characters"), and
+//! 2. the ground-truth oracle against which the exactness of BWT-SW and
+//!    ALAE is verified in the integration tests.
+//!
+//! The crate exposes three entry points:
+//!
+//! * [`local_alignment_hits`] — every `(end_text, end_query)` pair whose
+//!   best local-alignment score reaches a threshold (the problem definition
+//!   of Section 2.1),
+//! * [`best_local_alignment`] — the single best local alignment with a full
+//!   traceback (used by the examples to print alignments),
+//! * [`global_similarity`] — the `sim(S1, S2)` of Section 2 (global
+//!   alignment of two whole strings with affine gaps).
+
+pub mod global;
+pub mod local;
+pub mod traceback;
+
+pub use global::global_similarity;
+pub use local::{local_alignment_hits, local_score_matrix, LocalDpStats};
+pub use traceback::{best_local_alignment, AlignedPair, TracebackAlignment};
+
+/// Sentinel "minus infinity" used in the dynamic programs.  Kept far from
+/// `i64::MIN` so that adding penalties can never overflow.
+pub(crate) const NEG_INF: i64 = i64::MIN / 4;

@@ -1,0 +1,246 @@
+//! The full `O(n·m)` local-alignment dynamic program.
+//!
+//! For text `T` (rows) and query `P` (columns) the recurrences of
+//! Section 2.2 are computed over the *whole* matrix with the standard local
+//! clamp at zero, so `M(i, j)` is the best score of any alignment of a
+//! substring of `T` ending at `i` and a substring of `P` ending at `j` —
+//! exactly the `A(i, j).score` of the BASIC algorithm.  Everything at or
+//! above the threshold is reported.
+
+use crate::NEG_INF;
+use alae_bioseq::hits::{AlignmentHit, HitMap};
+use alae_bioseq::ScoringScheme;
+
+/// Counters describing the work done by the full dynamic program, reported
+/// alongside the ALAE/BWT-SW counters in the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalDpStats {
+    /// Number of matrix entries computed (always `n · m`).
+    pub calculated_entries: u64,
+    /// Number of entries whose clamped score was positive.
+    pub positive_entries: u64,
+}
+
+/// Compute all local alignment hits with `score ≥ threshold`.
+///
+/// `text` and `query` are code sequences (record separators allowed in the
+/// text; the scoring scheme makes any alignment crossing one impossible).
+pub fn local_alignment_hits(
+    text: &[u8],
+    query: &[u8],
+    scheme: &ScoringScheme,
+    threshold: i64,
+) -> (Vec<AlignmentHit>, LocalDpStats) {
+    assert!(threshold > 0, "threshold must be positive");
+    let m = query.len();
+    let mut stats = LocalDpStats::default();
+    let mut hits = HitMap::new();
+    if m == 0 || text.is_empty() {
+        return (Vec::new(), stats);
+    }
+
+    // One row at a time: M and the vertical gap score Ga need only the
+    // previous row; the horizontal gap score Gb only the current row.
+    let mut prev_m = vec![0i64; m + 1];
+    let mut prev_ga = vec![NEG_INF; m + 1];
+    let mut curr_m = vec![0i64; m + 1];
+    let mut curr_ga = vec![NEG_INF; m + 1];
+
+    for (i, &tc) in text.iter().enumerate() {
+        if tc == alae_bioseq::alphabet::SEPARATOR_CODE {
+            // A record boundary is a hard barrier: no alignment may end at
+            // it, substitute against it, or bridge it with a gap.  Reset the
+            // whole row so nothing carries across.
+            for col in 0..=m {
+                curr_m[col] = 0;
+                curr_ga[col] = NEG_INF;
+            }
+            std::mem::swap(&mut prev_m, &mut curr_m);
+            std::mem::swap(&mut prev_ga, &mut curr_ga);
+            continue;
+        }
+        curr_m[0] = 0;
+        curr_ga[0] = NEG_INF;
+        let mut gb = NEG_INF;
+        for (j, &qc) in query.iter().enumerate() {
+            let col = j + 1;
+            // Gap in the query (text character consumed): vertical move.
+            let ga = (prev_ga[col] + scheme.ss).max(prev_m[col] + scheme.gap_open_extend());
+            // Gap in the text (query character consumed): horizontal move.
+            gb = (gb + scheme.ss).max(curr_m[col - 1] + scheme.gap_open_extend());
+            let diag = prev_m[col - 1] + scheme.delta(tc, qc);
+            let score = diag.max(ga).max(gb).max(0);
+            curr_m[col] = score;
+            curr_ga[col] = ga;
+            stats.calculated_entries += 1;
+            if score > 0 {
+                stats.positive_entries += 1;
+                if score >= threshold {
+                    hits.record(i, j, score);
+                }
+            }
+        }
+        std::mem::swap(&mut prev_m, &mut curr_m);
+        std::mem::swap(&mut prev_ga, &mut curr_ga);
+    }
+
+    (hits.into_hits(threshold), stats)
+}
+
+/// Compute the full clamped score matrix (row-major, `n × m`).
+///
+/// Exposed for tests and small examples only — it allocates `n·m` scores.
+pub fn local_score_matrix(text: &[u8], query: &[u8], scheme: &ScoringScheme) -> Vec<Vec<i64>> {
+    let m = query.len();
+    let mut matrix = vec![vec![0i64; m]; text.len()];
+    let mut prev_m = vec![0i64; m + 1];
+    let mut prev_ga = vec![NEG_INF; m + 1];
+    let mut curr_m = vec![0i64; m + 1];
+    let mut curr_ga = vec![NEG_INF; m + 1];
+    for (i, &tc) in text.iter().enumerate() {
+        if tc == alae_bioseq::alphabet::SEPARATOR_CODE {
+            for col in 0..=m {
+                curr_m[col] = 0;
+                curr_ga[col] = NEG_INF;
+            }
+            std::mem::swap(&mut prev_m, &mut curr_m);
+            std::mem::swap(&mut prev_ga, &mut curr_ga);
+            continue;
+        }
+        curr_m[0] = 0;
+        curr_ga[0] = NEG_INF;
+        let mut gb = NEG_INF;
+        for (j, &qc) in query.iter().enumerate() {
+            let col = j + 1;
+            let ga = (prev_ga[col] + scheme.ss).max(prev_m[col] + scheme.gap_open_extend());
+            gb = (gb + scheme.ss).max(curr_m[col - 1] + scheme.gap_open_extend());
+            let diag = prev_m[col - 1] + scheme.delta(tc, qc);
+            let score = diag.max(ga).max(gb).max(0);
+            curr_m[col] = score;
+            curr_ga[col] = ga;
+            matrix[i][j] = score;
+        }
+        std::mem::swap(&mut prev_m, &mut curr_m);
+        std::mem::swap(&mut prev_ga, &mut curr_ga);
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alae_bioseq::Alphabet;
+
+    fn encode(ascii: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(ascii).unwrap()
+    }
+
+    #[test]
+    fn figure1_matrix_values() {
+        // Figure 1 aligns X = GCTA (as text) against P = GCTAG with the
+        // default scheme.  The bold M values on the main diagonal are
+        // 1, 2, 3, 4 and M(4, 3) = −4, M(1, 5) = 1.
+        let text = encode(b"GCTA");
+        let query = encode(b"GCTAG");
+        let matrix = local_score_matrix(&text, &query, &ScoringScheme::DEFAULT);
+        // The clamped matrix reports max(0, value); check the positive cells.
+        assert_eq!(matrix[0][0], 1);
+        assert_eq!(matrix[1][1], 2);
+        assert_eq!(matrix[2][2], 3);
+        assert_eq!(matrix[3][3], 4);
+        assert_eq!(matrix[0][4], 1); // G matches the trailing G of P.
+        // M(4, 3) = −4 in the unclamped matrix ⇒ clamped to 0.
+        assert_eq!(matrix[3][2], 0);
+    }
+
+    #[test]
+    fn perfect_match_scores_length() {
+        let text = encode(b"TTTTGCTAGCTT");
+        let query = encode(b"GCTAGC");
+        let (hits, stats) = local_alignment_hits(&text, &query, &ScoringScheme::DEFAULT, 6);
+        assert_eq!(stats.calculated_entries, (text.len() * query.len()) as u64);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].score, 6);
+        assert_eq!(hits[0].end_text, 9); // 0-based end of GCTAGC in the text.
+        assert_eq!(hits[0].end_query, 5);
+    }
+
+    #[test]
+    fn mismatch_and_gap_scores() {
+        // Text contains the query with one substitution and, elsewhere, with
+        // one deletion.
+        let text = encode(b"AAGCTTGCAAAAAGCTTTTGCAAA");
+        let query = encode(b"GCTTGC");
+        let scheme = ScoringScheme::DEFAULT;
+        let (hits, _) = local_alignment_hits(&text, &query, &scheme, 4);
+        // Exact occurrence at positions 2..=7 scores 6.
+        assert!(hits.iter().any(|h| h.score == 6 && h.end_text == 7));
+        // No hit can exceed the query length.
+        assert!(hits.iter().all(|h| h.score <= 6));
+    }
+
+    #[test]
+    fn alignments_never_cross_separators() {
+        // "GCTA" split across a record boundary must not align as a whole.
+        let mut text = encode(b"AAGC");
+        text.push(0);
+        text.extend(encode(b"TAGG"));
+        let query = encode(b"GCTA");
+        let (hits, _) = local_alignment_hits(&text, &query, &ScoringScheme::DEFAULT, 3);
+        assert!(hits.is_empty());
+        // The same characters without the separator do align.
+        let text2 = encode(b"AAGCTAGG");
+        let (hits2, _) = local_alignment_hits(&text2, &query, &ScoringScheme::DEFAULT, 3);
+        assert!(!hits2.is_empty());
+    }
+
+    #[test]
+    fn affine_gap_is_preferred_over_two_opens() {
+        // The text is the query with "CC" inserted in the middle.  Bridging
+        // the insertion with one affine gap of length 2 costs sg + 2·ss = −9
+        // and keeps all 32 matches (score 23); refusing to gap keeps at most
+        // 16 consecutive matches.
+        let half = b"ACGTACGTACGTACGT";
+        let mut text_ascii = half.to_vec();
+        text_ascii.extend_from_slice(b"CC");
+        text_ascii.extend_from_slice(half);
+        let mut query_ascii = half.to_vec();
+        query_ascii.extend_from_slice(half);
+        let text = encode(&text_ascii);
+        let query = encode(&query_ascii);
+        let (hits, _) = local_alignment_hits(&text, &query, &ScoringScheme::DEFAULT, 2);
+        let best = hits.iter().map(|h| h.score).max().unwrap();
+        assert_eq!(best, 32 + ScoringScheme::DEFAULT.gap_cost(2));
+    }
+
+    #[test]
+    fn empty_inputs_produce_no_hits() {
+        let (hits, stats) = local_alignment_hits(&[], &encode(b"ACGT"), &ScoringScheme::DEFAULT, 1);
+        assert!(hits.is_empty());
+        assert_eq!(stats.calculated_entries, 0);
+        let (hits, _) = local_alignment_hits(&encode(b"ACGT"), &[], &ScoringScheme::DEFAULT, 1);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn threshold_filters_hits() {
+        let text = encode(b"GCTAGCTA");
+        let query = encode(b"GCTAGCTA");
+        let scheme = ScoringScheme::DEFAULT;
+        let (hits_low, _) = local_alignment_hits(&text, &query, &scheme, 1);
+        let (hits_high, _) = local_alignment_hits(&text, &query, &scheme, 8);
+        assert!(hits_low.len() > hits_high.len());
+        assert_eq!(hits_high.len(), 1);
+        assert_eq!(hits_high[0].score, 8);
+    }
+
+    #[test]
+    fn scores_are_symmetric_in_match_count() {
+        // With only matches/mismatches (no gaps beneficial), the best score
+        // equals matches·sa + mismatches·sb for the best substring pair.
+        let text = encode(b"AAAACCCC");
+        let query = encode(b"AAAA");
+        let (hits, _) = local_alignment_hits(&text, &query, &ScoringScheme::DEFAULT, 4);
+        assert_eq!(hits.iter().map(|h| h.score).max(), Some(4));
+    }
+}

@@ -1,0 +1,327 @@
+//! Traceback of the single best local alignment.
+//!
+//! The hit-set API ([`crate::local_alignment_hits`]) only reports end
+//! positions and scores, which is what the paper's evaluation counts.  The
+//! examples additionally want to *show* an alignment, so this module keeps
+//! the full matrices for a (small) text/query pair and walks back from the
+//! best cell.
+
+use crate::NEG_INF;
+use alae_bioseq::ScoringScheme;
+
+/// One column of a pairwise alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignedPair {
+    /// Characters at the given 0-based text/query positions are aligned
+    /// (match or substitution).
+    Substitution {
+        /// Position in the text.
+        text_pos: usize,
+        /// Position in the query.
+        query_pos: usize,
+        /// Whether the characters are identical.
+        is_match: bool,
+    },
+    /// The text character is aligned against a gap (deletion from the query
+    /// point of view).
+    TextGap {
+        /// Position in the text.
+        text_pos: usize,
+    },
+    /// The query character is aligned against a gap (insertion from the
+    /// query point of view).
+    QueryGap {
+        /// Position in the query.
+        query_pos: usize,
+    },
+}
+
+/// A fully traced local alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracebackAlignment {
+    /// Best local score.
+    pub score: i64,
+    /// 0-based inclusive start position in the text.
+    pub text_start: usize,
+    /// 0-based inclusive end position in the text.
+    pub text_end: usize,
+    /// 0-based inclusive start position in the query.
+    pub query_start: usize,
+    /// 0-based inclusive end position in the query.
+    pub query_end: usize,
+    /// The alignment columns from start to end.
+    pub columns: Vec<AlignedPair>,
+}
+
+impl TracebackAlignment {
+    /// Render the alignment as three text lines (text row, marker row,
+    /// query row) for display in examples.
+    pub fn render(&self, text: &[u8], query: &[u8], decode: impl Fn(u8) -> char) -> String {
+        let mut top = String::new();
+        let mut middle = String::new();
+        let mut bottom = String::new();
+        for column in &self.columns {
+            match *column {
+                AlignedPair::Substitution {
+                    text_pos,
+                    query_pos,
+                    is_match,
+                } => {
+                    top.push(decode(text[text_pos]));
+                    middle.push(if is_match { '|' } else { '*' });
+                    bottom.push(decode(query[query_pos]));
+                }
+                AlignedPair::TextGap { text_pos } => {
+                    top.push(decode(text[text_pos]));
+                    middle.push(' ');
+                    bottom.push('-');
+                }
+                AlignedPair::QueryGap { query_pos } => {
+                    top.push('-');
+                    middle.push(' ');
+                    bottom.push(decode(query[query_pos]));
+                }
+            }
+        }
+        format!("{top}\n{middle}\n{bottom}")
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Main,
+    GapInQuery,
+    GapInText,
+    Stop,
+}
+
+/// Compute the single best local alignment (ties broken towards the
+/// lexicographically smallest `(end_text, end_query)`), or `None` when no
+/// positive-scoring alignment exists.
+///
+/// This keeps `O(n·m)` traceback state and is intended for display-sized
+/// inputs (examples, tests), not for the large-scale experiments.
+pub fn best_local_alignment(
+    text: &[u8],
+    query: &[u8],
+    scheme: &ScoringScheme,
+) -> Option<TracebackAlignment> {
+    let n = text.len();
+    let m = query.len();
+    if n == 0 || m == 0 {
+        return None;
+    }
+
+    // Full matrices: M, Ga (gap in query / vertical), Gb (gap in text /
+    // horizontal), indexed [i][j] with 1-based borders.
+    let mut mat_m = vec![vec![0i64; m + 1]; n + 1];
+    let mut mat_ga = vec![vec![NEG_INF; m + 1]; n + 1];
+    let mut mat_gb = vec![vec![NEG_INF; m + 1]; n + 1];
+
+    let mut best = (0i64, 0usize, 0usize);
+    for i in 1..=n {
+        if text[i - 1] == alae_bioseq::alphabet::SEPARATOR_CODE {
+            // Record boundary: nothing may end at, substitute against, or
+            // gap across this row.
+            continue;
+        }
+        for j in 1..=m {
+            let ga = (mat_ga[i - 1][j] + scheme.ss).max(mat_m[i - 1][j] + scheme.gap_open_extend());
+            let gb = (mat_gb[i][j - 1] + scheme.ss).max(mat_m[i][j - 1] + scheme.gap_open_extend());
+            let diag = mat_m[i - 1][j - 1] + scheme.delta(text[i - 1], query[j - 1]);
+            let score = diag.max(ga).max(gb).max(0);
+            mat_m[i][j] = score;
+            mat_ga[i][j] = ga;
+            mat_gb[i][j] = gb;
+            if score > best.0 {
+                best = (score, i, j);
+            }
+        }
+    }
+    if best.0 <= 0 {
+        return None;
+    }
+
+    // Trace back from the best cell.
+    let (score, mut i, mut j) = best;
+    let text_end = i - 1;
+    let query_end = j - 1;
+    let mut columns = Vec::new();
+    let mut state = State::Main;
+    while i > 0 && j > 0 {
+        match state {
+            State::Main => {
+                let value = mat_m[i][j];
+                if value == 0 {
+                    state = State::Stop;
+                } else if value == mat_m[i - 1][j - 1] + scheme.delta(text[i - 1], query[j - 1]) {
+                    columns.push(AlignedPair::Substitution {
+                        text_pos: i - 1,
+                        query_pos: j - 1,
+                        is_match: text[i - 1] == query[j - 1],
+                    });
+                    i -= 1;
+                    j -= 1;
+                } else if value == mat_ga[i][j] {
+                    state = State::GapInQuery;
+                } else {
+                    debug_assert_eq!(value, mat_gb[i][j]);
+                    state = State::GapInText;
+                }
+            }
+            State::GapInQuery => {
+                columns.push(AlignedPair::TextGap { text_pos: i - 1 });
+                let value = mat_ga[i][j];
+                if value == mat_m[i - 1][j] + scheme.gap_open_extend() {
+                    state = State::Main;
+                } else {
+                    debug_assert_eq!(value, mat_ga[i - 1][j] + scheme.ss);
+                }
+                i -= 1;
+            }
+            State::GapInText => {
+                columns.push(AlignedPair::QueryGap { query_pos: j - 1 });
+                let value = mat_gb[i][j];
+                if value == mat_m[i][j - 1] + scheme.gap_open_extend() {
+                    state = State::Main;
+                } else {
+                    debug_assert_eq!(value, mat_gb[i][j - 1] + scheme.ss);
+                }
+                j -= 1;
+            }
+            State::Stop => break,
+        }
+        if state == State::Main && mat_m[i][j] == 0 {
+            break;
+        }
+    }
+    columns.reverse();
+    Some(TracebackAlignment {
+        score,
+        text_start: i,
+        text_end,
+        query_start: j,
+        query_end,
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alae_bioseq::Alphabet;
+
+    fn encode(ascii: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(ascii).unwrap()
+    }
+
+    fn column_score(alignment: &TracebackAlignment, text: &[u8], query: &[u8], scheme: &ScoringScheme) -> i64 {
+        let mut score = 0;
+        let mut gap_run_text = 0usize;
+        let mut gap_run_query = 0usize;
+        for column in &alignment.columns {
+            match *column {
+                AlignedPair::Substitution {
+                    text_pos, query_pos, ..
+                } => {
+                    score += scheme.delta(text[text_pos], query[query_pos]);
+                    gap_run_text = 0;
+                    gap_run_query = 0;
+                }
+                AlignedPair::TextGap { .. } => {
+                    score += if gap_run_text == 0 {
+                        scheme.gap_open_extend()
+                    } else {
+                        scheme.ss
+                    };
+                    gap_run_text += 1;
+                    gap_run_query = 0;
+                }
+                AlignedPair::QueryGap { .. } => {
+                    score += if gap_run_query == 0 {
+                        scheme.gap_open_extend()
+                    } else {
+                        scheme.ss
+                    };
+                    gap_run_query += 1;
+                    gap_run_text = 0;
+                }
+            }
+        }
+        score
+    }
+
+    #[test]
+    fn exact_substring_traces_to_all_matches() {
+        let text = encode(b"TTGCTAGCTT");
+        let query = encode(b"GCTAGC");
+        let alignment = best_local_alignment(&text, &query, &ScoringScheme::DEFAULT).unwrap();
+        assert_eq!(alignment.score, 6);
+        assert_eq!(alignment.text_start, 2);
+        assert_eq!(alignment.text_end, 7);
+        assert_eq!(alignment.query_start, 0);
+        assert_eq!(alignment.query_end, 5);
+        assert!(alignment
+            .columns
+            .iter()
+            .all(|c| matches!(c, AlignedPair::Substitution { is_match: true, .. })));
+    }
+
+    #[test]
+    fn traceback_score_matches_reported_score() {
+        let text = encode(b"ACGTAGGTACCGTTACGTAACGGT");
+        let query = encode(b"GGTACCGTTACG");
+        let scheme = ScoringScheme::DEFAULT;
+        let alignment = best_local_alignment(&text, &query, &scheme).unwrap();
+        assert_eq!(column_score(&alignment, &text, &query, &scheme), alignment.score);
+    }
+
+    #[test]
+    fn gapped_alignment_reconstructs_gap() {
+        // Text has two extra characters relative to the query.
+        let half = b"ACGTACGTACGTACGT";
+        let mut text_ascii = half.to_vec();
+        text_ascii.extend_from_slice(b"CC");
+        text_ascii.extend_from_slice(half);
+        let mut query_ascii = half.to_vec();
+        query_ascii.extend_from_slice(half);
+        let text = encode(&text_ascii);
+        let query = encode(&query_ascii);
+        let scheme = ScoringScheme::DEFAULT;
+        let alignment = best_local_alignment(&text, &query, &scheme).unwrap();
+        assert_eq!(alignment.score, 32 + scheme.gap_cost(2));
+        let text_gaps = alignment
+            .columns
+            .iter()
+            .filter(|c| matches!(c, AlignedPair::TextGap { .. }))
+            .count();
+        assert_eq!(text_gaps, 2);
+        assert_eq!(column_score(&alignment, &text, &query, &scheme), alignment.score);
+    }
+
+    #[test]
+    fn no_alignment_for_disjoint_alphabgot_content() {
+        let text = encode(b"AAAAAA");
+        let query = encode(b"GGGGGG");
+        assert!(best_local_alignment(&text, &query, &ScoringScheme::DEFAULT).is_none());
+    }
+
+    #[test]
+    fn render_produces_three_lines() {
+        let text = encode(b"TTGCTAGCTT");
+        let query = encode(b"GCTAGC");
+        let alignment = best_local_alignment(&text, &query, &ScoringScheme::DEFAULT).unwrap();
+        let rendered = alignment.render(&text, &query, |c| Alphabet::Dna.decode_code(c) as char);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "GCTAGC");
+        assert_eq!(lines[2], "GCTAGC");
+        assert!(lines[1].chars().all(|c| c == '|'));
+    }
+
+    #[test]
+    fn empty_inputs_give_none() {
+        assert!(best_local_alignment(&[], &encode(b"AC"), &ScoringScheme::DEFAULT).is_none());
+        assert!(best_local_alignment(&encode(b"AC"), &[], &ScoringScheme::DEFAULT).is_none());
+    }
+}

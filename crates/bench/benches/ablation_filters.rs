@@ -1,0 +1,94 @@
+//! Ablation bench: the contribution of each ALAE technique.
+//!
+//! DESIGN.md calls out four separable design choices — length filtering,
+//! score filtering, q-prefix domination and score reuse.  This benchmark
+//! measures ALAE with each of them toggled off individually (and all off /
+//! all on) on the same workload, quantifying what each buys.  All
+//! configurations report identical hit sets (asserted before measuring).
+
+use alae_bench::dna_workload;
+use alae_bioseq::hits::diff_hits;
+use alae_core::{AlaeAligner, AlaeConfig, FilterToggles};
+use alae_bioseq::{Alphabet, ScoringScheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn configs() -> Vec<(&'static str, FilterToggles)> {
+    vec![
+        ("all_on", FilterToggles::ALL),
+        (
+            "no_length_filter",
+            FilterToggles {
+                length_filter: false,
+                ..FilterToggles::ALL
+            },
+        ),
+        (
+            "no_score_filter",
+            FilterToggles {
+                score_filter: false,
+                ..FilterToggles::ALL
+            },
+        ),
+        (
+            "no_domination",
+            FilterToggles {
+                domination_filter: false,
+                ..FilterToggles::ALL
+            },
+        ),
+        (
+            "no_reuse",
+            FilterToggles {
+                reuse: false,
+                ..FilterToggles::ALL
+            },
+        ),
+        ("all_off", FilterToggles::NONE),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_filters");
+    group.sample_size(10);
+    // Keep the full suite runnable in minutes on a single core; the paper-scale
+    // timing comparison lives in the `alae-experiments` harness.
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let workload = dna_workload(25_000, 400, 17);
+    let query = workload.query.codes();
+    let scheme = ScoringScheme::DEFAULT;
+
+    // Exactness must hold for every configuration before it is measured.
+    let reference = AlaeAligner::with_index(
+        workload.index.clone(),
+        Alphabet::Dna,
+        AlaeConfig::with_threshold(scheme, workload.threshold),
+    )
+    .align(query);
+    for (label, toggles) in configs() {
+        let aligner = AlaeAligner::with_index(
+            workload.index.clone(),
+            Alphabet::Dna,
+            AlaeConfig::with_threshold(scheme, workload.threshold).filters(toggles),
+        );
+        let result = aligner.align(query);
+        assert!(
+            diff_hits(&result.hits, &reference.hits).is_none(),
+            "ablation {label} changed the result set"
+        );
+        println!(
+            "ablation {label}: calculated={} reused={} cost={}",
+            result.stats.calculated_entries(),
+            result.stats.reused_entries,
+            result.stats.computation_cost()
+        );
+        group.bench_with_input(BenchmarkId::new("alae", label), &label, |b, _| {
+            b.iter(|| aligner.align(query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

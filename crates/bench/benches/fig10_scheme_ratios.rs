@@ -1,0 +1,49 @@
+//! Figure 10 (micro-scale): filtering and reusing ratios per scoring
+//! scheme.  Ratios are printed per scheme; Criterion measures the ALAE run
+//! producing them.
+
+use alae_bench::dna_workload;
+use alae_bwtsw::{BwtswAligner, BwtswConfig};
+use alae_core::{AlaeAligner, AlaeConfig};
+use alae_bioseq::{Alphabet, ScoringScheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_scheme_ratios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_scheme_ratios");
+    group.sample_size(10);
+    // Keep the full suite runnable in minutes on a single core; the paper-scale
+    // timing comparison lives in the `alae-experiments` harness.
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let workload = dna_workload(20_000, 300, 99);
+    let query = workload.query.codes();
+    for scheme in ScoringScheme::FIGURE9_SCHEMES {
+        let label = scheme.to_string();
+        let alae = AlaeAligner::with_index(
+            workload.index.clone(),
+            Alphabet::Dna,
+            AlaeConfig::with_evalue(scheme, 10.0),
+        );
+        let alae_result = alae.align(query);
+        let bwtsw = BwtswAligner::with_index(
+            workload.index.clone(),
+            BwtswConfig::new(scheme, alae_result.threshold),
+        );
+        let bwtsw_result = bwtsw.align(query);
+        println!(
+            "fig10 scheme={label}: filtering={:.1}% reusing={:.1}%",
+            alae_result
+                .stats
+                .filtering_ratio(bwtsw_result.stats.calculated_entries),
+            alae_result.stats.reusing_ratio(),
+        );
+        group.bench_with_input(BenchmarkId::new("alae", &label), &label, |b, _| {
+            b.iter(|| alae.align(query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheme_ratios);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 11 (micro-scale): index construction time and size for the BWT
+//! index and the dominate index, for DNA and protein texts of increasing
+//! length.  Sizes are printed per configuration; Criterion measures the
+//! build time.
+
+use alae_core::{AlaeAligner, AlaeConfig};
+use alae_bioseq::{Alphabet, ScoringScheme};
+use alae_workload::{generate_text, TextSpec};
+use alae_bioseq::SequenceDatabase;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn build_db(alphabet: Alphabet, len: usize, seed: u64) -> SequenceDatabase {
+    let spec = match alphabet {
+        Alphabet::Dna => TextSpec::dna(len, seed),
+        Alphabet::Protein => TextSpec::protein(len, seed),
+    };
+    SequenceDatabase::from_sequences(alphabet, [generate_text(&spec)])
+}
+
+fn bench_index_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_index_size");
+    group.sample_size(10);
+    // Keep the full suite runnable in minutes on a single core; the paper-scale
+    // timing comparison lives in the `alae-experiments` harness.
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &(alphabet, scheme, label) in &[
+        (Alphabet::Dna, ScoringScheme::DEFAULT, "dna"),
+        (Alphabet::Protein, ScoringScheme::PROTEIN_DEFAULT, "protein"),
+    ] {
+        for &text_len in &[10_000usize, 20_000, 40_000] {
+            let db = build_db(alphabet, text_len, 13);
+            // Report the Figure 11 data point once.
+            let aligner = AlaeAligner::build(&db, AlaeConfig::with_evalue(scheme, 10.0));
+            println!(
+                "fig11 {label} n={text_len}: bwt_index={}B dominate_index={}B",
+                aligner.bwt_index_size_bytes(),
+                aligner.domination_index_size_bytes()
+            );
+            let id = format!("{label}_n{text_len}");
+            group.bench_with_input(BenchmarkId::new("build_indexes", &id), &id, |b, _| {
+                b.iter(|| AlaeAligner::build(&db, AlaeConfig::with_evalue(scheme, 10.0)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_size);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 7 (micro-scale): filtering and reusing ratios as functions of the
+//! query and text lengths.  The ratios are printed per configuration; the
+//! Criterion measurement covers the ALAE run that produces them.
+
+use alae_bench::dna_workload;
+use alae_bwtsw::{BwtswAligner, BwtswConfig};
+use alae_core::{AlaeAligner, AlaeConfig};
+use alae_bioseq::{Alphabet, ScoringScheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_ratios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_ratios");
+    group.sample_size(10);
+    // Keep the full suite runnable in minutes on a single core; the paper-scale
+    // timing comparison lives in the `alae-experiments` harness.
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &text_len in &[15_000usize, 30_000] {
+        for &query_len in &[150usize, 400, 800] {
+            let workload = dna_workload(text_len, query_len, 33);
+            let scheme = ScoringScheme::DEFAULT;
+            let alae = AlaeAligner::with_index(
+                workload.index.clone(),
+                Alphabet::Dna,
+                AlaeConfig::with_threshold(scheme, workload.threshold),
+            );
+            let bwtsw = BwtswAligner::with_index(
+                workload.index.clone(),
+                BwtswConfig::new(scheme, workload.threshold),
+            );
+            let query = workload.query.codes();
+            let alae_result = alae.align(query);
+            let bwtsw_result = bwtsw.align(query);
+            println!(
+                "fig7 n={text_len} m={query_len}: filtering={:.1}% reusing={:.1}%",
+                alae_result
+                    .stats
+                    .filtering_ratio(bwtsw_result.stats.calculated_entries),
+                alae_result.stats.reusing_ratio(),
+            );
+            let id = format!("n{text_len}_m{query_len}");
+            group.bench_with_input(BenchmarkId::new("alae", &id), &id, |b, _| {
+                b.iter(|| alae.align(query))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ratios);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 8 (micro-scale): ALAE alignment time as a function of the
+//! E-value.  The paper finds ALAE largely insensitive to the E-value; the
+//! benchmark sweeps E from 1e-15 to 10 over a fixed workload.
+
+use alae_bench::dna_workload;
+use alae_core::{AlaeAligner, AlaeConfig};
+use alae_bioseq::{Alphabet, ScoringScheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_evalue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_evalue");
+    group.sample_size(10);
+    // Keep the full suite runnable in minutes on a single core; the paper-scale
+    // timing comparison lives in the `alae-experiments` harness.
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let workload = dna_workload(30_000, 400, 55);
+    let query = workload.query.codes();
+    for &(label, evalue) in &[("1e-15", 1e-15), ("1e-5", 1e-5), ("1", 1.0), ("10", 10.0)] {
+        let alae = AlaeAligner::with_index(
+            workload.index.clone(),
+            Alphabet::Dna,
+            AlaeConfig::with_evalue(ScoringScheme::DEFAULT, evalue),
+        );
+        group.bench_with_input(BenchmarkId::new("alae", label), &label, |b, _| {
+            b.iter(|| alae.align(query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evalue);
+criterion_main!(benches);

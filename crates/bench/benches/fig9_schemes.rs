@@ -1,0 +1,54 @@
+//! Figure 9 (micro-scale): effect of the scoring scheme on alignment time
+//! for ALAE, the BLAST-like heuristic and BWT-SW.  BWT-SW is skipped for
+//! `⟨1,−1,−5,−2⟩` because it requires `|sb| ≥ 3·|sa|` (Section 2.4).
+
+use alae_bench::dna_workload;
+use alae_blast_like::{BlastConfig, BlastLikeAligner};
+use alae_bwtsw::{BwtswAligner, BwtswConfig};
+use alae_core::{AlaeAligner, AlaeConfig};
+use alae_bioseq::{Alphabet, ScoringScheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_schemes");
+    group.sample_size(10);
+    // Keep the full suite runnable in minutes on a single core; the paper-scale
+    // timing comparison lives in the `alae-experiments` harness.
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let workload = dna_workload(20_000, 300, 77);
+    let query = workload.query.codes();
+    for scheme in ScoringScheme::FIGURE9_SCHEMES {
+        let label = scheme.to_string();
+        let alae = AlaeAligner::with_index(
+            workload.index.clone(),
+            Alphabet::Dna,
+            AlaeConfig::with_evalue(scheme, 10.0),
+        );
+        let threshold = alae.align(query).threshold;
+        let blast = BlastLikeAligner::build(
+            &workload.database,
+            BlastConfig::for_alphabet(Alphabet::Dna, scheme, threshold),
+        );
+        group.bench_with_input(BenchmarkId::new("alae", &label), &label, |b, _| {
+            b.iter(|| alae.align(query))
+        });
+        group.bench_with_input(BenchmarkId::new("blast_like", &label), &label, |b, _| {
+            b.iter(|| blast.align(query))
+        });
+        if scheme.satisfies_bwtsw_constraint() {
+            let bwtsw = BwtswAligner::with_index(
+                workload.index.clone(),
+                BwtswConfig::new(scheme, threshold),
+            );
+            group.bench_with_input(BenchmarkId::new("bwtsw", &label), &label, |b, _| {
+                b.iter(|| bwtsw.align(query))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

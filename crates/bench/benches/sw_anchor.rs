@@ -1,0 +1,37 @@
+//! Section 7.1 anchor (micro-scale): the full Smith–Waterman scan versus
+//! ALAE on the same workload.  The paper quotes 7.7 hours versus 25 ms; at
+//! micro scale the gap is smaller but the ordering is the same.
+
+use alae_align_baseline::local_alignment_hits;
+use alae_bench::dna_workload;
+use alae_core::{AlaeAligner, AlaeConfig};
+use alae_bioseq::{Alphabet, ScoringScheme};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_sw_anchor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sw_anchor");
+    group.sample_size(10);
+    // Keep the full suite runnable in minutes on a single core; the paper-scale
+    // timing comparison lives in the `alae-experiments` harness.
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let workload = dna_workload(10_000, 200, 5);
+    let scheme = ScoringScheme::DEFAULT;
+    let query = workload.query.codes();
+    let text = workload.database.text().to_vec();
+    let threshold = workload.threshold;
+    let alae = AlaeAligner::with_index(
+        workload.index.clone(),
+        Alphabet::Dna,
+        AlaeConfig::with_threshold(scheme, threshold),
+    );
+    group.bench_function("smith_waterman", |b| {
+        b.iter(|| local_alignment_hits(&text, query, &scheme, threshold))
+    });
+    group.bench_function("alae", |b| b.iter(|| alae.align(query)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sw_anchor);
+criterion_main!(benches);

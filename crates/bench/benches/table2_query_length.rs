@@ -1,0 +1,56 @@
+//! Table 2 (micro-scale): alignment time as a function of the query length
+//! for ALAE, the BLAST-like heuristic and BWT-SW.
+//!
+//! The paper's Table 2 uses a 1-billion-character human genome and queries
+//! of 1 K – 10 M characters; here the text is 30 K characters and queries
+//! are 100 – 800 characters, which preserves the ordering (ALAE ≪ BWT-SW,
+//! ALAE competitive with the heuristic) at Criterion-friendly runtimes.
+
+use alae_bench::dna_workload;
+use alae_blast_like::{BlastConfig, BlastLikeAligner};
+use alae_bwtsw::{BwtswAligner, BwtswConfig};
+use alae_core::{AlaeAligner, AlaeConfig};
+use alae_bioseq::{Alphabet, ScoringScheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_query_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_query_length");
+    group.sample_size(10);
+    // Keep the full suite runnable in minutes on a single core; the paper-scale
+    // timing comparison lives in the `alae-experiments` harness.
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &query_len in &[100usize, 200, 400, 800] {
+        let workload = dna_workload(30_000, query_len, 7);
+        let scheme = ScoringScheme::DEFAULT;
+        let alae = AlaeAligner::with_index(
+            workload.index.clone(),
+            Alphabet::Dna,
+            AlaeConfig::with_threshold(scheme, workload.threshold),
+        );
+        let bwtsw = BwtswAligner::with_index(
+            workload.index.clone(),
+            BwtswConfig::new(scheme, workload.threshold),
+        );
+        let blast = BlastLikeAligner::build(
+            &workload.database,
+            BlastConfig::for_alphabet(Alphabet::Dna, scheme, workload.threshold),
+        );
+        let query = workload.query.codes();
+
+        group.bench_with_input(BenchmarkId::new("alae", query_len), &query_len, |b, _| {
+            b.iter(|| alae.align(query))
+        });
+        group.bench_with_input(BenchmarkId::new("blast_like", query_len), &query_len, |b, _| {
+            b.iter(|| blast.align(query))
+        });
+        group.bench_with_input(BenchmarkId::new("bwtsw", query_len), &query_len, |b, _| {
+            b.iter(|| bwtsw.align(query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_length);
+criterion_main!(benches);

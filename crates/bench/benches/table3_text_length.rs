@@ -1,0 +1,51 @@
+//! Table 3 (micro-scale): alignment time as a function of the text length
+//! with a fixed query length, for ALAE, the BLAST-like heuristic and BWT-SW.
+
+use alae_bench::dna_workload;
+use alae_blast_like::{BlastConfig, BlastLikeAligner};
+use alae_bwtsw::{BwtswAligner, BwtswConfig};
+use alae_core::{AlaeAligner, AlaeConfig};
+use alae_bioseq::{Alphabet, ScoringScheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_text_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_text_length");
+    group.sample_size(10);
+    // Keep the full suite runnable in minutes on a single core; the paper-scale
+    // timing comparison lives in the `alae-experiments` harness.
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &text_len in &[10_000usize, 20_000, 40_000, 80_000] {
+        let workload = dna_workload(text_len, 300, 11);
+        let scheme = ScoringScheme::DEFAULT;
+        let alae = AlaeAligner::with_index(
+            workload.index.clone(),
+            Alphabet::Dna,
+            AlaeConfig::with_threshold(scheme, workload.threshold),
+        );
+        let bwtsw = BwtswAligner::with_index(
+            workload.index.clone(),
+            BwtswConfig::new(scheme, workload.threshold),
+        );
+        let blast = BlastLikeAligner::build(
+            &workload.database,
+            BlastConfig::for_alphabet(Alphabet::Dna, scheme, workload.threshold),
+        );
+        let query = workload.query.codes();
+
+        group.bench_with_input(BenchmarkId::new("alae", text_len), &text_len, |b, _| {
+            b.iter(|| alae.align(query))
+        });
+        group.bench_with_input(BenchmarkId::new("blast_like", text_len), &text_len, |b, _| {
+            b.iter(|| blast.align(query))
+        });
+        group.bench_with_input(BenchmarkId::new("bwtsw", text_len), &text_len, |b, _| {
+            b.iter(|| bwtsw.align(query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_text_length);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table 4 (micro-scale): the entry-count accounting run — ALAE's
+//! calculated entries with their per-entry cost classes versus BWT-SW's.
+//!
+//! Criterion measures the wall-clock of each accounting run; the entry
+//! counts themselves are printed once per configuration so the cost table
+//! can be read off the benchmark log.
+
+use alae_bench::dna_workload;
+use alae_bwtsw::{BwtswAligner, BwtswConfig};
+use alae_core::{AlaeAligner, AlaeConfig};
+use alae_bioseq::{Alphabet, ScoringScheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_entry_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_entry_cost");
+    group.sample_size(10);
+    // Keep the full suite runnable in minutes on a single core; the paper-scale
+    // timing comparison lives in the `alae-experiments` harness.
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for &query_len in &[200usize, 400, 800] {
+        let workload = dna_workload(30_000, query_len, 21);
+        let scheme = ScoringScheme::DEFAULT;
+        let alae = AlaeAligner::with_index(
+            workload.index.clone(),
+            Alphabet::Dna,
+            AlaeConfig::with_threshold(scheme, workload.threshold),
+        );
+        let bwtsw = BwtswAligner::with_index(
+            workload.index.clone(),
+            BwtswConfig::new(scheme, workload.threshold),
+        );
+        let query = workload.query.codes();
+
+        // Print the Table 4 row once, outside the measured closure.
+        let alae_result = alae.align(query);
+        let bwtsw_result = bwtsw.align(query);
+        println!(
+            "table4 m={query_len}: ALAE cost1={} cost2={} cost3={} total_cost={} | BWT-SW entries={} cost={}",
+            alae_result.stats.emr_entries,
+            alae_result.stats.ngr_entries,
+            alae_result.stats.gap_entries,
+            alae_result.stats.computation_cost(),
+            bwtsw_result.stats.calculated_entries,
+            bwtsw_result.stats.computation_cost(),
+        );
+
+        group.bench_with_input(BenchmarkId::new("alae", query_len), &query_len, |b, _| {
+            b.iter(|| alae.align(query))
+        });
+        group.bench_with_input(BenchmarkId::new("bwtsw", query_len), &query_len, |b, _| {
+            b.iter(|| bwtsw.align(query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entry_cost);
+criterion_main!(benches);

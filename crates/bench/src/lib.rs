@@ -1,0 +1,93 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! Every benchmark regenerates one table or figure of the paper at
+//! micro-benchmark scale: the workloads are deliberately small (tens of
+//! kilobases, queries of a few hundred characters) so each Criterion sample
+//! completes in milliseconds, while the *relative* ordering of the aligners
+//! — the shape the paper reports — is preserved.  The full-scale (minutes,
+//! not milliseconds) reproduction lives in the `alae-experiments` binary.
+
+use alae_bioseq::{Alphabet, ScoringScheme, Sequence, SequenceDatabase};
+use alae_suffix::TextIndex;
+use alae_workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
+use std::sync::Arc;
+
+/// A small benchmark workload: one indexed DNA text plus one query.
+pub struct BenchWorkload {
+    /// The database.
+    pub database: SequenceDatabase,
+    /// Shared suffix-trie index of the text.
+    pub index: Arc<TextIndex>,
+    /// The query to align.
+    pub query: Sequence,
+    /// The score threshold used by every aligner (derived once from E = 10).
+    pub threshold: i64,
+}
+
+/// Build a benchmark workload of `text_len` DNA characters and one
+/// homologous query of `query_len` characters.
+pub fn dna_workload(text_len: usize, query_len: usize, seed: u64) -> BenchWorkload {
+    workload(Alphabet::Dna, text_len, query_len, seed)
+}
+
+/// Build a protein benchmark workload.
+pub fn protein_workload(text_len: usize, query_len: usize, seed: u64) -> BenchWorkload {
+    workload(Alphabet::Protein, text_len, query_len, seed)
+}
+
+fn workload(alphabet: Alphabet, text_len: usize, query_len: usize, seed: u64) -> BenchWorkload {
+    let text_spec = match alphabet {
+        Alphabet::Dna => TextSpec::dna(text_len, seed),
+        Alphabet::Protein => TextSpec::protein(text_len, seed),
+    };
+    let built = WorkloadBuilder::new(
+        text_spec,
+        QuerySpec {
+            count: 1,
+            length: query_len,
+            mutation: MutationProfile::HOMOLOGOUS,
+            seed: seed + 1,
+        },
+    )
+    // Conserved segments embedded in random background (the shape of real
+    // cross-species queries) keep the gap regions bounded at micro scale.
+    .build_segmented(2);
+    let database = built.database;
+    let query = built.queries.into_iter().next().expect("one query requested");
+    let index = Arc::new(TextIndex::new(
+        database.text().to_vec(),
+        database.alphabet().code_count(),
+    ));
+    let scheme = match alphabet {
+        Alphabet::Dna => ScoringScheme::DEFAULT,
+        Alphabet::Protein => ScoringScheme::PROTEIN_DEFAULT,
+    };
+    let ka = alae_bioseq::KarlinAltschul::estimate(alphabet, &scheme).expect("statistics exist");
+    // E = 10 at micro-benchmark scale would give a very permissive threshold
+    // (H ≈ 11) and drown every engine in barely-significant hits; clamp to
+    // the stringency the paper's E = 10 corresponds to at its full scale.
+    let threshold = ka
+        .threshold_for_evalue(query.len(), database.text_len(), 10.0)
+        .max(25);
+    BenchWorkload {
+        database,
+        index,
+        query,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_well_formed() {
+        let w = dna_workload(5_000, 200, 3);
+        assert_eq!(w.database.character_count(), 5_000);
+        assert!(w.threshold > 0);
+        assert_eq!(w.index.len(), w.database.text_len());
+        let p = protein_workload(2_000, 100, 4);
+        assert_eq!(p.database.alphabet(), Alphabet::Protein);
+    }
+}

@@ -1,0 +1,218 @@
+//! DNA and protein alphabets with compact integer encodings.
+//!
+//! Every algorithm in the workspace operates on sequences encoded as small
+//! integer codes (`0..sigma`).  Code `0` is reserved for the record separator
+//! used by [`crate::SequenceDatabase`] so that alignments never cross record
+//! boundaries; the alphabet proper occupies codes `1..=sigma`.
+
+use crate::{BioseqError, Result};
+
+/// The record-separator code.  It is smaller than every alphabet character,
+/// mirroring the `$` sentinel of the BWT construction in the paper
+/// (Section 2.3), and is assigned a prohibitively negative score by every
+/// scoring scheme so alignments cannot cross it.
+pub const SEPARATOR_CODE: u8 = 0;
+
+/// ASCII representation of the separator when decoding.
+pub const SEPARATOR_ASCII: u8 = b'$';
+
+/// The biological alphabets supported by the reproduction.
+///
+/// The paper evaluates on DNA (σ = 4) and protein (σ = 20) sequences
+/// (Section 7, "Data sets").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alphabet {
+    /// Nucleotides `A`, `C`, `G`, `T` (σ = 4).
+    Dna,
+    /// The 20 standard amino acids (σ = 20).
+    Protein,
+}
+
+/// Upper-case single letter codes of the 20 standard amino acids.
+pub const AMINO_ACIDS: &[u8; 20] = b"ACDEFGHIKLMNPQRSTVWY";
+
+/// Upper-case nucleotide letters.
+pub const NUCLEOTIDES: &[u8; 4] = b"ACGT";
+
+impl Alphabet {
+    /// Number of characters in the alphabet (σ in the paper's analysis,
+    /// Section 6).
+    #[inline]
+    pub fn sigma(&self) -> usize {
+        match self {
+            Alphabet::Dna => 4,
+            Alphabet::Protein => 20,
+        }
+    }
+
+    /// Total number of distinct codes including the separator code `0`.
+    ///
+    /// This is the value indexing data structures (occurrence tables,
+    /// count arrays) must be sized for.
+    #[inline]
+    pub fn code_count(&self) -> usize {
+        self.sigma() + 1
+    }
+
+    /// The letters of the alphabet in code order (code `1` maps to the first
+    /// letter and so on).
+    #[inline]
+    pub fn letters(&self) -> &'static [u8] {
+        match self {
+            Alphabet::Dna => NUCLEOTIDES,
+            Alphabet::Protein => AMINO_ACIDS,
+        }
+    }
+
+    /// Encode one ASCII byte into its numeric code.
+    ///
+    /// Lower-case letters are accepted.  `N` (DNA) and `X`/`B`/`Z`/`U`/`O`
+    /// (protein) ambiguity codes are mapped onto a fixed concrete character
+    /// (`A` / `A`) so that real downloads parse; this matches the common
+    /// practice of masking ambiguous positions before indexing.
+    pub fn encode_byte(&self, byte: u8, position: usize) -> Result<u8> {
+        let upper = byte.to_ascii_uppercase();
+        match self {
+            Alphabet::Dna => match upper {
+                b'A' => Ok(1),
+                b'C' => Ok(2),
+                b'G' => Ok(3),
+                b'T' | b'U' => Ok(4),
+                b'N' => Ok(1),
+                _ => Err(BioseqError::InvalidCharacter { byte, position }),
+            },
+            Alphabet::Protein => {
+                if upper == b'X' || upper == b'B' || upper == b'Z' || upper == b'U' || upper == b'O'
+                {
+                    return Ok(1);
+                }
+                match AMINO_ACIDS.iter().position(|&a| a == upper) {
+                    Some(idx) => Ok((idx + 1) as u8),
+                    None => Err(BioseqError::InvalidCharacter { byte, position }),
+                }
+            }
+        }
+    }
+
+    /// Decode a numeric code back into an upper-case ASCII byte.
+    ///
+    /// The separator code decodes to `$`.
+    #[inline]
+    pub fn decode_code(&self, code: u8) -> u8 {
+        if code == SEPARATOR_CODE {
+            return SEPARATOR_ASCII;
+        }
+        let letters = self.letters();
+        let idx = (code - 1) as usize;
+        if idx < letters.len() {
+            letters[idx]
+        } else {
+            b'?'
+        }
+    }
+
+    /// Encode a whole ASCII slice.
+    pub fn encode(&self, ascii: &[u8]) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(ascii.len());
+        for (position, &byte) in ascii.iter().enumerate() {
+            out.push(self.encode_byte(byte, position)?);
+        }
+        Ok(out)
+    }
+
+    /// Decode a slice of codes into an ASCII string.
+    pub fn decode(&self, codes: &[u8]) -> String {
+        codes
+            .iter()
+            .map(|&c| self.decode_code(c) as char)
+            .collect()
+    }
+
+    /// Returns true if `code` is a real alphabet character (not the
+    /// separator).
+    #[inline]
+    pub fn is_character(&self, code: u8) -> bool {
+        code != SEPARATOR_CODE && (code as usize) <= self.sigma()
+    }
+
+    /// Background character frequencies used by the Karlin–Altschul model.
+    ///
+    /// The reproduction uses the uniform background the analysis in
+    /// Section 6 assumes for random sequences.
+    pub fn background_frequencies(&self) -> Vec<f64> {
+        let sigma = self.sigma();
+        vec![1.0 / sigma as f64; sigma]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_round_trip() {
+        let alphabet = Alphabet::Dna;
+        let encoded = alphabet.encode(b"ACGTacgt").unwrap();
+        assert_eq!(encoded, vec![1, 2, 3, 4, 1, 2, 3, 4]);
+        assert_eq!(alphabet.decode(&encoded), "ACGTACGT");
+    }
+
+    #[test]
+    fn protein_round_trip() {
+        let alphabet = Alphabet::Protein;
+        let encoded = alphabet.encode(AMINO_ACIDS).unwrap();
+        let expected: Vec<u8> = (1..=20).collect();
+        assert_eq!(encoded, expected);
+        assert_eq!(alphabet.decode(&encoded).as_bytes(), AMINO_ACIDS);
+    }
+
+    #[test]
+    fn dna_rejects_invalid() {
+        let err = Alphabet::Dna.encode(b"ACQT").unwrap_err();
+        match err {
+            BioseqError::InvalidCharacter { byte, position } => {
+                assert_eq!(byte, b'Q');
+                assert_eq!(position, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protein_rejects_invalid() {
+        assert!(Alphabet::Protein.encode(b"AC1").is_err());
+    }
+
+    #[test]
+    fn ambiguity_codes_are_masked() {
+        assert_eq!(Alphabet::Dna.encode(b"N").unwrap(), vec![1]);
+        assert_eq!(Alphabet::Protein.encode(b"X").unwrap(), vec![1]);
+        assert_eq!(Alphabet::Dna.encode(b"U").unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn sigma_and_code_count() {
+        assert_eq!(Alphabet::Dna.sigma(), 4);
+        assert_eq!(Alphabet::Dna.code_count(), 5);
+        assert_eq!(Alphabet::Protein.sigma(), 20);
+        assert_eq!(Alphabet::Protein.code_count(), 21);
+    }
+
+    #[test]
+    fn separator_decodes_to_dollar() {
+        assert_eq!(Alphabet::Dna.decode_code(SEPARATOR_CODE), b'$');
+        assert!(!Alphabet::Dna.is_character(SEPARATOR_CODE));
+        assert!(Alphabet::Dna.is_character(4));
+        assert!(!Alphabet::Dna.is_character(9));
+    }
+
+    #[test]
+    fn background_frequencies_sum_to_one() {
+        for alphabet in [Alphabet::Dna, Alphabet::Protein] {
+            let freqs = alphabet.background_frequencies();
+            let total: f64 = freqs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            assert_eq!(freqs.len(), alphabet.sigma());
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Concatenated sequence databases.
+//!
+//! Section 2.2 of the paper: "given all the sequences T1, …, Tn in the
+//! database, we concatenate them into a single sequence T.  A local alignment
+//! query is then performed directly on the sequence T."  The concatenation
+//! inserts the separator code between records so that no alignment can cross
+//! a record boundary (the separator scores a prohibitive penalty in every
+//! scoring scheme).
+
+use crate::alphabet::{Alphabet, SEPARATOR_CODE};
+use crate::sequence::Sequence;
+
+/// Location of a text position inside the original database records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordLocation {
+    /// Index of the record in insertion order.
+    pub record: usize,
+    /// 1-based offset of the position inside that record.
+    pub offset: usize,
+}
+
+/// A collection of sequences concatenated into one searchable text.
+#[derive(Debug, Clone)]
+pub struct SequenceDatabase {
+    alphabet: Alphabet,
+    /// Concatenated codes: `rec1 $ rec2 $ … $ recK` (no trailing separator).
+    text: Vec<u8>,
+    /// Names of the records, parallel to `starts`.
+    names: Vec<String>,
+    /// 0-based start offset of each record inside `text`.
+    starts: Vec<usize>,
+    /// Lengths of each record.
+    lengths: Vec<usize>,
+}
+
+impl SequenceDatabase {
+    /// Create an empty database over the given alphabet.
+    pub fn new(alphabet: Alphabet) -> Self {
+        Self {
+            alphabet,
+            text: Vec::new(),
+            names: Vec::new(),
+            starts: Vec::new(),
+            lengths: Vec::new(),
+        }
+    }
+
+    /// Build a database from a list of sequences.
+    pub fn from_sequences<I>(alphabet: Alphabet, sequences: I) -> Self
+    where
+        I: IntoIterator<Item = Sequence>,
+    {
+        let mut db = Self::new(alphabet);
+        for seq in sequences {
+            db.push(seq);
+        }
+        db
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, sequence: Sequence) {
+        assert_eq!(
+            sequence.alphabet(),
+            self.alphabet,
+            "record alphabet must match database alphabet"
+        );
+        if !self.text.is_empty() {
+            self.text.push(SEPARATOR_CODE);
+        }
+        self.starts.push(self.text.len());
+        self.lengths.push(sequence.len());
+        self.names.push(sequence.name().to_string());
+        self.text.extend_from_slice(sequence.codes());
+    }
+
+    /// The alphabet of the database.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Number of records.
+    pub fn record_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Name of record `record`.
+    pub fn record_name(&self, record: usize) -> &str {
+        &self.names[record]
+    }
+
+    /// Length of record `record`.
+    pub fn record_len(&self, record: usize) -> usize {
+        self.lengths[record]
+    }
+
+    /// The concatenated text (codes, including separators).
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Length of the concatenated text `n` (including separators).
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Total number of real characters (excluding separators).
+    pub fn character_count(&self) -> usize {
+        self.lengths.iter().sum()
+    }
+
+    /// Map a 0-based position in the concatenated text to its record and
+    /// 1-based offset, or `None` if the position is a separator.
+    pub fn locate(&self, position: usize) -> Option<RecordLocation> {
+        if position >= self.text.len() || self.text[position] == SEPARATOR_CODE {
+            return None;
+        }
+        // Binary search for the record whose span contains `position`.
+        let record = match self.starts.binary_search(&position) {
+            Ok(idx) => idx,
+            Err(idx) => idx - 1,
+        };
+        let offset = position - self.starts[record];
+        debug_assert!(offset < self.lengths[record]);
+        Some(RecordLocation {
+            record,
+            offset: offset + 1,
+        })
+    }
+
+    /// Decode the concatenated text back to ASCII (separators become `$`).
+    pub fn to_ascii(&self) -> String {
+        self.alphabet.decode(&self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_two_records() -> SequenceDatabase {
+        let a = Sequence::from_ascii_named(Alphabet::Dna, "r1", b"ACGT").unwrap();
+        let b = Sequence::from_ascii_named(Alphabet::Dna, "r2", b"GGC").unwrap();
+        SequenceDatabase::from_sequences(Alphabet::Dna, [a, b])
+    }
+
+    #[test]
+    fn concatenation_inserts_separator() {
+        let db = db_two_records();
+        assert_eq!(db.record_count(), 2);
+        assert_eq!(db.text_len(), 4 + 1 + 3);
+        assert_eq!(db.character_count(), 7);
+        assert_eq!(db.to_ascii(), "ACGT$GGC");
+    }
+
+    #[test]
+    fn locate_maps_back_to_records() {
+        let db = db_two_records();
+        assert_eq!(
+            db.locate(0),
+            Some(RecordLocation {
+                record: 0,
+                offset: 1
+            })
+        );
+        assert_eq!(
+            db.locate(3),
+            Some(RecordLocation {
+                record: 0,
+                offset: 4
+            })
+        );
+        // Separator position.
+        assert_eq!(db.locate(4), None);
+        assert_eq!(
+            db.locate(5),
+            Some(RecordLocation {
+                record: 1,
+                offset: 1
+            })
+        );
+        assert_eq!(
+            db.locate(7),
+            Some(RecordLocation {
+                record: 1,
+                offset: 3
+            })
+        );
+        assert_eq!(db.locate(8), None);
+    }
+
+    #[test]
+    fn record_metadata() {
+        let db = db_two_records();
+        assert_eq!(db.record_name(0), "r1");
+        assert_eq!(db.record_name(1), "r2");
+        assert_eq!(db.record_len(0), 4);
+        assert_eq!(db.record_len(1), 3);
+        assert_eq!(db.alphabet(), Alphabet::Dna);
+    }
+
+    #[test]
+    fn single_record_has_no_separator() {
+        let a = Sequence::from_ascii(Alphabet::Dna, b"ACGT").unwrap();
+        let db = SequenceDatabase::from_sequences(Alphabet::Dna, [a]);
+        assert_eq!(db.text_len(), 4);
+        assert_eq!(db.to_ascii(), "ACGT");
+    }
+
+    #[test]
+    #[should_panic]
+    fn alphabet_mismatch_panics() {
+        let mut db = SequenceDatabase::new(Alphabet::Dna);
+        let p = Sequence::from_ascii(Alphabet::Protein, b"MK").unwrap();
+        db.push(p);
+    }
+}

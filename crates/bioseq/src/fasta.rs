@@ -1,0 +1,142 @@
+//! Minimal FASTA reading and writing.
+//!
+//! The examples load synthetic databases from FASTA files so that users can
+//! substitute their own downloads (GRCh37 chromosomes, UniParc slices, …)
+//! without touching any code.
+
+use crate::alphabet::Alphabet;
+use crate::sequence::Sequence;
+use crate::{BioseqError, Result};
+use std::io::{BufRead, Write};
+
+/// Parse FASTA text into sequences over the given alphabet.
+///
+/// Blank lines are ignored; characters failing to encode are reported with
+/// their record context.
+pub fn read_fasta<R: BufRead>(alphabet: Alphabet, reader: R) -> Result<Vec<Sequence>> {
+    let mut records = Vec::new();
+    let mut current_name: Option<String> = None;
+    let mut current_bytes: Vec<u8> = Vec::new();
+
+    let flush = |name: &mut Option<String>, bytes: &mut Vec<u8>, out: &mut Vec<Sequence>| -> Result<()> {
+        if let Some(n) = name.take() {
+            let seq = Sequence::from_ascii_named(alphabet, &n, bytes).map_err(|e| match e {
+                BioseqError::InvalidCharacter { byte, position } => BioseqError::MalformedFasta(
+                    format!("record '{n}': invalid character {:?} at offset {position}", byte as char),
+                ),
+                other => other,
+            })?;
+            out.push(seq);
+            bytes.clear();
+        }
+        Ok(())
+    };
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| BioseqError::MalformedFasta(format!("I/O error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            flush(&mut current_name, &mut current_bytes, &mut records)?;
+            let name = header.split_whitespace().next().unwrap_or("").to_string();
+            if name.is_empty() {
+                return Err(BioseqError::MalformedFasta(format!(
+                    "empty record name on line {}",
+                    line_no + 1
+                )));
+            }
+            current_name = Some(name);
+        } else {
+            if current_name.is_none() {
+                return Err(BioseqError::MalformedFasta(format!(
+                    "sequence data before any '>' header on line {}",
+                    line_no + 1
+                )));
+            }
+            current_bytes.extend_from_slice(trimmed.as_bytes());
+        }
+    }
+    flush(&mut current_name, &mut current_bytes, &mut records)?;
+    Ok(records)
+}
+
+/// Parse FASTA from an in-memory string.
+pub fn read_fasta_str(alphabet: Alphabet, text: &str) -> Result<Vec<Sequence>> {
+    read_fasta(alphabet, text.as_bytes())
+}
+
+/// Write sequences as FASTA with 70-column wrapping.
+pub fn write_fasta<W: Write>(writer: &mut W, sequences: &[Sequence]) -> std::io::Result<()> {
+    for (idx, seq) in sequences.iter().enumerate() {
+        let name = if seq.name().is_empty() {
+            format!("seq{}", idx + 1)
+        } else {
+            seq.name().to_string()
+        };
+        writeln!(writer, ">{name}")?;
+        let ascii = seq.to_ascii();
+        for chunk in ascii.as_bytes().chunks(70) {
+            writer.write_all(chunk)?;
+            writeln!(writer)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_record_fasta() {
+        let text = ">chr1 test record\nACGT\nACGT\n\n>chr2\nGGCC\n";
+        let records = read_fasta_str(Alphabet::Dna, text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name(), "chr1");
+        assert_eq!(records[0].to_ascii(), "ACGTACGT");
+        assert_eq!(records[1].name(), "chr2");
+        assert_eq!(records[1].to_ascii(), "GGCC");
+    }
+
+    #[test]
+    fn rejects_data_before_header() {
+        assert!(read_fasta_str(Alphabet::Dna, "ACGT\n>x\nACGT").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_header() {
+        assert!(read_fasta_str(Alphabet::Dna, ">\nACGT").is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_characters_with_context() {
+        let err = read_fasta_str(Alphabet::Dna, ">x\nAC!T").unwrap_err();
+        match err {
+            BioseqError::MalformedFasta(msg) => assert!(msg.contains("'x'"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let seqs = vec![
+            Sequence::from_ascii_named(Alphabet::Dna, "a", b"ACGTACGTACGT").unwrap(),
+            Sequence::from_ascii_named(Alphabet::Dna, "b", b"TTTT").unwrap(),
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &seqs).unwrap();
+        let parsed = read_fasta(Alphabet::Dna, buf.as_slice()).unwrap();
+        assert_eq!(parsed, seqs);
+    }
+
+    #[test]
+    fn anonymous_sequences_get_generated_names_on_write() {
+        let seqs = vec![Sequence::from_ascii(Alphabet::Dna, b"ACGT").unwrap()];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &seqs).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with(">seq1\n"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Alignment hit types shared by every aligner in the workspace.
+//!
+//! The local-alignment problem of Section 2.1 asks, for every pair of end
+//! positions `(πt, πp)`, for the largest similarity of substrings of the text
+//! ending at `πt` and of the query ending at `πp`; only pairs whose score
+//! reaches the threshold `H` are reported.  [`AlignmentHit`] is one such
+//! reported pair and [`HitMap`] accumulates the per-end-pair maxima — the
+//! `A(i, j)` table of the BASIC algorithm (Algorithm 1) restricted to its
+//! reported entries.
+
+use std::collections::HashMap;
+
+/// One reported local alignment: the paper's `A(i, j)` entry with
+/// `score ≥ H`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AlignmentHit {
+    /// 0-based end position of the aligned substring in the text.
+    pub end_text: usize,
+    /// 0-based end position of the aligned substring in the query.
+    pub end_query: usize,
+    /// The alignment score.
+    pub score: i64,
+}
+
+impl AlignmentHit {
+    /// The paper's 1-based end position in the text.
+    pub fn end_text_1based(&self) -> usize {
+        self.end_text + 1
+    }
+
+    /// The paper's 1-based end position in the query.
+    pub fn end_query_1based(&self) -> usize {
+        self.end_query + 1
+    }
+}
+
+/// Accumulates the best score per `(end_text, end_query)` pair.
+#[derive(Debug, Clone, Default)]
+pub struct HitMap {
+    best: HashMap<(usize, usize), i64>,
+}
+
+impl HitMap {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a candidate score, keeping the maximum per end pair
+    /// (Algorithm 1, lines 6–10).
+    pub fn record(&mut self, end_text: usize, end_query: usize, score: i64) {
+        let entry = self.best.entry((end_text, end_query)).or_insert(i64::MIN);
+        if score > *entry {
+            *entry = score;
+        }
+    }
+
+    /// Number of end pairs recorded.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+
+    /// Best score for a specific end pair, if recorded.
+    pub fn score_at(&self, end_text: usize, end_query: usize) -> Option<i64> {
+        self.best.get(&(end_text, end_query)).copied()
+    }
+
+    /// Extract all hits with `score ≥ threshold`, sorted by
+    /// `(end_text, end_query)` for deterministic output.
+    pub fn into_hits(self, threshold: i64) -> Vec<AlignmentHit> {
+        let mut hits: Vec<AlignmentHit> = self
+            .best
+            .into_iter()
+            .filter(|&(_, score)| score >= threshold)
+            .map(|((end_text, end_query), score)| AlignmentHit {
+                end_text,
+                end_query,
+                score,
+            })
+            .collect();
+        hits.sort_by_key(|h| (h.end_text, h.end_query));
+        hits
+    }
+}
+
+/// Sort hits into the canonical order used for equality comparisons in tests
+/// and experiments.
+pub fn canonicalize(mut hits: Vec<AlignmentHit>) -> Vec<AlignmentHit> {
+    hits.sort_by_key(|h| (h.end_text, h.end_query, h.score));
+    hits
+}
+
+/// Compare two hit sets and describe the first difference, if any.
+///
+/// Used by the integration tests asserting that ALAE, BWT-SW and the
+/// Smith–Waterman oracle report exactly the same `(end pair, score)` sets —
+/// the exactness claim of the paper.
+pub fn diff_hits(left: &[AlignmentHit], right: &[AlignmentHit]) -> Option<String> {
+    let left = canonicalize(left.to_vec());
+    let right = canonicalize(right.to_vec());
+    if left.len() != right.len() {
+        return Some(format!(
+            "hit count differs: {} vs {}",
+            left.len(),
+            right.len()
+        ));
+    }
+    for (l, r) in left.iter().zip(right.iter()) {
+        if l != r {
+            return Some(format!("first differing hit: {l:?} vs {r:?}"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_keeps_maximum() {
+        let mut map = HitMap::new();
+        map.record(5, 3, 4);
+        map.record(5, 3, 7);
+        map.record(5, 3, 6);
+        assert_eq!(map.score_at(5, 3), Some(7));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn into_hits_filters_and_sorts() {
+        let mut map = HitMap::new();
+        map.record(9, 1, 10);
+        map.record(2, 4, 3);
+        map.record(2, 2, 8);
+        let hits = map.into_hits(5);
+        assert_eq!(
+            hits,
+            vec![
+                AlignmentHit {
+                    end_text: 2,
+                    end_query: 2,
+                    score: 8
+                },
+                AlignmentHit {
+                    end_text: 9,
+                    end_query: 1,
+                    score: 10
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn one_based_accessors() {
+        let hit = AlignmentHit {
+            end_text: 0,
+            end_query: 4,
+            score: 9,
+        };
+        assert_eq!(hit.end_text_1based(), 1);
+        assert_eq!(hit.end_query_1based(), 5);
+    }
+
+    #[test]
+    fn diff_hits_reports_differences() {
+        let a = vec![AlignmentHit {
+            end_text: 1,
+            end_query: 1,
+            score: 5,
+        }];
+        let b = vec![AlignmentHit {
+            end_text: 1,
+            end_query: 1,
+            score: 6,
+        }];
+        assert!(diff_hits(&a, &a.clone()).is_none());
+        assert!(diff_hits(&a, &b).is_some());
+        assert!(diff_hits(&a, &[]).is_some());
+    }
+
+    #[test]
+    fn empty_map() {
+        let map = HitMap::new();
+        assert!(map.is_empty());
+        assert!(map.into_hits(1).is_empty());
+    }
+}

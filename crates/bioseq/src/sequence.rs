@@ -1,0 +1,141 @@
+//! Encoded biosequences.
+
+use crate::alphabet::Alphabet;
+use crate::Result;
+
+/// A biosequence stored in compact code form together with its alphabet.
+///
+/// Positions follow the paper's 1-based convention in the documentation, but
+/// the in-memory representation is the usual 0-based slice; helpers such as
+/// [`Sequence::subsequence_1based`] bridge the two so tests can be written
+/// directly against the paper's examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sequence {
+    alphabet: Alphabet,
+    codes: Vec<u8>,
+    name: String,
+}
+
+impl Sequence {
+    /// Build a sequence from ASCII text (e.g. `b"GCTAGC"`).
+    pub fn from_ascii(alphabet: Alphabet, ascii: &[u8]) -> Result<Self> {
+        Ok(Self {
+            alphabet,
+            codes: alphabet.encode(ascii)?,
+            name: String::new(),
+        })
+    }
+
+    /// Build a sequence from ASCII text with a record name.
+    pub fn from_ascii_named(alphabet: Alphabet, name: &str, ascii: &[u8]) -> Result<Self> {
+        let mut seq = Self::from_ascii(alphabet, ascii)?;
+        seq.name = name.to_string();
+        Ok(seq)
+    }
+
+    /// Build a sequence directly from already-encoded codes.
+    ///
+    /// The caller is responsible for ensuring codes are valid for the
+    /// alphabet; this is the entry point used by the synthetic workload
+    /// generators which produce codes natively.
+    pub fn from_codes(alphabet: Alphabet, codes: Vec<u8>) -> Self {
+        debug_assert!(codes.iter().all(|&c| alphabet.is_character(c)));
+        Self {
+            alphabet,
+            codes,
+            name: String::new(),
+        }
+    }
+
+    /// Name of the sequence (empty when anonymous).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Set the record name.
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    /// The alphabet this sequence is encoded in.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Sequence length `|S|`.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the sequence has no characters.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The encoded codes.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Consume the sequence and return its codes.
+    pub fn into_codes(self) -> Vec<u8> {
+        self.codes
+    }
+
+    /// `S[i]` using the paper's 1-based indexing.
+    pub fn char_1based(&self, i: usize) -> u8 {
+        self.codes[i - 1]
+    }
+
+    /// `S[i, j]` using the paper's 1-based inclusive indexing.
+    pub fn subsequence_1based(&self, i: usize, j: usize) -> &[u8] {
+        &self.codes[i - 1..j]
+    }
+
+    /// Decode back to ASCII.
+    pub fn to_ascii(&self) -> String {
+        self.alphabet.decode(&self.codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_based_accessors_match_paper_convention() {
+        // T = GCTAGC from Section 2.3.
+        let t = Sequence::from_ascii(Alphabet::Dna, b"GCTAGC").unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.char_1based(1), Alphabet::Dna.encode(b"G").unwrap()[0]);
+        assert_eq!(
+            t.subsequence_1based(1, 2),
+            Alphabet::Dna.encode(b"GC").unwrap().as_slice()
+        );
+        assert_eq!(t.to_ascii(), "GCTAGC");
+    }
+
+    #[test]
+    fn from_codes_round_trip() {
+        let codes = vec![1u8, 2, 3, 4];
+        let seq = Sequence::from_codes(Alphabet::Dna, codes.clone());
+        assert_eq!(seq.codes(), codes.as_slice());
+        assert_eq!(seq.to_ascii(), "ACGT");
+        assert_eq!(seq.into_codes(), codes);
+    }
+
+    #[test]
+    fn named_sequence() {
+        let mut seq = Sequence::from_ascii_named(Alphabet::Dna, "chr1", b"ACGT").unwrap();
+        assert_eq!(seq.name(), "chr1");
+        seq.set_name("chr2");
+        assert_eq!(seq.name(), "chr2");
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let seq = Sequence::from_ascii(Alphabet::Dna, b"").unwrap();
+        assert!(seq.is_empty());
+        assert_eq!(seq.len(), 0);
+    }
+}

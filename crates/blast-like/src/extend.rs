@@ -1,0 +1,198 @@
+//! Hit extension: ungapped X-drop extension and banded gapped extension.
+
+use alae_bioseq::ScoringScheme;
+
+/// An extended segment pair (either ungapped or gapped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extension {
+    /// Alignment score.
+    pub score: i64,
+    /// 0-based inclusive start in the text.
+    pub text_start: usize,
+    /// 0-based inclusive end in the text.
+    pub text_end: usize,
+    /// 0-based inclusive start in the query.
+    pub query_start: usize,
+    /// 0-based inclusive end in the query.
+    pub query_end: usize,
+}
+
+/// Extend an exact word hit in both directions without gaps, stopping each
+/// direction once the running score drops `x_drop` below the best seen
+/// (BLAST's X-drop rule).  `word_len` characters starting at the hit are
+/// assumed to match exactly.
+pub fn ungapped_extend(
+    text: &[u8],
+    query: &[u8],
+    text_pos: usize,
+    query_pos: usize,
+    word_len: usize,
+    scheme: &ScoringScheme,
+    x_drop: i64,
+) -> Extension {
+    debug_assert_eq!(
+        &text[text_pos..text_pos + word_len],
+        &query[query_pos..query_pos + word_len]
+    );
+    let seed_score = scheme.sa * word_len as i64;
+
+    // Extend to the right of the word.
+    let mut best_right = 0i64;
+    let mut right_len = 0usize;
+    {
+        let mut running = 0i64;
+        let mut ti = text_pos + word_len;
+        let mut qi = query_pos + word_len;
+        let mut steps = 0usize;
+        while ti < text.len() && qi < query.len() {
+            running += scheme.delta(text[ti], query[qi]);
+            steps += 1;
+            if running > best_right {
+                best_right = running;
+                right_len = steps;
+            }
+            if running < best_right - x_drop {
+                break;
+            }
+            ti += 1;
+            qi += 1;
+        }
+    }
+
+    // Extend to the left of the word.
+    let mut best_left = 0i64;
+    let mut left_len = 0usize;
+    {
+        let mut running = 0i64;
+        let mut steps = 0usize;
+        let mut ti = text_pos;
+        let mut qi = query_pos;
+        while ti > 0 && qi > 0 {
+            ti -= 1;
+            qi -= 1;
+            running += scheme.delta(text[ti], query[qi]);
+            steps += 1;
+            if running > best_left {
+                best_left = running;
+                left_len = steps;
+            }
+            if running < best_left - x_drop {
+                break;
+            }
+        }
+    }
+
+    Extension {
+        score: seed_score + best_left + best_right,
+        text_start: text_pos - left_len,
+        text_end: text_pos + word_len + right_len - 1,
+        query_start: query_pos - left_len,
+        query_end: query_pos + word_len + right_len - 1,
+    }
+}
+
+/// Gapped extension: run a full affine local alignment inside a bounded
+/// window around an ungapped segment and return the best local alignment in
+/// that window (in global coordinates).
+///
+/// This mirrors BLAST's banded gapped extension: the window pads the
+/// ungapped segment by `pad` characters on each side, so gaps longer than
+/// `pad` cannot be recovered — a deliberate source of approximation.
+pub fn gapped_extend(
+    text: &[u8],
+    query: &[u8],
+    segment: &Extension,
+    scheme: &ScoringScheme,
+    pad: usize,
+) -> Extension {
+    let t_lo = segment.text_start.saturating_sub(pad);
+    let t_hi = (segment.text_end + pad + 1).min(text.len());
+    let q_lo = segment.query_start.saturating_sub(pad);
+    let q_hi = (segment.query_end + pad + 1).min(query.len());
+    let window_text = &text[t_lo..t_hi];
+    let window_query = &query[q_lo..q_hi];
+
+    match alae_align_baseline::best_local_alignment(window_text, window_query, scheme) {
+        Some(alignment) => Extension {
+            score: alignment.score,
+            text_start: t_lo + alignment.text_start,
+            text_end: t_lo + alignment.text_end,
+            query_start: q_lo + alignment.query_start,
+            query_end: q_lo + alignment.query_end,
+        },
+        None => *segment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alae_bioseq::Alphabet;
+
+    fn encode(ascii: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(ascii).unwrap()
+    }
+
+    #[test]
+    fn ungapped_extension_covers_exact_match() {
+        let text = encode(b"TTTTGCTAGCTTTT");
+        let query = encode(b"GCTAGC");
+        // Word GCTA at text 4 / query 0.
+        let ext = ungapped_extend(&text, &query, 4, 0, 4, &ScoringScheme::DEFAULT, 10);
+        assert_eq!(ext.score, 6);
+        assert_eq!(ext.text_start, 4);
+        assert_eq!(ext.text_end, 9);
+        assert_eq!(ext.query_start, 0);
+        assert_eq!(ext.query_end, 5);
+    }
+
+    #[test]
+    fn ungapped_extension_stops_at_mismatch_run() {
+        let text = encode(b"GCTAGGGGGG");
+        let query = encode(b"GCTATTTTTT");
+        let ext = ungapped_extend(&text, &query, 0, 0, 4, &ScoringScheme::DEFAULT, 5);
+        // The mismatching tail never improves the score, so the extension is
+        // just the seed.
+        assert_eq!(ext.score, 4);
+        assert_eq!(ext.text_end, 3);
+    }
+
+    #[test]
+    fn ungapped_extension_bridges_single_mismatch() {
+        let text = encode(b"AAGCTAGCTA");
+        let query = encode(b"AAGCTCGCTA");
+        // Seed on the first 4 characters; one mismatch at offset 5.
+        let ext = ungapped_extend(&text, &query, 0, 0, 4, &ScoringScheme::DEFAULT, 20);
+        // 9 matches + 1 mismatch = 9·1 − 3 = 6.
+        assert_eq!(ext.score, 6);
+        assert_eq!(ext.text_end, 9);
+    }
+
+    #[test]
+    fn gapped_extension_recovers_gap() {
+        // Text has 2 extra characters in the middle relative to the query.
+        let half = b"ACGTACGTACGTACGT";
+        let mut text_ascii = half.to_vec();
+        text_ascii.extend_from_slice(b"CC");
+        text_ascii.extend_from_slice(half);
+        let text = encode(&text_ascii);
+        let mut query_ascii = half.to_vec();
+        query_ascii.extend_from_slice(half);
+        let query = encode(&query_ascii);
+        let scheme = ScoringScheme::DEFAULT;
+        // Ungapped seed inside the first half.
+        let seed = ungapped_extend(&text, &query, 0, 0, 11, &scheme, 10);
+        let gapped = gapped_extend(&text, &query, &seed, &scheme, 40);
+        assert_eq!(gapped.score, 32 + scheme.gap_cost(2));
+        assert!(gapped.text_end >= 30);
+    }
+
+    #[test]
+    fn gapped_extension_never_reduces_to_nothing() {
+        let text = encode(b"AAAA");
+        let query = encode(b"AAAA");
+        let seed = ungapped_extend(&text, &query, 0, 0, 4, &ScoringScheme::DEFAULT, 5);
+        let gapped = gapped_extend(&text, &query, &seed, &ScoringScheme::DEFAULT, 10);
+        assert_eq!(gapped.score, 4);
+    }
+}

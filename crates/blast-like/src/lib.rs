@@ -1,0 +1,24 @@
+//! A BLAST-like seed-and-extend heuristic comparator.
+//!
+//! The paper compares ALAE against NCBI BLAST (Section 7).  BLAST is a large
+//! closed pipeline; what the comparison actually exercises is the classic
+//! seed-and-extend heuristic of Altschul et al. (1990, 1997):
+//!
+//! 1. decompose the query into fixed-length words and index them,
+//! 2. scan the text for exact word hits,
+//! 3. extend each hit without gaps under an X-drop rule,
+//! 4. run a bounded gapped extension (banded Smith–Waterman) around
+//!    promising ungapped segments, and
+//! 5. report alignments whose score reaches the threshold.
+//!
+//! Like BLAST, the heuristic trades recall for speed: alignments whose
+//! seeds never produce an exact word hit are missed, which is exactly the
+//! behaviour Tables 2 and 3 of the paper show (BLAST reports fewer results
+//! than the exact methods).  This crate is the documented substitution for
+//! the BLAST binary (see DESIGN.md).
+
+pub mod extend;
+pub mod seed;
+pub mod search;
+
+pub use search::{BlastConfig, BlastLikeAligner, BlastResult, BlastStats};

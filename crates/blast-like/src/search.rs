@@ -1,0 +1,285 @@
+//! The end-to-end seed-and-extend search.
+
+use crate::extend::{gapped_extend, ungapped_extend, Extension};
+use crate::seed::WordIndex;
+use alae_bioseq::hits::{AlignmentHit, HitMap};
+use alae_bioseq::{Alphabet, ScoringScheme, SequenceDatabase};
+use std::collections::HashMap;
+
+/// Configuration of the BLAST-like heuristic.
+#[derive(Debug, Clone, Copy)]
+pub struct BlastConfig {
+    /// Scoring scheme (shared with the exact aligners).
+    pub scheme: ScoringScheme,
+    /// Report alignments with score at least this threshold.
+    pub threshold: i64,
+    /// Seed word length (BLASTN's default is 11 for DNA; 4 is typical for
+    /// protein word hits under a match/mismatch model).
+    pub word_size: usize,
+    /// X-drop for the ungapped extension.
+    pub ungapped_x_drop: i64,
+    /// Minimum ungapped score required to trigger a gapped extension.
+    pub gapped_trigger: i64,
+    /// Window padding for the banded gapped extension.
+    pub gapped_pad: usize,
+}
+
+impl BlastConfig {
+    /// Default parameters for the given alphabet and threshold.
+    pub fn for_alphabet(alphabet: Alphabet, scheme: ScoringScheme, threshold: i64) -> Self {
+        let word_size = match alphabet {
+            Alphabet::Dna => 11,
+            Alphabet::Protein => 4,
+        };
+        Self {
+            scheme,
+            threshold,
+            word_size,
+            ungapped_x_drop: 8 * scheme.sa.abs(),
+            gapped_trigger: (threshold / 2).max(scheme.sa * word_size as i64),
+            gapped_pad: 48,
+        }
+    }
+}
+
+/// Work counters for one search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlastStats {
+    /// Number of exact word hits found by the scan.
+    pub seed_hits: u64,
+    /// Number of ungapped extensions performed.
+    pub ungapped_extensions: u64,
+    /// Number of gapped extensions performed.
+    pub gapped_extensions: u64,
+    /// Number of alignments reported (before per-end-pair deduplication).
+    pub raw_alignments: u64,
+}
+
+/// The outcome of one BLAST-like search.
+#[derive(Debug, Clone)]
+pub struct BlastResult {
+    /// Reported alignments (best score per end pair, at or above the
+    /// threshold).  Being a heuristic, this may be a strict subset of what
+    /// the exact aligners report.
+    pub hits: Vec<AlignmentHit>,
+    /// Work counters.
+    pub stats: BlastStats,
+}
+
+/// The BLAST-like aligner: a text plus a configuration.
+///
+/// Unlike the exact aligners it does not need a suffix-trie index; it scans
+/// the text once per query using the query's word index, like BLAST scanning
+/// a database.
+#[derive(Debug, Clone)]
+pub struct BlastLikeAligner {
+    text: Vec<u8>,
+    code_count: usize,
+    config: BlastConfig,
+}
+
+impl BlastLikeAligner {
+    /// Build the aligner for a database.
+    pub fn build(database: &SequenceDatabase, config: BlastConfig) -> Self {
+        Self {
+            text: database.text().to_vec(),
+            code_count: database.alphabet().code_count(),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BlastConfig {
+        &self.config
+    }
+
+    /// Search a query (code sequence) against the text.
+    pub fn align(&self, query: &[u8]) -> BlastResult {
+        let mut stats = BlastStats::default();
+        let config = &self.config;
+        if query.len() < config.word_size || self.text.len() < config.word_size {
+            return BlastResult {
+                hits: Vec::new(),
+                stats,
+            };
+        }
+        let index = WordIndex::build(query, config.word_size, self.code_count);
+        let seeds = index.scan(&self.text);
+        stats.seed_hits = seeds.len() as u64;
+
+        // Per-diagonal high-water marks: once a seed on a diagonal has been
+        // extended past a text position, later seeds on the same diagonal
+        // that fall inside the already-extended region are skipped (BLAST's
+        // diagonal array).
+        let mut diagonal_covered: HashMap<isize, usize> = HashMap::new();
+        let mut hits = HitMap::new();
+
+        for seed in seeds {
+            let diagonal = seed.diagonal();
+            if let Some(&covered_to) = diagonal_covered.get(&diagonal) {
+                if seed.text_pos < covered_to {
+                    continue;
+                }
+            }
+            stats.ungapped_extensions += 1;
+            let ungapped = ungapped_extend(
+                &self.text,
+                query,
+                seed.text_pos,
+                seed.query_pos,
+                config.word_size,
+                &config.scheme,
+                config.ungapped_x_drop,
+            );
+            diagonal_covered.insert(diagonal, ungapped.text_end + 1);
+            if ungapped.score < config.gapped_trigger && ungapped.score < config.threshold {
+                continue;
+            }
+            stats.gapped_extensions += 1;
+            let gapped = gapped_extend(&self.text, query, &ungapped, &config.scheme, config.gapped_pad);
+            let best = if gapped.score >= ungapped.score { gapped } else { ungapped };
+            if best.score >= config.threshold {
+                stats.raw_alignments += 1;
+                self.record(&best, &mut hits);
+            }
+        }
+
+        BlastResult {
+            hits: hits.into_hits(config.threshold),
+            stats,
+        }
+    }
+
+    /// Record an alignment.  Only the end pair of the reported alignment is
+    /// recorded (this is how BLAST output is counted in Tables 2 and 3: one
+    /// result per reported alignment).
+    fn record(&self, extension: &Extension, hits: &mut HitMap) {
+        hits.record(extension.text_end, extension.query_end, extension.score);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alae_align_baseline::local_alignment_hits;
+    use alae_bioseq::Sequence;
+
+    fn dna_db(ascii: &[u8]) -> SequenceDatabase {
+        let seq = Sequence::from_ascii(Alphabet::Dna, ascii).unwrap();
+        SequenceDatabase::from_sequences(Alphabet::Dna, [seq])
+    }
+
+    fn encode(ascii: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(ascii).unwrap()
+    }
+
+    #[test]
+    fn finds_long_exact_match() {
+        let db = dna_db(b"TTTTTTTTTTGCTAGCATCGGATCGTTTTTTTTTT");
+        let query = encode(b"GCTAGCATCGGATCG");
+        let config = BlastConfig::for_alphabet(Alphabet::Dna, ScoringScheme::DEFAULT, 10);
+        let aligner = BlastLikeAligner::build(&db, config);
+        let result = aligner.align(&query);
+        assert_eq!(result.hits.len(), 1);
+        assert_eq!(result.hits[0].score, 15);
+        assert!(result.stats.seed_hits > 0);
+    }
+
+    #[test]
+    fn finds_homologous_match_with_substitutions() {
+        // 59-character region with 3 substitutions: BLAST-like should find it
+        // because 11-mers between substitutions still seed.
+        let region  = b"ACGGTCAGTTCAGGATCCAGTTGACCATTGCAGTCAGGTTCAACGGTACTGACGGTCAG";
+        let mut text = b"TTTTTTTTTT".to_vec();
+        text.extend_from_slice(region);
+        text.extend_from_slice(b"GGGGGGGGGG");
+        let mut query_region = region.to_vec();
+        query_region[5] = b'A';
+        query_region[30] = b'T';
+        query_region[50] = b'C';
+        let db = dna_db(&text);
+        let query = encode(&query_region);
+        let config = BlastConfig::for_alphabet(Alphabet::Dna, ScoringScheme::DEFAULT, 20);
+        let aligner = BlastLikeAligner::build(&db, config);
+        let result = aligner.align(&query);
+        assert!(!result.hits.is_empty());
+        let best = result.hits.iter().map(|h| h.score).max().unwrap();
+        // 56 matches, 3 mismatches = 56 − 9 = 47.
+        assert_eq!(best, 47);
+    }
+
+    #[test]
+    fn misses_alignments_without_seed_words() {
+        // A 12-character region where every 11-mer contains a mismatch: the
+        // heuristic finds nothing although the exact score reaches the
+        // threshold.
+        let text_region = b"ACGTACGTACGTACGTACGT";
+        let mut query_region = text_region.to_vec();
+        // Substitutions every 6 characters break all 11-mers.
+        query_region[2] = b'T';
+        query_region[8] = b'A';
+        query_region[14] = b'C';
+        let db = dna_db(text_region);
+        let query = encode(&query_region);
+        let scheme = ScoringScheme::DEFAULT;
+        let threshold = 8;
+        let config = BlastConfig::for_alphabet(Alphabet::Dna, scheme, threshold);
+        let aligner = BlastLikeAligner::build(&db, config);
+        let result = aligner.align(&query);
+        let (oracle, _) = local_alignment_hits(db.text(), &query, &scheme, threshold);
+        assert!(!oracle.is_empty(), "oracle should find the alignment");
+        assert!(
+            result.hits.len() < oracle.len(),
+            "the heuristic is expected to miss results here"
+        );
+    }
+
+    #[test]
+    fn short_queries_return_empty() {
+        let db = dna_db(b"ACGTACGTACGT");
+        let config = BlastConfig::for_alphabet(Alphabet::Dna, ScoringScheme::DEFAULT, 5);
+        let aligner = BlastLikeAligner::build(&db, config);
+        let result = aligner.align(&encode(b"ACGT"));
+        assert!(result.hits.is_empty());
+        assert_eq!(result.stats.seed_hits, 0);
+    }
+
+    #[test]
+    fn gapped_extension_bridges_indels() {
+        let half = b"ACGGTCAGTTCAGGATCCAGTTGACCATTGCA";
+        let mut text_ascii = b"TTTTT".to_vec();
+        text_ascii.extend_from_slice(half);
+        text_ascii.extend_from_slice(b"GG"); // 2-character insertion
+        text_ascii.extend_from_slice(half);
+        text_ascii.extend_from_slice(b"TTTTT");
+        let mut query_ascii = half.to_vec();
+        query_ascii.extend_from_slice(half);
+        let db = dna_db(&text_ascii);
+        let query = encode(&query_ascii);
+        let scheme = ScoringScheme::DEFAULT;
+        let config = BlastConfig::for_alphabet(Alphabet::Dna, scheme, 30);
+        let aligner = BlastLikeAligner::build(&db, config);
+        let result = aligner.align(&query);
+        let best = result.hits.iter().map(|h| h.score).max().unwrap();
+        assert_eq!(best, 64 + scheme.gap_cost(2));
+        assert!(result.stats.gapped_extensions > 0);
+    }
+
+    #[test]
+    fn never_reports_below_threshold() {
+        let db = dna_db(b"ACGGTCAGTTCAGGATCCAGTTGACC");
+        let query = encode(b"ACGGTCAGTTC");
+        let config = BlastConfig::for_alphabet(Alphabet::Dna, ScoringScheme::DEFAULT, 9);
+        let aligner = BlastLikeAligner::build(&db, config);
+        let result = aligner.align(&query);
+        assert!(result.hits.iter().all(|h| h.score >= 9));
+    }
+
+    #[test]
+    fn protein_configuration_uses_smaller_words() {
+        let config = BlastConfig::for_alphabet(Alphabet::Protein, ScoringScheme::PROTEIN_DEFAULT, 15);
+        assert_eq!(config.word_size, 4);
+        let dna = BlastConfig::for_alphabet(Alphabet::Dna, ScoringScheme::DEFAULT, 15);
+        assert_eq!(dna.word_size, 11);
+    }
+}

@@ -1,0 +1,164 @@
+//! Word (seed) indexing and scanning.
+
+use std::collections::HashMap;
+
+/// An exact word hit: the same `word_size`-mer occurs at `text_pos` in the
+//  text and `query_pos` in the query (both 0-based start positions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedHit {
+    /// 0-based start position of the word in the text.
+    pub text_pos: usize,
+    /// 0-based start position of the word in the query.
+    pub query_pos: usize,
+}
+
+impl SeedHit {
+    /// The hit's diagonal (`text_pos − query_pos`), used for clustering.
+    pub fn diagonal(&self) -> isize {
+        self.text_pos as isize - self.query_pos as isize
+    }
+}
+
+/// Inverted index of the query's words.
+#[derive(Debug, Clone)]
+pub struct WordIndex {
+    word_size: usize,
+    code_count: u64,
+    positions: HashMap<u64, Vec<u32>>,
+}
+
+impl WordIndex {
+    /// Build the index of every `word_size`-mer of the query.
+    ///
+    /// Words containing a separator code are skipped.  Packing uses base
+    /// `code_count`, so `code_count ^ word_size` must fit in a `u64`
+    /// (checked).
+    pub fn build(query: &[u8], word_size: usize, code_count: usize) -> Self {
+        assert!(word_size >= 1);
+        let code_count = code_count as u64;
+        assert!(
+            (code_count as f64).powi(word_size as i32) < u64::MAX as f64,
+            "word size too large for packing"
+        );
+        let mut positions: HashMap<u64, Vec<u32>> = HashMap::new();
+        if query.len() >= word_size {
+            for (i, window) in query.windows(word_size).enumerate() {
+                if window.contains(&0) {
+                    continue;
+                }
+                let key = pack(window, code_count);
+                positions.entry(key).or_default().push(i as u32);
+            }
+        }
+        Self {
+            word_size,
+            code_count,
+            positions,
+        }
+    }
+
+    /// The word size the index was built with.
+    pub fn word_size(&self) -> usize {
+        self.word_size
+    }
+
+    /// Number of distinct words present in the query.
+    pub fn distinct_words(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Scan the text and return every exact word hit.
+    pub fn scan(&self, text: &[u8]) -> Vec<SeedHit> {
+        let mut hits = Vec::new();
+        if text.len() < self.word_size || self.positions.is_empty() {
+            return hits;
+        }
+        for (text_pos, window) in text.windows(self.word_size).enumerate() {
+            if window.contains(&0) {
+                continue;
+            }
+            let key = pack(window, self.code_count);
+            if let Some(query_positions) = self.positions.get(&key) {
+                for &query_pos in query_positions {
+                    hits.push(SeedHit {
+                        text_pos,
+                        query_pos: query_pos as usize,
+                    });
+                }
+            }
+        }
+        hits
+    }
+}
+
+/// Pack a word into a base-`code_count` integer.
+#[inline]
+fn pack(window: &[u8], code_count: u64) -> u64 {
+    let mut key = 0u64;
+    for &c in window {
+        key = key * code_count + c as u64;
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_all_exact_word_hits() {
+        //        0123456789
+        // text = ACGTACGTAC, query = CGTA
+        let text = vec![1u8, 2, 3, 4, 1, 2, 3, 4, 1, 2];
+        let query = vec![2u8, 3, 4, 1];
+        let index = WordIndex::build(&query, 4, 5);
+        let hits = index.scan(&text);
+        let text_positions: Vec<usize> = hits.iter().map(|h| h.text_pos).collect();
+        assert_eq!(text_positions, vec![1, 5]);
+        assert!(hits.iter().all(|h| h.query_pos == 0));
+    }
+
+    #[test]
+    fn repeated_query_words_produce_multiple_hits() {
+        let text = vec![1u8, 1, 1, 1, 1];
+        let query = vec![1u8, 1, 1, 1];
+        let index = WordIndex::build(&query, 3, 5);
+        let hits = index.scan(&text);
+        // 3 text windows × 2 query windows.
+        assert_eq!(hits.len(), 6);
+    }
+
+    #[test]
+    fn separator_windows_are_skipped() {
+        let text = vec![1u8, 2, 0, 1, 2, 3];
+        let query = vec![1u8, 2, 3];
+        let index = WordIndex::build(&query, 3, 5);
+        let hits = index.scan(&text);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].text_pos, 3);
+    }
+
+    #[test]
+    fn diagonal_is_text_minus_query() {
+        let hit = SeedHit {
+            text_pos: 10,
+            query_pos: 4,
+        };
+        assert_eq!(hit.diagonal(), 6);
+    }
+
+    #[test]
+    fn short_inputs_produce_no_hits() {
+        let index = WordIndex::build(&[1, 2], 4, 5);
+        assert_eq!(index.distinct_words(), 0);
+        assert!(index.scan(&[1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn protein_words_pack_without_collisions() {
+        let query: Vec<u8> = (1..=20).collect();
+        let index = WordIndex::build(&query, 4, 21);
+        assert_eq!(index.distinct_words(), 17);
+        assert_eq!(index.word_size(), 4);
+    }
+}

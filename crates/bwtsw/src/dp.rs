@@ -1,0 +1,462 @@
+//! The pruned suffix-trie dynamic program of BWT-SW.
+
+use crate::stats::BwtswStats;
+use alae_bioseq::hits::{AlignmentHit, HitMap};
+use alae_bioseq::{ScoringScheme, SequenceDatabase};
+use alae_suffix::{SuffixTrieCursor, TextIndex};
+use std::sync::Arc;
+
+/// "Minus infinity" for pruned scores; far from `i64::MIN` so arithmetic
+/// never overflows.
+const NEG_INF: i64 = i64::MIN / 4;
+
+/// Configuration for a BWT-SW run.
+#[derive(Debug, Clone, Copy)]
+pub struct BwtswConfig {
+    /// The affine-gap scoring scheme.
+    pub scheme: ScoringScheme,
+    /// Report every end pair whose best score is at least this threshold
+    /// (`H` in the paper; must be positive).
+    pub threshold: i64,
+    /// Optional hard cap on the trie depth (text-substring length).  BWT-SW
+    /// itself needs no cap — the positivity pruning bounds the depth — but a
+    /// cap is useful for stress tests.
+    pub max_depth: Option<usize>,
+}
+
+impl BwtswConfig {
+    /// Create a configuration with the given scheme and threshold.
+    pub fn new(scheme: ScoringScheme, threshold: i64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        Self {
+            scheme,
+            threshold,
+            max_depth: None,
+        }
+    }
+}
+
+/// The outcome of one BWT-SW alignment run.
+#[derive(Debug, Clone)]
+pub struct BwtswResult {
+    /// All end pairs whose best alignment score reached the threshold.
+    pub hits: Vec<AlignmentHit>,
+    /// Work counters.
+    pub stats: BwtswStats,
+}
+
+/// One sparse dynamic-programming cell: the column `j` (1-based), the main
+/// score `M(i, j)` and the vertical-gap auxiliary `Ga(i, j)`.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    j: u32,
+    m: i64,
+    ga: i64,
+}
+
+/// The BWT-SW aligner: a text index plus a configuration.
+#[derive(Debug, Clone)]
+pub struct BwtswAligner {
+    index: Arc<TextIndex>,
+    config: BwtswConfig,
+}
+
+impl BwtswAligner {
+    /// Build the aligner (and its index) from a sequence database.
+    pub fn build(database: &SequenceDatabase, config: BwtswConfig) -> Self {
+        let index = TextIndex::new(
+            database.text().to_vec(),
+            database.alphabet().code_count(),
+        );
+        Self {
+            index: Arc::new(index),
+            config,
+        }
+    }
+
+    /// Build the aligner around an existing (possibly shared) index.
+    pub fn with_index(index: Arc<TextIndex>, config: BwtswConfig) -> Self {
+        Self { index, config }
+    }
+
+    /// The underlying text index.
+    pub fn index(&self) -> &Arc<TextIndex> {
+        &self.index
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BwtswConfig {
+        &self.config
+    }
+
+    /// Align a query (code sequence) against the indexed text and report
+    /// every end pair reaching the threshold.
+    pub fn align(&self, query: &[u8]) -> BwtswResult {
+        let mut stats = BwtswStats::default();
+        let mut hits = HitMap::new();
+        let m = query.len();
+        if m == 0 || self.index.is_empty() {
+            return BwtswResult {
+                hits: Vec::new(),
+                stats,
+            };
+        }
+        let scheme = &self.config.scheme;
+        let threshold = self.config.threshold;
+        let depth_cap = self.config.max_depth.unwrap_or(usize::MAX);
+
+        // Row 0: every column (including column 0, the empty query prefix)
+        // is a valid start with score 0.
+        let root_row: Vec<Cell> = (0..=m as u32)
+            .map(|j| Cell {
+                j,
+                m: 0,
+                ga: NEG_INF,
+            })
+            .collect();
+
+        // Depth-first traversal of the suffix trie; each stack entry owns the
+        // sparse DP row of its node.
+        let mut stack: Vec<(SuffixTrieCursor, Vec<Cell>)> = Vec::new();
+        let root = self.index.root();
+        for (c, child) in self.index.children(root) {
+            let row = advance_row(&root_row, c, query, scheme, &mut stats);
+            self.visit(child, &row, query, &mut hits, &mut stats);
+            if !row.is_empty() && child.depth < depth_cap {
+                stack.push((child, row));
+            } else if row.is_empty() {
+                stats.pruned_subtrees += 1;
+            }
+        }
+        while let Some((cursor, row)) = stack.pop() {
+            for (c, child) in self.index.children(cursor) {
+                let child_row = advance_row(&row, c, query, scheme, &mut stats);
+                self.visit(child, &child_row, query, &mut hits, &mut stats);
+                if !child_row.is_empty() && child.depth < depth_cap {
+                    stack.push((child, child_row));
+                } else if child_row.is_empty() {
+                    stats.pruned_subtrees += 1;
+                }
+            }
+        }
+
+        BwtswResult {
+            hits: hits.into_hits(threshold),
+            stats,
+        }
+    }
+
+    /// Record hits contributed by one trie node's row.
+    fn visit(
+        &self,
+        cursor: SuffixTrieCursor,
+        row: &[Cell],
+        _query: &[u8],
+        hits: &mut HitMap,
+        stats: &mut BwtswStats,
+    ) {
+        stats.visited_nodes += 1;
+        stats.max_depth = stats.max_depth.max(cursor.depth);
+        let threshold = self.config.threshold;
+        if row.iter().all(|cell| cell.m < threshold) {
+            return;
+        }
+        // Locate the occurrences once per node; every reported cell of this
+        // node shares them.
+        let occurrences = self.index.occurrences(cursor);
+        for cell in row {
+            if cell.m >= threshold {
+                stats.threshold_entries += 1;
+                for &start in &occurrences {
+                    let end_text = start + cursor.depth - 1;
+                    hits.record(end_text, cell.j as usize - 1, cell.m);
+                }
+            }
+        }
+    }
+}
+
+/// Compute the sparse row for `X·c` from the sparse row for `X`.
+///
+/// `prev` holds only the cells whose scores survived the positivity pruning;
+/// every other cell of the previous row is exactly `−∞` for the purposes of
+/// the recurrence (Section 3.1.2, case (i)).
+fn advance_row(
+    prev: &[Cell],
+    text_char: u8,
+    query: &[u8],
+    scheme: &ScoringScheme,
+    stats: &mut BwtswStats,
+) -> Vec<Cell> {
+    let m = query.len() as u32;
+    let open = scheme.gap_open_extend();
+    let ss = scheme.ss;
+
+    // Candidate columns: vertical (same j) and diagonal (j + 1) successors of
+    // every surviving cell.  Both streams are sorted, so a merge keeps the
+    // whole pass linear.
+    let mut out: Vec<Cell> = Vec::with_capacity(prev.len() + 8);
+    let mut vert_idx = 0usize; // candidates prev[vert_idx].j
+    let mut diag_idx = 0usize; // candidates prev[diag_idx].j + 1
+    let mut lookup_idx = 0usize; // pointer for prev-row lookups
+
+    // State of the horizontal (Gb) chain along the current row.
+    let mut last_j: u32 = 0;
+    let mut last_m: i64 = NEG_INF;
+    let mut last_gb: i64 = NEG_INF;
+    let mut have_last = false;
+    let mut forced: Option<u32> = None;
+
+    loop {
+        // Choose the next column to evaluate.
+        let vert = prev.get(vert_idx).map(|c| c.j);
+        let diag = prev.get(diag_idx).map(|c| c.j + 1);
+        let mut j = u32::MAX;
+        if let Some(f) = forced {
+            j = j.min(f);
+        }
+        if let Some(v) = vert {
+            j = j.min(v);
+        }
+        if let Some(d) = diag {
+            j = j.min(d);
+        }
+        if j == u32::MAX {
+            break;
+        }
+        if forced == Some(j) {
+            forced = None;
+        }
+        if vert == Some(j) {
+            vert_idx += 1;
+        }
+        if diag == Some(j) {
+            diag_idx += 1;
+        }
+        if j == 0 || j > m {
+            continue;
+        }
+
+        // Previous-row lookups at columns j-1 (diagonal) and j (vertical).
+        while lookup_idx < prev.len() && prev[lookup_idx].j + 1 < j {
+            lookup_idx += 1;
+        }
+        let mut prev_m_diag = NEG_INF;
+        let mut prev_m_vert = NEG_INF;
+        let mut prev_ga_vert = NEG_INF;
+        let mut k = lookup_idx;
+        if k < prev.len() && prev[k].j + 1 == j {
+            prev_m_diag = prev[k].m;
+            k += 1;
+        }
+        if k < prev.len() && prev[k].j == j {
+            prev_m_vert = prev[k].m;
+            prev_ga_vert = prev[k].ga;
+        }
+
+        // Affine recurrences (Section 2.2) with non-positive scores treated
+        // as −∞.
+        let ga = (prev_ga_vert + ss).max(prev_m_vert + open);
+        let (gb_prev, m_prev) = if have_last && last_j + 1 == j {
+            (last_gb, last_m)
+        } else {
+            (NEG_INF, NEG_INF)
+        };
+        let gb = (gb_prev + ss).max(m_prev + open);
+        let diag_score = prev_m_diag + scheme.delta(text_char, query[j as usize - 1]);
+        let score = diag_score.max(ga).max(gb);
+        stats.calculated_entries += 1;
+
+        last_j = j;
+        last_gb = if gb > 0 { gb } else { NEG_INF };
+        last_m = if score > 0 { score } else { NEG_INF };
+        have_last = true;
+
+        if score > 0 {
+            out.push(Cell {
+                j,
+                m: score,
+                ga: if ga > 0 { ga } else { NEG_INF },
+            });
+            // The horizontal chain may carry a positive score into column
+            // j + 1 even without previous-row support there.
+            if j < m && (last_gb + ss).max(score + open) > 0 {
+                forced = Some(j + 1);
+            }
+        } else if last_gb > 0 && j < m {
+            forced = Some(j + 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alae_align_baseline::local_alignment_hits;
+    use alae_bioseq::hits::diff_hits;
+    use alae_bioseq::{Alphabet, Sequence};
+
+    fn dna_db(ascii: &[u8]) -> SequenceDatabase {
+        let seq = Sequence::from_ascii(Alphabet::Dna, ascii).unwrap();
+        SequenceDatabase::from_sequences(Alphabet::Dna, [seq])
+    }
+
+    fn encode(ascii: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(ascii).unwrap()
+    }
+
+    fn assert_matches_oracle(text_ascii: &[u8], query_ascii: &[u8], scheme: ScoringScheme, threshold: i64) {
+        let db = dna_db(text_ascii);
+        let query = encode(query_ascii);
+        let aligner = BwtswAligner::build(&db, BwtswConfig::new(scheme, threshold));
+        let result = aligner.align(&query);
+        let (oracle, _) = local_alignment_hits(db.text(), &query, &scheme, threshold);
+        assert!(
+            diff_hits(&result.hits, &oracle).is_none(),
+            "hits differ from oracle for text {:?} / query {:?}: {:?}",
+            String::from_utf8_lossy(text_ascii),
+            String::from_utf8_lossy(query_ascii),
+            diff_hits(&result.hits, &oracle)
+        );
+    }
+
+    #[test]
+    fn exact_match_found() {
+        assert_matches_oracle(b"TTTTGCTAGCTTTT", b"GCTAGC", ScoringScheme::DEFAULT, 5);
+    }
+
+    #[test]
+    fn repeated_text_occurrences_all_reported() {
+        assert_matches_oracle(
+            b"GCTAGCAAGCTAGCTTGCTAGC",
+            b"GCTAGC",
+            ScoringScheme::DEFAULT,
+            5,
+        );
+    }
+
+    #[test]
+    fn substitution_and_gap_handling_matches_oracle() {
+        assert_matches_oracle(
+            b"ACGTACGTCCACGTACGTAAGGCCTTACGTAGGTACGT",
+            b"ACGTACGTACGTACGT",
+            ScoringScheme::DEFAULT,
+            6,
+        );
+    }
+
+    #[test]
+    fn low_threshold_matches_oracle() {
+        assert_matches_oracle(
+            b"GATTACAGATTACAGGATCCGATTACA",
+            b"GATTACA",
+            ScoringScheme::DEFAULT,
+            4,
+        );
+    }
+
+    #[test]
+    fn alternative_schemes_match_oracle() {
+        for scheme in ScoringScheme::FIGURE9_SCHEMES {
+            assert_matches_oracle(
+                b"ACCGTTAGGCATCGATTGCAACCGGTTACGATCAGT",
+                b"TTAGGCATCGAT",
+                scheme,
+                5,
+            );
+        }
+    }
+
+    #[test]
+    fn multi_record_database_respects_boundaries() {
+        let a = Sequence::from_ascii(Alphabet::Dna, b"AAGCTA").unwrap();
+        let b = Sequence::from_ascii(Alphabet::Dna, b"GCTTAA").unwrap();
+        let db = SequenceDatabase::from_sequences(Alphabet::Dna, [a, b]);
+        let query = encode(b"GCTAGCTT");
+        let aligner = BwtswAligner::build(&db, BwtswConfig::new(ScoringScheme::DEFAULT, 4));
+        let result = aligner.align(&query);
+        let (oracle, _) = local_alignment_hits(db.text(), &query, &ScoringScheme::DEFAULT, 4);
+        assert!(diff_hits(&result.hits, &oracle).is_none());
+    }
+
+    #[test]
+    fn empty_query_is_empty_result() {
+        let db = dna_db(b"ACGTACGT");
+        let aligner = BwtswAligner::build(&db, BwtswConfig::new(ScoringScheme::DEFAULT, 3));
+        let result = aligner.align(&[]);
+        assert!(result.hits.is_empty());
+        assert_eq!(result.stats.calculated_entries, 0);
+    }
+
+    #[test]
+    fn counters_are_populated() {
+        let db = dna_db(b"GCTAGCTAGCATCGATCGATGCTAGCAT");
+        let query = encode(b"GCTAGCAT");
+        let aligner = BwtswAligner::build(&db, BwtswConfig::new(ScoringScheme::DEFAULT, 4));
+        let result = aligner.align(&query);
+        assert!(result.stats.calculated_entries > 0);
+        assert!(result.stats.visited_nodes > 0);
+        assert!(result.stats.max_depth >= 4);
+        assert!(!result.hits.is_empty());
+        assert_eq!(
+            result.stats.computation_cost(),
+            3 * result.stats.calculated_entries
+        );
+    }
+
+    #[test]
+    fn prunes_far_fewer_entries_than_full_matrix() {
+        // The pruned trie DP must calculate fewer entries than the full n·m
+        // Smith-Waterman matrix on a random-ish text.
+        let text = b"ACGGTCAGTTCAGGATCCAGTTGACCATTGCAGTCAGGTTCAACGGTACTGACGGTCAGTT";
+        let query = b"TTGACCATTGCA";
+        let db = dna_db(text);
+        let query_codes = encode(query);
+        let aligner = BwtswAligner::build(&db, BwtswConfig::new(ScoringScheme::DEFAULT, 6));
+        let result = aligner.align(&query_codes);
+        let full = (text.len() * query.len()) as u64;
+        assert!(
+            result.stats.calculated_entries < full,
+            "{} !< {}",
+            result.stats.calculated_entries,
+            full
+        );
+    }
+
+    #[test]
+    fn random_texts_match_oracle() {
+        let mut state = 0xabcdef12u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..12 {
+            let n = 120 + (next() % 80) as usize;
+            let text: Vec<u8> = (0..n).map(|_| (next() % 4) as u8 + 1).collect();
+            // Queries are mutated substrings of the text so hits exist.
+            let qlen = 14 + (next() % 10) as usize;
+            let start = (next() as usize) % (n - qlen);
+            let mut query: Vec<u8> = text[start..start + qlen].to_vec();
+            // Introduce a couple of substitutions.
+            for _ in 0..2 {
+                let pos = (next() as usize) % qlen;
+                query[pos] = (next() % 4) as u8 + 1;
+            }
+            let scheme = ScoringScheme::DEFAULT;
+            let threshold = 5;
+            let seq = Sequence::from_codes(Alphabet::Dna, text.clone());
+            let db = SequenceDatabase::from_sequences(Alphabet::Dna, [seq]);
+            let aligner = BwtswAligner::build(&db, BwtswConfig::new(scheme, threshold));
+            let result = aligner.align(&query);
+            let (oracle, _) = local_alignment_hits(&text, &query, &scheme, threshold);
+            assert!(
+                diff_hits(&result.hits, &oracle).is_none(),
+                "trial {trial}: {:?}",
+                diff_hits(&result.hits, &oracle)
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Work counters for the BWT-SW baseline.
+
+/// Counters describing the work done by one BWT-SW alignment run.
+///
+/// `calculated_entries` is the quantity the paper's filtering ratio
+/// (Equation 5) and Table 4 are based on; each BWT-SW entry evaluates the
+/// full three-way affine recurrence, so its per-entry cost is 3 in the
+/// Table 4 accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BwtswStats {
+    /// Number of dynamic-programming entries evaluated.
+    pub calculated_entries: u64,
+    /// Number of suffix-trie nodes visited (distinct substrings of the text
+    /// whose row was computed).
+    pub visited_nodes: u64,
+    /// Number of subtrees pruned because the whole row became non-positive.
+    pub pruned_subtrees: u64,
+    /// Deepest trie node reached (longest text substring considered).
+    pub max_depth: usize,
+    /// Number of entries whose score reached the reporting threshold.
+    pub threshold_entries: u64,
+}
+
+impl BwtswStats {
+    /// Table 4 cost model: every BWT-SW entry evaluates three adjacent
+    /// entries (the full affine recurrence), so cost = 3 × entries.
+    pub fn computation_cost(&self) -> u64 {
+        3 * self.calculated_entries
+    }
+
+    /// Merge counters from another run (used when aligning query workloads).
+    pub fn merge(&mut self, other: &BwtswStats) {
+        self.calculated_entries += other.calculated_entries;
+        self.visited_nodes += other.visited_nodes;
+        self.pruned_subtrees += other.pruned_subtrees;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.threshold_entries += other.threshold_entries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_three_per_entry() {
+        let stats = BwtswStats {
+            calculated_entries: 10,
+            ..Default::default()
+        };
+        assert_eq!(stats.computation_cost(), 30);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BwtswStats {
+            calculated_entries: 5,
+            visited_nodes: 2,
+            pruned_subtrees: 1,
+            max_depth: 4,
+            threshold_entries: 1,
+        };
+        let b = BwtswStats {
+            calculated_entries: 7,
+            visited_nodes: 3,
+            pruned_subtrees: 0,
+            max_depth: 9,
+            threshold_entries: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.calculated_entries, 12);
+        assert_eq!(a.visited_nodes, 5);
+        assert_eq!(a.pruned_subtrees, 1);
+        assert_eq!(a.max_depth, 9);
+        assert_eq!(a.threshold_entries, 3);
+    }
+}

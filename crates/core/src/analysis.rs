@@ -1,0 +1,197 @@
+//! The entry-count analysis of Section 6.
+//!
+//! For a random text of length `n` over an alphabet of size σ and a random
+//! query of length `m`, Lemma 4 bounds the number of length-`d` query
+//! substrings with a positive ungapped score against a fixed length-`d` text
+//! substring by `k1·k2^d`, where
+//!
+//! ```text
+//!   s  = 1 + |sb| / |sa|
+//!   k1 = (1 − 1/s)^q · (σ−1)/(σ−2) · s / sqrt(2π(s−1))
+//!   k2 = s · (σ−1)^{1/s} / (s−1)^{(s−1)/s}
+//! ```
+//!
+//! and Equation 4 turns this into the expected total number of calculated
+//! entries
+//!
+//! ```text
+//!   ( k1/(k2 − 1) + k1·σ² / (σ − k2) ) · m · n^{log_σ k2}.
+//! ```
+//!
+//! With the BLAST parameter sets quoted in Section 6 the bound ranges from
+//! `4.50·m·n^0.520` to `9.05·m·n^0.896` for DNA and from `8.28·m·n^0.364` to
+//! `7.49·m·n^0.723` for protein; the default scheme `⟨1,−3,−5,−2⟩` gives
+//! `4.47·m·n^0.6038` (versus `69·m·n^0.628` for BWT-SW).  The tests below
+//! reproduce every one of those constants.
+
+use alae_bioseq::{Alphabet, ScoringScheme};
+
+/// The closed-form model of Equation 4 for one (alphabet, scheme) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntryBoundModel {
+    /// `s = 1 + |sb|/|sa|`.
+    pub s: f64,
+    /// Lemma 4's `k1`.
+    pub k1: f64,
+    /// Lemma 4's `k2`.
+    pub k2: f64,
+    /// The coefficient of `m·n^exponent` in Equation 4.
+    pub coefficient: f64,
+    /// The exponent `log_σ k2`.
+    pub exponent: f64,
+}
+
+impl EntryBoundModel {
+    /// The expected number of calculated entries for a query of length `m`
+    /// against a text of length `n`.
+    pub fn bound(&self, m: usize, n: usize) -> f64 {
+        self.coefficient * m as f64 * (n as f64).powf(self.exponent)
+    }
+}
+
+/// The entry bound BWT-SW's own analysis gives for the default DNA scheme:
+/// `69·m·n^0.628` (quoted in Sections 2.4 and 6).
+pub fn bwtsw_default_bound(m: usize, n: usize) -> f64 {
+    69.0 * m as f64 * (n as f64).powf(0.628)
+}
+
+/// Evaluate Equation 4 for an alphabet and scoring scheme.
+///
+/// Requires `σ > 2` (true for DNA and protein) and `k2 < σ` (true for every
+/// BLAST parameter set; a scheme violating it has no sublinear bound and the
+/// function returns `None`).
+pub fn expected_entry_bound(alphabet: Alphabet, scheme: &ScoringScheme) -> Option<EntryBoundModel> {
+    let sigma = alphabet.sigma() as f64;
+    if sigma <= 2.0 {
+        return None;
+    }
+    let s = 1.0 + (scheme.sb.abs() as f64) / (scheme.sa.abs() as f64);
+    if s <= 1.0 {
+        return None;
+    }
+    let q = scheme.q() as f64;
+    let k1 = (1.0 - 1.0 / s).powf(q) * ((sigma - 1.0) / (sigma - 2.0)) * s
+        / (2.0 * std::f64::consts::PI * (s - 1.0)).sqrt();
+    let k2 = s * (sigma - 1.0).powf(1.0 / s) / (s - 1.0).powf((s - 1.0) / s);
+    if k2 >= sigma || k2 <= 1.0 {
+        return None;
+    }
+    let coefficient = k1 / (k2 - 1.0) + k1 * sigma * sigma / (sigma - k2);
+    let exponent = k2.ln() / sigma.ln();
+    Some(EntryBoundModel {
+        s,
+        k1,
+        k2,
+        coefficient,
+        exponent,
+    })
+}
+
+/// Evaluate Equation 4 for every `(sa, sb)` pair BLAST exposes (Section 6)
+/// combined with the given gap penalties, returning `(scheme, model)` pairs
+/// for which the bound exists.
+pub fn blast_parameter_sweep(
+    alphabet: Alphabet,
+    sg: i64,
+    ss: i64,
+) -> Vec<(ScoringScheme, EntryBoundModel)> {
+    ScoringScheme::BLAST_MATCH_MISMATCH_PAIRS
+        .iter()
+        .filter_map(|&(sa, sb)| {
+            let scheme = ScoringScheme::new(sa, sb, sg, ss).ok()?;
+            let model = expected_entry_bound(alphabet, &scheme)?;
+            Some((scheme, model))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(alphabet: Alphabet, sa: i64, sb: i64, sg: i64, ss: i64) -> EntryBoundModel {
+        expected_entry_bound(alphabet, &ScoringScheme::new(sa, sb, sg, ss).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn default_dna_scheme_reproduces_4_47_and_0_6038() {
+        let m = model(Alphabet::Dna, 1, -3, -5, -2);
+        assert!((m.exponent - 0.6038).abs() < 2e-3, "exponent {}", m.exponent);
+        assert!((m.coefficient - 4.47).abs() < 0.05, "coefficient {}", m.coefficient);
+    }
+
+    #[test]
+    fn dna_worst_case_reproduces_9_05_and_0_896() {
+        // ⟨1,−1,−5,−2⟩ is the worst case quoted in Section 7.4.
+        let m = model(Alphabet::Dna, 1, -1, -5, -2);
+        assert!((m.exponent - 0.896).abs() < 2e-3, "exponent {}", m.exponent);
+        assert!((m.coefficient - 9.05).abs() < 0.05, "coefficient {}", m.coefficient);
+    }
+
+    #[test]
+    fn dna_best_case_reproduces_4_50_and_0_520() {
+        // ⟨1,−4,−5,−2⟩ gives the smallest exponent among the BLAST pairs.
+        let m = model(Alphabet::Dna, 1, -4, -5, -2);
+        assert!((m.exponent - 0.520).abs() < 2e-3, "exponent {}", m.exponent);
+        assert!((m.coefficient - 4.50).abs() < 0.05, "coefficient {}", m.coefficient);
+    }
+
+    #[test]
+    fn protein_bounds_reproduce_8_28_and_7_49() {
+        let low = model(Alphabet::Protein, 1, -4, -11, -1);
+        assert!((low.exponent - 0.364).abs() < 2e-3, "exponent {}", low.exponent);
+        assert!((low.coefficient - 8.28).abs() < 0.06, "coefficient {}", low.coefficient);
+        let high = model(Alphabet::Protein, 1, -1, -11, -1);
+        assert!((high.exponent - 0.723).abs() < 2e-3, "exponent {}", high.exponent);
+        assert!((high.coefficient - 7.49).abs() < 0.06, "coefficient {}", high.coefficient);
+    }
+
+    #[test]
+    fn alae_bound_beats_bwtsw_bound_for_default_scheme() {
+        let m = model(Alphabet::Dna, 1, -3, -5, -2);
+        for &(query_len, text_len) in &[(1_000usize, 1_000_000usize), (10_000, 100_000_000)] {
+            assert!(m.bound(query_len, text_len) < bwtsw_default_bound(query_len, text_len));
+        }
+    }
+
+    #[test]
+    fn bound_grows_sublinearly_in_text_length() {
+        let m = model(Alphabet::Dna, 1, -3, -5, -2);
+        let small = m.bound(1_000, 1_000_000);
+        let large = m.bound(1_000, 10_000_000);
+        // ×10 text must increase the bound by less than ×10.
+        assert!(large > small);
+        assert!(large < 10.0 * small);
+    }
+
+    #[test]
+    fn sweep_covers_blast_parameter_pairs() {
+        let sweep = blast_parameter_sweep(Alphabet::Dna, -5, -2);
+        assert_eq!(sweep.len(), ScoringScheme::BLAST_MATCH_MISMATCH_PAIRS.len());
+        // The exponents quoted in the paper bracket every entry.
+        for (scheme, model) in &sweep {
+            assert!(
+                (0.51..=0.90).contains(&model.exponent),
+                "{scheme}: exponent {}",
+                model.exponent
+            );
+        }
+        let protein = blast_parameter_sweep(Alphabet::Protein, -11, -1);
+        for (scheme, model) in &protein {
+            assert!(
+                (0.30..=0.73).contains(&model.exponent),
+                "{scheme}: exponent {}",
+                model.exponent
+            );
+        }
+    }
+
+    #[test]
+    fn larger_mismatch_penalties_shrink_the_exponent() {
+        let weak = model(Alphabet::Dna, 1, -1, -5, -2);
+        let medium = model(Alphabet::Dna, 1, -3, -5, -2);
+        let strong = model(Alphabet::Dna, 1, -4, -5, -2);
+        assert!(weak.exponent > medium.exponent);
+        assert!(medium.exponent > strong.exponent);
+    }
+}

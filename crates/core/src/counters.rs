@@ -1,0 +1,148 @@
+//! Work counters: calculated / reused / accessed entries and cost classes.
+//!
+//! Section 7.2 defines the two ratios the experiments report:
+//!
+//! * filtering ratio (Equation 5) — the fraction of BWT-SW's calculated
+//!   entries that ALAE proves meaningless,
+//! * reusing ratio (Equation 6) — the fraction of accessed entries whose
+//!   score was copied instead of recomputed.
+//!
+//! Table 4 additionally breaks calculated entries into cost classes: entries
+//! in exact-match regions are assigned without any recurrence (cost 1),
+//! no-gap-region entries use the simplified recurrence of Equation 3
+//! (cost 2), and gap-region entries evaluate the full three-way affine
+//! recurrence (cost 3).
+
+/// Counters for one ALAE alignment run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlaeStats {
+    /// Exact-match-region entries (cost 1): assigned `i·sa` without any
+    /// recurrence evaluation.
+    pub emr_entries: u64,
+    /// No-gap-region entries (cost 2): the simplified recurrence of
+    /// Equation 3.
+    pub ngr_entries: u64,
+    /// Gap-region entries (cost 3): the full affine recurrence.
+    pub gap_entries: u64,
+    /// Entries whose scores were copied from an equivalent fork instead of
+    /// being recomputed (Section 4).
+    pub reused_entries: u64,
+    /// Forks actually started (one per undominated occurrence of a query
+    /// q-gram in the text's q-prefix set).
+    pub forks_started: u64,
+    /// Fork starts skipped by the q-prefix domination filter
+    /// (Section 3.2.2).
+    pub forks_dominated: u64,
+    /// Query q-grams that do not occur in the text at all (whole matrices
+    /// proved meaningless by Theorem 3).
+    pub grams_without_text_match: u64,
+    /// Suffix-trie nodes visited (per q-prefix subtree).
+    pub visited_nodes: u64,
+    /// Entries whose score reached the reporting threshold.
+    pub threshold_entries: u64,
+    /// Deepest trie node reached.
+    pub max_depth: usize,
+}
+
+impl AlaeStats {
+    /// Total number of calculated entries (all cost classes).
+    pub fn calculated_entries(&self) -> u64 {
+        self.emr_entries + self.ngr_entries + self.gap_entries
+    }
+
+    /// Total number of accessed entries: calculated plus reused
+    /// (denominator of Equation 6).
+    pub fn accessed_entries(&self) -> u64 {
+        self.calculated_entries() + self.reused_entries
+    }
+
+    /// Table 4 cost model: `1·EMR + 2·NGR + 3·gap`.
+    pub fn computation_cost(&self) -> u64 {
+        self.emr_entries + 2 * self.ngr_entries + 3 * self.gap_entries
+    }
+
+    /// Reusing ratio of Equation 6, in percent.
+    pub fn reusing_ratio(&self) -> f64 {
+        let accessed = self.accessed_entries();
+        if accessed == 0 {
+            0.0
+        } else {
+            100.0 * self.reused_entries as f64 / accessed as f64
+        }
+    }
+
+    /// Filtering ratio of Equation 5, in percent, given the number of
+    /// entries BWT-SW calculated on the same (text, query, scheme,
+    /// threshold) instance.
+    pub fn filtering_ratio(&self, bwtsw_calculated_entries: u64) -> f64 {
+        if bwtsw_calculated_entries == 0 {
+            return 0.0;
+        }
+        let filtered = bwtsw_calculated_entries.saturating_sub(self.calculated_entries());
+        100.0 * filtered as f64 / bwtsw_calculated_entries as f64
+    }
+
+    /// Merge counters from another run (used to aggregate query workloads).
+    pub fn merge(&mut self, other: &AlaeStats) {
+        self.emr_entries += other.emr_entries;
+        self.ngr_entries += other.ngr_entries;
+        self.gap_entries += other.gap_entries;
+        self.reused_entries += other.reused_entries;
+        self.forks_started += other.forks_started;
+        self.forks_dominated += other.forks_dominated;
+        self.grams_without_text_match += other.grams_without_text_match;
+        self.visited_nodes += other.visited_nodes;
+        self.threshold_entries += other.threshold_entries;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AlaeStats {
+        AlaeStats {
+            emr_entries: 10,
+            ngr_entries: 20,
+            gap_entries: 30,
+            reused_entries: 40,
+            forks_started: 5,
+            forks_dominated: 2,
+            grams_without_text_match: 1,
+            visited_nodes: 7,
+            threshold_entries: 3,
+            max_depth: 12,
+        }
+    }
+
+    #[test]
+    fn totals_and_cost() {
+        let stats = sample();
+        assert_eq!(stats.calculated_entries(), 60);
+        assert_eq!(stats.accessed_entries(), 100);
+        assert_eq!(stats.computation_cost(), 10 + 40 + 90);
+    }
+
+    #[test]
+    fn ratios() {
+        let stats = sample();
+        assert!((stats.reusing_ratio() - 40.0).abs() < 1e-9);
+        assert!((stats.filtering_ratio(120) - 50.0).abs() < 1e-9);
+        // ALAE never reports a negative filtering ratio even if it somehow
+        // calculated more entries than BWT-SW.
+        assert_eq!(stats.filtering_ratio(10), 0.0);
+        assert_eq!(AlaeStats::default().reusing_ratio(), 0.0);
+        assert_eq!(AlaeStats::default().filtering_ratio(0), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.calculated_entries(), 120);
+        assert_eq!(a.reused_entries, 80);
+        assert_eq!(a.max_depth, 12);
+        assert_eq!(a.forks_started, 10);
+    }
+}

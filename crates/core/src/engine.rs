@@ -1,0 +1,665 @@
+//! The ALAE alignment engine.
+//!
+//! One [`AlaeAligner::align`] call runs the full pipeline of the paper:
+//!
+//! 1. build the q-gram inverted lists of the query (Section 3.1.3),
+//! 2. for every distinct query q-gram that also occurs in the text, start a
+//!    fork group at each of its (undominated) query positions — the q-prefix
+//!    filter of Theorem 3 plus the global domination filter of Lemma 1,
+//! 3. walk the suffix-trie subtree below that q-prefix (via the compressed
+//!    suffix array of Section 5), advancing each fork group one text
+//!    character at a time with the EMR/NGR/gap-region dynamic programming of
+//!    Section 3.1.3 and the length/score filters of Theorems 1–2,
+//! 4. share computed cells across forks whose remaining query substrings are
+//!    identical (the score-reuse technique of Section 4),
+//! 5. record every cell reaching the threshold into the per-end-pair maxima
+//!    of the BASIC algorithm (Algorithm 1).
+
+use crate::config::{AlaeConfig, FilterToggles};
+use crate::counters::AlaeStats;
+use crate::domination::DominationIndex;
+use crate::filters::LengthBounds;
+use crate::fork::{advance_fork, AdvanceContext, ForkGroup, ForkPhase};
+use crate::qgram::QGramIndex;
+use alae_bioseq::hits::{AlignmentHit, HitMap};
+use alae_bioseq::{Alphabet, Sequence, SequenceDatabase};
+use alae_suffix::{SuffixTrieCursor, TextIndex};
+use std::sync::Arc;
+
+/// The outcome of one ALAE alignment run.
+#[derive(Debug, Clone)]
+pub struct AlaeResult {
+    /// All end pairs whose best alignment score reached the threshold.
+    pub hits: Vec<AlignmentHit>,
+    /// Work counters.
+    pub stats: AlaeStats,
+    /// The threshold `H` that was actually applied (resolved from the
+    /// E-value when the configuration uses one).
+    pub threshold: i64,
+}
+
+/// The ALAE aligner: a compressed-suffix-array text index, the offline
+/// domination index, and a configuration.
+#[derive(Debug, Clone)]
+pub struct AlaeAligner {
+    index: Arc<TextIndex>,
+    domination: Option<DominationIndex>,
+    alphabet: Alphabet,
+    config: AlaeConfig,
+}
+
+impl AlaeAligner {
+    /// Build the aligner (indexes included) from a sequence database.
+    pub fn build(database: &SequenceDatabase, config: AlaeConfig) -> Self {
+        let index = Arc::new(TextIndex::new(
+            database.text().to_vec(),
+            database.alphabet().code_count(),
+        ));
+        Self::with_index(index, database.alphabet(), config)
+    }
+
+    /// Build the aligner around an existing (possibly shared) text index.
+    pub fn with_index(index: Arc<TextIndex>, alphabet: Alphabet, config: AlaeConfig) -> Self {
+        let domination = if config.filters.domination_filter {
+            Some(DominationIndex::build(
+                index.text(),
+                config.scheme.q(),
+                alphabet.code_count(),
+            ))
+        } else {
+            None
+        };
+        Self {
+            index,
+            domination,
+            alphabet,
+            config,
+        }
+    }
+
+    /// The underlying text index.
+    pub fn index(&self) -> &Arc<TextIndex> {
+        &self.index
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AlaeConfig {
+        &self.config
+    }
+
+    /// Size of the compressed-suffix-array index in bytes (the "BWT index"
+    /// series of Figure 11).
+    pub fn bwt_index_size_bytes(&self) -> usize {
+        self.index.fm_size_in_bytes()
+    }
+
+    /// Size of the offline domination index in bytes (the "dominate index"
+    /// series of Figure 11); zero when the filter is disabled.
+    pub fn domination_index_size_bytes(&self) -> usize {
+        self.domination.as_ref().map_or(0, DominationIndex::size_in_bytes)
+    }
+
+    /// Align a query [`Sequence`].
+    pub fn align_sequence(&self, query: &Sequence) -> AlaeResult {
+        assert_eq!(query.alphabet(), self.alphabet, "query alphabet mismatch");
+        self.align(query.codes())
+    }
+
+    /// Align a query given as a code slice and report every end pair whose
+    /// best local-alignment score reaches the threshold.
+    pub fn align(&self, query: &[u8]) -> AlaeResult {
+        let mut stats = AlaeStats::default();
+        let mut hits = HitMap::new();
+        let scheme = self.config.scheme;
+        let m = query.len();
+        let n = self.index.len();
+        let threshold = self.config.resolve_threshold(self.alphabet, m, n);
+        if m == 0 || n == 0 {
+            return AlaeResult {
+                hits: Vec::new(),
+                stats,
+                threshold,
+            };
+        }
+
+        let q = scheme.q();
+        let filters = self.config.filters;
+        let bounds = LengthBounds::new(&scheme, m, threshold);
+        let fallback_cap = LengthBounds::fallback_cap(&scheme, m);
+        let mut max_depth = if filters.length_filter {
+            bounds.max_len
+        } else {
+            fallback_cap
+        };
+        if let Some(cap) = self.config.max_depth {
+            max_depth = max_depth.min(cap);
+        }
+
+        let qgram_index = QGramIndex::build(query, q, self.alphabet.code_count());
+        let ctx = AdvanceContext {
+            query,
+            scheme: &scheme,
+            threshold,
+            max_depth,
+            score_filter: filters.score_filter,
+        };
+
+        for (gram_key, positions) in qgram_index.iter() {
+            self.process_gram(
+                gram_key,
+                positions,
+                query,
+                q,
+                threshold,
+                max_depth,
+                &filters,
+                &ctx,
+                &mut hits,
+                &mut stats,
+            );
+        }
+
+        AlaeResult {
+            hits: hits.into_hits(threshold),
+            stats,
+            threshold,
+        }
+    }
+
+    /// Handle one distinct query q-gram: build its fork groups and walk the
+    /// suffix-trie subtree rooted at the q-prefix.
+    #[allow(clippy::too_many_arguments)]
+    fn process_gram(
+        &self,
+        gram_key: u64,
+        positions: &[u32],
+        query: &[u8],
+        q: usize,
+        threshold: i64,
+        max_depth: usize,
+        filters: &FilterToggles,
+        ctx: &AdvanceContext<'_>,
+        hits: &mut HitMap,
+        stats: &mut AlaeStats,
+    ) {
+        // The q-prefix filter (Theorem 3): the q-gram must occur in the text.
+        let first_pos = positions[0] as usize;
+        let window = &query[first_pos..first_pos + q];
+        let Some(root_cursor) = self.index.cursor_for(window) else {
+            stats.grams_without_text_match += 1;
+            return;
+        };
+
+        // Global filtering via q-prefix domination (Lemma 1): skip fork
+        // starts whose q-gram is dominated by the q-gram one column to the
+        // left in the query.
+        let active: Vec<u32> = positions
+            .iter()
+            .copied()
+            .filter(|&col| {
+                if !filters.domination_filter || col == 0 {
+                    return true;
+                }
+                let Some(dom) = &self.domination else { return true };
+                let col = col as usize;
+                let prev_window = &query[col - 1..col - 1 + q];
+                match crate::qgram::pack_gram(prev_window, self.alphabet.code_count() as u64) {
+                    Some(prev_key) => !dom.dominates(prev_key, gram_key),
+                    None => true,
+                }
+            })
+            .collect();
+        stats.forks_dominated += (positions.len() - active.len()) as u64;
+        if active.is_empty() {
+            return;
+        }
+        stats.forks_started += active.len() as u64;
+        // EMR entries (cost 1): q per started fork, assigned without
+        // computation.
+        stats.emr_entries += (q as u64) * active.len() as u64;
+
+        // Initial fork groups at depth q (the whole EMR has score q·sa).
+        // When q·sa already exceeds |sg + ss| the EMR's last entry is itself
+        // the first gap open entry, so the fork starts directly in the gap
+        // region (otherwise gaps opened right after the EMR would be lost).
+        let initial_score = q as i64 * ctx.scheme.sa;
+        let initial_phase = if initial_score > ctx.scheme.gap_open_extend().abs() {
+            // The EMR's last entry is already a first-gap-open entry; open
+            // the gap region (including its same-row extension entries) for
+            // the representative fork.  The extension entries hold pure gap
+            // scores, so they are identical for every member of the group.
+            let representative = active[0];
+            let (cells, boundary_entries) =
+                crate::fork::open_gap_region((q - 1) as u32, initial_score, representative, q, ctx);
+            stats.ngr_entries += boundary_entries;
+            ForkPhase::Gap {
+                cells,
+                fgoe_depth: q,
+            }
+        } else {
+            ForkPhase::Diagonal {
+                score: initial_score,
+            }
+        };
+        let groups: Vec<ForkGroup> = if filters.reuse {
+            vec![ForkGroup {
+                start_cols: active,
+                phase: initial_phase,
+            }]
+        } else {
+            active
+                .into_iter()
+                .map(|col| ForkGroup {
+                    start_cols: vec![col],
+                    phase: initial_phase.clone(),
+                })
+                .collect()
+        };
+
+        self.record_hits(root_cursor, &groups, query, threshold, hits, stats);
+        stats.visited_nodes += 1;
+        stats.max_depth = stats.max_depth.max(root_cursor.depth);
+
+        if root_cursor.depth >= max_depth {
+            return;
+        }
+
+        // Depth-first descent below the q-prefix.
+        let mut stack: Vec<(SuffixTrieCursor, Vec<ForkGroup>)> = vec![(root_cursor, groups)];
+        while let Some((cursor, groups)) = stack.pop() {
+            for (c, child) in self.index.children(cursor) {
+                let child_groups =
+                    advance_groups(&groups, c, cursor.depth, filters.reuse, ctx, stats);
+                if child_groups.is_empty() {
+                    continue;
+                }
+                stats.visited_nodes += 1;
+                stats.max_depth = stats.max_depth.max(child.depth);
+                self.record_hits(child, &child_groups, query, threshold, hits, stats);
+                if child.depth < max_depth {
+                    stack.push((child, child_groups));
+                }
+            }
+        }
+    }
+
+    /// Record every cell at or above the threshold for every member fork and
+    /// every text occurrence of the current trie node.
+    fn record_hits(
+        &self,
+        cursor: SuffixTrieCursor,
+        groups: &[ForkGroup],
+        query: &[u8],
+        threshold: i64,
+        hits: &mut HitMap,
+        stats: &mut AlaeStats,
+    ) {
+        // Cheap pre-check before paying for occurrence location.
+        let any_hit = groups.iter().any(|group| match &group.phase {
+            ForkPhase::Diagonal { score } => *score >= threshold,
+            ForkPhase::Gap { cells, .. } => cells.iter().any(|cell| cell.m >= threshold),
+        });
+        if !any_hit {
+            return;
+        }
+        let occurrences = self.index.occurrences(cursor);
+        let depth = cursor.depth;
+        let m = query.len();
+        for group in groups {
+            match &group.phase {
+                ForkPhase::Diagonal { score } => {
+                    if *score < threshold {
+                        continue;
+                    }
+                    let offset = depth - 1;
+                    for &start_col in &group.start_cols {
+                        let col = start_col as usize + offset;
+                        if col >= m {
+                            continue;
+                        }
+                        stats.threshold_entries += 1;
+                        for &t in &occurrences {
+                            hits.record(t + depth - 1, col, *score);
+                        }
+                    }
+                }
+                ForkPhase::Gap { cells, .. } => {
+                    for cell in cells {
+                        if cell.m < threshold {
+                            continue;
+                        }
+                        for &start_col in &group.start_cols {
+                            let col = start_col as usize + cell.offset as usize;
+                            if col >= m {
+                                continue;
+                            }
+                            stats.threshold_entries += 1;
+                            for &t in &occurrences {
+                                hits.record(t + depth - 1, col, cell.m);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Advance every fork group by one text character, splitting groups whose
+/// members stop agreeing on the consulted query characters.
+fn advance_groups(
+    groups: &[ForkGroup],
+    text_char: u8,
+    depth: usize,
+    reuse: bool,
+    ctx: &AdvanceContext<'_>,
+    stats: &mut AlaeStats,
+) -> Vec<ForkGroup> {
+    let m = ctx.query.len();
+    let mut result = Vec::with_capacity(groups.len());
+    for group in groups {
+        let mut pending: Vec<u32> = group.start_cols.clone();
+        while !pending.is_empty() {
+            let representative = pending[0];
+            let outcome = advance_fork(&group.phase, representative, text_char, depth, ctx);
+            stats.ngr_entries += outcome.ngr_entries;
+            stats.gap_entries += outcome.gap_entries;
+            let computed = outcome.ngr_entries + outcome.gap_entries;
+
+            // Members whose query agrees at every consulted offset share the
+            // representative's outcome (Section 4, Lemma 2).
+            let mut shared = vec![representative];
+            let mut rest = Vec::new();
+            for &start_col in &pending[1..] {
+                let agrees = reuse
+                    && outcome.consulted.iter().all(|&(offset, ch)| {
+                        let col = start_col as usize + offset as usize;
+                        col < m && ctx.query[col] == ch
+                    });
+                if agrees {
+                    stats.reused_entries += computed;
+                    shared.push(start_col);
+                } else {
+                    rest.push(start_col);
+                }
+            }
+            if let Some(phase) = outcome.phase {
+                result.push(ForkGroup {
+                    start_cols: shared,
+                    phase,
+                });
+            }
+            pending = rest;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alae_align_baseline::local_alignment_hits;
+    use alae_bioseq::hits::diff_hits;
+    use alae_bioseq::ScoringScheme;
+
+    fn dna_db(ascii: &[u8]) -> SequenceDatabase {
+        let seq = Sequence::from_ascii(Alphabet::Dna, ascii).unwrap();
+        SequenceDatabase::from_sequences(Alphabet::Dna, [seq])
+    }
+
+    fn encode(ascii: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(ascii).unwrap()
+    }
+
+    fn assert_matches_oracle(
+        text_ascii: &[u8],
+        query_ascii: &[u8],
+        scheme: ScoringScheme,
+        threshold: i64,
+        filters: FilterToggles,
+    ) {
+        let db = dna_db(text_ascii);
+        let query = encode(query_ascii);
+        let config = AlaeConfig::with_threshold(scheme, threshold).filters(filters);
+        let aligner = AlaeAligner::build(&db, config);
+        let result = aligner.align(&query);
+        let (oracle, _) = local_alignment_hits(db.text(), &query, &scheme, threshold);
+        assert!(
+            diff_hits(&result.hits, &oracle).is_none(),
+            "ALAE differs from oracle for text {:?} / query {:?} (filters {filters:?}): {:?}",
+            String::from_utf8_lossy(text_ascii),
+            String::from_utf8_lossy(query_ascii),
+            diff_hits(&result.hits, &oracle)
+        );
+    }
+
+    #[test]
+    fn exact_match_found() {
+        assert_matches_oracle(
+            b"TTTTGCTAGCTTTT",
+            b"GCTAGC",
+            ScoringScheme::DEFAULT,
+            5,
+            FilterToggles::ALL,
+        );
+    }
+
+    #[test]
+    fn repeats_and_substitutions_match_oracle() {
+        assert_matches_oracle(
+            b"GCTAGCAAGCTAGCTTGCTAGCGGACGTACGTAAGG",
+            b"GCTAGCACGTACGT",
+            ScoringScheme::DEFAULT,
+            6,
+            FilterToggles::ALL,
+        );
+    }
+
+    #[test]
+    fn gapped_alignments_match_oracle() {
+        // Text contains the query with a 2-character insertion.
+        let half = b"ACGGTCAGTTCAGGATCC";
+        let mut text = b"TTTT".to_vec();
+        text.extend_from_slice(half);
+        text.extend_from_slice(b"GG");
+        text.extend_from_slice(half);
+        text.extend_from_slice(b"TTTT");
+        let mut query = half.to_vec();
+        query.extend_from_slice(half);
+        assert_matches_oracle(&text, &query, ScoringScheme::DEFAULT, 12, FilterToggles::ALL);
+    }
+
+    #[test]
+    fn every_filter_combination_is_exact() {
+        let text = b"ACGGTCAGTTCAGGATCCAGTTGACCATTGCAGTCAGGTTCAACGGTACTGACGGTCAGTTACC";
+        let query = b"CAGGATCCAGTTGACCATTACAGTCAGG";
+        for length_filter in [false, true] {
+            for score_filter in [false, true] {
+                for domination_filter in [false, true] {
+                    for reuse in [false, true] {
+                        let filters = FilterToggles {
+                            length_filter,
+                            score_filter,
+                            domination_filter,
+                            reuse,
+                        };
+                        assert_matches_oracle(text, query, ScoringScheme::DEFAULT, 8, filters);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alternative_schemes_match_oracle() {
+        for scheme in ScoringScheme::FIGURE9_SCHEMES {
+            let threshold = (scheme.q() as i64 * scheme.sa).max(8);
+            assert_matches_oracle(
+                b"ACCGTTAGGCATCGATTGCAACCGGTTACGATCAGTACCGTTAGGC",
+                b"TTAGGCATCGATCCGGTTACG",
+                scheme,
+                threshold,
+                FilterToggles::ALL,
+            );
+        }
+    }
+
+    #[test]
+    fn multi_record_databases_respect_boundaries() {
+        let a = Sequence::from_ascii(Alphabet::Dna, b"AAGCTAGCAA").unwrap();
+        let b = Sequence::from_ascii(Alphabet::Dna, b"GCTTAAGCTAGG").unwrap();
+        let db = SequenceDatabase::from_sequences(Alphabet::Dna, [a, b]);
+        let query = encode(b"GCTAGCTT");
+        let config = AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 5);
+        let aligner = AlaeAligner::build(&db, config);
+        let result = aligner.align(&query);
+        let (oracle, _) = local_alignment_hits(db.text(), &query, &ScoringScheme::DEFAULT, 5);
+        assert!(diff_hits(&result.hits, &oracle).is_none());
+    }
+
+    #[test]
+    fn counters_are_consistent() {
+        let db = dna_db(b"GCTAGCTAGCATCGATCGATGCTAGCATGCTAGCAT");
+        let query = encode(b"GCTAGCATCGATGG");
+        let config = AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 6);
+        let aligner = AlaeAligner::build(&db, config);
+        let result = aligner.align(&query);
+        assert!(!result.hits.is_empty());
+        let stats = result.stats;
+        assert!(stats.calculated_entries() > 0);
+        assert_eq!(
+            stats.accessed_entries(),
+            stats.calculated_entries() + stats.reused_entries
+        );
+        assert!(stats.forks_started > 0);
+        assert!(stats.visited_nodes > 0);
+        assert!(stats.reusing_ratio() >= 0.0 && stats.reusing_ratio() <= 100.0);
+    }
+
+    #[test]
+    fn empty_query_and_empty_text() {
+        let db = dna_db(b"ACGT");
+        let aligner = AlaeAligner::build(&db, AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 5));
+        let result = aligner.align(&[]);
+        assert!(result.hits.is_empty());
+        let empty_db = SequenceDatabase::new(Alphabet::Dna);
+        let aligner = AlaeAligner::build(&empty_db, AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 5));
+        assert!(aligner.align(&encode(b"ACGT")).hits.is_empty());
+    }
+
+    #[test]
+    fn evalue_configuration_runs() {
+        let db = dna_db(b"GCTAGCTAGCATCGATCGATGCTAGCATTTTGCATCAGTACGGTACCAGT");
+        let query = encode(b"GCTAGCATCGATCGATGCTAGCAT");
+        let config = AlaeConfig::with_evalue(ScoringScheme::DEFAULT, 10.0);
+        let aligner = AlaeAligner::build(&db, config);
+        let result = aligner.align(&query);
+        assert!(result.threshold > 0);
+        // The resolved threshold must agree with the oracle run at the same
+        // threshold.
+        let (oracle, _) =
+            local_alignment_hits(db.text(), &query, &ScoringScheme::DEFAULT, result.threshold);
+        assert!(diff_hits(&result.hits, &oracle).is_none());
+    }
+
+    #[test]
+    fn index_sizes_are_reported() {
+        let db = dna_db(b"ACGTACGTACGTACGTACGTACGTACGTACGT");
+        let aligner = AlaeAligner::build(&db, AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 8));
+        assert!(aligner.bwt_index_size_bytes() > 0);
+        assert!(aligner.domination_index_size_bytes() > 0);
+        let no_dom = AlaeAligner::build(
+            &db,
+            AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 8).filters(FilterToggles::LOCAL_ONLY),
+        );
+        assert_eq!(no_dom.domination_index_size_bytes(), 0);
+    }
+
+    #[test]
+    fn reuse_reduces_calculated_entries_on_repetitive_queries() {
+        // A query made of the same block repeated many times: forks at the
+        // repeated blocks share their computations.
+        let block = b"GCTAGCATCGGA";
+        let mut query_ascii = Vec::new();
+        for _ in 0..6 {
+            query_ascii.extend_from_slice(block);
+        }
+        let mut text_ascii = b"TTTT".to_vec();
+        text_ascii.extend_from_slice(&query_ascii);
+        text_ascii.extend_from_slice(b"AACCGGTT");
+        let db = dna_db(&text_ascii);
+        let query = encode(&query_ascii);
+
+        let with_reuse = AlaeAligner::build(
+            &db,
+            AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 10),
+        )
+        .align(&query);
+        let without_reuse = AlaeAligner::build(
+            &db,
+            AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 10).filters(FilterToggles {
+                reuse: false,
+                ..FilterToggles::ALL
+            }),
+        )
+        .align(&query);
+        assert!(diff_hits(&with_reuse.hits, &without_reuse.hits).is_none());
+        assert!(with_reuse.stats.reused_entries > 0);
+        assert!(
+            with_reuse.stats.calculated_entries() < without_reuse.stats.calculated_entries(),
+            "reuse should save calculations: {} vs {}",
+            with_reuse.stats.calculated_entries(),
+            without_reuse.stats.calculated_entries()
+        );
+    }
+
+    #[test]
+    fn random_texts_match_oracle_and_bwtsw() {
+        let mut state = 0x5a5a5a5au64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..10 {
+            let n = 150 + (next() % 100) as usize;
+            let text: Vec<u8> = (0..n).map(|_| (next() % 4) as u8 + 1).collect();
+            let qlen = 20 + (next() % 15) as usize;
+            let start = (next() as usize) % (n - qlen);
+            let mut query: Vec<u8> = text[start..start + qlen].to_vec();
+            for _ in 0..3 {
+                let pos = (next() as usize) % qlen;
+                query[pos] = (next() % 4) as u8 + 1;
+            }
+            let scheme = ScoringScheme::DEFAULT;
+            let threshold = 6;
+            let seq = Sequence::from_codes(Alphabet::Dna, text.clone());
+            let db = SequenceDatabase::from_sequences(Alphabet::Dna, [seq]);
+            let alae = AlaeAligner::build(&db, AlaeConfig::with_threshold(scheme, threshold));
+            let result = alae.align(&query);
+            let (oracle, _) = local_alignment_hits(&text, &query, &scheme, threshold);
+            assert!(
+                diff_hits(&result.hits, &oracle).is_none(),
+                "trial {trial}: ALAE vs oracle: {:?}",
+                diff_hits(&result.hits, &oracle)
+            );
+            let bwtsw = alae_bwtsw::BwtswAligner::build(
+                &db,
+                alae_bwtsw::BwtswConfig::new(scheme, threshold),
+            )
+            .align(&query);
+            assert!(
+                diff_hits(&result.hits, &bwtsw.hits).is_none(),
+                "trial {trial}: ALAE vs BWT-SW"
+            );
+            // ALAE must never calculate more entries than BWT-SW.
+            assert!(
+                result.stats.calculated_entries() <= bwtsw.stats.calculated_entries,
+                "trial {trial}: {} > {}",
+                result.stats.calculated_entries(),
+                bwtsw.stats.calculated_entries
+            );
+        }
+    }
+}

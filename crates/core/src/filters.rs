@@ -1,0 +1,139 @@
+//! Local filtering (Section 3.1): length filtering and score filtering.
+//!
+//! The q-prefix filter of Theorem 3 lives in the engine (it decides where
+//! forks start); this module holds the purely arithmetic filters:
+//!
+//! * **Length filtering** (Theorem 1): only text substrings whose length
+//!   lies in `[⌈H/sa⌉, Lmax]` can participate in a reported alignment, so
+//!   the suffix-trie descent stops at depth `Lmax`.
+//! * **Score filtering** (Theorem 2): a cell whose score cannot be raised to
+//!   the threshold by the remaining query or text characters is meaningless
+//!   and is pruned together with everything that would be derived from it.
+
+use alae_bioseq::ScoringScheme;
+
+/// Depth (text-substring length) limits derived from Theorem 1, plus the
+/// fallback cap used when the length filter is disabled for ablation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LengthBounds {
+    /// Minimum text length that can reach the threshold: `⌈H/sa⌉`.
+    pub min_len: usize,
+    /// Maximum useful text length (`Lmax` in the paper).
+    pub max_len: usize,
+}
+
+impl LengthBounds {
+    /// Compute the bounds for a query of length `m` and threshold `H`.
+    pub fn new(scheme: &ScoringScheme, query_len: usize, threshold: i64) -> Self {
+        Self {
+            min_len: scheme.min_text_length(threshold),
+            max_len: scheme.lmax(query_len, threshold),
+        }
+    }
+
+    /// A conservative cap on the trie depth that guarantees termination even
+    /// with the length filter disabled: beyond `m·(1 + sa/|ss|) + q` rows
+    /// every cell is forced negative regardless of the threshold.
+    pub fn fallback_cap(scheme: &ScoringScheme, query_len: usize) -> usize {
+        let extra = (query_len as i64 * scheme.sa) / scheme.ss.abs().max(1);
+        query_len + extra.max(0) as usize + scheme.q() + 2
+    }
+}
+
+/// Score-filter decision for a single cell (Theorem 2).
+///
+/// `score` is the cell's value, `remaining_query` the number of query
+/// characters after the cell's column, `remaining_text` the number of text
+/// characters that may still be appended before the depth limit.  The cell
+/// is meaningless when even an all-match continuation cannot reach the
+/// threshold.
+#[inline]
+pub fn cell_is_meaningless(
+    scheme: &ScoringScheme,
+    threshold: i64,
+    score: i64,
+    remaining_query: usize,
+    remaining_text: usize,
+) -> bool {
+    if score <= 0 {
+        return true;
+    }
+    if score >= threshold {
+        return false;
+    }
+    let query_gain = remaining_query as i64 * scheme.sa;
+    let text_gain = remaining_text as i64 * scheme.sa;
+    score + query_gain < threshold || score + text_gain < threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_bounds_for_paper_example() {
+        // Section 3.1.1 example: P = GCTAC (m = 5), H = 3, default scheme.
+        let bounds = LengthBounds::new(&ScoringScheme::DEFAULT, 5, 3);
+        assert_eq!(bounds.min_len, 3);
+        // The theorem's Lmax is max{m, m + ⌊(H − sa·m − sg)/ss⌋} = 5 here.
+        assert_eq!(bounds.max_len, 5);
+        assert!(bounds.min_len <= bounds.max_len);
+    }
+
+    #[test]
+    fn lmax_exceeds_query_length_for_small_thresholds() {
+        // A very small threshold (relative to sa·m) leaves budget for gaps,
+        // so text substrings longer than the query stay meaningful.
+        let bounds = LengthBounds::new(&ScoringScheme::DEFAULT, 10, 2);
+        assert!(bounds.max_len > 10);
+    }
+
+    #[test]
+    fn fallback_cap_dominates_lmax() {
+        let scheme = ScoringScheme::DEFAULT;
+        for (m, h) in [(10usize, 5i64), (100, 20), (1000, 40)] {
+            let bounds = LengthBounds::new(&scheme, m, h);
+            assert!(LengthBounds::fallback_cap(&scheme, m) >= bounds.max_len);
+        }
+    }
+
+    #[test]
+    fn non_positive_scores_are_meaningless() {
+        let scheme = ScoringScheme::DEFAULT;
+        assert!(cell_is_meaningless(&scheme, 10, 0, 100, 100));
+        assert!(cell_is_meaningless(&scheme, 10, -3, 100, 100));
+    }
+
+    #[test]
+    fn scores_at_threshold_are_meaningful() {
+        let scheme = ScoringScheme::DEFAULT;
+        assert!(!cell_is_meaningless(&scheme, 10, 10, 0, 0));
+        assert!(!cell_is_meaningless(&scheme, 10, 25, 0, 0));
+    }
+
+    #[test]
+    fn unreachable_threshold_prunes_cell() {
+        let scheme = ScoringScheme::DEFAULT;
+        // Score 3, threshold 10: needs 7 more matches, but only 4 query
+        // characters remain.
+        assert!(cell_is_meaningless(&scheme, 10, 3, 4, 100));
+        // Or only 4 text rows remain.
+        assert!(cell_is_meaningless(&scheme, 10, 3, 100, 4));
+        // With 7 on both sides the cell survives.
+        assert!(!cell_is_meaningless(&scheme, 10, 3, 7, 7));
+    }
+
+    #[test]
+    fn matches_the_paper_figure1_discussion() {
+        // Section 3.1.2: with H = 3, "the (1,5)-entry is meaningless, since
+        // the lower bound of the score for the 5-th column must be 3, but
+        // the calculated M_X(1,5) = 1" — column 5 of a 5-column query leaves
+        // no remaining query characters.
+        let scheme = ScoringScheme::DEFAULT;
+        assert!(cell_is_meaningless(&scheme, 3, 1, 0, 3));
+        // The diagonal entries (1,1), (2,2), (3,3), (4,4) are meaningful:
+        // e.g. (1,1) has score 1 with 4 query chars and 3 text rows left.
+        assert!(!cell_is_meaningless(&scheme, 3, 1, 4, 3));
+        assert!(!cell_is_meaningless(&scheme, 3, 2, 3, 2));
+    }
+}

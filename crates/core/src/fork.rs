@@ -1,0 +1,540 @@
+//! The fork model of Section 3.1.3 and the per-fork dynamic programming.
+//!
+//! Every fork starts where a q-prefix of the current text substring exactly
+//! matches a q-gram of the query (Theorem 3).  Inside a fork the matrix is
+//! split into three regions (Figure 2):
+//!
+//! * the **exact-match region** (EMR): rows `1..=q`, whose scores are known
+//!   to be `i·sa` without any computation,
+//! * the **no-gap region** (NGR): the diagonal continues with the simplified
+//!   recurrence of Equation 3 until the score first exceeds `|sg + ss|`
+//!   (the first gap open entry, FGOE) — opening a gap earlier would send the
+//!   running score non-positive, so nothing is lost,
+//! * the **gap region**: from the FGOE onwards the full affine recurrence is
+//!   evaluated over a sparse set of meaningful cells.
+//!
+//! A [`ForkGroup`] bundles several forks whose remaining query substrings
+//! have been identical so far; the representative's cells are computed once
+//! and shared — the score-reuse technique of Section 4 (Lemma 2).
+
+use crate::filters::cell_is_meaningless;
+use crate::NEG_INF;
+use alae_bioseq::ScoringScheme;
+
+/// One sparse cell of a fork's gap region.  `offset` is the column relative
+/// to the fork's start column, so grouped forks can share cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapCell {
+    /// Column offset from the fork's start column (offset 0 is the EMR's
+    /// first column).
+    pub offset: u32,
+    /// The main score `M(i, j)`.
+    pub m: i64,
+    /// The vertical-gap auxiliary `Ga(i, j)` (gap aligned to the text
+    /// character), or `NEG_INF` when pruned.
+    pub ga: i64,
+}
+
+/// The computational phase a fork is in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForkPhase {
+    /// EMR / NGR: only the diagonal cell is meaningful; `score` is its
+    /// value.
+    Diagonal {
+        /// Score of the diagonal cell at the current depth.
+        score: i64,
+    },
+    /// Gap region: the sparse set of meaningful cells at the current depth.
+    Gap {
+        /// Meaningful cells, sorted by offset.
+        cells: Vec<GapCell>,
+        /// Depth (row) at which the FGOE was found — kept for diagnostics
+        /// and tests.
+        fgoe_depth: usize,
+    },
+}
+
+/// A group of forks sharing identical dynamic-programming state.
+///
+/// All members have seen exactly the same query characters at every offset
+/// consulted so far, so one computed state serves them all (Section 4).  The
+/// representative is the member with the smallest start column, i.e. the one
+/// with the most remaining query characters: its score-filter bound is the
+/// most permissive, so sharing it with the other members never prunes a cell
+/// those members still need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForkGroup {
+    /// 0-based query columns where the member forks' EMRs start (sorted
+    /// ascending; the first is the representative).
+    pub start_cols: Vec<u32>,
+    /// Shared phase state.
+    pub phase: ForkPhase,
+}
+
+/// Parameters shared by every advance step of one alignment run.
+#[derive(Debug, Clone, Copy)]
+pub struct AdvanceContext<'a> {
+    /// The query codes.
+    pub query: &'a [u8],
+    /// The scoring scheme.
+    pub scheme: &'a ScoringScheme,
+    /// The reporting threshold `H`.
+    pub threshold: i64,
+    /// Depth cap (the `Lmax` of Theorem 1, or the fallback cap).
+    pub max_depth: usize,
+    /// Whether Theorem 2 score filtering is enabled.
+    pub score_filter: bool,
+}
+
+/// The outcome of advancing a single fork (the group representative) by one
+/// text character.
+#[derive(Debug, Clone)]
+pub struct AdvanceOutcome {
+    /// The next phase, or `None` when the fork dies.
+    pub phase: Option<ForkPhase>,
+    /// `(offset, query character)` pairs consulted by the computation; other
+    /// group members may share the outcome only if their query agrees at
+    /// every consulted offset.
+    pub consulted: Vec<(u32, u8)>,
+    /// Number of cost-2 (no-gap region) entries computed.
+    pub ngr_entries: u64,
+    /// Number of cost-3 (gap region) entries computed.
+    pub gap_entries: u64,
+}
+
+/// Open a gap region at a first-gap-open entry.
+///
+/// Besides the FGOE cell itself, the paper requires the *extension entries*
+/// of the same row to be calculated (Section 3.1.3: "From the FGOE
+/// (l, πp + l − 1), we need to calculate another two extension entries
+/// (l, πp + l) and (l + 1, πp + l − 1)"): a horizontal gap can already start
+/// in the FGOE row, so the chain of columns reachable through `Gb` from the
+/// FGOE is computed here.  Returns the cells plus the number of boundary
+/// entries computed (cost class 2 — they depend on a single adjacent entry).
+pub fn open_gap_region(
+    fgoe_offset: u32,
+    score: i64,
+    start_col: u32,
+    new_depth: usize,
+    ctx: &AdvanceContext<'_>,
+) -> (Vec<GapCell>, u64) {
+    let m = ctx.query.len();
+    let mut cells = vec![GapCell {
+        offset: fgoe_offset,
+        m: score,
+        ga: NEG_INF,
+    }];
+    let mut boundary_entries = 0u64;
+    let remaining_text = ctx.max_depth.saturating_sub(new_depth);
+    let mut gb = score + ctx.scheme.gap_open_extend();
+    let mut offset = fgoe_offset + 1;
+    while gb > 0 && (start_col as usize + offset as usize) < m {
+        boundary_entries += 1;
+        if ctx.score_filter {
+            let abs_col = start_col as usize + offset as usize;
+            let remaining_query = m - 1 - abs_col;
+            if cell_is_meaningless(ctx.scheme, ctx.threshold, gb, remaining_query, remaining_text) {
+                // Scores only shrink further to the right, so nothing beyond
+                // this column can become meaningful either.
+                break;
+            }
+        }
+        cells.push(GapCell {
+            offset,
+            m: gb,
+            ga: NEG_INF,
+        });
+        gb += ctx.scheme.ss;
+        offset += 1;
+    }
+    (cells, boundary_entries)
+}
+
+/// Advance the representative fork (EMR start at `start_col`) from `depth`
+/// to `depth + 1`, appending `text_char` to the text substring.
+pub fn advance_fork(
+    phase: &ForkPhase,
+    start_col: u32,
+    text_char: u8,
+    depth: usize,
+    ctx: &AdvanceContext<'_>,
+) -> AdvanceOutcome {
+    match phase {
+        ForkPhase::Diagonal { score } => {
+            advance_diagonal(*score, start_col, text_char, depth, ctx)
+        }
+        ForkPhase::Gap { cells, fgoe_depth } => {
+            advance_gap(cells, *fgoe_depth, start_col, text_char, depth, ctx)
+        }
+    }
+}
+
+fn advance_diagonal(
+    score: i64,
+    start_col: u32,
+    text_char: u8,
+    depth: usize,
+    ctx: &AdvanceContext<'_>,
+) -> AdvanceOutcome {
+    let m = ctx.query.len();
+    let new_depth = depth + 1;
+    // New diagonal cell column (0-based): start + new_depth − 1.
+    let offset = depth as u32;
+    let abs_col = start_col as usize + depth;
+    if abs_col >= m {
+        // The diagonal has run off the end of the query; without an FGOE no
+        // gap may be opened, so the fork dies.
+        return AdvanceOutcome {
+            phase: None,
+            consulted: Vec::new(),
+            ngr_entries: 0,
+            gap_entries: 0,
+        };
+    }
+    let qc = ctx.query[abs_col];
+    let new_score = score + ctx.scheme.delta(text_char, qc);
+    let consulted = vec![(offset, qc)];
+    let outcome_dead = AdvanceOutcome {
+        phase: None,
+        consulted: consulted.clone(),
+        ngr_entries: 1,
+        gap_entries: 0,
+    };
+    if new_score <= 0 {
+        return outcome_dead;
+    }
+    if ctx.score_filter {
+        let remaining_query = m - 1 - abs_col;
+        let remaining_text = ctx.max_depth.saturating_sub(new_depth);
+        if cell_is_meaningless(ctx.scheme, ctx.threshold, new_score, remaining_query, remaining_text)
+        {
+            return outcome_dead;
+        }
+    }
+    if new_score > ctx.scheme.gap_open_extend().abs() {
+        // First gap open entry: switch to the gap region and compute the
+        // extension entries of the FGOE row.
+        let (cells, boundary_entries) =
+            open_gap_region(offset, new_score, start_col, new_depth, ctx);
+        AdvanceOutcome {
+            phase: Some(ForkPhase::Gap {
+                cells,
+                fgoe_depth: new_depth,
+            }),
+            consulted,
+            ngr_entries: 1 + boundary_entries,
+            gap_entries: 0,
+        }
+    } else {
+        AdvanceOutcome {
+            phase: Some(ForkPhase::Diagonal { score: new_score }),
+            consulted,
+            ngr_entries: 1,
+            gap_entries: 0,
+        }
+    }
+}
+
+fn advance_gap(
+    cells: &[GapCell],
+    fgoe_depth: usize,
+    start_col: u32,
+    text_char: u8,
+    depth: usize,
+    ctx: &AdvanceContext<'_>,
+) -> AdvanceOutcome {
+    let m = ctx.query.len();
+    let scheme = ctx.scheme;
+    let open = scheme.gap_open_extend();
+    let ss = scheme.ss;
+    let new_depth = depth + 1;
+    let remaining_text = ctx.max_depth.saturating_sub(new_depth);
+
+    let mut out: Vec<GapCell> = Vec::with_capacity(cells.len() + 4);
+    let mut consulted: Vec<(u32, u8)> = Vec::with_capacity(cells.len() + 4);
+    let mut gap_entries = 0u64;
+
+    // Merge the vertical (same offset) and diagonal (offset + 1) candidate
+    // streams, plus forced horizontal extensions.
+    let mut vert_idx = 0usize;
+    let mut diag_idx = 0usize;
+    let mut lookup_idx = 0usize;
+    let mut forced: Option<u32> = None;
+    let mut last_offset: u32 = u32::MAX;
+    let mut last_m: i64 = NEG_INF;
+    let mut last_gb: i64 = NEG_INF;
+
+    loop {
+        let vert = cells.get(vert_idx).map(|c| c.offset);
+        let diag = cells.get(diag_idx).map(|c| c.offset + 1);
+        let mut offset = u32::MAX;
+        if let Some(f) = forced {
+            offset = offset.min(f);
+        }
+        if let Some(v) = vert {
+            offset = offset.min(v);
+        }
+        if let Some(d) = diag {
+            offset = offset.min(d);
+        }
+        if offset == u32::MAX {
+            break;
+        }
+        if forced == Some(offset) {
+            forced = None;
+        }
+        if vert == Some(offset) {
+            vert_idx += 1;
+        }
+        if diag == Some(offset) {
+            diag_idx += 1;
+        }
+        let abs_col = start_col as usize + offset as usize;
+        if abs_col >= m {
+            // Beyond the end of the query for the representative (and hence
+            // for every member, whose start columns are even larger).
+            continue;
+        }
+
+        // Previous-row lookups at offset-1 (diagonal) and offset (vertical).
+        while lookup_idx < cells.len() && cells[lookup_idx].offset + 1 < offset {
+            lookup_idx += 1;
+        }
+        let mut prev_m_diag = NEG_INF;
+        let mut prev_m_vert = NEG_INF;
+        let mut prev_ga_vert = NEG_INF;
+        let mut k = lookup_idx;
+        if k < cells.len() && cells[k].offset + 1 == offset {
+            prev_m_diag = cells[k].m;
+            k += 1;
+        }
+        if k < cells.len() && cells[k].offset == offset {
+            prev_m_vert = cells[k].m;
+            prev_ga_vert = cells[k].ga;
+        }
+
+        let qc = ctx.query[abs_col];
+        let ga = (prev_ga_vert + ss).max(prev_m_vert + open);
+        let (gb_prev, m_prev) = if last_offset != u32::MAX && last_offset + 1 == offset {
+            (last_gb, last_m)
+        } else {
+            (NEG_INF, NEG_INF)
+        };
+        let gb = (gb_prev + ss).max(m_prev + open);
+        let diag_score = prev_m_diag + scheme.delta(text_char, qc);
+        let score = diag_score.max(ga).max(gb);
+        gap_entries += 1;
+        consulted.push((offset, qc));
+
+        let keep = if score <= 0 {
+            false
+        } else if ctx.score_filter {
+            let remaining_query = m - 1 - abs_col;
+            !cell_is_meaningless(scheme, ctx.threshold, score, remaining_query, remaining_text)
+        } else {
+            true
+        };
+
+        last_offset = offset;
+        last_gb = if gb > 0 { gb } else { NEG_INF };
+        last_m = if score > 0 { score } else { NEG_INF };
+
+        if keep {
+            out.push(GapCell {
+                offset,
+                m: score,
+                ga: if ga > 0 { ga } else { NEG_INF },
+            });
+        }
+        // The horizontal chain may carry a positive score into the next
+        // column even without previous-row support there.
+        if (last_gb + ss).max(last_m + open) > 0 {
+            forced = Some(offset + 1);
+        }
+    }
+
+    let phase = if out.is_empty() {
+        None
+    } else {
+        Some(ForkPhase::Gap {
+            cells: out,
+            fgoe_depth,
+        })
+    };
+    AdvanceOutcome {
+        phase,
+        consulted,
+        ngr_entries: 0,
+        gap_entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alae_bioseq::Alphabet;
+
+    fn encode(ascii: &[u8]) -> Vec<u8> {
+        Alphabet::Dna.encode(ascii).unwrap()
+    }
+
+    fn ctx<'a>(query: &'a [u8], scheme: &'a ScoringScheme, threshold: i64) -> AdvanceContext<'a> {
+        AdvanceContext {
+            query,
+            scheme,
+            threshold,
+            max_depth: 10_000,
+            score_filter: false,
+        }
+    }
+
+    #[test]
+    fn diagonal_accumulates_matches() {
+        let query = encode(b"GCTAGCAT");
+        let scheme = ScoringScheme::DEFAULT;
+        let context = ctx(&query, &scheme, 100);
+        // Fork at column 0 with q = 4 already matched (score 4, depth 4).
+        let phase = ForkPhase::Diagonal { score: 4 };
+        // Next text character G matches query[4].
+        let outcome = advance_fork(&phase, 0, encode(b"G")[0], 4, &context);
+        assert_eq!(outcome.ngr_entries, 1);
+        assert_eq!(outcome.consulted, vec![(4, encode(b"G")[0])]);
+        // Score 5 ≤ |sg+ss| = 7, so the fork stays in the no-gap region.
+        assert_eq!(outcome.phase, Some(ForkPhase::Diagonal { score: 5 }));
+    }
+
+    #[test]
+    fn fgoe_switches_to_gap_region() {
+        let query = encode(b"GCTAGCATCG");
+        let scheme = ScoringScheme::DEFAULT;
+        let context = ctx(&query, &scheme, 100);
+        let phase = ForkPhase::Diagonal { score: 7 };
+        // Depth 7, next char matches query[7] (T): score 8 > |sg+ss| = 7.
+        let outcome = advance_fork(&phase, 0, encode(b"T")[0], 7, &context);
+        match outcome.phase {
+            Some(ForkPhase::Gap { ref cells, fgoe_depth }) => {
+                assert_eq!(fgoe_depth, 8);
+                assert_eq!(cells[0].m, 8);
+                assert_eq!(cells[0].offset, 7);
+                // The FGOE row also computes its horizontal extension
+                // entries: Gb(8, offset 8) = 8 + (sg + ss) = 1 > 0.
+                assert_eq!(cells.len(), 2);
+                assert_eq!(cells[1].offset, 8);
+                assert_eq!(cells[1].m, 1);
+            }
+            other => panic!("expected gap phase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatch_can_kill_short_diagonal() {
+        let query = encode(b"GCTAGCAT");
+        let scheme = ScoringScheme::DEFAULT;
+        let context = ctx(&query, &scheme, 100);
+        let phase = ForkPhase::Diagonal { score: 2 };
+        // Mismatching character: 2 − 3 < 0 → dead.
+        let outcome = advance_fork(&phase, 0, encode(b"T")[0], 4, &context);
+        assert!(outcome.phase.is_none());
+        assert_eq!(outcome.ngr_entries, 1);
+    }
+
+    #[test]
+    fn diagonal_dies_at_query_end() {
+        let query = encode(b"GCTA");
+        let scheme = ScoringScheme::DEFAULT;
+        let context = ctx(&query, &scheme, 100);
+        let phase = ForkPhase::Diagonal { score: 4 };
+        let outcome = advance_fork(&phase, 0, encode(b"G")[0], 4, &context);
+        assert!(outcome.phase.is_none());
+        assert_eq!(outcome.ngr_entries, 0);
+    }
+
+    #[test]
+    fn score_filter_kills_hopeless_diagonal() {
+        let query = encode(b"GCTAGCAT");
+        let scheme = ScoringScheme::DEFAULT;
+        let mut context = ctx(&query, &scheme, 100);
+        context.score_filter = true;
+        // Score 5 with only 3 query characters left can never reach 100.
+        let phase = ForkPhase::Diagonal { score: 4 };
+        let outcome = advance_fork(&phase, 0, encode(b"G")[0], 4, &context);
+        assert!(outcome.phase.is_none());
+    }
+
+    #[test]
+    fn gap_region_spreads_to_neighbouring_columns() {
+        // Query long enough that gaps can be bridged.
+        let query = encode(b"GCTAGCATGCTAGCAT");
+        let scheme = ScoringScheme::DEFAULT;
+        let context = ctx(&query, &scheme, 1000);
+        let phase = ForkPhase::Gap {
+            cells: vec![GapCell {
+                offset: 7,
+                m: 20,
+                ga: NEG_INF,
+            }],
+            fgoe_depth: 8,
+        };
+        // A matching character extends the diagonal; the vertical and
+        // horizontal moves open gap cells at offsets 7 and 9.
+        let outcome = advance_fork(&phase, 0, encode(b"G")[0], 8, &context);
+        let cells = match outcome.phase {
+            Some(ForkPhase::Gap { cells, .. }) => cells,
+            other => panic!("expected gap phase, got {other:?}"),
+        };
+        let offsets: Vec<u32> = cells.iter().map(|c| c.offset).collect();
+        assert!(offsets.contains(&7), "vertical gap cell");
+        assert!(offsets.contains(&8), "diagonal cell");
+        assert!(offsets.contains(&9), "horizontal gap cell");
+        let diag_cell = cells.iter().find(|c| c.offset == 8).unwrap();
+        assert_eq!(diag_cell.m, 21); // 20 + match... query[8] is G, text char G.
+        let vert_cell = cells.iter().find(|c| c.offset == 7).unwrap();
+        assert_eq!(vert_cell.m, 20 + scheme.gap_open_extend());
+    }
+
+    #[test]
+    fn gap_region_dies_when_all_cells_fall_below_zero() {
+        let query = encode(b"GCTAGCAT");
+        let scheme = ScoringScheme::DEFAULT;
+        let context = ctx(&query, &scheme, 1000);
+        let phase = ForkPhase::Gap {
+            cells: vec![GapCell {
+                offset: 5,
+                m: 2,
+                ga: NEG_INF,
+            }],
+            fgoe_depth: 6,
+        };
+        // Mismatch drops the diagonal to −1; gap moves are even worse.
+        let outcome = advance_fork(&phase, 0, encode(b"T")[0], 6, &context);
+        assert!(outcome.phase.is_none());
+        assert!(outcome.gap_entries >= 1);
+    }
+
+    #[test]
+    fn consulted_offsets_cover_every_computed_cell() {
+        let query = encode(b"GCTAGCATGCTAGCATAA");
+        let scheme = ScoringScheme::DEFAULT;
+        let context = ctx(&query, &scheme, 1000);
+        let phase = ForkPhase::Gap {
+            cells: vec![
+                GapCell {
+                    offset: 6,
+                    m: 15,
+                    ga: NEG_INF,
+                },
+                GapCell {
+                    offset: 8,
+                    m: 9,
+                    ga: 3,
+                },
+            ],
+            fgoe_depth: 7,
+        };
+        let outcome = advance_fork(&phase, 0, encode(b"A")[0], 8, &context);
+        assert_eq!(outcome.gap_entries as usize, outcome.consulted.len());
+        // Consulted offsets are strictly increasing.
+        let offsets: Vec<u32> = outcome.consulted.iter().map(|&(o, _)| o).collect();
+        assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+    }
+}

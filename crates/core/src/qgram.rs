@@ -1,0 +1,162 @@
+//! q-gram inverted lists of the query (Section 3.1.3).
+//!
+//! "In order to find the exact match of X[1, q] in P efficiently, we build
+//! inverted lists of q-grams of P on the fly.  We decompose P into a set of
+//! q-grams by sliding a window of length q over the characters of P.  For
+//! each q-gram in P, we generate an inverted list of its start positions in
+//! P.  The time complexity of building inverted lists is O(m)."
+
+use std::collections::HashMap;
+
+/// Pack a window of codes into a base-`code_count` integer key.
+///
+/// Returns `None` when the window contains a separator (code 0) — such
+/// windows can never be matched by a text q-prefix that is itself
+/// separator-free.
+#[inline]
+pub fn pack_gram(window: &[u8], code_count: u64) -> Option<u64> {
+    let mut key = 0u64;
+    for &c in window {
+        if c == 0 {
+            return None;
+        }
+        key = key * code_count + c as u64;
+    }
+    Some(key)
+}
+
+/// Inverted lists of the query's q-grams.
+#[derive(Debug, Clone)]
+pub struct QGramIndex {
+    q: usize,
+    code_count: u64,
+    /// Packed q-gram → sorted 0-based start positions in the query.
+    lists: HashMap<u64, Vec<u32>>,
+}
+
+impl QGramIndex {
+    /// Build the inverted lists for `query` with gram length `q`.
+    ///
+    /// `code_count` is the number of distinct codes (alphabet + separator);
+    /// `code_count ^ q` must fit in a `u64`, which holds for every scheme and
+    /// alphabet the paper considers (q ≤ 12 for DNA, q ≤ 13 for protein).
+    pub fn build(query: &[u8], q: usize, code_count: usize) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        let code_count = code_count as u64;
+        assert!(
+            (q as f64) * (code_count as f64).ln() < (u64::MAX as f64).ln(),
+            "q-gram too long to pack into 64 bits"
+        );
+        let mut lists: HashMap<u64, Vec<u32>> = HashMap::new();
+        if query.len() >= q {
+            for (i, window) in query.windows(q).enumerate() {
+                if let Some(key) = pack_gram(window, code_count) {
+                    lists.entry(key).or_default().push(i as u32);
+                }
+            }
+        }
+        Self {
+            q,
+            code_count,
+            lists,
+        }
+    }
+
+    /// The gram length.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of distinct q-grams in the query.
+    pub fn distinct_grams(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of q-gram occurrences indexed.
+    pub fn total_positions(&self) -> usize {
+        self.lists.values().map(Vec::len).sum()
+    }
+
+    /// Start positions of a packed q-gram, if present.
+    pub fn positions(&self, key: u64) -> Option<&[u32]> {
+        self.lists.get(&key).map(Vec::as_slice)
+    }
+
+    /// Iterate over `(packed gram, start positions)` pairs in an unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u32])> {
+        self.lists.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Pack an arbitrary window with this index's parameters.
+    pub fn pack(&self, window: &[u8]) -> Option<u64> {
+        debug_assert_eq!(window.len(), self.q);
+        pack_gram(window, self.code_count)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.lists.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>())
+            + self.total_positions() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_match_sliding_window() {
+        // P = ACGTACG, q = 3: ACG at 0 and 4, CGT at 1, GTA at 2, TAC at 3.
+        let query = vec![1u8, 2, 3, 4, 1, 2, 3];
+        let index = QGramIndex::build(&query, 3, 5);
+        assert_eq!(index.distinct_grams(), 4);
+        assert_eq!(index.total_positions(), 5);
+        let acg = index.pack(&[1, 2, 3]).unwrap();
+        assert_eq!(index.positions(acg), Some([0u32, 4].as_slice()));
+        let gta = index.pack(&[3, 4, 1]).unwrap();
+        assert_eq!(index.positions(gta), Some([2u32].as_slice()));
+        assert!(index.positions(index.pack(&[4, 4, 4]).unwrap()).is_none());
+    }
+
+    #[test]
+    fn query_shorter_than_q_is_empty() {
+        let index = QGramIndex::build(&[1, 2], 4, 5);
+        assert_eq!(index.distinct_grams(), 0);
+        assert_eq!(index.total_positions(), 0);
+    }
+
+    #[test]
+    fn windows_with_separators_are_skipped() {
+        let query = vec![1u8, 0, 2, 3, 4];
+        let index = QGramIndex::build(&query, 2, 5);
+        // Windows: [1,0] skipped, [0,2] skipped, [2,3], [3,4].
+        assert_eq!(index.total_positions(), 2);
+        assert!(pack_gram(&[1, 0], 5).is_none());
+    }
+
+    #[test]
+    fn packing_is_injective_for_small_grams() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 1..=4u8 {
+            for b in 1..=4u8 {
+                for c in 1..=4u8 {
+                    let key = pack_gram(&[a, b, c], 5).unwrap();
+                    assert!(seen.insert(key), "collision for {:?}", (a, b, c));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn iter_covers_all_grams() {
+        let query = vec![1u8, 1, 1, 1, 1];
+        let index = QGramIndex::build(&query, 2, 5);
+        let collected: Vec<(u64, usize)> = index.iter().map(|(k, v)| (k, v.len())).collect();
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].1, 4);
+        assert!(index.size_in_bytes() > 0);
+        assert_eq!(index.q(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment harness regenerating every table and figure of the ALAE paper
+//! (Section 7) on scaled synthetic workloads.
+//!
+//! The `alae-experiments` binary dispatches to one experiment per paper
+//! artefact:
+//!
+//! | Command | Paper artefact |
+//! |---------|----------------|
+//! | `table2` | Table 2 — time / #results vs query length |
+//! | `table3` | Table 3 — time / #results vs text length |
+//! | `table4` | Table 4 — calculated entries and computation cost |
+//! | `table5` | Table 5 — reused / accessed / calculated entries per scheme |
+//! | `fig7`   | Figure 7 — filtering and reusing ratios vs m and n |
+//! | `fig8`   | Figure 8 — effect of E-values |
+//! | `fig9`   | Figure 9 — effect of scoring schemes on time |
+//! | `fig10`  | Figure 10 — filtering / reusing ratios per scheme |
+//! | `fig11`  | Figure 11 — index sizes (BWT index vs dominate index) |
+//! | `bounds` | Section 6 — analytic entry bounds |
+//! | `sw-anchor` | Section 7.1 — Smith-Waterman vs ALAE anchor point |
+//!
+//! Sizes are scaled down from the paper's (gigabase texts, megabase queries)
+//! to laptop-sized instances; the `--scale <factor>` flag grows or shrinks
+//! every length proportionally.  EXPERIMENTS.md records the mapping and the
+//! paper-vs-measured comparison.
+
+pub mod experiments;
+pub mod runners;
+pub mod setup;
+
+pub use experiments::{run_experiment, ExperimentOptions, EXPERIMENT_NAMES};

@@ -1,0 +1,80 @@
+//! `alae-experiments`: regenerate the tables and figures of the ALAE paper
+//! on scaled synthetic workloads.
+//!
+//! ```text
+//! alae-experiments <experiment> [--scale <factor>] [--queries <count>] [--seed <seed>]
+//!
+//! experiments: all, table2, table3, table4, table5, fig7, fig8, fig9,
+//!              fig10, fig11, bounds, sw-anchor
+//! ```
+
+use alae_harness::{run_experiment, ExperimentOptions, EXPERIMENT_NAMES};
+
+fn print_usage() {
+    eprintln!("usage: alae-experiments <experiment> [--scale <factor>] [--queries <count>] [--seed <seed>]");
+    eprintln!("experiments: all, {}", EXPERIMENT_NAMES.join(", "));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let mut experiment: Option<String> = None;
+    let mut options = ExperimentOptions::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().unwrap_or_default();
+                match value.parse::<f64>() {
+                    Ok(scale) if scale > 0.0 => options.scale = scale,
+                    _ => {
+                        eprintln!("invalid --scale value: {value:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--queries" => {
+                let value = iter.next().unwrap_or_default();
+                match value.parse::<usize>() {
+                    Ok(count) if count > 0 => options.queries_per_point = count,
+                    _ => {
+                        eprintln!("invalid --queries value: {value:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                let value = iter.next().unwrap_or_default();
+                match value.parse::<u64>() {
+                    Ok(seed) => options.seed = seed,
+                    Err(_) => {
+                        eprintln!("invalid --seed value: {value:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            name if experiment.is_none() => experiment = Some(name.to_string()),
+            unexpected => {
+                eprintln!("unexpected argument: {unexpected:?}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(name) = experiment else {
+        print_usage();
+        std::process::exit(2);
+    };
+    if !run_experiment(&name, &options) {
+        eprintln!("unknown experiment: {name:?}");
+        print_usage();
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Thin wrappers running each aligner over a query workload and collecting
+//! wall-clock time, result counts and work counters.
+
+use crate::setup::PreparedWorkload;
+use alae_align_baseline::local_alignment_hits;
+use alae_bioseq::ScoringScheme;
+use alae_blast_like::{BlastConfig, BlastLikeAligner};
+use alae_bwtsw::{BwtswAligner, BwtswConfig, BwtswStats};
+use alae_core::{AlaeAligner, AlaeConfig, AlaeStats};
+use std::time::{Duration, Instant};
+
+/// Aggregated outcome of running one aligner over a whole query workload.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Total wall-clock time across all queries (excluding index build).
+    pub total_time: Duration,
+    /// Total number of reported alignments (the paper's `C`).
+    pub result_count: usize,
+    /// Number of queries aligned.
+    pub query_count: usize,
+}
+
+impl RunSummary {
+    /// Average time per query in seconds.
+    pub fn avg_seconds(&self) -> f64 {
+        if self.query_count == 0 {
+            0.0
+        } else {
+            self.total_time.as_secs_f64() / self.query_count as f64
+        }
+    }
+}
+
+/// Run ALAE over the workload.
+pub fn run_alae(
+    prepared: &PreparedWorkload,
+    config: AlaeConfig,
+) -> (RunSummary, AlaeStats, i64) {
+    let aligner = AlaeAligner::with_index(
+        prepared.index.clone(),
+        prepared.database.alphabet(),
+        config,
+    );
+    let mut summary = RunSummary::default();
+    let mut stats = AlaeStats::default();
+    let mut threshold = 0;
+    for query in &prepared.queries {
+        let start = Instant::now();
+        let result = aligner.align(query.codes());
+        summary.total_time += start.elapsed();
+        summary.result_count += result.hits.len();
+        summary.query_count += 1;
+        stats.merge(&result.stats);
+        threshold = result.threshold;
+    }
+    (summary, stats, threshold)
+}
+
+/// Run BWT-SW over the workload with an explicit threshold.
+pub fn run_bwtsw(
+    prepared: &PreparedWorkload,
+    scheme: ScoringScheme,
+    threshold: i64,
+) -> (RunSummary, BwtswStats) {
+    let aligner = BwtswAligner::with_index(prepared.index.clone(), BwtswConfig::new(scheme, threshold));
+    let mut summary = RunSummary::default();
+    let mut stats = BwtswStats::default();
+    for query in &prepared.queries {
+        let start = Instant::now();
+        let result = aligner.align(query.codes());
+        summary.total_time += start.elapsed();
+        summary.result_count += result.hits.len();
+        summary.query_count += 1;
+        stats.merge(&result.stats);
+    }
+    (summary, stats)
+}
+
+/// Run the BLAST-like heuristic over the workload with an explicit
+/// threshold.
+pub fn run_blast(
+    prepared: &PreparedWorkload,
+    scheme: ScoringScheme,
+    threshold: i64,
+) -> RunSummary {
+    let config = BlastConfig::for_alphabet(prepared.database.alphabet(), scheme, threshold);
+    let aligner = BlastLikeAligner::build(&prepared.database, config);
+    let mut summary = RunSummary::default();
+    for query in &prepared.queries {
+        let start = Instant::now();
+        let result = aligner.align(query.codes());
+        summary.total_time += start.elapsed();
+        summary.result_count += result.hits.len();
+        summary.query_count += 1;
+    }
+    summary
+}
+
+/// Run the full Smith–Waterman oracle over the workload (only used for the
+/// Section 7.1 anchor point — it is orders of magnitude slower).
+pub fn run_smith_waterman(
+    prepared: &PreparedWorkload,
+    scheme: ScoringScheme,
+    threshold: i64,
+) -> RunSummary {
+    let mut summary = RunSummary::default();
+    for query in &prepared.queries {
+        let start = Instant::now();
+        let (hits, _) = local_alignment_hits(prepared.database.text(), query.codes(), &scheme, threshold);
+        summary.total_time += start.elapsed();
+        summary.result_count += hits.len();
+        summary.query_count += 1;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::prepare_dna;
+    use alae_bioseq::hits::diff_hits;
+
+    #[test]
+    fn all_runners_produce_consistent_results_on_a_tiny_workload() {
+        let prepared = prepare_dna(3_000, 120, 2, 42);
+        let scheme = ScoringScheme::DEFAULT;
+        let config = AlaeConfig::with_threshold(scheme, 30);
+        let (alae_summary, alae_stats, threshold) = run_alae(&prepared, config);
+        assert_eq!(threshold, 30);
+        let (bwtsw_summary, bwtsw_stats) = run_bwtsw(&prepared, scheme, threshold);
+        let sw_summary = run_smith_waterman(&prepared, scheme, threshold);
+        // Exact engines agree on the number of results.
+        assert_eq!(alae_summary.result_count, bwtsw_summary.result_count);
+        assert_eq!(alae_summary.result_count, sw_summary.result_count);
+        // The heuristic reports at most as many.
+        let blast_summary = run_blast(&prepared, scheme, threshold);
+        assert!(blast_summary.result_count <= alae_summary.result_count);
+        // ALAE calculates no more entries than BWT-SW.
+        assert!(alae_stats.calculated_entries() <= bwtsw_stats.calculated_entries);
+        assert_eq!(alae_summary.query_count, 2);
+        assert!(alae_summary.avg_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn exactness_holds_per_query_on_the_runner_path() {
+        let prepared = prepare_dna(2_000, 100, 1, 11);
+        let scheme = ScoringScheme::DEFAULT;
+        let aligner = AlaeAligner::with_index(
+            prepared.index.clone(),
+            prepared.database.alphabet(),
+            AlaeConfig::with_threshold(scheme, 25),
+        );
+        for query in &prepared.queries {
+            let result = aligner.align(query.codes());
+            let (oracle, _) =
+                local_alignment_hits(prepared.database.text(), query.codes(), &scheme, 25);
+            assert!(diff_hits(&result.hits, &oracle).is_none());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Workload construction and shared index setup for the experiments.
+
+use alae_bioseq::{Alphabet, Sequence, SequenceDatabase};
+use alae_suffix::TextIndex;
+use alae_workload::{MutationProfile, QuerySpec, TextSpec, Workload, WorkloadBuilder};
+use std::sync::Arc;
+
+/// A workload plus the suffix-trie index shared by the exact aligners.
+pub struct PreparedWorkload {
+    /// The database.
+    pub database: SequenceDatabase,
+    /// The query set.
+    pub queries: Vec<Sequence>,
+    /// Shared compressed-suffix-array index of the database text.
+    pub index: Arc<TextIndex>,
+}
+
+impl PreparedWorkload {
+    /// Total text length `n` (including record separators).
+    pub fn text_len(&self) -> usize {
+        self.database.text_len()
+    }
+}
+
+/// Build a DNA workload of `query_count` homologous queries of length
+/// `query_len` against a text of `text_len` characters, and index the text.
+pub fn prepare_dna(text_len: usize, query_len: usize, query_count: usize, seed: u64) -> PreparedWorkload {
+    prepare(Alphabet::Dna, text_len, query_len, query_count, seed)
+}
+
+/// Build a protein workload (same shape as [`prepare_dna`]).
+pub fn prepare_protein(
+    text_len: usize,
+    query_len: usize,
+    query_count: usize,
+    seed: u64,
+) -> PreparedWorkload {
+    prepare(Alphabet::Protein, text_len, query_len, query_count, seed)
+}
+
+fn prepare(
+    alphabet: Alphabet,
+    text_len: usize,
+    query_len: usize,
+    query_count: usize,
+    seed: u64,
+) -> PreparedWorkload {
+    let text_spec = match alphabet {
+        Alphabet::Dna => TextSpec::dna(text_len, seed),
+        Alphabet::Protein => TextSpec::protein(text_len, seed),
+    };
+    let query_spec = QuerySpec {
+        count: query_count,
+        length: query_len,
+        mutation: MutationProfile::HOMOLOGOUS,
+        seed: seed.wrapping_add(1),
+    };
+    // Segmented-homology queries: conserved segments embedded in random
+    // background, mirroring the structure of real cross-species queries
+    // (see `WorkloadBuilder::build_segmented`).
+    let segments = (query_len / 400).clamp(2, 8);
+    let Workload { database, queries } =
+        WorkloadBuilder::new(text_spec, query_spec).build_segmented(segments);
+    let index = Arc::new(TextIndex::new(
+        database.text().to_vec(),
+        database.alphabet().code_count(),
+    ));
+    PreparedWorkload {
+        database,
+        queries,
+        index,
+    }
+}
+
+/// Generate a text only (no queries, no index) — used by the index-size
+/// experiment, which never aligns anything.
+pub fn text_only(alphabet: Alphabet, text_len: usize, seed: u64) -> SequenceDatabase {
+    let spec = match alphabet {
+        Alphabet::Dna => TextSpec::dna(text_len, seed),
+        Alphabet::Protein => TextSpec::protein(text_len, seed),
+    };
+    let text = alae_workload::generate_text(&spec);
+    SequenceDatabase::from_sequences(alphabet, [text])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_workload_has_index_over_the_text() {
+        let prepared = prepare_dna(5_000, 200, 2, 7);
+        assert_eq!(prepared.index.len(), prepared.database.text_len());
+        assert_eq!(prepared.queries.len(), 2);
+        assert_eq!(prepared.text_len(), 5_000);
+    }
+
+    #[test]
+    fn protein_workload_uses_protein_alphabet() {
+        let prepared = prepare_protein(3_000, 150, 1, 3);
+        assert_eq!(prepared.database.alphabet(), Alphabet::Protein);
+    }
+
+    #[test]
+    fn text_only_skips_queries() {
+        let db = text_only(Alphabet::Dna, 2_000, 1);
+        assert_eq!(db.character_count(), 2_000);
+    }
+}

@@ -1,0 +1,168 @@
+//! Burrows–Wheeler transform (Section 2.3).
+//!
+//! "Burrows and Wheeler propose a new compression algorithm based on a
+//! reversible transformation, called BWT, which transforms a text T into a
+//! new string that is easy to compress.  BWT appends a special symbol `$`
+//! smaller than any other symbol of Σ at the end of T."
+//!
+//! The transform here operates on code sequences where the sentinel is the
+//! value [`crate::SENTINEL`] (0); the position holding the sentinel in the
+//! BWT string is recorded separately so the rank structures never need a
+//! special out-of-alphabet symbol.
+
+use crate::sais::suffix_array;
+
+/// The Burrows–Wheeler transform of `text ⊕ $`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bwt {
+    /// The transformed string, length `text.len() + 1`.  The entry at
+    /// [`Bwt::sentinel_row`] is the sentinel itself (stored as
+    /// [`crate::SENTINEL`]).
+    pub data: Vec<u8>,
+    /// Row of the conceptual sorted rotation matrix whose last column entry
+    /// is the sentinel, i.e. the row corresponding to suffix 0.
+    pub sentinel_row: usize,
+}
+
+/// Compute the BWT of `text ⊕ $` from its suffix array.
+pub fn bwt_from_sa(text: &[u8], sa: &[u32]) -> Bwt {
+    let n = sa.len();
+    debug_assert_eq!(n, text.len() + 1);
+    let mut data = Vec::with_capacity(n);
+    let mut sentinel_row = 0;
+    for (row, &p) in sa.iter().enumerate() {
+        if p == 0 {
+            data.push(crate::SENTINEL);
+            sentinel_row = row;
+        } else {
+            data.push(text[p as usize - 1]);
+        }
+    }
+    Bwt { data, sentinel_row }
+}
+
+/// Compute the BWT of `text ⊕ $` (builds the suffix array internally).
+pub fn bwt(text: &[u8]) -> Bwt {
+    bwt_from_sa(text, &suffix_array(text))
+}
+
+/// Invert a BWT back into the original text (without the sentinel).
+///
+/// Used only by tests and tooling; the ALAE index itself never needs the
+/// inverse transform, but round-tripping is the strongest correctness check
+/// for the transform + rank machinery.
+pub fn inverse_bwt(bwt: &Bwt) -> Vec<u8> {
+    let n = bwt.data.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    // Work on a shifted copy so the sentinel (which shares code 0 with
+    // record separators in database texts) becomes a unique smallest symbol.
+    let shifted: Vec<u16> = bwt
+        .data
+        .iter()
+        .enumerate()
+        .map(|(row, &c)| if row == bwt.sentinel_row { 0 } else { c as u16 + 1 })
+        .collect();
+    // Count occurrences per symbol to build the C array (number of symbols
+    // strictly smaller).
+    let max_code = *shifted.iter().max().unwrap() as usize;
+    let mut counts = vec![0usize; max_code + 2];
+    for &c in &shifted {
+        counts[c as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    // LF mapping: lf[i] = C[bwt[i]] + rank_{bwt[i]}(i).
+    let mut occ_so_far = vec![0usize; max_code + 1];
+    let mut lf = vec![0usize; n];
+    for (i, &c) in shifted.iter().enumerate() {
+        lf[i] = counts[c as usize] + occ_so_far[c as usize];
+        occ_so_far[c as usize] += 1;
+    }
+    // Row 0 of the sorted rotation matrix begins with the sentinel; its BWT
+    // character is the last character of the text.  Walking the LF mapping
+    // from there reconstructs the text from its last character to its first.
+    let mut out = vec![0u8; n - 1];
+    let mut row = 0usize;
+    for slot in out.iter_mut().rev() {
+        *slot = bwt.data[row];
+        row = lf[row];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ascii_bwt(text: &[u8]) -> String {
+        let b = bwt(text);
+        b.data
+            .iter()
+            .map(|&c| if c == crate::SENTINEL { '$' } else { c as char })
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_gctagc() {
+        // Section 2.3: the BWT transformation of GCTAGC$ is CTGGA$C.
+        assert_eq!(ascii_bwt(b"GCTAGC"), "CTGGA$C");
+    }
+
+    #[test]
+    fn classic_banana() {
+        assert_eq!(ascii_bwt(b"BANANA"), "ANNB$AA");
+    }
+
+    #[test]
+    fn round_trip_small() {
+        for text in [
+            b"".as_slice(),
+            b"A",
+            b"ACGT",
+            b"MISSISSIPPI",
+            b"GCTAGCTAGGCATCG",
+            b"AAAAAAAA",
+        ] {
+            let transformed = bwt(text);
+            assert_eq!(inverse_bwt(&transformed), text, "round trip for {text:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_encoded_with_separators() {
+        let text = [1u8, 2, 3, 4, 0, 4, 3, 2, 1, 2, 0, 1, 1, 1];
+        let transformed = bwt(&text);
+        assert_eq!(inverse_bwt(&transformed), text);
+    }
+
+    #[test]
+    fn round_trip_random() {
+        let mut state = 0xdeadbeefu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [1usize, 17, 64, 257, 1000] {
+            let text: Vec<u8> = (0..len).map(|_| (next() % 4) as u8 + 1).collect();
+            let transformed = bwt(&text);
+            assert_eq!(inverse_bwt(&transformed), text);
+        }
+    }
+
+    #[test]
+    fn bwt_is_permutation_of_input_plus_sentinel() {
+        let text = b"GATTACA";
+        let transformed = bwt(text);
+        let mut sorted_bwt = transformed.data.clone();
+        sorted_bwt.sort_unstable();
+        let mut expected: Vec<u8> = text.to_vec();
+        expected.push(crate::SENTINEL);
+        expected.sort_unstable();
+        assert_eq!(sorted_bwt, expected);
+    }
+}

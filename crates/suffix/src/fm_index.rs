@@ -1,0 +1,401 @@
+//! FM-index: backward search and occurrence location over a BWT
+//! (the "compressed suffix array" of Sections 2.3 and 5).
+//!
+//! The index operates on code sequences produced by `alae-bioseq`
+//! (record separators are code 0, alphabet characters are `1..=σ`).
+//! Internally every code is shifted up by one so that code 0 can serve as the
+//! unique sentinel appended during suffix-array construction; callers never
+//! see the shift.
+
+use crate::bitvec::RankBitVec;
+use crate::bwt::bwt_from_sa;
+use crate::rank::OccTable;
+use crate::sais::suffix_array;
+
+/// A half-open range `[start, end)` of rows in the suffix array; the paper's
+/// "SA range" (Section 2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaRange {
+    /// First row of the range.
+    pub start: usize,
+    /// One past the last row of the range.
+    pub end: usize,
+}
+
+impl SaRange {
+    /// Number of suffixes (occurrences) in the range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the range contains no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Default suffix-array sampling rate (one sampled row per this many text
+/// positions).
+pub const DEFAULT_SA_SAMPLE_RATE: usize = 16;
+
+/// An FM-index over a code sequence.
+#[derive(Debug, Clone)]
+pub struct FmIndex {
+    /// Number of characters in the indexed text (excluding the sentinel).
+    text_len: usize,
+    /// Number of distinct caller-visible codes (alphabet size + separator).
+    code_count: usize,
+    /// Occurrence structure over the BWT of the *shifted* text.
+    occ: OccTable,
+    /// `c_array[c]` = number of BWT characters strictly smaller than shifted
+    /// code `c`.
+    c_array: Vec<usize>,
+    /// Marks rows whose suffix-array value is sampled.
+    sampled_rows: RankBitVec,
+    /// Sampled suffix-array values, indexed by `sampled_rows.rank1(row)`.
+    samples: Vec<u32>,
+    /// Sampling rate used at construction time.
+    sample_rate: usize,
+}
+
+impl FmIndex {
+    /// Build an FM-index for `text`, whose codes must all be `< code_count`.
+    pub fn new(text: &[u8], code_count: usize) -> Self {
+        Self::with_sample_rate(text, code_count, DEFAULT_SA_SAMPLE_RATE)
+    }
+
+    /// Build with an explicit suffix-array sampling rate (≥ 1).
+    pub fn with_sample_rate(text: &[u8], code_count: usize, sample_rate: usize) -> Self {
+        assert!(sample_rate >= 1);
+        assert!(code_count >= 1);
+        debug_assert!(text.iter().all(|&c| (c as usize) < code_count));
+
+        let sa = suffix_array(text);
+        let transform = bwt_from_sa(text, &sa);
+        // Shift every code up by one; the sentinel entry stays 0.
+        let shifted_code_count = code_count + 1;
+        let mut shifted_bwt = transform.data;
+        for (row, b) in shifted_bwt.iter_mut().enumerate() {
+            if row != transform.sentinel_row {
+                *b += 1;
+            }
+        }
+        // Note: the sentinel entry equals 0 already; positions holding
+        // caller code 0 (record separators) become 1 after the shift, so the
+        // sentinel remains unique.
+
+        let occ = OccTable::new(shifted_bwt, shifted_code_count);
+
+        // C array over shifted codes.
+        let mut counts = vec![0usize; shifted_code_count + 1];
+        for &c in occ.data() {
+            counts[c as usize + 1] += 1;
+        }
+        let mut c_array = vec![0usize; shifted_code_count];
+        let mut running = 0usize;
+        for c in 0..shifted_code_count {
+            running += counts[c];
+            c_array[c] = running;
+        }
+
+        // Sample suffix-array rows whose text position is a multiple of the
+        // sampling rate (position n — the sentinel suffix — is always
+        // sampled so locate() terminates).
+        let n_rows = sa.len();
+        let mut samples = Vec::with_capacity(n_rows / sample_rate + 2);
+        let bits = (0..n_rows).map(|row| {
+            let pos = sa[row] as usize;
+            pos % sample_rate == 0 || pos == text.len()
+        });
+        let sampled_rows = RankBitVec::from_bits(BitsWithLen {
+            inner: bits,
+            len: n_rows,
+        });
+        for row in 0..n_rows {
+            let pos = sa[row] as usize;
+            if pos % sample_rate == 0 || pos == text.len() {
+                samples.push(sa[row]);
+            }
+        }
+
+        Self {
+            text_len: text.len(),
+            code_count,
+            occ,
+            c_array,
+            sampled_rows,
+            samples,
+            sample_rate,
+        }
+    }
+
+    /// Length of the indexed text (without the sentinel).
+    #[inline]
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    /// Number of suffix-array rows (`text_len + 1`).
+    #[inline]
+    pub fn row_count(&self) -> usize {
+        self.text_len + 1
+    }
+
+    /// Caller-visible code count the index was built for.
+    #[inline]
+    pub fn code_count(&self) -> usize {
+        self.code_count
+    }
+
+    /// The SA range covering every suffix (the empty pattern).
+    #[inline]
+    pub fn full_range(&self) -> SaRange {
+        SaRange {
+            start: 0,
+            end: self.row_count(),
+        }
+    }
+
+    /// Extend a pattern by prepending character `c` (backward-search step,
+    /// Section 2.3: "it processes the string xS by iteratively inserting one
+    /// character x before S").  Returns an empty range when `xS` does not
+    /// occur.
+    #[inline]
+    pub fn extend_left(&self, range: SaRange, c: u8) -> SaRange {
+        debug_assert!((c as usize) < self.code_count);
+        let shifted = c + 1;
+        let start = self.c_array[shifted as usize] + self.occ.rank(shifted, range.start);
+        let end = self.c_array[shifted as usize] + self.occ.rank(shifted, range.end);
+        SaRange { start, end }
+    }
+
+    /// Backward search for a whole pattern; `O(|pattern|)` extension steps.
+    pub fn backward_search(&self, pattern: &[u8]) -> SaRange {
+        let mut range = self.full_range();
+        for &c in pattern.iter().rev() {
+            range = self.extend_left(range, c);
+            if range.is_empty() {
+                break;
+            }
+        }
+        range
+    }
+
+    /// Number of occurrences of `pattern` in the text.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.backward_search(pattern).len()
+    }
+
+    /// LF-mapping: the row of the suffix starting one position earlier.
+    #[inline]
+    fn lf(&self, row: usize) -> usize {
+        let c = self.occ.get(row);
+        if c == 0 {
+            // The sentinel row maps to row 0 (the smallest suffix).
+            return 0;
+        }
+        self.c_array[c as usize] + self.occ.rank(c, row)
+    }
+
+    /// The text position (0-based) of the suffix at `row`.
+    ///
+    /// Position `text_len` denotes the empty (sentinel) suffix.
+    pub fn locate(&self, row: usize) -> usize {
+        let mut row = row;
+        let mut steps = 0usize;
+        while !self.sampled_rows.get(row) {
+            row = self.lf(row);
+            steps += 1;
+        }
+        let base = self.samples[self.sampled_rows.rank1(row)] as usize;
+        base + steps
+    }
+
+    /// Text positions of all occurrences of the pattern represented by
+    /// `range` (callers typically obtain `range` from
+    /// [`FmIndex::backward_search`]).
+    pub fn locate_range(&self, range: SaRange) -> Vec<usize> {
+        (range.start..range.end).map(|row| self.locate(row)).collect()
+    }
+
+    /// Approximate index footprint in bytes (BWT + rank checkpoints +
+    /// SA samples); used by the Figure 11 index-size experiment.
+    pub fn size_in_bytes(&self) -> usize {
+        self.occ.size_in_bytes()
+            + self.c_array.len() * std::mem::size_of::<usize>()
+            + self.sampled_rows.size_in_bytes()
+            + self.samples.len() * std::mem::size_of::<u32>()
+    }
+
+    /// The sampling rate the index was built with.
+    pub fn sample_rate(&self) -> usize {
+        self.sample_rate
+    }
+}
+
+/// Adapter giving an `ExactSizeIterator` over bits.
+struct BitsWithLen<I> {
+    inner: I,
+    len: usize,
+}
+
+impl<I: Iterator<Item = bool>> Iterator for BitsWithLen<I> {
+    type Item = bool;
+    fn next(&mut self) -> Option<bool> {
+        let next = self.inner.next();
+        if next.is_some() {
+            self.len -= 1;
+        }
+        next
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.len, Some(self.len))
+    }
+}
+
+impl<I: Iterator<Item = bool>> ExactSizeIterator for BitsWithLen<I> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_occurrences(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pattern.len())
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_gc_occurrences() {
+        // Section 2.3: "the SA range of a substring GC is [4, 5], then the
+        // starting positions of GC in T are 5 and 1" (1-based).
+        let text: Vec<u8> = b"GCTAGC".iter().map(|&b| match b {
+            b'A' => 1u8,
+            b'C' => 2,
+            b'G' => 3,
+            b'T' => 4,
+            _ => unreachable!(),
+        }).collect();
+        let fm = FmIndex::new(&text, 5);
+        let pattern = [3u8, 2u8]; // "GC"
+        let range = fm.backward_search(&pattern);
+        assert_eq!(range.len(), 2);
+        let mut positions = fm.locate_range(range);
+        positions.sort_unstable();
+        // 0-based positions 0 and 4 correspond to the paper's 1-based 1 and 5.
+        assert_eq!(positions, vec![0, 4]);
+    }
+
+    #[test]
+    fn counts_match_naive_search() {
+        let text: Vec<u8> = b"ACGTACGTAGGGCATACGT"
+            .iter()
+            .map(|&b| match b {
+                b'A' => 1u8,
+                b'C' => 2,
+                b'G' => 3,
+                b'T' => 4,
+                _ => unreachable!(),
+            })
+            .collect();
+        let fm = FmIndex::new(&text, 5);
+        for pattern_ascii in [b"ACGT".as_slice(), b"GG", b"TTT", b"A", b"CATACGT", b"ACGTACGTAGGGCATACGT"] {
+            let pattern: Vec<u8> = pattern_ascii
+                .iter()
+                .map(|&b| match b {
+                    b'A' => 1u8,
+                    b'C' => 2,
+                    b'G' => 3,
+                    b'T' => 4,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let expected = naive_occurrences(&text, &pattern);
+            assert_eq!(fm.count(&pattern), expected.len(), "pattern {pattern_ascii:?}");
+            let mut located = fm.locate_range(fm.backward_search(&pattern));
+            located.sort_unstable();
+            assert_eq!(located, expected, "pattern {pattern_ascii:?}");
+        }
+    }
+
+    #[test]
+    fn random_text_occurrences_match_naive() {
+        let mut state = 42u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let text: Vec<u8> = (0..800).map(|_| (next() % 4) as u8 + 1).collect();
+        let fm = FmIndex::with_sample_rate(&text, 5, 8);
+        for len in [1usize, 2, 3, 5, 8] {
+            for _ in 0..20 {
+                let start = (next() as usize) % (text.len() - len);
+                let pattern = &text[start..start + len];
+                let expected = naive_occurrences(&text, pattern);
+                let range = fm.backward_search(pattern);
+                assert_eq!(range.len(), expected.len());
+                let mut located = fm.locate_range(range);
+                located.sort_unstable();
+                assert_eq!(located, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn absent_patterns_give_empty_ranges() {
+        let text = vec![1u8, 1, 1, 1, 2, 2, 2];
+        let fm = FmIndex::new(&text, 5);
+        assert!(fm.backward_search(&[3u8]).is_empty());
+        assert!(fm.backward_search(&[1u8, 2, 1]).is_empty());
+        assert_eq!(fm.count(&[4u8, 4]), 0);
+    }
+
+    #[test]
+    fn texts_with_separators_are_searchable() {
+        // Two records "ACG" and "CGT" concatenated with separator 0.
+        let text = vec![1u8, 2, 3, 0, 2, 3, 4];
+        let fm = FmIndex::new(&text, 5);
+        // "CG" occurs in both records.
+        assert_eq!(fm.count(&[2u8, 3]), 2);
+        // A pattern spanning the separator only matches when it includes it.
+        assert_eq!(fm.count(&[3u8, 2]), 0);
+        assert_eq!(fm.count(&[3u8, 0, 2]), 1);
+    }
+
+    #[test]
+    fn full_range_and_empty_pattern() {
+        let text = vec![1u8, 2, 3, 4];
+        let fm = FmIndex::new(&text, 5);
+        assert_eq!(fm.full_range().len(), 5);
+        assert_eq!(fm.backward_search(&[]).len(), 5);
+        assert_eq!(fm.text_len(), 4);
+        assert_eq!(fm.row_count(), 5);
+    }
+
+    #[test]
+    fn locate_every_row_is_a_permutation() {
+        let text: Vec<u8> = (0..100).map(|i| (i % 4) as u8 + 1).collect();
+        for rate in [1usize, 4, 16, 64] {
+            let fm = FmIndex::with_sample_rate(&text, 5, rate);
+            let mut positions: Vec<usize> = (0..fm.row_count()).map(|row| fm.locate(row)).collect();
+            positions.sort_unstable();
+            let expected: Vec<usize> = (0..=text.len()).collect();
+            assert_eq!(positions, expected, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn size_accounting_scales_with_text() {
+        let small = FmIndex::new(&vec![1u8; 1_000], 5);
+        let large = FmIndex::new(&vec![1u8; 10_000], 5);
+        assert!(large.size_in_bytes() > small.size_in_bytes());
+        assert_eq!(small.sample_rate(), DEFAULT_SA_SAMPLE_RATE);
+    }
+}

@@ -1,0 +1,36 @@
+//! Compressed suffix array substrate for the ALAE reproduction.
+//!
+//! Section 5 of the paper simulates suffix-trie traversals over the text `T`
+//! with a compressed suffix array: a Burrows–Wheeler transform, rank
+//! (occurrence) structures supporting backward search, and a sampled suffix
+//! array for locating occurrences.  Because ALAE extends text substrings to
+//! the *right* one character at a time (appending `c` behind `X`), the index
+//! is built over the **reversed** text `T⁻¹`, so that appending a character on
+//! the right of `X` becomes a backward-search extension on `(X)⁻¹` — exactly
+//! the construction described in Section 5.
+//!
+//! The crate provides, from scratch (no external succinct-structure crates):
+//!
+//! * [`sais`] — linear-time suffix array construction (SA-IS),
+//! * [`bwt`] — Burrows–Wheeler transform and its inversion,
+//! * [`rank`] — byte-sequence rank structure (sampled occurrence counts),
+//! * [`fm_index`] — FM-index with backward search and a sampled suffix array,
+//! * [`trie`] — the suffix-trie emulation used by BWT-SW and ALAE
+//!   ([`trie::SuffixTrieCursor`] extends a represented substring one
+//!   character to the right).
+
+pub mod bitvec;
+pub mod bwt;
+pub mod fm_index;
+pub mod rank;
+pub mod sais;
+pub mod trie;
+
+pub use fm_index::{FmIndex, SaRange};
+pub use trie::{SuffixTrieCursor, TextIndex};
+
+/// The sentinel code appended to the text before suffix-array construction.
+///
+/// It matches the record-separator code of `alae-bioseq` (0) and is smaller
+/// than every alphabet character, mirroring the `$` of Section 2.3.
+pub const SENTINEL: u8 = 0;

@@ -1,0 +1,165 @@
+//! Occurrence (rank) structure over the BWT string.
+//!
+//! Backward search (Section 2.3 / [Ferragina & Manzini]) needs
+//! `Occ(c, i)` — the number of occurrences of character `c` in the first `i`
+//! positions of the BWT — in constant time.  This module implements a
+//! sampled occurrence table: absolute counts every [`BLOCK`] positions plus a
+//! linear scan inside the block.  For the small alphabets of this workspace
+//! (σ ≤ 21) the table costs `(σ+1) · n / BLOCK` 32-bit counters, and the
+//! in-block scan touches at most `BLOCK` bytes — a classic space/time
+//! trade-off matching the "compressed suffix array" space budget reported in
+//! Figure 11 of the paper.
+
+/// Number of positions per sampled block.
+pub const BLOCK: usize = 128;
+
+/// Sampled occurrence counts over a byte sequence.
+#[derive(Debug, Clone)]
+pub struct OccTable {
+    /// The underlying byte sequence (the BWT string).
+    data: Vec<u8>,
+    /// Number of distinct codes (alphabet size including the sentinel).
+    code_count: usize,
+    /// `checkpoints[block * code_count + c]` = number of occurrences of `c`
+    /// in `data[0 .. block*BLOCK]`.
+    checkpoints: Vec<u32>,
+}
+
+impl OccTable {
+    /// Build the table for `data` where all codes are `< code_count`.
+    pub fn new(data: Vec<u8>, code_count: usize) -> Self {
+        assert!(code_count > 0);
+        debug_assert!(data.iter().all(|&c| (c as usize) < code_count));
+        let block_count = data.len() / BLOCK + 1;
+        let mut checkpoints = vec![0u32; block_count * code_count];
+        let mut running = vec![0u32; code_count];
+        for (i, &c) in data.iter().enumerate() {
+            if i % BLOCK == 0 {
+                let block = i / BLOCK;
+                checkpoints[block * code_count..(block + 1) * code_count]
+                    .copy_from_slice(&running);
+            }
+            running[c as usize] += 1;
+        }
+        // Final checkpoint for positions at the very end.
+        if data.len() % BLOCK == 0 {
+            let block = data.len() / BLOCK;
+            checkpoints[block * code_count..(block + 1) * code_count].copy_from_slice(&running);
+        }
+        Self {
+            data,
+            code_count,
+            checkpoints,
+        }
+    }
+
+    /// Length of the underlying sequence.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying byte sequence.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Character at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u8 {
+        self.data[i]
+    }
+
+    /// `Occ(c, i)`: number of occurrences of `c` in `data[0..i]` (exclusive
+    /// upper bound).
+    #[inline]
+    pub fn rank(&self, c: u8, i: usize) -> usize {
+        debug_assert!(i <= self.data.len());
+        debug_assert!((c as usize) < self.code_count);
+        let block = i / BLOCK;
+        let mut count = self.checkpoints[block * self.code_count + c as usize] as usize;
+        let start = block * BLOCK;
+        for &b in &self.data[start..i] {
+            count += (b == c) as usize;
+        }
+        count
+    }
+
+    /// Approximate heap footprint in bytes (sequence + checkpoints), used by
+    /// the index-size experiment (Figure 11).
+    pub fn size_in_bytes(&self) -> usize {
+        self.data.len() + self.checkpoints.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_rank(data: &[u8], c: u8, i: usize) -> usize {
+        data[..i].iter().filter(|&&b| b == c).count()
+    }
+
+    #[test]
+    fn rank_matches_naive_on_small_input() {
+        let data = vec![1u8, 2, 1, 3, 0, 1, 2, 2, 3, 1];
+        let table = OccTable::new(data.clone(), 4);
+        for c in 0..4u8 {
+            for i in 0..=data.len() {
+                assert_eq!(table.rank(c, i), naive_rank(&data, c, i), "c={c} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_matches_naive_across_block_boundaries() {
+        let mut state = 7u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let data: Vec<u8> = (0..BLOCK * 3 + 17).map(|_| (next() % 5) as u8).collect();
+        let table = OccTable::new(data.clone(), 5);
+        for c in 0..5u8 {
+            for i in (0..=data.len()).step_by(7) {
+                assert_eq!(table.rank(c, i), naive_rank(&data, c, i));
+            }
+            // Exactly at the boundaries.
+            for block in 0..=3 {
+                let i = (block * BLOCK).min(data.len());
+                assert_eq!(table.rank(c, i), naive_rank(&data, c, i));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let table = OccTable::new(Vec::new(), 3);
+        assert!(table.is_empty());
+        assert_eq!(table.rank(0, 0), 0);
+        assert_eq!(table.len(), 0);
+    }
+
+    #[test]
+    fn get_returns_characters() {
+        let data = vec![4u8, 3, 2, 1];
+        let table = OccTable::new(data.clone(), 5);
+        for (i, &c) in data.iter().enumerate() {
+            assert_eq!(table.get(i), c);
+        }
+        assert_eq!(table.data(), data.as_slice());
+    }
+
+    #[test]
+    fn size_accounting_is_positive() {
+        let table = OccTable::new(vec![1u8; 1000], 2);
+        assert!(table.size_in_bytes() >= 1000);
+    }
+}

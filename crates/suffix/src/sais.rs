@@ -1,0 +1,309 @@
+//! Linear-time suffix array construction (SA-IS).
+//!
+//! The suffix array of Section 2.3 is built with the induced-sorting
+//! algorithm of Nong, Zhang and Chan.  The implementation works on `u32`
+//! "virtual" texts so it can recurse on reduced problems regardless of the
+//! original alphabet size; the public entry point [`suffix_array`] accepts a
+//! byte text *without* a sentinel and appends the implicit smallest suffix
+//! itself (the returned array has length `text.len() + 1` and its first entry
+//! is always `text.len()`, the empty suffix, matching the `$`-terminated
+//! convention of the paper).
+
+/// Build the suffix array of `text ⊕ $` where `$` is an implicit sentinel
+/// strictly smaller than every byte value.
+///
+/// The result `sa` has length `text.len() + 1`; `sa[i]` is the starting
+/// position (0-based) of the i-th lexicographically smallest suffix,
+/// `sa[0] == text.len()` is the empty suffix.
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    assert!(
+        text.len() < u32::MAX as usize - 2,
+        "text too long for u32 suffix array"
+    );
+    // Shift bytes up by one so value 0 is free for the sentinel.
+    let mut shifted: Vec<u32> = Vec::with_capacity(text.len() + 1);
+    shifted.extend(text.iter().map(|&b| b as u32 + 1));
+    shifted.push(0);
+    let mut sa = vec![0u32; shifted.len()];
+    sais_u32(&shifted, &mut sa, 257);
+    sa
+}
+
+/// Naive O(n² log n) suffix array used as a cross-check in tests and for very
+/// small inputs.
+pub fn suffix_array_naive(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    let mut sa: Vec<u32> = (0..=n as u32).collect();
+    sa.sort_by(|&a, &b| {
+        let sa_suffix = &text[a as usize..];
+        let sb_suffix = &text[b as usize..];
+        sa_suffix.cmp(sb_suffix)
+    });
+    sa
+}
+
+const S_TYPE: bool = true;
+const L_TYPE: bool = false;
+
+/// Core SA-IS on a u32 text whose last element is the unique smallest value 0.
+fn sais_u32(text: &[u32], sa: &mut [u32], alphabet_size: usize) {
+    let n = text.len();
+    debug_assert_eq!(sa.len(), n);
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        sa[0] = 0;
+        return;
+    }
+    if n == 2 {
+        // Last element is the sentinel (smallest), so suffix 1 < suffix 0.
+        sa[0] = 1;
+        sa[1] = 0;
+        return;
+    }
+
+    // 1. Classify suffixes as S-type or L-type.
+    let mut types = vec![S_TYPE; n];
+    for i in (0..n - 1).rev() {
+        types[i] = if text[i] < text[i + 1] {
+            S_TYPE
+        } else if text[i] > text[i + 1] {
+            L_TYPE
+        } else {
+            types[i + 1]
+        };
+    }
+
+    let is_lms = |i: usize, types: &[bool]| -> bool { i > 0 && types[i] == S_TYPE && types[i - 1] == L_TYPE };
+
+    // 2. Bucket sizes.
+    let mut bucket_sizes = vec![0u32; alphabet_size];
+    for &c in text {
+        bucket_sizes[c as usize] += 1;
+    }
+    let bucket_heads = |sizes: &[u32]| -> Vec<u32> {
+        let mut heads = vec![0u32; sizes.len()];
+        let mut sum = 0;
+        for (i, &s) in sizes.iter().enumerate() {
+            heads[i] = sum;
+            sum += s;
+        }
+        heads
+    };
+    let bucket_tails = |sizes: &[u32]| -> Vec<u32> {
+        let mut tails = vec![0u32; sizes.len()];
+        let mut sum = 0;
+        for (i, &s) in sizes.iter().enumerate() {
+            sum += s;
+            tails[i] = sum;
+        }
+        tails
+    };
+
+    const EMPTY: u32 = u32::MAX;
+
+    // Induced sort given positions of LMS suffixes (in any relative order
+    // placed at bucket tails).
+    let induce = |sa: &mut [u32], lms_positions: &[u32], types: &[bool]| {
+        for slot in sa.iter_mut() {
+            *slot = EMPTY;
+        }
+        // Place LMS suffixes at the ends of their buckets, in the given order
+        // (reversed so that earlier entries end up closer to the tail).
+        let mut tails = bucket_tails(&bucket_sizes);
+        for &p in lms_positions.iter().rev() {
+            let c = text[p as usize] as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = p;
+        }
+        // Induce L-type suffixes left to right.
+        let mut heads = bucket_heads(&bucket_sizes);
+        for i in 0..n {
+            let p = sa[i];
+            if p == EMPTY || p == 0 {
+                continue;
+            }
+            let j = p as usize - 1;
+            if types[j] == L_TYPE {
+                let c = text[j] as usize;
+                sa[heads[c] as usize] = j as u32;
+                heads[c] += 1;
+            }
+        }
+        // Induce S-type suffixes right to left.
+        let mut tails = bucket_tails(&bucket_sizes);
+        for i in (0..n).rev() {
+            let p = sa[i];
+            if p == EMPTY || p == 0 {
+                continue;
+            }
+            let j = p as usize - 1;
+            if types[j] == S_TYPE {
+                let c = text[j] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = j as u32;
+            }
+        }
+    };
+
+    // 3. Collect LMS positions in text order.
+    let lms_positions: Vec<u32> = (1..n).filter(|&i| is_lms(i, &types)).map(|i| i as u32).collect();
+
+    // 4. First induced sort to order LMS substrings.
+    induce(sa, &lms_positions, &types);
+
+    // 5. Extract LMS suffixes in their induced order and name LMS substrings.
+    let sorted_lms: Vec<u32> = sa
+        .iter()
+        .copied()
+        .filter(|&p| p != EMPTY && is_lms(p as usize, &types))
+        .collect();
+
+    // Name each LMS substring; equal substrings get equal names.
+    let mut names = vec![EMPTY; n];
+    let mut current_name: u32 = 0;
+    let mut prev: Option<u32> = None;
+    let lms_substring_end = |start: usize, types: &[bool]| -> usize {
+        // The LMS substring runs from one LMS position to the next
+        // (inclusive); the final sentinel position is its own substring.
+        if start == n - 1 {
+            return n - 1;
+        }
+        let mut j = start + 1;
+        while j < n && !is_lms(j, types) {
+            j += 1;
+        }
+        j.min(n - 1)
+    };
+    for &p in &sorted_lms {
+        let p = p as usize;
+        let equal_to_prev = match prev {
+            None => false,
+            Some(q) => {
+                let q = q as usize;
+                let p_end = lms_substring_end(p, &types);
+                let q_end = lms_substring_end(q, &types);
+                p_end - p == q_end - q && text[p..=p_end] == text[q..=q_end]
+            }
+        };
+        if !equal_to_prev {
+            current_name += 1;
+        }
+        names[p] = current_name - 1;
+        prev = Some(p as u32);
+    }
+
+    // 6. Build the reduced problem (names of LMS substrings in text order).
+    let reduced: Vec<u32> = lms_positions.iter().map(|&p| names[p as usize]).collect();
+    let reduced_alphabet = current_name as usize;
+
+    let lms_order: Vec<u32> = if reduced_alphabet == reduced.len() {
+        // All names distinct: order is directly derivable.
+        let mut order = vec![0u32; reduced.len()];
+        for (i, &name) in reduced.iter().enumerate() {
+            order[name as usize] = lms_positions[i];
+        }
+        order
+    } else {
+        // Recurse on the reduced text.
+        let mut reduced_sa = vec![0u32; reduced.len()];
+        sais_u32(&reduced, &mut reduced_sa, reduced_alphabet);
+        reduced_sa
+            .iter()
+            .map(|&ri| lms_positions[ri as usize])
+            .collect()
+    };
+
+    // 7. Final induced sort with correctly ordered LMS suffixes.
+    induce(sa, &lms_order, &types);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(text: &[u8]) {
+        let fast = suffix_array(text);
+        let naive = suffix_array_naive(text);
+        assert_eq!(fast, naive, "mismatch for text {:?}", text);
+    }
+
+    #[test]
+    fn paper_example_gctagc() {
+        // Section 2.3: SA of GCTAGC$ is {7, 4, 6, 2, 5, 1, 3} in 1-based
+        // terms, i.e. {6, 3, 5, 1, 4, 0, 2} 0-based.
+        let sa = suffix_array(b"GCTAGC");
+        assert_eq!(sa, vec![6, 3, 5, 1, 4, 0, 2]);
+    }
+
+    #[test]
+    fn small_texts_match_naive() {
+        check(b"");
+        check(b"A");
+        check(b"AAAA");
+        check(b"ABAB");
+        check(b"BANANA");
+        check(b"MISSISSIPPI");
+        check(b"GCTAGCTAGGCATCGATCG");
+        check(b"ACGTACGTACGTACGT");
+    }
+
+    #[test]
+    fn texts_with_runs_and_repeats() {
+        check(b"AAAAAAAAAAB");
+        check(b"BAAAAAAAAAA");
+        check(b"ABCABCABCABCABC");
+        check(b"ZYXWVUTSRQPONMLKJIHGFEDCBA");
+        check(b"ABRACADABRAABRACADABRA");
+    }
+
+    #[test]
+    fn encoded_dna_codes_work() {
+        // Codes 1..=4 as produced by alae-bioseq, including separator 0 in
+        // the middle (multi-record database text).
+        let text = [1u8, 2, 3, 4, 0, 4, 3, 2, 1, 1, 2, 3];
+        check(&text);
+    }
+
+    #[test]
+    fn random_texts_match_naive() {
+        // Deterministic xorshift so the test is reproducible without rand.
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [10usize, 50, 200, 500] {
+            for sigma in [2u8, 4, 20] {
+                let text: Vec<u8> = (0..len).map(|_| (next() % sigma as u64) as u8 + 1).collect();
+                check(&text);
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_array_is_a_permutation() {
+        let text = b"GATTACAGATTACAGATTACA";
+        let sa = suffix_array(text);
+        let mut seen = vec![false; text.len() + 1];
+        for &p in &sa {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn suffixes_are_sorted() {
+        let text = b"TGCATGCATGCAACGT";
+        let sa = suffix_array(text);
+        for window in sa.windows(2) {
+            let a = &text[window[0] as usize..];
+            let b = &text[window[1] as usize..];
+            assert!(a < b, "suffix order violated: {:?} !< {:?}", a, b);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Suffix-trie emulation over a compressed suffix array (Section 5).
+//!
+//! BWT-SW and ALAE both walk the conceptual suffix trie of the text `T`
+//! top-down, appending one character to the represented substring `X` per
+//! step.  An FM-index extends patterns by *prepending* characters, so —
+//! exactly as the paper describes — the index is built over the reversed
+//! text `T⁻¹`: prepending `c` to `X⁻¹` is the same as appending `c` to `X`.
+//!
+//! [`TextIndex`] owns the forward text and the reversed-text FM-index;
+//! [`SuffixTrieCursor`] is a lightweight (range, depth) pair representing a
+//! trie node, i.e. a distinct substring of `T` together with all of its
+//! occurrences.
+
+use crate::fm_index::{FmIndex, SaRange};
+
+/// A searchable text: the forward code sequence plus the FM-index of its
+/// reversal.
+#[derive(Debug, Clone)]
+pub struct TextIndex {
+    text: Vec<u8>,
+    code_count: usize,
+    fm_reverse: FmIndex,
+}
+
+/// A node of the conceptual suffix trie: the set of occurrences of one
+/// distinct substring of the text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuffixTrieCursor {
+    /// SA range of the reversed substring in the reversed-text index.
+    pub range: SaRange,
+    /// Length of the represented substring (depth of the trie node).
+    pub depth: usize,
+}
+
+impl SuffixTrieCursor {
+    /// Number of occurrences of the represented substring in the text.
+    #[inline]
+    pub fn occurrence_count(&self) -> usize {
+        self.range.len()
+    }
+}
+
+impl TextIndex {
+    /// Build the index for a code sequence whose codes are `< code_count`.
+    pub fn new(text: Vec<u8>, code_count: usize) -> Self {
+        let reversed: Vec<u8> = text.iter().rev().copied().collect();
+        let fm_reverse = FmIndex::new(&reversed, code_count);
+        Self {
+            text,
+            code_count,
+            fm_reverse,
+        }
+    }
+
+    /// The forward text.
+    #[inline]
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Text length `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True when the text is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Number of caller-visible codes (alphabet size + separator).
+    #[inline]
+    pub fn code_count(&self) -> usize {
+        self.code_count
+    }
+
+    /// The root of the suffix trie (the empty substring, occurring
+    /// everywhere).
+    #[inline]
+    pub fn root(&self) -> SuffixTrieCursor {
+        SuffixTrieCursor {
+            range: self.fm_reverse.full_range(),
+            depth: 0,
+        }
+    }
+
+    /// Follow the edge labelled `c` from the node `cursor`, i.e. extend the
+    /// represented substring by one character **on the right**.  Returns
+    /// `None` when no occurrence of `X·c` exists.
+    #[inline]
+    pub fn extend(&self, cursor: SuffixTrieCursor, c: u8) -> Option<SuffixTrieCursor> {
+        let range = self.fm_reverse.extend_left(cursor.range, c);
+        if range.is_empty() {
+            None
+        } else {
+            Some(SuffixTrieCursor {
+                range,
+                depth: cursor.depth + 1,
+            })
+        }
+    }
+
+    /// Cursor for an explicit pattern, or `None` if it does not occur.
+    pub fn cursor_for(&self, pattern: &[u8]) -> Option<SuffixTrieCursor> {
+        let mut cursor = self.root();
+        for &c in pattern {
+            cursor = self.extend(cursor, c)?;
+        }
+        Some(cursor)
+    }
+
+    /// All starting positions (0-based) in the forward text of the substring
+    /// represented by `cursor`.
+    pub fn occurrences(&self, cursor: SuffixTrieCursor) -> Vec<usize> {
+        let n = self.text.len();
+        let depth = cursor.depth;
+        let mut positions: Vec<usize> = (cursor.range.start..cursor.range.end)
+            .map(|row| {
+                let rev_start = self.fm_reverse.locate(row);
+                // The reversed substring occupies rev_start .. rev_start+depth
+                // in T⁻¹, which corresponds to the forward-range starting at
+                // n − rev_start − depth.
+                n - rev_start - depth
+            })
+            .collect();
+        positions.sort_unstable();
+        positions
+    }
+
+    /// Does `pattern` occur in the text?
+    pub fn contains(&self, pattern: &[u8]) -> bool {
+        self.cursor_for(pattern).is_some()
+    }
+
+    /// Starting positions of `pattern` in the text (0-based, sorted).
+    pub fn find_occurrences(&self, pattern: &[u8]) -> Vec<usize> {
+        match self.cursor_for(pattern) {
+            Some(cursor) => self.occurrences(cursor),
+            None => Vec::new(),
+        }
+    }
+
+    /// The characters `c` for which the trie node has an outgoing edge,
+    /// together with the child cursors.  Separators (code 0) are excluded —
+    /// no alignment may extend across a record boundary.
+    pub fn children(&self, cursor: SuffixTrieCursor) -> Vec<(u8, SuffixTrieCursor)> {
+        let mut children = Vec::new();
+        for c in 1..self.code_count as u8 {
+            if let Some(child) = self.extend(cursor, c) {
+                children.push((c, child));
+            }
+        }
+        children
+    }
+
+    /// Approximate index footprint in bytes (forward text + reversed-text
+    /// FM-index); the "BWT index" series of Figure 11.
+    pub fn size_in_bytes(&self) -> usize {
+        self.text.len() + self.fm_reverse.size_in_bytes()
+    }
+
+    /// Footprint of the FM-index alone (without the forward text copy).
+    pub fn fm_size_in_bytes(&self) -> usize {
+        self.fm_reverse.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(ascii: &[u8]) -> Vec<u8> {
+        ascii
+            .iter()
+            .map(|&b| match b {
+                b'$' => 0u8,
+                b'A' => 1,
+                b'C' => 2,
+                b'G' => 3,
+                b'T' => 4,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    fn naive_occurrences(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pattern.len())
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .collect()
+    }
+
+    #[test]
+    fn extension_matches_naive_substring_search() {
+        let text = encode(b"GCTAGCTAGGCATCGATCGGCTAGCAT");
+        let index = TextIndex::new(text.clone(), 5);
+        for pattern_ascii in [b"GCTA".as_slice(), b"GCTAG", b"CAT", b"TTTT", b"G", b"ATCG"] {
+            let pattern = encode(pattern_ascii);
+            let expected = naive_occurrences(&text, &pattern);
+            assert_eq!(
+                index.find_occurrences(&pattern),
+                expected,
+                "pattern {pattern_ascii:?}"
+            );
+            assert_eq!(index.contains(&pattern), !expected.is_empty());
+        }
+    }
+
+    #[test]
+    fn cursor_depth_tracks_pattern_length() {
+        let text = encode(b"ACGTACGT");
+        let index = TextIndex::new(text, 5);
+        let cursor = index.cursor_for(&encode(b"ACGT")).unwrap();
+        assert_eq!(cursor.depth, 4);
+        assert_eq!(cursor.occurrence_count(), 2);
+    }
+
+    #[test]
+    fn children_enumerate_right_extensions() {
+        let text = encode(b"ACGTAAG");
+        let index = TextIndex::new(text, 5);
+        let root = index.root();
+        let children = index.children(root);
+        // Children of the root are the distinct characters of the text.
+        let labels: Vec<u8> = children.iter().map(|(c, _)| *c).collect();
+        assert_eq!(labels, vec![1, 2, 3, 4]); // A, C, G, T all occur.
+        // Extensions of "A" are "AC" (pos 0), "AA" (pos 4), "AG" (pos 5).
+        let a_cursor = index.cursor_for(&encode(b"A")).unwrap();
+        let a_children: Vec<u8> = index.children(a_cursor).iter().map(|(c, _)| *c).collect();
+        assert_eq!(a_children, vec![1, 2, 3]); // A, C, G
+    }
+
+    #[test]
+    fn separators_are_never_trie_edges() {
+        let text = encode(b"ACG$TAC");
+        let index = TextIndex::new(text, 5);
+        let root = index.root();
+        let labels: Vec<u8> = index.children(root).iter().map(|(c, _)| *c).collect();
+        assert!(!labels.contains(&0));
+        // But explicit separator searches still work at the FM level.
+        assert!(index.contains(&encode(b"G$T")));
+    }
+
+    #[test]
+    fn depth_first_walk_visits_every_distinct_substring_once() {
+        let text = encode(b"GATTACA");
+        let index = TextIndex::new(text.clone(), 5);
+        // Enumerate all distinct substrings via the trie and via brute force.
+        let mut from_trie = std::collections::BTreeSet::new();
+        let mut stack = vec![(index.root(), Vec::<u8>::new())];
+        while let Some((cursor, prefix)) = stack.pop() {
+            if !prefix.is_empty() {
+                from_trie.insert(prefix.clone());
+            }
+            if prefix.len() >= text.len() {
+                continue;
+            }
+            for (c, child) in index.children(cursor) {
+                let mut next = prefix.clone();
+                next.push(c);
+                stack.push((child, next));
+            }
+        }
+        let mut brute = std::collections::BTreeSet::new();
+        for i in 0..text.len() {
+            for j in i + 1..=text.len() {
+                brute.insert(text[i..j].to_vec());
+            }
+        }
+        assert_eq!(from_trie, brute);
+    }
+
+    #[test]
+    fn occurrence_counts_agree_with_positions() {
+        let text = encode(b"ACACACACAC");
+        let index = TextIndex::new(text, 5);
+        let cursor = index.cursor_for(&encode(b"ACAC")).unwrap();
+        assert_eq!(cursor.occurrence_count(), 4);
+        assert_eq!(index.occurrences(cursor), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let index = TextIndex::new(vec![1u8; 5000], 5);
+        assert!(index.size_in_bytes() > 5000);
+        assert!(index.fm_size_in_bytes() > 0);
+        assert_eq!(index.len(), 5000);
+        assert!(!index.is_empty());
+        assert_eq!(index.code_count(), 5);
+    }
+}

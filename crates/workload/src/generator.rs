@@ -1,0 +1,152 @@
+//! Random sequence and text generation.
+
+use crate::spec::TextSpec;
+use alae_bioseq::{Alphabet, Sequence, SequenceDatabase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a uniformly random sequence of `len` characters.
+pub fn random_sequence(alphabet: Alphabet, len: usize, seed: u64) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_sequence_with(&mut rng, alphabet, len)
+}
+
+/// Generate a random sequence drawing from an existing RNG.
+pub fn random_sequence_with(rng: &mut StdRng, alphabet: Alphabet, len: usize) -> Sequence {
+    let sigma = alphabet.sigma() as u8;
+    let codes: Vec<u8> = (0..len).map(|_| rng.gen_range(1..=sigma)).collect();
+    Sequence::from_codes(alphabet, codes)
+}
+
+/// Generate a text according to a [`TextSpec`]: a random base sequence with a
+/// configurable fraction of characters covered by copied-and-mutated repeat
+/// segments.
+pub fn generate_text(spec: &TextSpec) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let sigma = spec.alphabet.sigma() as u8;
+    let mut codes: Vec<u8> = (0..spec.length)
+        .map(|_| rng.gen_range(1..=sigma))
+        .collect();
+
+    if spec.repeat_fraction > 0.0 && spec.length > 2 * spec.repeat_max_len && spec.repeat_max_len > 0
+    {
+        let target_repeated = (spec.length as f64 * spec.repeat_fraction) as usize;
+        let mut repeated = 0usize;
+        while repeated < target_repeated {
+            let len = rng.gen_range(spec.repeat_min_len..=spec.repeat_max_len);
+            if len >= spec.length {
+                break;
+            }
+            let src = rng.gen_range(0..spec.length - len);
+            let dst = rng.gen_range(0..spec.length - len);
+            if src == dst {
+                continue;
+            }
+            // Copy the segment, then sprinkle point mutations over it so
+            // repeats are homologous rather than identical (as in real
+            // genomes).
+            let segment: Vec<u8> = codes[src..src + len].to_vec();
+            codes[dst..dst + len].copy_from_slice(&segment);
+            let mutations = (len as f64 * spec.repeat_mutation_rate) as usize;
+            for _ in 0..mutations {
+                let pos = dst + rng.gen_range(0..len);
+                codes[pos] = rng.gen_range(1..=sigma);
+            }
+            repeated += len;
+        }
+    }
+    Sequence::from_codes(spec.alphabet, codes)
+}
+
+/// Generate a database of `record_count` records whose lengths sum to
+/// approximately `total_len`.
+pub fn random_database(
+    alphabet: Alphabet,
+    total_len: usize,
+    record_count: usize,
+    seed: u64,
+) -> SequenceDatabase {
+    assert!(record_count >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = total_len / record_count;
+    let mut records = Vec::with_capacity(record_count);
+    for i in 0..record_count {
+        let len = if i + 1 == record_count {
+            total_len - base * (record_count - 1)
+        } else {
+            base
+        };
+        let mut seq = random_sequence_with(&mut rng, alphabet, len);
+        seq.set_name(&format!("record{}", i + 1));
+        records.push(seq);
+    }
+    SequenceDatabase::from_sequences(alphabet, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sequence_is_deterministic() {
+        let a = random_sequence(Alphabet::Dna, 200, 7);
+        let b = random_sequence(Alphabet::Dna, 200, 7);
+        let c = random_sequence(Alphabet::Dna, 200, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 200);
+        assert!(a.codes().iter().all(|&x| (1..=4).contains(&x)));
+    }
+
+    #[test]
+    fn protein_sequences_use_full_alphabet() {
+        let seq = random_sequence(Alphabet::Protein, 5000, 3);
+        let distinct: std::collections::HashSet<u8> = seq.codes().iter().copied().collect();
+        assert!(distinct.len() > 15, "expected most amino acids to appear");
+        assert!(seq.codes().iter().all(|&x| (1..=20).contains(&x)));
+    }
+
+    #[test]
+    fn repeats_increase_duplicate_qgrams() {
+        let plain = TextSpec {
+            alphabet: Alphabet::Dna,
+            length: 20_000,
+            repeat_fraction: 0.0,
+            ..TextSpec::dna(20_000, 1)
+        };
+        let repetitive = TextSpec {
+            repeat_fraction: 0.5,
+            ..TextSpec::dna(20_000, 1)
+        };
+        let count_duplicate_qgrams = |seq: &Sequence| {
+            let q = 12;
+            let mut seen = std::collections::HashMap::new();
+            for window in seq.codes().windows(q) {
+                *seen.entry(window.to_vec()).or_insert(0usize) += 1;
+            }
+            seen.values().filter(|&&c| c > 1).count()
+        };
+        let plain_dups = count_duplicate_qgrams(&generate_text(&plain));
+        let repetitive_dups = count_duplicate_qgrams(&generate_text(&repetitive));
+        assert!(
+            repetitive_dups > plain_dups * 2,
+            "repeat injection should create duplicated 12-grams ({repetitive_dups} vs {plain_dups})"
+        );
+    }
+
+    #[test]
+    fn database_total_length_matches() {
+        let db = random_database(Alphabet::Dna, 10_000, 4, 11);
+        assert_eq!(db.record_count(), 4);
+        assert_eq!(db.character_count(), 10_000);
+        // Separators between records.
+        assert_eq!(db.text_len(), 10_000 + 3);
+    }
+
+    #[test]
+    fn single_record_database() {
+        let db = random_database(Alphabet::Protein, 512, 1, 2);
+        assert_eq!(db.record_count(), 1);
+        assert_eq!(db.text_len(), 512);
+    }
+}

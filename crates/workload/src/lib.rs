@@ -1,0 +1,29 @@
+//! Synthetic workload generation for the ALAE experiments.
+//!
+//! The paper evaluates on the GRCh37 human genome, the MGSCv37 mouse
+//! chromosome 1 (as query source) and the UniParc protein database
+//! (Section 7, "Data sets").  Those downloads are tens of gigabytes and not
+//! redistributable inside this repository, so the experiments run on
+//! synthetic stand-ins with the two properties the algorithms are actually
+//! sensitive to:
+//!
+//! 1. **Alphabet and composition** — uniform random DNA (σ = 4) or protein
+//!    (σ = 20) characters, matching the random-sequence model of the
+//!    analysis in Section 6.
+//! 2. **Repeat structure** — genomes are repetitive, and the reuse and
+//!    domination techniques of Sections 3.2 and 4 only pay off when the text
+//!    and query contain duplicated substrings.  [`TextSpec::repeat_fraction`]
+//!    injects copied (and lightly mutated) segments to model this.
+//!
+//! Queries are extracted from the generated text and passed through a
+//! substitution/indel mutation channel, mimicking how the paper derives
+//! mouse queries to align against human chromosomes (homologous but not
+//! identical sequences).  Every generator is deterministic given its seed.
+
+pub mod generator;
+pub mod mutate;
+pub mod spec;
+
+pub use generator::{generate_text, random_database, random_sequence};
+pub use mutate::{mutate_sequence, MutationProfile};
+pub use spec::{QuerySpec, TextSpec, Workload, WorkloadBuilder};

@@ -1,0 +1,147 @@
+//! Mutation channel used to derive queries from texts.
+//!
+//! The paper aligns mouse-derived queries against human chromosomes
+//! (Section 7): homologous sequences that differ by substitutions and small
+//! insertions/deletions.  [`mutate_sequence`] applies exactly that channel to
+//! a substring extracted from the synthetic text, so the query workloads
+//! contain real (but imperfect) local alignments for the aligners to find.
+
+use alae_bioseq::{Alphabet, Sequence};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-character mutation probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationProfile {
+    /// Probability that a character is substituted by a random character.
+    pub substitution_rate: f64,
+    /// Probability that a random character is inserted before a character.
+    pub insertion_rate: f64,
+    /// Probability that a character is deleted.
+    pub deletion_rate: f64,
+}
+
+impl MutationProfile {
+    /// A channel producing ~95% identity with occasional short gaps —
+    /// roughly mammalian-homology-like divergence.
+    pub const HOMOLOGOUS: MutationProfile = MutationProfile {
+        substitution_rate: 0.04,
+        insertion_rate: 0.005,
+        deletion_rate: 0.005,
+    };
+
+    /// No mutation at all (exact substring queries).
+    pub const EXACT: MutationProfile = MutationProfile {
+        substitution_rate: 0.0,
+        insertion_rate: 0.0,
+        deletion_rate: 0.0,
+    };
+
+    /// Validate that all probabilities lie in `[0, 1)`.
+    pub fn validate(&self) {
+        for rate in [self.substitution_rate, self.insertion_rate, self.deletion_rate] {
+            assert!((0.0..1.0).contains(&rate), "mutation rate {rate} out of range");
+        }
+    }
+}
+
+/// Apply the mutation channel to a code slice, producing a new sequence.
+pub fn mutate_sequence(
+    alphabet: Alphabet,
+    codes: &[u8],
+    profile: &MutationProfile,
+    seed: u64,
+) -> Sequence {
+    profile.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = alphabet.sigma() as u8;
+    let mut out = Vec::with_capacity(codes.len() + 8);
+    for &c in codes {
+        if rng.gen_bool(profile.insertion_rate) {
+            out.push(rng.gen_range(1..=sigma));
+        }
+        if rng.gen_bool(profile.deletion_rate) {
+            continue;
+        }
+        if rng.gen_bool(profile.substitution_rate) {
+            out.push(rng.gen_range(1..=sigma));
+        } else {
+            out.push(c);
+        }
+    }
+    if out.is_empty() {
+        // Degenerate corner: keep at least one character so downstream code
+        // never sees an empty query.
+        out.push(codes.first().copied().unwrap_or(1));
+    }
+    Sequence::from_codes(alphabet, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_profile_is_identity() {
+        let codes = vec![1u8, 2, 3, 4, 1, 2, 3, 4];
+        let mutated = mutate_sequence(Alphabet::Dna, &codes, &MutationProfile::EXACT, 1);
+        assert_eq!(mutated.codes(), codes.as_slice());
+    }
+
+    #[test]
+    fn homologous_profile_preserves_most_characters() {
+        let codes: Vec<u8> = (0..10_000).map(|i| (i % 4) as u8 + 1).collect();
+        let mutated = mutate_sequence(Alphabet::Dna, &codes, &MutationProfile::HOMOLOGOUS, 5);
+        // Length changes only by the indel rates (~1%).
+        let len_ratio = mutated.len() as f64 / codes.len() as f64;
+        assert!((0.95..1.05).contains(&len_ratio), "length ratio {len_ratio}");
+        // With substitutions only (no frame shifts), positional identity
+        // stays near 1 − substitution_rate.
+        let subs_only = MutationProfile {
+            insertion_rate: 0.0,
+            deletion_rate: 0.0,
+            ..MutationProfile::HOMOLOGOUS
+        };
+        let substituted = mutate_sequence(Alphabet::Dna, &codes, &subs_only, 5);
+        assert_eq!(substituted.len(), codes.len());
+        let same = substituted
+            .codes()
+            .iter()
+            .zip(codes.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(same as f64 > codes.len() as f64 * 0.9, "identity {same}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let codes: Vec<u8> = (0..500).map(|i| (i % 4) as u8 + 1).collect();
+        let a = mutate_sequence(Alphabet::Dna, &codes, &MutationProfile::HOMOLOGOUS, 9);
+        let b = mutate_sequence(Alphabet::Dna, &codes, &MutationProfile::HOMOLOGOUS, 9);
+        let c = mutate_sequence(Alphabet::Dna, &codes, &MutationProfile::HOMOLOGOUS, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn never_produces_empty_sequences() {
+        let profile = MutationProfile {
+            substitution_rate: 0.0,
+            insertion_rate: 0.0,
+            deletion_rate: 0.99,
+        };
+        let mutated = mutate_sequence(Alphabet::Dna, &[1, 2], &profile, 3);
+        assert!(!mutated.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_rates_panic() {
+        let profile = MutationProfile {
+            substitution_rate: 1.5,
+            insertion_rate: 0.0,
+            deletion_rate: 0.0,
+        };
+        mutate_sequence(Alphabet::Dna, &[1], &profile, 0);
+    }
+}

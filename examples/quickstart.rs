@@ -1,0 +1,91 @@
+//! Quickstart: index a small DNA database, run an exact local-alignment
+//! search with ALAE, and display the best alignment.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use alae::baseline::best_local_alignment;
+use alae::bioseq::{Alphabet, ScoringScheme, Sequence, SequenceDatabase};
+use alae::core::{AlaeAligner, AlaeConfig};
+
+fn main() {
+    // 1. Build a tiny database of two "chromosomes".
+    let records = [
+        Sequence::from_ascii_named(
+            Alphabet::Dna,
+            "chr1",
+            b"TTGACCATTGCAGTCAGGTTCAACGGTACTGACGGTCAGTTCAGGATCCAGTTGACCATTGCA",
+        )
+        .unwrap(),
+        Sequence::from_ascii_named(
+            Alphabet::Dna,
+            "chr2",
+            b"ACGGTCAGTTCAGGATCCAGTTGACCATTGCAGTCAGGTTCAACGGTACT",
+        )
+        .unwrap(),
+    ];
+    let database = SequenceDatabase::from_sequences(Alphabet::Dna, records);
+    println!(
+        "database: {} records, {} characters",
+        database.record_count(),
+        database.character_count()
+    );
+
+    // 2. A query that is homologous (but not identical) to a region present
+    //    in both records.
+    let query = Sequence::from_ascii(Alphabet::Dna, b"CAGGATCCAGTTGACCATTACAGTCAGG").unwrap();
+    println!("query: {} ({} characters)", query.to_ascii(), query.len());
+
+    // 3. Configure ALAE with the paper's default scoring scheme
+    //    ⟨1, −3, −5, −2⟩ and an explicit score threshold.
+    let scheme = ScoringScheme::DEFAULT;
+    let threshold = 15;
+    let aligner = AlaeAligner::build(&database, AlaeConfig::with_threshold(scheme, threshold));
+
+    // 4. Align.  The result contains every (text end, query end) pair whose
+    //    best local alignment reaches the threshold, plus work counters.
+    let result = aligner.align(query.codes());
+    println!(
+        "\n{} alignment end pairs with score >= {threshold}:",
+        result.hits.len()
+    );
+    for hit in &result.hits {
+        let location = database
+            .locate(hit.end_text)
+            .expect("hit ends inside a record");
+        println!(
+            "  score {:>3}  ends at {}:{} (query position {})",
+            hit.score,
+            database.record_name(location.record),
+            location.offset,
+            hit.end_query_1based(),
+        );
+    }
+    println!(
+        "\nwork: {} entries calculated, {} reused ({}% reuse), {} forks",
+        result.stats.calculated_entries(),
+        result.stats.reused_entries,
+        result.stats.reusing_ratio().round(),
+        result.stats.forks_started,
+    );
+
+    // 5. For display, trace the single best alignment with the
+    //    Smith-Waterman traceback from the baseline crate.
+    if let Some(alignment) = best_local_alignment(database.text(), query.codes(), &scheme) {
+        println!(
+            "\nbest alignment (score {}, text {}..{}, query {}..{}):",
+            alignment.score,
+            alignment.text_start,
+            alignment.text_end,
+            alignment.query_start,
+            alignment.query_end
+        );
+        println!(
+            "{}",
+            alignment.render(database.text(), query.codes(), |c| {
+                Alphabet::Dna.decode_code(c) as char
+            })
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! ALAE — Accelerating Local Alignment with Affine gap Exactly.
+//!
+//! This is the umbrella crate of the workspace: it re-exports every
+//! sub-crate so that examples, integration tests and downstream users can
+//! depend on a single `alae` crate.
+//!
+//! * [`bioseq`] — alphabets, sequences, scoring schemes, E-values, FASTA.
+//! * [`suffix`] — suffix array, BWT, FM-index / compressed suffix array.
+//! * [`baseline`] — full Smith–Waterman affine-gap local alignment (oracle).
+//! * [`bwtsw`] — the BWT-SW exact pruned suffix-trie baseline.
+//! * [`blast`] — a BLAST-like seed-and-extend heuristic comparator.
+//! * [`core`] — the ALAE engine: filtering, score reuse, counters, analysis.
+//! * [`workload`] — synthetic DNA/protein workload generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use alae::bioseq::{Alphabet, ScoringScheme, Sequence, SequenceDatabase};
+//! use alae::core::{AlaeAligner, AlaeConfig};
+//!
+//! let text = Sequence::from_ascii(Alphabet::Dna, b"GCTAGCTAGGCATCGATCGGCTAGCAT").unwrap();
+//! let db = SequenceDatabase::from_sequences(Alphabet::Dna, [text]);
+//! let query = Sequence::from_ascii(Alphabet::Dna, b"GCTAGCAT").unwrap();
+//!
+//! let config = AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 6);
+//! let aligner = AlaeAligner::build(&db, config);
+//! let result = aligner.align_sequence(&query);
+//! assert!(!result.hits.is_empty());
+//! ```
+
+pub use alae_align_baseline as baseline;
+pub use alae_bioseq as bioseq;
+pub use alae_blast_like as blast;
+pub use alae_bwtsw as bwtsw;
+pub use alae_core as core;
+pub use alae_suffix as suffix;
+pub use alae_workload as workload;

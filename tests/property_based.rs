@@ -1,0 +1,178 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! exactness invariant.
+
+use alae::baseline::{global_similarity, local_alignment_hits};
+use alae::bioseq::hits::diff_hits;
+use alae::bioseq::{Alphabet, KarlinAltschul, ScoringScheme, Sequence, SequenceDatabase};
+use alae::bwtsw::{BwtswAligner, BwtswConfig};
+use alae::core::{AlaeAligner, AlaeConfig, DominationIndex, QGramIndex};
+use alae::suffix::sais::{suffix_array, suffix_array_naive};
+use alae::suffix::TextIndex;
+use proptest::prelude::*;
+
+/// Strategy: a DNA code sequence (codes 1..=4) of the given length range.
+fn dna_codes(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(1u8..=4, len)
+}
+
+/// Strategy: a small scoring scheme with the paper's sign conventions.
+fn schemes() -> impl Strategy<Value = ScoringScheme> {
+    (1i64..=2, -4i64..=-1, -6i64..=-2, -3i64..=-1)
+        .prop_map(|(sa, sb, sg, ss)| ScoringScheme::new(sa, sb, sg, ss).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn suffix_array_matches_naive(text in dna_codes(0..200)) {
+        prop_assert_eq!(suffix_array(&text), suffix_array_naive(&text));
+    }
+
+    #[test]
+    fn fm_index_counts_match_naive_search(
+        text in dna_codes(30..300),
+        pattern in dna_codes(1..8),
+    ) {
+        let index = TextIndex::new(text.clone(), 5);
+        let expected: Vec<usize> = (0..=text.len().saturating_sub(pattern.len()))
+            .filter(|&i| text[i..].starts_with(&pattern))
+            .collect();
+        prop_assert_eq!(index.find_occurrences(&pattern), expected);
+    }
+
+    #[test]
+    fn qgram_index_positions_are_correct(query in dna_codes(10..120)) {
+        let q = 4;
+        let index = QGramIndex::build(&query, q, 5);
+        for (gram, positions) in index.iter() {
+            for &p in positions {
+                let window = &query[p as usize..p as usize + q];
+                prop_assert_eq!(index.pack(window), Some(gram));
+            }
+        }
+        // Every window is indexed exactly once.
+        let total: usize = index.iter().map(|(_, v)| v.len()).sum();
+        prop_assert_eq!(total, query.len() - q + 1);
+    }
+
+    #[test]
+    fn domination_index_respects_the_definition(text in dna_codes(20..250)) {
+        let q = 4;
+        let index = DominationIndex::build(&text, q, 5);
+        // For every adjacent pair of grams, `dominates` implies the literal
+        // definition on every occurrence.
+        for start in 1..=text.len() - q {
+            let gram = &text[start..start + q];
+            let prev = &text[start - 1..start - 1 + q];
+            let gram_key = alae::core::qgram::pack_gram(gram, 5).unwrap();
+            let prev_key = alae::core::qgram::pack_gram(prev, 5).unwrap();
+            if index.dominates(prev_key, gram_key) {
+                for t in 0..=text.len() - q {
+                    if &text[t..t + q] == gram {
+                        prop_assert!(t >= 1, "occurrence at text start cannot be dominated");
+                        prop_assert_eq!(&text[t - 1..t - 1 + q], prev);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_similarity_upper_bounds_identity(s1 in dna_codes(1..40), s2 in dna_codes(1..40)) {
+        let scheme = ScoringScheme::DEFAULT;
+        let sim = global_similarity(&s1, &s2, &scheme);
+        // Never better than a perfect match of the shorter string with the
+        // length difference bridged by one gap for free (loose but valid).
+        prop_assert!(sim <= scheme.sa * s1.len().min(s2.len()) as i64);
+        // Symmetric.
+        prop_assert_eq!(sim, global_similarity(&s2, &s1, &scheme));
+    }
+
+    #[test]
+    fn alae_equals_oracle_on_random_instances(
+        text in dna_codes(60..220),
+        scheme in schemes(),
+        seed in 0u64..1000,
+    ) {
+        // Derive a query as a mutated slice of the text so hits exist often.
+        let qlen = 24.min(text.len() / 2);
+        let start = (seed as usize * 7919) % (text.len() - qlen);
+        let mut query = text[start..start + qlen].to_vec();
+        if !query.is_empty() {
+            let pos = (seed as usize * 104729) % query.len();
+            query[pos] = (seed % 4) as u8 + 1;
+        }
+        let threshold = (scheme.q() as i64 * scheme.sa).max(6);
+        let seq = Sequence::from_codes(Alphabet::Dna, text.clone());
+        let database = SequenceDatabase::from_sequences(Alphabet::Dna, [seq]);
+        let alae = AlaeAligner::build(&database, AlaeConfig::with_threshold(scheme, threshold))
+            .align(&query);
+        let (oracle, _) = local_alignment_hits(&text, &query, &scheme, threshold);
+        prop_assert!(
+            diff_hits(&alae.hits, &oracle).is_none(),
+            "ALAE vs oracle: {:?}",
+            diff_hits(&alae.hits, &oracle)
+        );
+    }
+
+    #[test]
+    fn bwtsw_equals_oracle_on_random_instances(
+        text in dna_codes(60..200),
+        seed in 0u64..1000,
+    ) {
+        let scheme = ScoringScheme::DEFAULT;
+        let qlen = 20.min(text.len() / 2);
+        let start = (seed as usize * 6151) % (text.len() - qlen);
+        let query = text[start..start + qlen].to_vec();
+        let threshold = 6;
+        let seq = Sequence::from_codes(Alphabet::Dna, text.clone());
+        let database = SequenceDatabase::from_sequences(Alphabet::Dna, [seq]);
+        let bwtsw = BwtswAligner::build(&database, BwtswConfig::new(scheme, threshold))
+            .align(&query);
+        let (oracle, _) = local_alignment_hits(&text, &query, &scheme, threshold);
+        prop_assert!(diff_hits(&bwtsw.hits, &oracle).is_none());
+    }
+
+    #[test]
+    fn evalue_threshold_is_monotone(
+        exp1 in -15.0f64..1.0,
+        exp2 in -15.0f64..1.0,
+        m in 100usize..10_000,
+        n in 1_000usize..10_000_000,
+    ) {
+        let ka = KarlinAltschul::estimate(Alphabet::Dna, &ScoringScheme::DEFAULT).unwrap();
+        let (e1, e2) = (10f64.powf(exp1), 10f64.powf(exp2));
+        let (h1, h2) = (ka.threshold_for_evalue(m, n, e1), ka.threshold_for_evalue(m, n, e2));
+        if e1 < e2 {
+            prop_assert!(h1 >= h2);
+        } else if e1 > e2 {
+            prop_assert!(h1 <= h2);
+        }
+    }
+
+    #[test]
+    fn alae_counters_are_internally_consistent(
+        text in dna_codes(80..200),
+        seed in 0u64..500,
+    ) {
+        let qlen = 30.min(text.len() / 2);
+        let start = (seed as usize * 31) % (text.len() - qlen);
+        let query = text[start..start + qlen].to_vec();
+        let seq = Sequence::from_codes(Alphabet::Dna, text);
+        let database = SequenceDatabase::from_sequences(Alphabet::Dna, [seq]);
+        let result = AlaeAligner::build(
+            &database,
+            AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 8),
+        )
+        .align(&query);
+        let stats = result.stats;
+        prop_assert_eq!(
+            stats.accessed_entries(),
+            stats.calculated_entries() + stats.reused_entries
+        );
+        prop_assert!(stats.reusing_ratio() >= 0.0 && stats.reusing_ratio() <= 100.0);
+        prop_assert!(stats.emr_entries >= 4 * stats.forks_started || stats.forks_started == 0);
+        prop_assert!(result.hits.iter().all(|h| h.score >= result.threshold));
+    }
+}
