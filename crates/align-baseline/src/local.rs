@@ -149,7 +149,7 @@ mod tests {
         assert_eq!(matrix[2][2], 3);
         assert_eq!(matrix[3][3], 4);
         assert_eq!(matrix[0][4], 1); // G matches the trailing G of P.
-        // M(4, 3) = −4 in the unclamped matrix ⇒ clamped to 0.
+                                     // M(4, 3) = −4 in the unclamped matrix ⇒ clamped to 0.
         assert_eq!(matrix[3][2], 0);
     }
 

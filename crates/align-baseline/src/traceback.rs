@@ -215,14 +215,21 @@ mod tests {
         Alphabet::Dna.encode(ascii).unwrap()
     }
 
-    fn column_score(alignment: &TracebackAlignment, text: &[u8], query: &[u8], scheme: &ScoringScheme) -> i64 {
+    fn column_score(
+        alignment: &TracebackAlignment,
+        text: &[u8],
+        query: &[u8],
+        scheme: &ScoringScheme,
+    ) -> i64 {
         let mut score = 0;
         let mut gap_run_text = 0usize;
         let mut gap_run_query = 0usize;
         for column in &alignment.columns {
             match *column {
                 AlignedPair::Substitution {
-                    text_pos, query_pos, ..
+                    text_pos,
+                    query_pos,
+                    ..
                 } => {
                     score += scheme.delta(text[text_pos], query[query_pos]);
                     gap_run_text = 0;
@@ -273,7 +280,10 @@ mod tests {
         let query = encode(b"GGTACCGTTACG");
         let scheme = ScoringScheme::DEFAULT;
         let alignment = best_local_alignment(&text, &query, &scheme).unwrap();
-        assert_eq!(column_score(&alignment, &text, &query, &scheme), alignment.score);
+        assert_eq!(
+            column_score(&alignment, &text, &query, &scheme),
+            alignment.score
+        );
     }
 
     #[test]
@@ -296,7 +306,10 @@ mod tests {
             .filter(|c| matches!(c, AlignedPair::TextGap { .. }))
             .count();
         assert_eq!(text_gaps, 2);
-        assert_eq!(column_score(&alignment, &text, &query, &scheme), alignment.score);
+        assert_eq!(
+            column_score(&alignment, &text, &query, &scheme),
+            alignment.score
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use alae_bench::dna_workload;
 use alae_bioseq::hits::diff_hits;
-use alae_core::{AlaeAligner, AlaeConfig, FilterToggles};
 use alae_bioseq::{Alphabet, ScoringScheme};
+use alae_core::{AlaeAligner, AlaeConfig, FilterToggles};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 

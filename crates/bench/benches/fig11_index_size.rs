@@ -3,10 +3,10 @@
 //! length.  Sizes are printed per configuration; Criterion measures the
 //! build time.
 
-use alae_core::{AlaeAligner, AlaeConfig};
-use alae_bioseq::{Alphabet, ScoringScheme};
-use alae_workload::{generate_text, TextSpec};
 use alae_bioseq::SequenceDatabase;
+use alae_bioseq::{Alphabet, ScoringScheme};
+use alae_core::{AlaeAligner, AlaeConfig};
+use alae_workload::{generate_text, TextSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 

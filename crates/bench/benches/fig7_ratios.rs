@@ -3,9 +3,9 @@
 //! Criterion measurement covers the ALAE run that produces them.
 
 use alae_bench::dna_workload;
+use alae_bioseq::{Alphabet, ScoringScheme};
 use alae_bwtsw::{BwtswAligner, BwtswConfig};
 use alae_core::{AlaeAligner, AlaeConfig};
-use alae_bioseq::{Alphabet, ScoringScheme};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 

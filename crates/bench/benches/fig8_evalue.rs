@@ -3,8 +3,8 @@
 //! benchmark sweeps E from 1e-15 to 10 over a fixed workload.
 
 use alae_bench::dna_workload;
-use alae_core::{AlaeAligner, AlaeConfig};
 use alae_bioseq::{Alphabet, ScoringScheme};
+use alae_core::{AlaeAligner, AlaeConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 

@@ -3,10 +3,10 @@
 //! `⟨1,−1,−5,−2⟩` because it requires `|sb| ≥ 3·|sa|` (Section 2.4).
 
 use alae_bench::dna_workload;
+use alae_bioseq::{Alphabet, ScoringScheme};
 use alae_blast_like::{BlastConfig, BlastLikeAligner};
 use alae_bwtsw::{BwtswAligner, BwtswConfig};
 use alae_core::{AlaeAligner, AlaeConfig};
-use alae_bioseq::{Alphabet, ScoringScheme};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 

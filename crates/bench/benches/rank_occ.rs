@@ -1,0 +1,32 @@
+//! Micro-benchmark of the occurrence (rank) layer: one `extend_all` call
+//! versus the σ per-character `extend_left` loop it replaces.
+
+use alae_bench::{collect_trie_nodes, extend_all_pass, extend_left_pass, protein_workload};
+use alae_suffix::ChildBuf;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_rank_occ(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_occ");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+
+    let workload = protein_workload(60_000, 200, 11);
+    let index = workload.index.clone();
+    let nodes = collect_trie_nodes(&index, 2, 2_000);
+
+    group.bench_function("extend_left_loop", |b| {
+        b.iter(|| extend_left_pass(&index, &nodes))
+    });
+
+    group.bench_function("extend_all", |b| {
+        let mut buf = ChildBuf::new();
+        b.iter(|| extend_all_pass(&index, &nodes, &mut buf))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_occ);
+criterion_main!(benches);

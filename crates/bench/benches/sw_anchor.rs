@@ -4,8 +4,8 @@
 
 use alae_align_baseline::local_alignment_hits;
 use alae_bench::dna_workload;
-use alae_core::{AlaeAligner, AlaeConfig};
 use alae_bioseq::{Alphabet, ScoringScheme};
+use alae_core::{AlaeAligner, AlaeConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 

@@ -7,10 +7,10 @@
 //! ALAE competitive with the heuristic) at Criterion-friendly runtimes.
 
 use alae_bench::dna_workload;
+use alae_bioseq::{Alphabet, ScoringScheme};
 use alae_blast_like::{BlastConfig, BlastLikeAligner};
 use alae_bwtsw::{BwtswAligner, BwtswConfig};
 use alae_core::{AlaeAligner, AlaeConfig};
-use alae_bioseq::{Alphabet, ScoringScheme};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -42,9 +42,11 @@ fn bench_query_length(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("alae", query_len), &query_len, |b, _| {
             b.iter(|| alae.align(query))
         });
-        group.bench_with_input(BenchmarkId::new("blast_like", query_len), &query_len, |b, _| {
-            b.iter(|| blast.align(query))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("blast_like", query_len),
+            &query_len,
+            |b, _| b.iter(|| blast.align(query)),
+        );
         group.bench_with_input(BenchmarkId::new("bwtsw", query_len), &query_len, |b, _| {
             b.iter(|| bwtsw.align(query))
         });

@@ -2,10 +2,10 @@
 //! with a fixed query length, for ALAE, the BLAST-like heuristic and BWT-SW.
 
 use alae_bench::dna_workload;
+use alae_bioseq::{Alphabet, ScoringScheme};
 use alae_blast_like::{BlastConfig, BlastLikeAligner};
 use alae_bwtsw::{BwtswAligner, BwtswConfig};
 use alae_core::{AlaeAligner, AlaeConfig};
-use alae_bioseq::{Alphabet, ScoringScheme};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -37,9 +37,11 @@ fn bench_text_length(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("alae", text_len), &text_len, |b, _| {
             b.iter(|| alae.align(query))
         });
-        group.bench_with_input(BenchmarkId::new("blast_like", text_len), &text_len, |b, _| {
-            b.iter(|| blast.align(query))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("blast_like", text_len),
+            &text_len,
+            |b, _| b.iter(|| blast.align(query)),
+        );
         group.bench_with_input(BenchmarkId::new("bwtsw", text_len), &text_len, |b, _| {
             b.iter(|| bwtsw.align(query))
         });

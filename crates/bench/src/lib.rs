@@ -8,9 +8,61 @@
 //! not milliseconds) reproduction lives in the `alae-experiments` binary.
 
 use alae_bioseq::{Alphabet, ScoringScheme, Sequence, SequenceDatabase};
-use alae_suffix::TextIndex;
+use alae_suffix::{ChildBuf, SuffixTrieCursor, TextIndex};
 use alae_workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
 use std::sync::Arc;
+
+/// DFS-collect up to `cap` trie nodes from the top `max_depth` levels — a
+/// representative mix of wide and narrow SA ranges for rank-layer
+/// measurements (shared by the `rank_occ` bench and the harness `rank`
+/// experiment so both measure the same shape).
+pub fn collect_trie_nodes(
+    index: &TextIndex,
+    max_depth: usize,
+    cap: usize,
+) -> Vec<SuffixTrieCursor> {
+    let mut nodes = Vec::new();
+    let mut buf = ChildBuf::new();
+    let mut stack = vec![index.root()];
+    while let Some(cursor) = stack.pop() {
+        if nodes.len() >= cap {
+            break;
+        }
+        nodes.push(cursor);
+        if cursor.depth >= max_depth {
+            continue;
+        }
+        index.children_into(cursor, &mut buf);
+        stack.extend(buf.iter().map(|&(_, child)| child));
+    }
+    nodes
+}
+
+/// Expand every node with the σ per-character `extend` loop (the layer the
+/// single-scan `extend_all` replaced); returns the number of live children.
+pub fn extend_left_pass(index: &TextIndex, nodes: &[SuffixTrieCursor]) -> usize {
+    let code_count = index.code_count();
+    let mut live = 0usize;
+    for cursor in nodes {
+        for code in 1..code_count as u8 {
+            if index.extend(*cursor, code).is_some() {
+                live += 1;
+            }
+        }
+    }
+    live
+}
+
+/// Expand every node with the single-scan `children_into` fan-out; returns
+/// the number of live children.
+pub fn extend_all_pass(index: &TextIndex, nodes: &[SuffixTrieCursor], buf: &mut ChildBuf) -> usize {
+    let mut live = 0usize;
+    for cursor in nodes {
+        index.children_into(*cursor, buf);
+        live += buf.len();
+    }
+    live
+}
 
 /// A small benchmark workload: one indexed DNA text plus one query.
 pub struct BenchWorkload {
@@ -53,7 +105,11 @@ fn workload(alphabet: Alphabet, text_len: usize, query_len: usize, seed: u64) ->
     // cross-species queries) keep the gap regions bounded at micro scale.
     .build_segmented(2);
     let database = built.database;
-    let query = built.queries.into_iter().next().expect("one query requested");
+    let query = built
+        .queries
+        .into_iter()
+        .next()
+        .expect("one query requested");
     let index = Arc::new(TextIndex::new(
         database.text().to_vec(),
         database.alphabet().code_count(),

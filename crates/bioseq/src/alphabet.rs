@@ -122,10 +122,7 @@ impl Alphabet {
 
     /// Decode a slice of codes into an ASCII string.
     pub fn decode(&self, codes: &[u8]) -> String {
-        codes
-            .iter()
-            .map(|&c| self.decode_code(c) as char)
-            .collect()
+        codes.iter().map(|&c| self.decode_code(c) as char).collect()
     }
 
     /// Returns true if `code` is a real alphabet character (not the

@@ -56,7 +56,8 @@ impl KarlinAltschul {
         // λ > 0 by bisection.  f(0) = 0 and f'(0) = expected < 0, so f dips
         // below zero and then grows without bound: there is exactly one
         // positive root.
-        let f = |lambda: f64| p_match * (lambda * sa).exp() + p_mismatch * (lambda * sb).exp() - 1.0;
+        let f =
+            |lambda: f64| p_match * (lambda * sa).exp() + p_mismatch * (lambda * sb).exp() - 1.0;
 
         let mut hi = 1.0_f64;
         let mut iterations = 0;
@@ -87,8 +88,7 @@ impl KarlinAltschul {
         // fifteen orders of magnitude, so this is ample.
         let h_relative_entropy = p_match * sa * lambda * (lambda * sa).exp()
             + p_mismatch * sb * lambda * (lambda * sb).exp();
-        let k = (lambda * expected.abs() / h_relative_entropy.max(1e-9))
-            .clamp(0.01, 0.7);
+        let k = (lambda * expected.abs() / h_relative_entropy.max(1e-9)).clamp(0.01, 0.7);
 
         Ok(Self { lambda, k })
     }
@@ -131,7 +131,8 @@ mod tests {
         // Verify the defining equation holds at the root.
         let p_match = 0.25;
         let p_mismatch = 0.75;
-        let residual = p_match * (ka.lambda * 1.0).exp() + p_mismatch * (ka.lambda * -3.0).exp() - 1.0;
+        let residual =
+            p_match * (ka.lambda * 1.0).exp() + p_mismatch * (ka.lambda * -3.0).exp() - 1.0;
         assert!(residual.abs() < 1e-9, "residual = {residual}");
     }
 
@@ -171,7 +172,8 @@ mod tests {
 
     #[test]
     fn protein_statistics_exist() {
-        let ka = KarlinAltschul::estimate(Alphabet::Protein, &ScoringScheme::PROTEIN_DEFAULT).unwrap();
+        let ka =
+            KarlinAltschul::estimate(Alphabet::Protein, &ScoringScheme::PROTEIN_DEFAULT).unwrap();
         assert!(ka.lambda > 0.0);
         assert!(ka.k > 0.0);
     }

@@ -18,19 +18,23 @@ pub fn read_fasta<R: BufRead>(alphabet: Alphabet, reader: R) -> Result<Vec<Seque
     let mut current_name: Option<String> = None;
     let mut current_bytes: Vec<u8> = Vec::new();
 
-    let flush = |name: &mut Option<String>, bytes: &mut Vec<u8>, out: &mut Vec<Sequence>| -> Result<()> {
-        if let Some(n) = name.take() {
-            let seq = Sequence::from_ascii_named(alphabet, &n, bytes).map_err(|e| match e {
-                BioseqError::InvalidCharacter { byte, position } => BioseqError::MalformedFasta(
-                    format!("record '{n}': invalid character {:?} at offset {position}", byte as char),
-                ),
-                other => other,
-            })?;
-            out.push(seq);
-            bytes.clear();
-        }
-        Ok(())
-    };
+    let flush =
+        |name: &mut Option<String>, bytes: &mut Vec<u8>, out: &mut Vec<Sequence>| -> Result<()> {
+            if let Some(n) = name.take() {
+                let seq = Sequence::from_ascii_named(alphabet, &n, bytes).map_err(|e| match e {
+                    BioseqError::InvalidCharacter { byte, position } => {
+                        BioseqError::MalformedFasta(format!(
+                            "record '{n}': invalid character {:?} at offset {position}",
+                            byte as char
+                        ))
+                    }
+                    other => other,
+                })?;
+                out.push(seq);
+                bytes.clear();
+            }
+            Ok(())
+        };
 
     for (line_no, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| BioseqError::MalformedFasta(format!("I/O error: {e}")))?;

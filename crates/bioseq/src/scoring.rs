@@ -330,6 +330,9 @@ mod tests {
     #[test]
     fn max_score_is_all_matches() {
         assert_eq!(ScoringScheme::DEFAULT.max_score(100), 100);
-        assert_eq!(ScoringScheme::new(2, -3, -5, -2).unwrap().max_score(50), 100);
+        assert_eq!(
+            ScoringScheme::new(2, -3, -5, -2).unwrap().max_score(50),
+            100
+        );
     }
 }

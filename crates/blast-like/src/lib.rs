@@ -18,7 +18,7 @@
 //! the BLAST binary (see DESIGN.md).
 
 pub mod extend;
-pub mod seed;
 pub mod search;
+pub mod seed;
 
 pub use search::{BlastConfig, BlastLikeAligner, BlastResult, BlastStats};

@@ -136,8 +136,18 @@ impl BlastLikeAligner {
                 continue;
             }
             stats.gapped_extensions += 1;
-            let gapped = gapped_extend(&self.text, query, &ungapped, &config.scheme, config.gapped_pad);
-            let best = if gapped.score >= ungapped.score { gapped } else { ungapped };
+            let gapped = gapped_extend(
+                &self.text,
+                query,
+                &ungapped,
+                &config.scheme,
+                config.gapped_pad,
+            );
+            let best = if gapped.score >= ungapped.score {
+                gapped
+            } else {
+                ungapped
+            };
             if best.score >= config.threshold {
                 stats.raw_alignments += 1;
                 self.record(&best, &mut hits);
@@ -189,7 +199,7 @@ mod tests {
     fn finds_homologous_match_with_substitutions() {
         // 59-character region with 3 substitutions: BLAST-like should find it
         // because 11-mers between substitutions still seed.
-        let region  = b"ACGGTCAGTTCAGGATCCAGTTGACCATTGCAGTCAGGTTCAACGGTACTGACGGTCAG";
+        let region = b"ACGGTCAGTTCAGGATCCAGTTGACCATTGCAGTCAGGTTCAACGGTACTGACGGTCAG";
         let mut text = b"TTTTTTTTTT".to_vec();
         text.extend_from_slice(region);
         text.extend_from_slice(b"GGGGGGGGGG");
@@ -277,7 +287,8 @@ mod tests {
 
     #[test]
     fn protein_configuration_uses_smaller_words() {
-        let config = BlastConfig::for_alphabet(Alphabet::Protein, ScoringScheme::PROTEIN_DEFAULT, 15);
+        let config =
+            BlastConfig::for_alphabet(Alphabet::Protein, ScoringScheme::PROTEIN_DEFAULT, 15);
         assert_eq!(config.word_size, 4);
         let dna = BlastConfig::for_alphabet(Alphabet::Dna, ScoringScheme::DEFAULT, 15);
         assert_eq!(dna.word_size, 11);

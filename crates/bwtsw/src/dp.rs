@@ -3,7 +3,7 @@
 use crate::stats::BwtswStats;
 use alae_bioseq::hits::{AlignmentHit, HitMap};
 use alae_bioseq::{ScoringScheme, SequenceDatabase};
-use alae_suffix::{SuffixTrieCursor, TextIndex};
+use alae_suffix::{ChildBuf, SuffixTrieCursor, TextIndex};
 use std::sync::Arc;
 
 /// "Minus infinity" for pruned scores; far from `i64::MIN` so arithmetic
@@ -64,10 +64,7 @@ pub struct BwtswAligner {
 impl BwtswAligner {
     /// Build the aligner (and its index) from a sequence database.
     pub fn build(database: &SequenceDatabase, config: BwtswConfig) -> Self {
-        let index = TextIndex::new(
-            database.text().to_vec(),
-            database.alphabet().code_count(),
-        );
+        let index = TextIndex::new(database.text().to_vec(), database.alphabet().code_count());
         Self {
             index: Arc::new(index),
             config,
@@ -93,6 +90,7 @@ impl BwtswAligner {
     /// every end pair reaching the threshold.
     pub fn align(&self, query: &[u8]) -> BwtswResult {
         let mut stats = BwtswStats::default();
+        let scans_at_start = self.index.scan_snapshot();
         let mut hits = HitMap::new();
         let m = query.len();
         if m == 0 || self.index.is_empty() {
@@ -116,10 +114,14 @@ impl BwtswAligner {
             .collect();
 
         // Depth-first traversal of the suffix trie; each stack entry owns the
-        // sparse DP row of its node.
+        // sparse DP row of its node.  One child buffer serves the whole walk:
+        // each node expansion refills it in place (two occurrence-table block
+        // scans via `extend_all`, no allocation).
+        let mut child_buf = ChildBuf::new();
         let mut stack: Vec<(SuffixTrieCursor, Vec<Cell>)> = Vec::new();
         let root = self.index.root();
-        for (c, child) in self.index.children(root) {
+        self.index.children_into(root, &mut child_buf);
+        for &(c, child) in child_buf.as_slice() {
             let row = advance_row(&root_row, c, query, scheme, &mut stats);
             self.visit(child, &row, query, &mut hits, &mut stats);
             if !row.is_empty() && child.depth < depth_cap {
@@ -129,7 +131,8 @@ impl BwtswAligner {
             }
         }
         while let Some((cursor, row)) = stack.pop() {
-            for (c, child) in self.index.children(cursor) {
+            self.index.children_into(cursor, &mut child_buf);
+            for &(c, child) in child_buf.as_slice() {
                 let child_row = advance_row(&row, c, query, scheme, &mut stats);
                 self.visit(child, &child_row, query, &mut hits, &mut stats);
                 if !child_row.is_empty() && child.depth < depth_cap {
@@ -139,6 +142,10 @@ impl BwtswAligner {
                 }
             }
         }
+
+        let scan_delta = self.index.scan_snapshot().since(&scans_at_start);
+        stats.occ_block_scans = scan_delta.block_scans;
+        stats.occ_bytes_scanned = scan_delta.bytes_scanned;
 
         BwtswResult {
             hits: hits.into_hits(threshold),
@@ -306,7 +313,12 @@ mod tests {
         Alphabet::Dna.encode(ascii).unwrap()
     }
 
-    fn assert_matches_oracle(text_ascii: &[u8], query_ascii: &[u8], scheme: ScoringScheme, threshold: i64) {
+    fn assert_matches_oracle(
+        text_ascii: &[u8],
+        query_ascii: &[u8],
+        scheme: ScoringScheme,
+        threshold: i64,
+    ) {
         let db = dna_db(text_ascii);
         let query = encode(query_ascii);
         let aligner = BwtswAligner::build(&db, BwtswConfig::new(scheme, threshold));

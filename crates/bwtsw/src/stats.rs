@@ -19,6 +19,17 @@ pub struct BwtswStats {
     pub max_depth: usize,
     /// Number of entries whose score reached the reporting threshold.
     pub threshold_entries: u64,
+    /// Occurrence-table block scans performed by the run (two per trie-node
+    /// expansion with the single-scan `extend_all` layer, plus the scans
+    /// spent locating occurrences).
+    ///
+    /// Measured as a delta of the index-wide counter, so it is only
+    /// attributable to this run while no other thread aligns against the
+    /// same shared index concurrently.
+    pub occ_block_scans: u64,
+    /// Occurrence-table storage bytes examined by those scans (same
+    /// single-threaded-attribution caveat as `occ_block_scans`).
+    pub occ_bytes_scanned: u64,
 }
 
 impl BwtswStats {
@@ -35,6 +46,8 @@ impl BwtswStats {
         self.pruned_subtrees += other.pruned_subtrees;
         self.max_depth = self.max_depth.max(other.max_depth);
         self.threshold_entries += other.threshold_entries;
+        self.occ_block_scans += other.occ_block_scans;
+        self.occ_bytes_scanned += other.occ_bytes_scanned;
     }
 }
 
@@ -59,6 +72,8 @@ mod tests {
             pruned_subtrees: 1,
             max_depth: 4,
             threshold_entries: 1,
+            occ_block_scans: 6,
+            occ_bytes_scanned: 100,
         };
         let b = BwtswStats {
             calculated_entries: 7,
@@ -66,6 +81,8 @@ mod tests {
             pruned_subtrees: 0,
             max_depth: 9,
             threshold_entries: 2,
+            occ_block_scans: 4,
+            occ_bytes_scanned: 50,
         };
         a.merge(&b);
         assert_eq!(a.calculated_entries, 12);
@@ -73,5 +90,7 @@ mod tests {
         assert_eq!(a.pruned_subtrees, 1);
         assert_eq!(a.max_depth, 9);
         assert_eq!(a.threshold_entries, 3);
+        assert_eq!(a.occ_block_scans, 10);
+        assert_eq!(a.occ_bytes_scanned, 150);
     }
 }

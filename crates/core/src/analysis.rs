@@ -116,8 +116,16 @@ mod tests {
     #[test]
     fn default_dna_scheme_reproduces_4_47_and_0_6038() {
         let m = model(Alphabet::Dna, 1, -3, -5, -2);
-        assert!((m.exponent - 0.6038).abs() < 2e-3, "exponent {}", m.exponent);
-        assert!((m.coefficient - 4.47).abs() < 0.05, "coefficient {}", m.coefficient);
+        assert!(
+            (m.exponent - 0.6038).abs() < 2e-3,
+            "exponent {}",
+            m.exponent
+        );
+        assert!(
+            (m.coefficient - 4.47).abs() < 0.05,
+            "coefficient {}",
+            m.coefficient
+        );
     }
 
     #[test]
@@ -125,7 +133,11 @@ mod tests {
         // ⟨1,−1,−5,−2⟩ is the worst case quoted in Section 7.4.
         let m = model(Alphabet::Dna, 1, -1, -5, -2);
         assert!((m.exponent - 0.896).abs() < 2e-3, "exponent {}", m.exponent);
-        assert!((m.coefficient - 9.05).abs() < 0.05, "coefficient {}", m.coefficient);
+        assert!(
+            (m.coefficient - 9.05).abs() < 0.05,
+            "coefficient {}",
+            m.coefficient
+        );
     }
 
     #[test]
@@ -133,17 +145,37 @@ mod tests {
         // ⟨1,−4,−5,−2⟩ gives the smallest exponent among the BLAST pairs.
         let m = model(Alphabet::Dna, 1, -4, -5, -2);
         assert!((m.exponent - 0.520).abs() < 2e-3, "exponent {}", m.exponent);
-        assert!((m.coefficient - 4.50).abs() < 0.05, "coefficient {}", m.coefficient);
+        assert!(
+            (m.coefficient - 4.50).abs() < 0.05,
+            "coefficient {}",
+            m.coefficient
+        );
     }
 
     #[test]
     fn protein_bounds_reproduce_8_28_and_7_49() {
         let low = model(Alphabet::Protein, 1, -4, -11, -1);
-        assert!((low.exponent - 0.364).abs() < 2e-3, "exponent {}", low.exponent);
-        assert!((low.coefficient - 8.28).abs() < 0.06, "coefficient {}", low.coefficient);
+        assert!(
+            (low.exponent - 0.364).abs() < 2e-3,
+            "exponent {}",
+            low.exponent
+        );
+        assert!(
+            (low.coefficient - 8.28).abs() < 0.06,
+            "coefficient {}",
+            low.coefficient
+        );
         let high = model(Alphabet::Protein, 1, -1, -11, -1);
-        assert!((high.exponent - 0.723).abs() < 2e-3, "exponent {}", high.exponent);
-        assert!((high.coefficient - 7.49).abs() < 0.06, "coefficient {}", high.coefficient);
+        assert!(
+            (high.exponent - 0.723).abs() < 2e-3,
+            "exponent {}",
+            high.exponent
+        );
+        assert!(
+            (high.coefficient - 7.49).abs() < 0.06,
+            "coefficient {}",
+            high.coefficient
+        );
     }
 
     #[test]

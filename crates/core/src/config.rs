@@ -134,7 +134,10 @@ mod tests {
     #[test]
     fn explicit_threshold_is_used_when_large_enough() {
         let config = AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 25);
-        assert_eq!(config.resolve_threshold(Alphabet::Dna, 1_000, 1_000_000), 25);
+        assert_eq!(
+            config.resolve_threshold(Alphabet::Dna, 1_000, 1_000_000),
+            25
+        );
     }
 
     #[test]
@@ -151,7 +154,10 @@ mod tests {
         let loose = config_loose.resolve_threshold(Alphabet::Dna, 10_000, 1_000_000);
         let tight = config_tight.resolve_threshold(Alphabet::Dna, 10_000, 1_000_000);
         assert!(tight > loose);
-        assert!(loose > 10, "E=10 over a 1e10 search space needs a real threshold");
+        assert!(
+            loose > 10,
+            "E=10 over a 1e10 search space needs a real threshold"
+        );
     }
 
     #[test]

@@ -40,6 +40,17 @@ pub struct AlaeStats {
     pub visited_nodes: u64,
     /// Entries whose score reached the reporting threshold.
     pub threshold_entries: u64,
+    /// Occurrence-table block scans performed by the run (two per trie-node
+    /// expansion with the single-scan `extend_all` layer, plus the scans
+    /// spent locating occurrences).
+    ///
+    /// Measured as a delta of the index-wide counter, so it is only
+    /// attributable to this run while no other thread aligns against the
+    /// same shared index concurrently.
+    pub occ_block_scans: u64,
+    /// Occurrence-table storage bytes examined by those scans (same
+    /// single-threaded-attribution caveat as `occ_block_scans`).
+    pub occ_bytes_scanned: u64,
     /// Deepest trie node reached.
     pub max_depth: usize,
 }
@@ -93,6 +104,8 @@ impl AlaeStats {
         self.grams_without_text_match += other.grams_without_text_match;
         self.visited_nodes += other.visited_nodes;
         self.threshold_entries += other.threshold_entries;
+        self.occ_block_scans += other.occ_block_scans;
+        self.occ_bytes_scanned += other.occ_bytes_scanned;
         self.max_depth = self.max_depth.max(other.max_depth);
     }
 }
@@ -112,6 +125,8 @@ mod tests {
             grams_without_text_match: 1,
             visited_nodes: 7,
             threshold_entries: 3,
+            occ_block_scans: 14,
+            occ_bytes_scanned: 500,
             max_depth: 12,
         }
     }
@@ -144,5 +159,7 @@ mod tests {
         assert_eq!(a.reused_entries, 80);
         assert_eq!(a.max_depth, 12);
         assert_eq!(a.forks_started, 10);
+        assert_eq!(a.occ_block_scans, 28);
+        assert_eq!(a.occ_bytes_scanned, 1000);
     }
 }

@@ -114,8 +114,7 @@ impl DominationIndex {
     /// Approximate heap footprint in bytes (the "dominate index" series of
     /// Figure 11).
     pub fn size_in_bytes(&self) -> usize {
-        self.predecessors.len()
-            * (std::mem::size_of::<u64>() + std::mem::size_of::<Predecessor>())
+        self.predecessors.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<Predecessor>())
     }
 }
 
@@ -190,7 +189,10 @@ mod tests {
         use std::collections::{HashMap, HashSet};
         let mut occurrences: HashMap<&[u8], Vec<usize>> = HashMap::new();
         for start in 0..=text.len() - q {
-            occurrences.entry(&text[start..start + q]).or_default().push(start);
+            occurrences
+                .entry(&text[start..start + q])
+                .or_default()
+                .push(start);
         }
         let mut checked = HashSet::new();
         for start in 1..=text.len() - q {

@@ -23,7 +23,7 @@ use crate::fork::{advance_fork, AdvanceContext, ForkGroup, ForkPhase};
 use crate::qgram::QGramIndex;
 use alae_bioseq::hits::{AlignmentHit, HitMap};
 use alae_bioseq::{Alphabet, Sequence, SequenceDatabase};
-use alae_suffix::{SuffixTrieCursor, TextIndex};
+use alae_suffix::{ChildBuf, SuffixTrieCursor, TextIndex};
 use std::sync::Arc;
 
 /// The outcome of one ALAE alignment run.
@@ -96,7 +96,9 @@ impl AlaeAligner {
     /// Size of the offline domination index in bytes (the "dominate index"
     /// series of Figure 11); zero when the filter is disabled.
     pub fn domination_index_size_bytes(&self) -> usize {
-        self.domination.as_ref().map_or(0, DominationIndex::size_in_bytes)
+        self.domination
+            .as_ref()
+            .map_or(0, DominationIndex::size_in_bytes)
     }
 
     /// Align a query [`Sequence`].
@@ -109,6 +111,7 @@ impl AlaeAligner {
     /// best local-alignment score reaches the threshold.
     pub fn align(&self, query: &[u8]) -> AlaeResult {
         let mut stats = AlaeStats::default();
+        let scans_at_start = self.index.scan_snapshot();
         let mut hits = HitMap::new();
         let scheme = self.config.scheme;
         let m = query.len();
@@ -146,18 +149,14 @@ impl AlaeAligner {
 
         for (gram_key, positions) in qgram_index.iter() {
             self.process_gram(
-                gram_key,
-                positions,
-                query,
-                q,
-                threshold,
-                max_depth,
-                &filters,
-                &ctx,
-                &mut hits,
+                gram_key, positions, query, q, threshold, max_depth, &filters, &ctx, &mut hits,
                 &mut stats,
             );
         }
+
+        let scan_delta = self.index.scan_snapshot().since(&scans_at_start);
+        stats.occ_block_scans = scan_delta.block_scans;
+        stats.occ_bytes_scanned = scan_delta.bytes_scanned;
 
         AlaeResult {
             hits: hits.into_hits(threshold),
@@ -200,7 +199,9 @@ impl AlaeAligner {
                 if !filters.domination_filter || col == 0 {
                     return true;
                 }
-                let Some(dom) = &self.domination else { return true };
+                let Some(dom) = &self.domination else {
+                    return true;
+                };
                 let col = col as usize;
                 let prev_window = &query[col - 1..col - 1 + q];
                 match crate::qgram::pack_gram(prev_window, self.alphabet.code_count() as u64) {
@@ -264,10 +265,14 @@ impl AlaeAligner {
             return;
         }
 
-        // Depth-first descent below the q-prefix.
+        // Depth-first descent below the q-prefix.  One child buffer serves
+        // the whole walk: each node expansion refills it in place (two
+        // occurrence-table block scans via `extend_all`, no allocation).
+        let mut child_buf = ChildBuf::new();
         let mut stack: Vec<(SuffixTrieCursor, Vec<ForkGroup>)> = vec![(root_cursor, groups)];
         while let Some((cursor, groups)) = stack.pop() {
-            for (c, child) in self.index.children(cursor) {
+            self.index.children_into(cursor, &mut child_buf);
+            for &(c, child) in child_buf.as_slice() {
                 let child_groups =
                     advance_groups(&groups, c, cursor.depth, filters.reuse, ctx, stats);
                 if child_groups.is_empty() {
@@ -466,7 +471,13 @@ mod tests {
         text.extend_from_slice(b"TTTT");
         let mut query = half.to_vec();
         query.extend_from_slice(half);
-        assert_matches_oracle(&text, &query, ScoringScheme::DEFAULT, 12, FilterToggles::ALL);
+        assert_matches_oracle(
+            &text,
+            &query,
+            ScoringScheme::DEFAULT,
+            12,
+            FilterToggles::ALL,
+        );
     }
 
     #[test]
@@ -539,11 +550,15 @@ mod tests {
     #[test]
     fn empty_query_and_empty_text() {
         let db = dna_db(b"ACGT");
-        let aligner = AlaeAligner::build(&db, AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 5));
+        let aligner =
+            AlaeAligner::build(&db, AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 5));
         let result = aligner.align(&[]);
         assert!(result.hits.is_empty());
         let empty_db = SequenceDatabase::new(Alphabet::Dna);
-        let aligner = AlaeAligner::build(&empty_db, AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 5));
+        let aligner = AlaeAligner::build(
+            &empty_db,
+            AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 5),
+        );
         assert!(aligner.align(&encode(b"ACGT")).hits.is_empty());
     }
 
@@ -565,12 +580,14 @@ mod tests {
     #[test]
     fn index_sizes_are_reported() {
         let db = dna_db(b"ACGTACGTACGTACGTACGTACGTACGTACGT");
-        let aligner = AlaeAligner::build(&db, AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 8));
+        let aligner =
+            AlaeAligner::build(&db, AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 8));
         assert!(aligner.bwt_index_size_bytes() > 0);
         assert!(aligner.domination_index_size_bytes() > 0);
         let no_dom = AlaeAligner::build(
             &db,
-            AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 8).filters(FilterToggles::LOCAL_ONLY),
+            AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 8)
+                .filters(FilterToggles::LOCAL_ONLY),
         );
         assert_eq!(no_dom.domination_index_size_bytes(), 0);
     }
@@ -590,11 +607,9 @@ mod tests {
         let db = dna_db(&text_ascii);
         let query = encode(&query_ascii);
 
-        let with_reuse = AlaeAligner::build(
-            &db,
-            AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 10),
-        )
-        .align(&query);
+        let with_reuse =
+            AlaeAligner::build(&db, AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 10))
+                .align(&query);
         let without_reuse = AlaeAligner::build(
             &db,
             AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 10).filters(FilterToggles {

@@ -133,7 +133,13 @@ pub fn open_gap_region(
         if ctx.score_filter {
             let abs_col = start_col as usize + offset as usize;
             let remaining_query = m - 1 - abs_col;
-            if cell_is_meaningless(ctx.scheme, ctx.threshold, gb, remaining_query, remaining_text) {
+            if cell_is_meaningless(
+                ctx.scheme,
+                ctx.threshold,
+                gb,
+                remaining_query,
+                remaining_text,
+            ) {
                 // Scores only shrink further to the right, so nothing beyond
                 // this column can become meaningful either.
                 break;
@@ -160,9 +166,7 @@ pub fn advance_fork(
     ctx: &AdvanceContext<'_>,
 ) -> AdvanceOutcome {
     match phase {
-        ForkPhase::Diagonal { score } => {
-            advance_diagonal(*score, start_col, text_char, depth, ctx)
-        }
+        ForkPhase::Diagonal { score } => advance_diagonal(*score, start_col, text_char, depth, ctx),
         ForkPhase::Gap { cells, fgoe_depth } => {
             advance_gap(cells, *fgoe_depth, start_col, text_char, depth, ctx)
         }
@@ -206,8 +210,13 @@ fn advance_diagonal(
     if ctx.score_filter {
         let remaining_query = m - 1 - abs_col;
         let remaining_text = ctx.max_depth.saturating_sub(new_depth);
-        if cell_is_meaningless(ctx.scheme, ctx.threshold, new_score, remaining_query, remaining_text)
-        {
+        if cell_is_meaningless(
+            ctx.scheme,
+            ctx.threshold,
+            new_score,
+            remaining_query,
+            remaining_text,
+        ) {
             return outcome_dead;
         }
     }
@@ -330,7 +339,13 @@ fn advance_gap(
             false
         } else if ctx.score_filter {
             let remaining_query = m - 1 - abs_col;
-            !cell_is_meaningless(scheme, ctx.threshold, score, remaining_query, remaining_text)
+            !cell_is_meaningless(
+                scheme,
+                ctx.threshold,
+                score,
+                remaining_query,
+                remaining_text,
+            )
         } else {
             true
         };
@@ -412,7 +427,10 @@ mod tests {
         // Depth 7, next char matches query[7] (T): score 8 > |sg+ss| = 7.
         let outcome = advance_fork(&phase, 0, encode(b"T")[0], 7, &context);
         match outcome.phase {
-            Some(ForkPhase::Gap { ref cells, fgoe_depth }) => {
+            Some(ForkPhase::Gap {
+                ref cells,
+                fgoe_depth,
+            }) => {
                 assert_eq!(fgoe_depth, 8);
                 assert_eq!(cells[0].m, 8);
                 assert_eq!(cells[0].offset, 7);

@@ -37,7 +37,7 @@ pub mod filters;
 pub mod fork;
 pub mod qgram;
 
-pub use analysis::{EntryBoundModel, expected_entry_bound};
+pub use analysis::{expected_entry_bound, EntryBoundModel};
 pub use config::{AlaeConfig, FilterToggles, ThresholdSpec};
 pub use counters::AlaeStats;
 pub use domination::DominationIndex;

@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the small surface the benches use: `Criterion::benchmark_group`, group
+//! configuration (`sample_size`, `warm_up_time`, `measurement_time`),
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then runs
+//! `sample_size` samples, each sample executing as many iterations as fit in
+//! `measurement_time / sample_size`.  The reported statistics are the
+//! minimum, mean and maximum per-iteration time across samples, printed as
+//! one line per benchmark — enough to compare alternatives locally and in CI
+//! smoke runs, without the real crate's HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Identity function opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing configuration.
+#[derive(Debug, Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+/// Entry point handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            config: BenchConfig::default(),
+        }
+    }
+}
+
+/// A named benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: BenchConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the measured samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.config);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.config);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// End the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    config: BenchConfig,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(config: BenchConfig) -> Self {
+        Self {
+            config,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        }
+    }
+
+    /// Time a closure: warm-up, then `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also establishing the per-iteration cost estimate.
+        let warm_up_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_up_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let sample_budget =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter) as u64).max(1);
+
+        self.samples.clear();
+        self.iters_per_sample = iters_per_sample;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Mean per-iteration time across samples, if `iter` ran.
+    pub fn mean_time(&self) -> Option<Duration> {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        Some(total / (self.samples.len() as u32 * self.iters_per_sample as u32))
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        match self.mean_time() {
+            Some(mean) => {
+                let min = self.samples.iter().min().unwrap();
+                let max = self.samples.iter().max().unwrap();
+                let scale = self.iters_per_sample as u32;
+                println!(
+                    "{group}/{id}: mean {:?} (min {:?}, max {:?}, {} iters/sample, {} samples)",
+                    mean,
+                    *min / scale,
+                    *max / scale,
+                    self.iters_per_sample,
+                    self.samples.len()
+                );
+            }
+            None => println!("{group}/{id}: no measurement (closure never called iter)"),
+        }
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("alae", 32).id, "alae/32");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+        assert_eq!(BenchmarkId::from("x").id, "x");
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(6));
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::new("input", 5), &5usize, |b, &n| {
+            seen = n;
+            b.iter(|| black_box(n * 2))
+        });
+        assert_eq!(seen, 5);
+    }
+}

@@ -9,8 +9,18 @@ use alae_core::{AlaeAligner, AlaeConfig};
 
 /// Names accepted by [`run_experiment`] (besides `all`).
 pub const EXPERIMENT_NAMES: &[&str] = &[
-    "table2", "table3", "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11", "bounds",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "bounds",
     "sw-anchor",
+    "rank",
 ];
 
 /// Options shared by every experiment.
@@ -46,7 +56,12 @@ pub fn run_experiment(name: &str, options: &ExperimentOptions) -> bool {
     match name {
         "all" => {
             for experiment in EXPERIMENT_NAMES {
-                run_experiment(experiment, options);
+                if *experiment == "rank" {
+                    // Sweep runs never refresh the committed baseline.
+                    rank(options, false);
+                } else {
+                    run_experiment(experiment, options);
+                }
                 println!();
             }
         }
@@ -61,9 +76,26 @@ pub fn run_experiment(name: &str, options: &ExperimentOptions) -> bool {
         "fig11" => fig11(options),
         "bounds" => bounds(options),
         "sw-anchor" => sw_anchor(options),
+        "rank" => rank(options, true),
         _ => return false,
     }
     true
+}
+
+/// Occurrence-layer micro-benchmark.  The committed `BENCH_rank.json`
+/// baseline is defined at the default `--scale`/`--seed`, so the snapshot is
+/// only written when the experiment was invoked directly (`direct`, never
+/// the `all` sweep) *and* the run used the defaults; anything else just
+/// prints.
+fn rank(options: &ExperimentOptions, direct: bool) {
+    header("rank — occurrence-layer single-scan extend_all vs extend_left loop");
+    let defaults = ExperimentOptions::default();
+    if direct && options.scale == defaults.scale && options.seed == defaults.seed {
+        crate::rank_bench::run_and_write(options);
+    } else {
+        crate::rank_bench::run_and_print(options);
+        println!("(BENCH_rank.json not written: the committed baseline is only refreshed by a direct `rank` run at default --scale/--seed)");
+    }
 }
 
 fn header(title: &str) {
@@ -114,7 +146,10 @@ fn table2(options: &ExperimentOptions) {
             bwtsw.result_count,
         );
     }
-    println!("(n = {n}; times are averages per query over {} queries)", options.queries_per_point);
+    println!(
+        "(n = {n}; times are averages per query over {} queries)",
+        options.queries_per_point
+    );
 }
 
 /// Table 3: alignment time and number of results when varying the text
@@ -129,7 +164,12 @@ fn table3(options: &ExperimentOptions) {
     );
     for (i, &base_n) in text_lengths.iter().enumerate() {
         let n = options.len(base_n);
-        let prepared = prepare_dna(n, m, options.queries_per_point, options.seed + 100 + i as u64);
+        let prepared = prepare_dna(
+            n,
+            m,
+            options.queries_per_point,
+            options.seed + 100 + i as u64,
+        );
         let (alae, _, threshold) = run_alae(&prepared, default_config());
         let blast = run_blast(&prepared, ScoringScheme::DEFAULT, threshold);
         let (bwtsw, _) = run_bwtsw(&prepared, ScoringScheme::DEFAULT, threshold);
@@ -144,7 +184,10 @@ fn table3(options: &ExperimentOptions) {
             bwtsw.result_count,
         );
     }
-    println!("(m = {m}; times are averages per query over {} queries)", options.queries_per_point);
+    println!(
+        "(m = {m}; times are averages per query over {} queries)",
+        options.queries_per_point
+    );
 }
 
 /// Table 4: number of calculated entries split by per-entry cost.
@@ -158,7 +201,12 @@ fn table4(options: &ExperimentOptions) {
     );
     for (i, &base_m) in query_lengths.iter().enumerate() {
         let m = options.len(base_m);
-        let prepared = prepare_dna(n, m, options.queries_per_point, options.seed + 200 + i as u64);
+        let prepared = prepare_dna(
+            n,
+            m,
+            options.queries_per_point,
+            options.seed + 200 + i as u64,
+        );
         let (_, alae_stats, threshold) = run_alae(&prepared, default_config());
         let (_, bwtsw_stats) = run_bwtsw(&prepared, ScoringScheme::DEFAULT, threshold);
         println!(
@@ -192,7 +240,12 @@ fn table5(options: &ExperimentOptions) {
     .into_iter()
     .enumerate()
     {
-        let prepared = prepare_dna(n, m, options.queries_per_point, options.seed + 300 + i as u64);
+        let prepared = prepare_dna(
+            n,
+            m,
+            options.queries_per_point,
+            options.seed + 300 + i as u64,
+        );
         let config = AlaeConfig::with_threshold(scheme, SCALED_DEFAULT_THRESHOLD);
         let (_, stats, _) = run_alae(&prepared, config);
         println!(
@@ -217,8 +270,12 @@ fn fig7(options: &ExperimentOptions) {
         for (j, &base_m) in query_lengths.iter().enumerate() {
             let n = options.len(base_n);
             let m = options.len(base_m);
-            let prepared =
-                prepare_dna(n, m, options.queries_per_point, options.seed + 400 + (i * 10 + j) as u64);
+            let prepared = prepare_dna(
+                n,
+                m,
+                options.queries_per_point,
+                options.seed + 400 + (i * 10 + j) as u64,
+            );
             let (_, alae_stats, threshold) = run_alae(&prepared, default_config());
             let (_, bwtsw_stats) = run_bwtsw(&prepared, ScoringScheme::DEFAULT, threshold);
             grid.push((
@@ -230,13 +287,19 @@ fn fig7(options: &ExperimentOptions) {
         }
     }
     println!("(a)/(b) ratios vs query length m, one line per text length n");
-    println!("{:>10} {:>10} {:>18} {:>16}", "n", "m", "filtering ratio %", "reusing ratio %");
+    println!(
+        "{:>10} {:>10} {:>18} {:>16}",
+        "n", "m", "filtering ratio %", "reusing ratio %"
+    );
     for &(n, m, filtering, reusing) in &grid {
         println!("{:>10} {:>10} {:>18.1} {:>16.1}", n, m, filtering, reusing);
     }
     println!();
     println!("(c)/(d) ratios vs text length n, one line per query length m");
-    println!("{:>10} {:>10} {:>18} {:>16}", "m", "n", "filtering ratio %", "reusing ratio %");
+    println!(
+        "{:>10} {:>10} {:>18} {:>16}",
+        "m", "n", "filtering ratio %", "reusing ratio %"
+    );
     for &base_m in &query_lengths {
         let m = options.len(base_m);
         for &(n, grid_m, filtering, reusing) in &grid {
@@ -259,7 +322,12 @@ fn fig8(options: &ExperimentOptions) {
     );
     for (i, &base_m) in query_lengths.iter().enumerate() {
         let m = options.len(base_m);
-        let prepared = prepare_dna(n, m, options.queries_per_point, options.seed + 500 + i as u64);
+        let prepared = prepare_dna(
+            n,
+            m,
+            options.queries_per_point,
+            options.seed + 500 + i as u64,
+        );
         for &evalue in &evalues {
             let config = AlaeConfig::with_evalue(ScoringScheme::DEFAULT, evalue);
             let (summary, _, threshold) = run_alae(&prepared, config);
@@ -286,8 +354,16 @@ fn fig9(options: &ExperimentOptions) {
         "scheme", "ALAE(s)", "BLAST(s)", "BWT-SW(s)"
     );
     for (i, scheme) in ScoringScheme::FIGURE9_SCHEMES.into_iter().enumerate() {
-        let prepared = prepare_dna(n, m, options.queries_per_point, options.seed + 600 + i as u64);
-        let (alae, _, threshold) = run_alae(&prepared, AlaeConfig::with_threshold(scheme, SCALED_DEFAULT_THRESHOLD));
+        let prepared = prepare_dna(
+            n,
+            m,
+            options.queries_per_point,
+            options.seed + 600 + i as u64,
+        );
+        let (alae, _, threshold) = run_alae(
+            &prepared,
+            AlaeConfig::with_threshold(scheme, SCALED_DEFAULT_THRESHOLD),
+        );
         let blast = run_blast(&prepared, scheme, threshold);
         let bwtsw_cell = if scheme.satisfies_bwtsw_constraint() {
             let (bwtsw, _) = run_bwtsw(&prepared, scheme, threshold);
@@ -319,9 +395,16 @@ fn fig10(options: &ExperimentOptions) {
     for (i, scheme) in ScoringScheme::FIGURE9_SCHEMES.into_iter().enumerate() {
         for (j, &base_m) in query_lengths.iter().enumerate() {
             let m = options.len(base_m);
-            let prepared =
-                prepare_dna(n, m, options.queries_per_point, options.seed + 700 + (i * 10 + j) as u64);
-            let (_, alae_stats, threshold) = run_alae(&prepared, AlaeConfig::with_threshold(scheme, SCALED_DEFAULT_THRESHOLD));
+            let prepared = prepare_dna(
+                n,
+                m,
+                options.queries_per_point,
+                options.seed + 700 + (i * 10 + j) as u64,
+            );
+            let (_, alae_stats, threshold) = run_alae(
+                &prepared,
+                AlaeConfig::with_threshold(scheme, SCALED_DEFAULT_THRESHOLD),
+            );
             // The filtering ratio is measured against BWT-SW's entry count;
             // where BWT-SW cannot run (|sb| < 3|sa|) we still run our
             // implementation to obtain the baseline entry count, as the
@@ -351,7 +434,8 @@ fn fig11(options: &ExperimentOptions) {
     for (i, &base_n) in [100_000usize, 200_000, 400_000, 800_000].iter().enumerate() {
         let n = options.len(base_n);
         let db = text_only(Alphabet::Dna, n, options.seed + 800 + i as u64);
-        let aligner = AlaeAligner::build(&db, AlaeConfig::with_evalue(ScoringScheme::DEFAULT, 10.0));
+        let aligner =
+            AlaeAligner::build(&db, AlaeConfig::with_evalue(ScoringScheme::DEFAULT, 10.0));
         println!(
             "{:>12} {:>16.1} {:>20.1}",
             n,
@@ -368,8 +452,10 @@ fn fig11(options: &ExperimentOptions) {
     for (i, &base_n) in [50_000usize, 100_000, 200_000].iter().enumerate() {
         let n = options.len(base_n);
         let db = text_only(Alphabet::Protein, n, options.seed + 900 + i as u64);
-        let aligner =
-            AlaeAligner::build(&db, AlaeConfig::with_evalue(ScoringScheme::PROTEIN_DEFAULT, 10.0));
+        let aligner = AlaeAligner::build(
+            &db,
+            AlaeConfig::with_evalue(ScoringScheme::PROTEIN_DEFAULT, 10.0),
+        );
         println!(
             "{:>12} {:>16.1} {:>20.1}",
             n,
@@ -383,7 +469,10 @@ fn fig11(options: &ExperimentOptions) {
 fn bounds(_options: &ExperimentOptions) {
     header("Section 6 - analytic upper bounds on calculated entries");
     println!("DNA (sigma = 4), gap penalties <-5, -2>:");
-    println!("{:>12} {:>12} {:>12} {:>14}", "(sa, sb)", "coefficient", "exponent", "bound form");
+    println!(
+        "{:>12} {:>12} {:>12} {:>14}",
+        "(sa, sb)", "coefficient", "exponent", "bound form"
+    );
     for (scheme, model) in blast_parameter_sweep(Alphabet::Dna, -5, -2) {
         println!(
             "{:>12} {:>12.2} {:>12.4} {:>9.2}*m*n^{:.3}",
@@ -396,7 +485,10 @@ fn bounds(_options: &ExperimentOptions) {
     }
     println!();
     println!("Protein (sigma = 20), gap penalties <-11, -1>:");
-    println!("{:>12} {:>12} {:>12} {:>14}", "(sa, sb)", "coefficient", "exponent", "bound form");
+    println!(
+        "{:>12} {:>12} {:>12} {:>14}",
+        "(sa, sb)", "coefficient", "exponent", "bound form"
+    );
     for (scheme, model) in blast_parameter_sweep(Alphabet::Protein, -11, -1) {
         println!(
             "{:>12} {:>12.2} {:>12.4} {:>9.2}*m*n^{:.3}",
@@ -420,8 +512,18 @@ fn sw_anchor(options: &ExperimentOptions) {
     let (alae, _, threshold) = run_alae(&prepared, default_config());
     let sw = run_smith_waterman(&prepared, ScoringScheme::DEFAULT, threshold);
     println!("{:>14} {:>12} {:>10}", "aligner", "time (s)", "results");
-    println!("{:>14} {:>12.4} {:>10}", "Smith-Waterman", sw.avg_seconds(), sw.result_count);
-    println!("{:>14} {:>12.4} {:>10}", "ALAE", alae.avg_seconds(), alae.result_count);
+    println!(
+        "{:>14} {:>12.4} {:>10}",
+        "Smith-Waterman",
+        sw.avg_seconds(),
+        sw.result_count
+    );
+    println!(
+        "{:>14} {:>12.4} {:>10}",
+        "ALAE",
+        alae.avg_seconds(),
+        alae.result_count
+    );
     println!("(n = {n}, m = {m}; both report identical result sets — see tests/)");
     if alae.avg_seconds() > 0.0 {
         println!(

@@ -24,6 +24,7 @@
 //! paper-vs-measured comparison.
 
 pub mod experiments;
+pub mod rank_bench;
 pub mod runners;
 pub mod setup;
 

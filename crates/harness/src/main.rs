@@ -5,7 +5,7 @@
 //! alae-experiments <experiment> [--scale <factor>] [--queries <count>] [--seed <seed>]
 //!
 //! experiments: all, table2, table3, table4, table5, fig7, fig8, fig9,
-//!              fig10, fig11, bounds, sw-anchor
+//!              fig10, fig11, bounds, sw-anchor, rank
 //! ```
 
 use alae_harness::{run_experiment, ExperimentOptions, EXPERIMENT_NAMES};

@@ -1,0 +1,287 @@
+//! Occurrence-layer micro-benchmark: one `extend_all` fan-out versus the σ
+//! per-character `extend_left` loop it replaces, measured on a
+//! protein-alphabet (σ = 21 codes) BWT plus a packed-vs-generic DNA
+//! comparison.  Writes the measurements to `BENCH_rank.json` so successive
+//! PRs accumulate a perf trajectory.
+
+use crate::experiments::ExperimentOptions;
+use alae_bioseq::Alphabet;
+use alae_suffix::{ChildBuf, RankLayout, SuffixTrieCursor, TextIndex};
+use alae_workload::{generate_text, TextSpec};
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct RankBenchEntry {
+    /// Configuration name.
+    pub name: String,
+    /// `"before"` for the per-character loop, `"after"` for `extend_all`.
+    pub role: &'static str,
+    /// Mean wall-clock nanoseconds per trie-node expansion.
+    pub ns_per_node: f64,
+    /// Occurrence-table block scans per expansion (exact, from the counter).
+    pub block_scans_per_node: f64,
+    /// Storage bytes examined per expansion (exact, from the counter).
+    pub bytes_scanned_per_node: f64,
+}
+
+/// The full report written to `BENCH_rank.json`.
+#[derive(Debug, Clone)]
+pub struct RankBenchReport {
+    /// The `--scale` the report was generated with (provenance: a committed
+    /// baseline from non-default options is visible in the diff).
+    pub scale: f64,
+    /// The `--seed` the report was generated with.
+    pub seed: u64,
+    /// Protein text length used for the headline comparison.
+    pub text_len: usize,
+    /// Caller-visible code count of the headline comparison (σ + separator).
+    pub code_count: usize,
+    /// Number of trie nodes expanded per measured pass.
+    pub nodes: usize,
+    /// Speedup of `extend_all` over the `extend_left` loop (protein).
+    pub speedup: f64,
+    /// The measured configurations.
+    pub entries: Vec<RankBenchEntry>,
+}
+
+impl RankBenchReport {
+    /// Serialize as JSON (hand-rolled; the environment has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"benchmark\": \"rank_occ\",\n");
+        out.push_str("  \"generated_by\": \"alae-experiments rank\",\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"text_len\": {},\n", self.text_len));
+        out.push_str(&format!("  \"code_count\": {},\n", self.code_count));
+        out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        out.push_str(&format!(
+            "  \"extend_all_speedup_vs_extend_left\": {:.2},\n",
+            self.speedup
+        ));
+        out.push_str("  \"entries\": [\n");
+        for (i, entry) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"role\": \"{}\", \"ns_per_node\": {:.1}, \
+                 \"block_scans_per_node\": {:.1}, \"bytes_scanned_per_node\": {:.1}}}{}\n",
+                entry.name,
+                entry.role,
+                entry.ns_per_node,
+                entry.block_scans_per_node,
+                entry.bytes_scanned_per_node,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Best-of-N wall-clock time for `pass`, in nanoseconds.
+fn best_time_ns(mut pass: impl FnMut() -> usize, repetitions: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut guard = 0usize;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        guard = guard.wrapping_add(pass());
+        let elapsed = start.elapsed().as_secs_f64() * 1e9;
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    std::hint::black_box(guard);
+    best
+}
+
+/// Measure one (index, node set) configuration both ways.
+fn measure(
+    name_prefix: &str,
+    index: &TextIndex,
+    nodes: &[SuffixTrieCursor],
+    repetitions: usize,
+    entries: &mut Vec<RankBenchEntry>,
+) -> f64 {
+    let n = nodes.len() as f64;
+
+    // Before: the σ-scan per-character loop `children` used to perform.
+    let loop_pass = || alae_bench::extend_left_pass(index, nodes);
+    let scans_before = index.scan_snapshot();
+    let _ = loop_pass();
+    let loop_scans = index.scan_snapshot().since(&scans_before);
+    let loop_ns = best_time_ns(loop_pass, repetitions) / n;
+    entries.push(RankBenchEntry {
+        name: format!("{name_prefix}/extend_left_loop"),
+        role: "before",
+        ns_per_node: loop_ns,
+        block_scans_per_node: loop_scans.block_scans as f64 / n,
+        bytes_scanned_per_node: loop_scans.bytes_scanned as f64 / n,
+    });
+
+    // After: the single-scan `extend_all` fan-out behind `children_into`.
+    let mut buf = ChildBuf::new();
+    let mut all_pass = || alae_bench::extend_all_pass(index, nodes, &mut buf);
+    let scans_before = index.scan_snapshot();
+    let _ = all_pass();
+    let all_scans = index.scan_snapshot().since(&scans_before);
+    let all_ns = best_time_ns(all_pass, repetitions) / n;
+    entries.push(RankBenchEntry {
+        name: format!("{name_prefix}/extend_all"),
+        role: "after",
+        ns_per_node: all_ns,
+        block_scans_per_node: all_scans.block_scans as f64 / n,
+        bytes_scanned_per_node: all_scans.bytes_scanned as f64 / n,
+    });
+
+    loop_ns / all_ns
+}
+
+/// Run the benchmark and build the report.
+pub fn run(options: &ExperimentOptions) -> RankBenchReport {
+    let repetitions = 7;
+
+    // Headline: protein alphabet (σ = 20 residues + separator = 21 codes),
+    // where the per-character loop pays 2σ block scans per node.
+    let text_len = (60_000_f64 * options.scale) as usize;
+    let protein = generate_text(&TextSpec::protein(text_len.max(1_000), options.seed));
+    let index = TextIndex::new(protein.codes().to_vec(), Alphabet::Protein.code_count());
+    let nodes = alae_bench::collect_trie_nodes(&index, 2, 2_000);
+
+    let mut entries = Vec::new();
+    let speedup = measure("protein_sigma21", &index, &nodes, repetitions, &mut entries);
+
+    // Side-by-side: the DNA packed popcount path versus the generic byte
+    // path on the same text.
+    let dna = generate_text(&TextSpec::dna(text_len.max(1_000), options.seed + 1));
+    for (label, layout) in [
+        ("dna_packed", RankLayout::PackedDna),
+        ("dna_bytes", RankLayout::Bytes),
+    ] {
+        let dna_index =
+            TextIndex::with_layout(dna.codes().to_vec(), Alphabet::Dna.code_count(), layout);
+        let dna_nodes = alae_bench::collect_trie_nodes(&dna_index, 4, 2_000);
+        measure(label, &dna_index, &dna_nodes, repetitions, &mut entries);
+    }
+
+    RankBenchReport {
+        scale: options.scale,
+        seed: options.seed,
+        text_len: index.len(),
+        code_count: index.code_count(),
+        nodes: nodes.len(),
+        speedup,
+        entries,
+    }
+}
+
+/// Where to write the snapshot: `$ALAE_BENCH_DIR` if set, else the enclosing
+/// workspace root (nearest ancestor of the CWD holding `Cargo.toml` and
+/// `crates/suffix/`) so runs from anywhere inside a checkout update its
+/// committed baseline, else the CWD.
+fn bench_output_path() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("ALAE_BENCH_DIR") {
+        return std::path::PathBuf::from(dir).join("BENCH_rank.json");
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        // `crates/suffix` is specific to this workspace, so the walk cannot
+        // stop at the root of some other repository that also has `crates/`.
+        if dir.join("Cargo.toml").is_file() && dir.join("crates/suffix").is_dir() {
+            return dir.join("BENCH_rank.json");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => break,
+        }
+    }
+    cwd.join("BENCH_rank.json")
+}
+
+/// Run and print a human-readable table without touching the committed
+/// `BENCH_rank.json` baseline (used by the `all` experiment sweep, whose
+/// scale/seed usually differ from the baseline's).
+pub fn run_and_print(options: &ExperimentOptions) {
+    let report = run(options);
+    print_report(&report);
+}
+
+/// Run, print, and write `BENCH_rank.json`.
+pub fn run_and_write(options: &ExperimentOptions) {
+    let report = run(options);
+    print_report(&report);
+    let path = bench_output_path();
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("could not write {}: {error}", path.display()),
+    }
+}
+
+fn print_report(report: &RankBenchReport) {
+    println!(
+        "occurrence layer: {} nodes over {} protein characters (σ+1 = {})",
+        report.nodes, report.text_len, report.code_count
+    );
+    println!(
+        "{:<34} {:>6} {:>12} {:>10} {:>10}",
+        "configuration", "role", "ns/node", "scans", "bytes"
+    );
+    for entry in &report.entries {
+        println!(
+            "{:<34} {:>6} {:>12.1} {:>10.1} {:>10.1}",
+            entry.name,
+            entry.role,
+            entry.ns_per_node,
+            entry.block_scans_per_node,
+            entry.bytes_scanned_per_node
+        );
+    }
+    println!(
+        "extend_all speedup over the extend_left loop (protein): {:.2}x",
+        report.speedup
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> ExperimentOptions {
+        ExperimentOptions {
+            scale: 0.02,
+            queries_per_point: 1,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn scan_counts_match_the_analytic_model() {
+        let report = run(&tiny_options());
+        // Protein: the loop pays 2σ block scans per node, extend_all pays 2.
+        let sigma = (report.code_count - 1) as f64;
+        let loop_entry = &report.entries[0];
+        let all_entry = &report.entries[1];
+        assert_eq!(loop_entry.role, "before");
+        assert_eq!(all_entry.role, "after");
+        assert!(
+            (loop_entry.block_scans_per_node - 2.0 * sigma).abs() < 1e-9,
+            "loop scans {}",
+            loop_entry.block_scans_per_node
+        );
+        assert!((all_entry.block_scans_per_node - 2.0).abs() < 1e-9);
+        assert!(report.speedup > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = run(&tiny_options());
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"rank_occ\""));
+        assert!(json.contains("\"scale\": 0.02"));
+        assert!(json.contains("\"seed\": 5"));
+        assert!(json.contains("extend_left_loop"));
+        assert!(json.contains("extend_all"));
+        assert_eq!(json.matches("\"role\": \"before\"").count(), 3);
+        assert_eq!(json.matches("\"role\": \"after\"").count(), 3);
+    }
+}

@@ -32,15 +32,9 @@ impl RunSummary {
 }
 
 /// Run ALAE over the workload.
-pub fn run_alae(
-    prepared: &PreparedWorkload,
-    config: AlaeConfig,
-) -> (RunSummary, AlaeStats, i64) {
-    let aligner = AlaeAligner::with_index(
-        prepared.index.clone(),
-        prepared.database.alphabet(),
-        config,
-    );
+pub fn run_alae(prepared: &PreparedWorkload, config: AlaeConfig) -> (RunSummary, AlaeStats, i64) {
+    let aligner =
+        AlaeAligner::with_index(prepared.index.clone(), prepared.database.alphabet(), config);
     let mut summary = RunSummary::default();
     let mut stats = AlaeStats::default();
     let mut threshold = 0;
@@ -62,7 +56,8 @@ pub fn run_bwtsw(
     scheme: ScoringScheme,
     threshold: i64,
 ) -> (RunSummary, BwtswStats) {
-    let aligner = BwtswAligner::with_index(prepared.index.clone(), BwtswConfig::new(scheme, threshold));
+    let aligner =
+        BwtswAligner::with_index(prepared.index.clone(), BwtswConfig::new(scheme, threshold));
     let mut summary = RunSummary::default();
     let mut stats = BwtswStats::default();
     for query in &prepared.queries {
@@ -78,11 +73,7 @@ pub fn run_bwtsw(
 
 /// Run the BLAST-like heuristic over the workload with an explicit
 /// threshold.
-pub fn run_blast(
-    prepared: &PreparedWorkload,
-    scheme: ScoringScheme,
-    threshold: i64,
-) -> RunSummary {
+pub fn run_blast(prepared: &PreparedWorkload, scheme: ScoringScheme, threshold: i64) -> RunSummary {
     let config = BlastConfig::for_alphabet(prepared.database.alphabet(), scheme, threshold);
     let aligner = BlastLikeAligner::build(&prepared.database, config);
     let mut summary = RunSummary::default();
@@ -106,7 +97,8 @@ pub fn run_smith_waterman(
     let mut summary = RunSummary::default();
     for query in &prepared.queries {
         let start = Instant::now();
-        let (hits, _) = local_alignment_hits(prepared.database.text(), query.codes(), &scheme, threshold);
+        let (hits, _) =
+            local_alignment_hits(prepared.database.text(), query.codes(), &scheme, threshold);
         summary.total_time += start.elapsed();
         summary.result_count += hits.len();
         summary.query_count += 1;

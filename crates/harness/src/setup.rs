@@ -24,7 +24,12 @@ impl PreparedWorkload {
 
 /// Build a DNA workload of `query_count` homologous queries of length
 /// `query_len` against a text of `text_len` characters, and index the text.
-pub fn prepare_dna(text_len: usize, query_len: usize, query_count: usize, seed: u64) -> PreparedWorkload {
+pub fn prepare_dna(
+    text_len: usize,
+    query_len: usize,
+    query_count: usize,
+    seed: u64,
+) -> PreparedWorkload {
     prepare(Alphabet::Dna, text_len, query_len, query_count, seed)
 }
 

@@ -121,10 +121,14 @@ mod tests {
     fn rank_matches_naive_across_superblocks() {
         let mut state = 99u64;
         let mut next = || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             state >> 40
         };
-        let bits: Vec<bool> = (0..SUPERBLOCK_BITS * 3 + 100).map(|_| next() % 3 == 0).collect();
+        let bits: Vec<bool> = (0..SUPERBLOCK_BITS * 3 + 100)
+            .map(|_| next() % 3 == 0)
+            .collect();
         let bv = RankBitVec::from_bits(bits.iter().copied());
         for i in (0..=bits.len()).step_by(37) {
             assert_eq!(bv.rank1(i), naive_rank(&bits, i), "i = {i}");

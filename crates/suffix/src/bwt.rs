@@ -62,7 +62,13 @@ pub fn inverse_bwt(bwt: &Bwt) -> Vec<u8> {
         .data
         .iter()
         .enumerate()
-        .map(|(row, &c)| if row == bwt.sentinel_row { 0 } else { c as u16 + 1 })
+        .map(|(row, &c)| {
+            if row == bwt.sentinel_row {
+                0
+            } else {
+                c as u16 + 1
+            }
+        })
         .collect();
     // Count occurrences per symbol to build the C array (number of symbols
     // strictly smaller).

@@ -9,8 +9,12 @@
 
 use crate::bitvec::RankBitVec;
 use crate::bwt::bwt_from_sa;
-use crate::rank::OccTable;
+use crate::rank::{OccTable, RankLayout, ScanSnapshot};
 use crate::sais::suffix_array;
+
+/// Largest caller-visible code count an index supports; keeps the
+/// [`FmIndex::extend_all`] scratch buffers on the stack.
+pub const MAX_CODE_COUNT: usize = 30;
 
 /// A half-open range `[start, end)` of rows in the suffix array; the paper's
 /// "SA range" (Section 2.3).
@@ -68,8 +72,24 @@ impl FmIndex {
 
     /// Build with an explicit suffix-array sampling rate (≥ 1).
     pub fn with_sample_rate(text: &[u8], code_count: usize, sample_rate: usize) -> Self {
+        Self::with_options(text, code_count, sample_rate, RankLayout::Auto)
+    }
+
+    /// Build with an explicit sampling rate and rank-storage layout (the
+    /// layout applies to the occurrence table over the BWT; see
+    /// [`RankLayout`]).
+    pub fn with_options(
+        text: &[u8],
+        code_count: usize,
+        sample_rate: usize,
+        layout: RankLayout,
+    ) -> Self {
         assert!(sample_rate >= 1);
         assert!(code_count >= 1);
+        assert!(
+            code_count <= MAX_CODE_COUNT,
+            "code_count {code_count} exceeds MAX_CODE_COUNT {MAX_CODE_COUNT}"
+        );
         debug_assert!(text.iter().all(|&c| (c as usize) < code_count));
 
         let sa = suffix_array(text);
@@ -86,36 +106,37 @@ impl FmIndex {
         // caller code 0 (record separators) become 1 after the shift, so the
         // sentinel remains unique.
 
-        let occ = OccTable::new(shifted_bwt, shifted_code_count);
-
-        // C array over shifted codes.
-        let mut counts = vec![0usize; shifted_code_count + 1];
-        for &c in occ.data() {
-            counts[c as usize + 1] += 1;
+        // C array over shifted codes (counted before the BWT moves into the
+        // occurrence table, so the table's scan counters stay at zero until
+        // the first real query).
+        let mut counts = vec![0u32; shifted_code_count];
+        for &c in &shifted_bwt {
+            counts[c as usize] += 1;
         }
+        let occ = OccTable::with_layout(shifted_bwt, shifted_code_count, layout);
         let mut c_array = vec![0usize; shifted_code_count];
         let mut running = 0usize;
-        for c in 0..shifted_code_count {
-            running += counts[c];
+        for c in 1..shifted_code_count {
+            running += counts[c - 1] as usize;
             c_array[c] = running;
         }
 
         // Sample suffix-array rows whose text position is a multiple of the
         // sampling rate (position n — the sentinel suffix — is always
-        // sampled so locate() terminates).
+        // sampled so locate() terminates).  The predicate is evaluated once
+        // per row and drives both the marker bitvec and the sample values.
         let n_rows = sa.len();
+        let is_sampled: Vec<bool> = sa
+            .iter()
+            .map(|&pos| {
+                let pos = pos as usize;
+                pos.is_multiple_of(sample_rate) || pos == text.len()
+            })
+            .collect();
+        let sampled_rows = RankBitVec::from_bits(is_sampled.iter().copied());
         let mut samples = Vec::with_capacity(n_rows / sample_rate + 2);
-        let bits = (0..n_rows).map(|row| {
-            let pos = sa[row] as usize;
-            pos % sample_rate == 0 || pos == text.len()
-        });
-        let sampled_rows = RankBitVec::from_bits(BitsWithLen {
-            inner: bits,
-            len: n_rows,
-        });
-        for row in 0..n_rows {
-            let pos = sa[row] as usize;
-            if pos % sample_rate == 0 || pos == text.len() {
+        for (row, &sampled) in is_sampled.iter().enumerate() {
+            if sampled {
                 samples.push(sa[row]);
             }
         }
@@ -171,6 +192,43 @@ impl FmIndex {
         SaRange { start, end }
     }
 
+    /// One backward-search step for **every** character at once: derive the
+    /// SA range of `c·S` for each caller code `c` from the range of `S`.
+    ///
+    /// `out` must have length [`FmIndex::code_count`]; `out[c]` receives the
+    /// range of `c·S` (empty when `c·S` does not occur).  The two range
+    /// boundaries are resolved with one [`OccTable::rank_all`] each, so the
+    /// whole fan-out costs **two** block scans — the per-character
+    /// [`FmIndex::extend_left`] loop it replaces costs `2·σ`.
+    pub fn extend_all(&self, range: SaRange, out: &mut [SaRange]) {
+        assert_eq!(out.len(), self.code_count);
+        let shifted_count = self.c_array.len();
+        let mut at_start = [0u32; MAX_CODE_COUNT + 1];
+        let mut at_end = [0u32; MAX_CODE_COUNT + 1];
+        self.occ
+            .rank_all(range.start, &mut at_start[..shifted_count]);
+        self.occ.rank_all(range.end, &mut at_end[..shifted_count]);
+        for (code, slot) in out.iter_mut().enumerate() {
+            let shifted = code + 1;
+            let base = self.c_array[shifted];
+            *slot = SaRange {
+                start: base + at_start[shifted] as usize,
+                end: base + at_end[shifted] as usize,
+            };
+        }
+    }
+
+    /// Scan-work counters of the underlying occurrence table (block scans
+    /// and storage bytes touched since construction).
+    pub fn scan_snapshot(&self) -> ScanSnapshot {
+        self.occ.scan_snapshot()
+    }
+
+    /// The rank-storage layout selected at construction.
+    pub fn rank_layout(&self) -> RankLayout {
+        self.occ.layout()
+    }
+
     /// Backward search for a whole pattern; `O(|pattern|)` extension steps.
     pub fn backward_search(&self, pattern: &[u8]) -> SaRange {
         let mut range = self.full_range();
@@ -217,7 +275,9 @@ impl FmIndex {
     /// `range` (callers typically obtain `range` from
     /// [`FmIndex::backward_search`]).
     pub fn locate_range(&self, range: SaRange) -> Vec<usize> {
-        (range.start..range.end).map(|row| self.locate(row)).collect()
+        (range.start..range.end)
+            .map(|row| self.locate(row))
+            .collect()
     }
 
     /// Approximate index footprint in bytes (BWT + rank checkpoints +
@@ -234,28 +294,6 @@ impl FmIndex {
         self.sample_rate
     }
 }
-
-/// Adapter giving an `ExactSizeIterator` over bits.
-struct BitsWithLen<I> {
-    inner: I,
-    len: usize,
-}
-
-impl<I: Iterator<Item = bool>> Iterator for BitsWithLen<I> {
-    type Item = bool;
-    fn next(&mut self) -> Option<bool> {
-        let next = self.inner.next();
-        if next.is_some() {
-            self.len -= 1;
-        }
-        next
-    }
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.len, Some(self.len))
-    }
-}
-
-impl<I: Iterator<Item = bool>> ExactSizeIterator for BitsWithLen<I> {}
 
 #[cfg(test)]
 mod tests {
@@ -274,13 +312,16 @@ mod tests {
     fn paper_example_gc_occurrences() {
         // Section 2.3: "the SA range of a substring GC is [4, 5], then the
         // starting positions of GC in T are 5 and 1" (1-based).
-        let text: Vec<u8> = b"GCTAGC".iter().map(|&b| match b {
-            b'A' => 1u8,
-            b'C' => 2,
-            b'G' => 3,
-            b'T' => 4,
-            _ => unreachable!(),
-        }).collect();
+        let text: Vec<u8> = b"GCTAGC"
+            .iter()
+            .map(|&b| match b {
+                b'A' => 1u8,
+                b'C' => 2,
+                b'G' => 3,
+                b'T' => 4,
+                _ => unreachable!(),
+            })
+            .collect();
         let fm = FmIndex::new(&text, 5);
         let pattern = [3u8, 2u8]; // "GC"
         let range = fm.backward_search(&pattern);
@@ -304,7 +345,14 @@ mod tests {
             })
             .collect();
         let fm = FmIndex::new(&text, 5);
-        for pattern_ascii in [b"ACGT".as_slice(), b"GG", b"TTT", b"A", b"CATACGT", b"ACGTACGTAGGGCATACGT"] {
+        for pattern_ascii in [
+            b"ACGT".as_slice(),
+            b"GG",
+            b"TTT",
+            b"A",
+            b"CATACGT",
+            b"ACGTACGTAGGGCATACGT",
+        ] {
             let pattern: Vec<u8> = pattern_ascii
                 .iter()
                 .map(|&b| match b {
@@ -316,7 +364,11 @@ mod tests {
                 })
                 .collect();
             let expected = naive_occurrences(&text, &pattern);
-            assert_eq!(fm.count(&pattern), expected.len(), "pattern {pattern_ascii:?}");
+            assert_eq!(
+                fm.count(&pattern),
+                expected.len(),
+                "pattern {pattern_ascii:?}"
+            );
             let mut located = fm.locate_range(fm.backward_search(&pattern));
             located.sort_unstable();
             assert_eq!(located, expected, "pattern {pattern_ascii:?}");
@@ -388,6 +440,61 @@ mod tests {
             positions.sort_unstable();
             let expected: Vec<usize> = (0..=text.len()).collect();
             assert_eq!(positions, expected, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn extend_all_matches_per_character_extend_left() {
+        let mut state = 77u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for code_count in [5usize, 9, 21] {
+            let sigma = code_count - 1;
+            let text: Vec<u8> = (0..600)
+                .map(|_| (next() % sigma as u64) as u8 + 1)
+                .collect();
+            let fm = FmIndex::new(&text, code_count);
+            // Random ranges reached by short backward searches plus the full
+            // range and an empty range.
+            let mut ranges = vec![fm.full_range(), SaRange { start: 3, end: 3 }];
+            for _ in 0..30 {
+                let len = (next() % 4) as usize + 1;
+                let pattern: Vec<u8> = (0..len)
+                    .map(|_| (next() % sigma as u64) as u8 + 1)
+                    .collect();
+                ranges.push(fm.backward_search(&pattern));
+            }
+            let mut all = vec![SaRange { start: 0, end: 0 }; code_count];
+            for range in ranges {
+                fm.extend_all(range, &mut all);
+                for c in 0..code_count as u8 {
+                    assert_eq!(
+                        all[c as usize],
+                        fm.extend_left(range, c),
+                        "code_count={code_count} range={range:?} c={c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_all_costs_two_block_scans_regardless_of_alphabet() {
+        for code_count in [5usize, 21] {
+            let sigma = code_count - 1;
+            let text: Vec<u8> = (0..400).map(|i| (i % sigma) as u8 + 1).collect();
+            let fm = FmIndex::new(&text, code_count);
+            let mut out = vec![SaRange { start: 0, end: 0 }; code_count];
+            let before = fm.scan_snapshot();
+            for _ in 0..10 {
+                fm.extend_all(fm.full_range(), &mut out);
+            }
+            let delta = fm.scan_snapshot().since(&before);
+            assert_eq!(delta.block_scans, 20, "code_count={code_count}");
         }
     }
 

@@ -26,8 +26,9 @@ pub mod rank;
 pub mod sais;
 pub mod trie;
 
-pub use fm_index::{FmIndex, SaRange};
-pub use trie::{SuffixTrieCursor, TextIndex};
+pub use fm_index::{FmIndex, SaRange, MAX_CODE_COUNT};
+pub use rank::{RankLayout, ScanSnapshot};
+pub use trie::{ChildBuf, SuffixTrieCursor, TextIndex, MAX_CHILDREN};
 
 /// The sentinel code appended to the text before suffix-array construction.
 ///

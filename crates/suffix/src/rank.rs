@@ -1,33 +1,310 @@
-//! Occurrence (rank) structure over the BWT string.
+//! Occurrence (rank) structure over the BWT string — the hottest data
+//! structure in the workspace.
 //!
 //! Backward search (Section 2.3 / [Ferragina & Manzini]) needs
 //! `Occ(c, i)` — the number of occurrences of character `c` in the first `i`
-//! positions of the BWT — in constant time.  This module implements a
-//! sampled occurrence table: absolute counts every [`BLOCK`] positions plus a
-//! linear scan inside the block.  For the small alphabets of this workspace
-//! (σ ≤ 21) the table costs `(σ+1) · n / BLOCK` 32-bit counters, and the
-//! in-block scan touches at most `BLOCK` bytes — a classic space/time
-//! trade-off matching the "compressed suffix array" space budget reported in
-//! Figure 11 of the paper.
+//! positions of the BWT.  Every suffix-trie node expansion performed by
+//! BWT-SW and ALAE (Section 5) turns into backward-search steps, so the cost
+//! of a whole alignment run is dominated by how many BWT bytes these queries
+//! touch.
+//!
+//! # Checkpoint-interleaving + single-scan design
+//!
+//! The table stores, every [`BLOCK`] positions, one *interleaved checkpoint
+//! row*: `checkpoints[block * code_count + c]` is the absolute count of code
+//! `c` before the block.  Interleaving means the whole row for one block is
+//! contiguous, so [`OccTable::rank_all`] — the query behind
+//! [`crate::FmIndex::extend_all`] — answers `Occ(c, i)` for **every** code
+//! `c` with one row copy plus **one** scan of the in-block prefix,
+//! instead of the `σ` independent scans a per-code `rank` loop would pay.
+//! A trie-node expansion needs ranks at both ends of its SA range, so it
+//! costs exactly **two block scans**, independent of the alphabet size.
+//!
+//! # Bit-parallel in-block scans
+//!
+//! Two storage layouts are selected at construction ([`RankLayout`]):
+//!
+//! * **`Bytes`** (generic, any `σ ≤ 30`): one byte per BWT character.
+//!   Single-code `rank` compares eight characters per step with a SWAR
+//!   equality mask and `u64::count_ones`; `rank_all` performs one byte
+//!   histogram pass.
+//! * **`PackedDna`** (`σ ≤ 6`, the DNA case): 2 bits per character, 32
+//!   characters per `u64`.  The four *dense* (most frequent) codes live in
+//!   the packed words and are counted with mask + popcount; the at-most-two
+//!   *sparse* codes (BWT sentinel and record separators, which are rare by
+//!   construction) live in a sorted exception list and are counted with two
+//!   binary searches — no scan at all.  Exception slots are packed as the
+//!   dense pattern `00`, and every query subtracts the in-range exception
+//!   count from the first dense code, so ranks stay exact.
+//!
+//! The table also counts the block scans and storage bytes it touches
+//! ([`OccTable::scan_snapshot`]); the engines surface the deltas in their
+//! work counters so the `O(σ)` → `O(1)` scan reduction is measurable
+//! end-to-end.
 
-/// Number of positions per sampled block.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of positions per sampled checkpoint block.
 pub const BLOCK: usize = 128;
+
+/// Characters per `u64` in the 2-bit packed layout.
+const CHARS_PER_WORD: usize = 32;
+
+/// Number of codes kept in the packed words (2 bits each).
+const DENSE_CODES: usize = 4;
+
+/// Largest code count eligible for the packed layout (4 dense + 2 sparse).
+const PACKED_MAX_CODES: usize = DENSE_CODES + 2;
+
+/// Low bit of every 2-bit group.
+const GROUP_LOW_BITS: u64 = 0x5555_5555_5555_5555;
+
+/// Low bit of every byte.
+const BYTE_LOW_BITS: u64 = 0x0101_0101_0101_0101;
+
+// The packed scan assumes checkpoint blocks start on a word boundary.
+const _: () = assert!(BLOCK.is_multiple_of(CHARS_PER_WORD));
+
+/// Storage layout for the in-block scan, chosen at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankLayout {
+    /// Pick [`RankLayout::PackedDna`] when the alphabet fits (`σ ≤ 6`),
+    /// [`RankLayout::Bytes`] otherwise.
+    Auto,
+    /// One byte per character; SWAR equality scan.  Works for any alphabet.
+    Bytes,
+    /// 2 bits per character plus an exception list; popcount scan.
+    /// Requires `code_count ≤ 6`.
+    PackedDna,
+}
+
+/// Running totals of the work performed by rank queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanSnapshot {
+    /// Number of in-block scans performed (one per `rank`/`rank_all` call
+    /// that touched storage).
+    pub block_scans: u64,
+    /// Storage bytes covered by the scanned prefixes (logical footprint:
+    /// one byte per character for the byte layout, a quarter byte for the
+    /// packed layout — not word-granular cache traffic).
+    pub bytes_scanned: u64,
+}
+
+impl ScanSnapshot {
+    /// Work performed since an earlier snapshot.
+    pub fn since(&self, earlier: &ScanSnapshot) -> ScanSnapshot {
+        ScanSnapshot {
+            block_scans: self.block_scans - earlier.block_scans,
+            bytes_scanned: self.bytes_scanned - earlier.bytes_scanned,
+        }
+    }
+}
+
+/// Interior-mutable scan counters (`OccTable` is shared behind `Arc`).
+#[derive(Debug, Default)]
+struct ScanCounter {
+    block_scans: AtomicU64,
+    bytes_scanned: AtomicU64,
+}
+
+impl ScanCounter {
+    #[inline]
+    fn record(&self, bytes: usize) {
+        self.block_scans.fetch_add(1, Ordering::Relaxed);
+        self.bytes_scanned
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ScanSnapshot {
+        ScanSnapshot {
+            block_scans: self.block_scans.load(Ordering::Relaxed),
+            bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for ScanCounter {
+    fn clone(&self) -> Self {
+        let snapshot = self.snapshot();
+        Self {
+            block_scans: AtomicU64::new(snapshot.block_scans),
+            bytes_scanned: AtomicU64::new(snapshot.bytes_scanned),
+        }
+    }
+}
 
 /// Sampled occurrence counts over a byte sequence.
 #[derive(Debug, Clone)]
 pub struct OccTable {
-    /// The underlying byte sequence (the BWT string).
-    data: Vec<u8>,
     /// Number of distinct codes (alphabet size including the sentinel).
     code_count: usize,
+    /// Sequence length.
+    len: usize,
     /// `checkpoints[block * code_count + c]` = number of occurrences of `c`
-    /// in `data[0 .. block*BLOCK]`.
+    /// in `data[0 .. block*BLOCK]` (one interleaved row per block).
     checkpoints: Vec<u32>,
+    /// The BWT characters in one of the two scan layouts.
+    storage: OccStorage,
+    /// Scan-work accounting.
+    scans: ScanCounter,
+}
+
+/// The two in-block scan layouts.
+#[derive(Debug, Clone)]
+enum OccStorage {
+    Bytes(Vec<u8>),
+    Packed(PackedDna),
+}
+
+/// 2-bit packed characters plus a sorted exception list for sparse codes.
+#[derive(Debug, Clone)]
+struct PackedDna {
+    /// 32 characters per word, 2 bits each, little-endian within the word.
+    words: Vec<u64>,
+    /// Smallest dense code; packed pattern = `code - dense_base`.
+    dense_base: u8,
+    /// Positions holding sparse codes (`code < dense_base`), sorted.
+    exc_pos: Vec<u32>,
+    /// The sparse code at each exception position.
+    exc_code: Vec<u8>,
+}
+
+impl PackedDna {
+    fn build(data: &[u8], code_count: usize) -> Self {
+        let dense_base = code_count.saturating_sub(DENSE_CODES) as u8;
+        let mut words = vec![0u64; data.len().div_ceil(CHARS_PER_WORD)];
+        let mut exc_pos = Vec::new();
+        let mut exc_code = Vec::new();
+        for (i, &c) in data.iter().enumerate() {
+            let pattern = if c >= dense_base {
+                (c - dense_base) as u64
+            } else {
+                exc_pos.push(i as u32);
+                exc_code.push(c);
+                0 // Filler; queries subtract the exception count from code 0.
+            };
+            words[i / CHARS_PER_WORD] |= pattern << (2 * (i % CHARS_PER_WORD));
+        }
+        Self {
+            words,
+            dense_base,
+            exc_pos,
+            exc_code,
+        }
+    }
+
+    /// Index range into the exception lists covering positions `[start, end)`.
+    #[inline]
+    fn exception_range(&self, start: usize, end: usize) -> (usize, usize) {
+        let lo = self.exc_pos.partition_point(|&p| (p as usize) < start);
+        let hi = self.exc_pos.partition_point(|&p| (p as usize) < end);
+        (lo, hi)
+    }
+
+    /// Character at position `i`.
+    #[inline]
+    fn get(&self, i: usize) -> u8 {
+        if let Ok(k) = self.exc_pos.binary_search(&(i as u32)) {
+            return self.exc_code[k];
+        }
+        let pattern = (self.words[i / CHARS_PER_WORD] >> (2 * (i % CHARS_PER_WORD))) & 3;
+        self.dense_base + pattern as u8
+    }
+
+    /// Occurrences of the 2-bit `pattern` in positions `[start, end)`;
+    /// `start` must be word-aligned.  Exception slots count as pattern 0.
+    fn count_pattern(&self, pattern: u64, start: usize, end: usize) -> usize {
+        debug_assert_eq!(start % CHARS_PER_WORD, 0);
+        let mut count = 0u32;
+        let mut pos = start;
+        let mut w = start / CHARS_PER_WORD;
+        while pos < end {
+            let rem = (end - pos).min(CHARS_PER_WORD);
+            count += (eq2(self.words[w], pattern) & group_mask(rem)).count_ones();
+            pos += rem;
+            w += 1;
+        }
+        count as usize
+    }
+
+    /// Occurrence histogram of all four dense patterns over `[start, end)`
+    /// in a single pass; `start` must be word-aligned.
+    fn count_all(&self, start: usize, end: usize, out: &mut [u32; DENSE_CODES]) {
+        debug_assert_eq!(start % CHARS_PER_WORD, 0);
+        let mut pos = start;
+        let mut w = start / CHARS_PER_WORD;
+        while pos < end {
+            let rem = (end - pos).min(CHARS_PER_WORD);
+            let word = self.words[w];
+            let (lo, hi) = (word, word >> 1);
+            let mask = group_mask(rem);
+            out[0] += (!hi & !lo & mask).count_ones();
+            out[1] += (!hi & lo & mask).count_ones();
+            out[2] += (hi & !lo & mask).count_ones();
+            out[3] += (hi & lo & mask).count_ones();
+            pos += rem;
+            w += 1;
+        }
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.words.len() * 8 + self.exc_pos.len() * 4 + self.exc_code.len()
+    }
+}
+
+/// Low-bit-per-group equality mask: bit `2k` set iff group `k` equals
+/// `pattern`.
+#[inline]
+fn eq2(word: u64, pattern: u64) -> u64 {
+    let lo = if pattern & 1 != 0 { word } else { !word };
+    let hi = if pattern & 2 != 0 {
+        word >> 1
+    } else {
+        !(word >> 1)
+    };
+    lo & hi & GROUP_LOW_BITS
+}
+
+/// Mask selecting the first `rem` 2-bit groups of a word.
+#[inline]
+fn group_mask(rem: usize) -> u64 {
+    let groups = if rem >= CHARS_PER_WORD {
+        !0
+    } else {
+        (1u64 << (2 * rem)) - 1
+    };
+    groups & GROUP_LOW_BITS
+}
+
+/// Number of bytes of `data` equal to `c`, eight bytes per SWAR step.
+fn count_eq_bytes(data: &[u8], c: u8) -> usize {
+    let pattern = u64::from_ne_bytes([c; 8]);
+    let mut count = 0usize;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_ne_bytes(chunk.try_into().unwrap());
+        let x = word ^ pattern;
+        // Fold each byte onto its low bit: low bit set iff the byte is
+        // nonzero (all folds stay inside the byte, so this is exact — unlike
+        // the borrow-based `haszero` trick, which is only a predicate).
+        let mut folded = x | (x >> 4);
+        folded |= folded >> 2;
+        folded |= folded >> 1;
+        count += 8 - (folded & BYTE_LOW_BITS).count_ones() as usize;
+    }
+    count + chunks.remainder().iter().filter(|&&b| b == c).count()
 }
 
 impl OccTable {
-    /// Build the table for `data` where all codes are `< code_count`.
+    /// Build the table for `data` where all codes are `< code_count`,
+    /// auto-selecting the storage layout.
     pub fn new(data: Vec<u8>, code_count: usize) -> Self {
+        Self::with_layout(data, code_count, RankLayout::Auto)
+    }
+
+    /// Build with an explicit storage layout (used by tests and benchmarks
+    /// to compare the scan paths).
+    pub fn with_layout(data: Vec<u8>, code_count: usize, layout: RankLayout) -> Self {
         assert!(code_count > 0);
         debug_assert!(data.iter().all(|&c| (c as usize) < code_count));
         let block_count = data.len() / BLOCK + 1;
@@ -36,66 +313,163 @@ impl OccTable {
         for (i, &c) in data.iter().enumerate() {
             if i % BLOCK == 0 {
                 let block = i / BLOCK;
-                checkpoints[block * code_count..(block + 1) * code_count]
-                    .copy_from_slice(&running);
+                checkpoints[block * code_count..(block + 1) * code_count].copy_from_slice(&running);
             }
             running[c as usize] += 1;
         }
         // Final checkpoint for positions at the very end.
-        if data.len() % BLOCK == 0 {
+        if data.len().is_multiple_of(BLOCK) {
             let block = data.len() / BLOCK;
             checkpoints[block * code_count..(block + 1) * code_count].copy_from_slice(&running);
         }
+        let packed = match layout {
+            RankLayout::Auto => code_count <= PACKED_MAX_CODES,
+            RankLayout::PackedDna => {
+                assert!(
+                    code_count <= PACKED_MAX_CODES,
+                    "packed layout supports at most {PACKED_MAX_CODES} codes, got {code_count}"
+                );
+                true
+            }
+            RankLayout::Bytes => false,
+        };
+        let len = data.len();
+        let storage = if packed {
+            OccStorage::Packed(PackedDna::build(&data, code_count))
+        } else {
+            OccStorage::Bytes(data)
+        };
         Self {
-            data,
             code_count,
+            len,
             checkpoints,
+            storage,
+            scans: ScanCounter::default(),
         }
     }
 
     /// Length of the underlying sequence.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True when the sequence is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// The underlying byte sequence.
+    /// Number of distinct codes the table was built for.
     #[inline]
-    pub fn data(&self) -> &[u8] {
-        &self.data
+    pub fn code_count(&self) -> usize {
+        self.code_count
+    }
+
+    /// The layout actually selected at construction.
+    pub fn layout(&self) -> RankLayout {
+        match self.storage {
+            OccStorage::Bytes(_) => RankLayout::Bytes,
+            OccStorage::Packed(_) => RankLayout::PackedDna,
+        }
     }
 
     /// Character at position `i`.
     #[inline]
     pub fn get(&self, i: usize) -> u8 {
-        self.data[i]
+        debug_assert!(i < self.len);
+        match &self.storage {
+            OccStorage::Bytes(data) => data[i],
+            OccStorage::Packed(packed) => packed.get(i),
+        }
     }
 
     /// `Occ(c, i)`: number of occurrences of `c` in `data[0..i]` (exclusive
-    /// upper bound).
+    /// upper bound).  One checkpoint lookup plus one bit-parallel scan of at
+    /// most `BLOCK` positions.
     #[inline]
     pub fn rank(&self, c: u8, i: usize) -> usize {
-        debug_assert!(i <= self.data.len());
+        debug_assert!(i <= self.len);
         debug_assert!((c as usize) < self.code_count);
         let block = i / BLOCK;
-        let mut count = self.checkpoints[block * self.code_count + c as usize] as usize;
+        let base = self.checkpoints[block * self.code_count + c as usize] as usize;
         let start = block * BLOCK;
-        for &b in &self.data[start..i] {
-            count += (b == c) as usize;
+        match &self.storage {
+            OccStorage::Bytes(data) => {
+                self.scans.record(i - start);
+                base + count_eq_bytes(&data[start..i], c)
+            }
+            OccStorage::Packed(packed) => {
+                let (lo, hi) = packed.exception_range(start, i);
+                if c < packed.dense_base {
+                    // Sparse code: the exception list answers exactly,
+                    // without touching the packed words.
+                    base + packed.exc_code[lo..hi].iter().filter(|&&e| e == c).count()
+                } else {
+                    self.scans.record((i - start).div_ceil(4));
+                    let mut count = packed.count_pattern((c - packed.dense_base) as u64, start, i);
+                    if c == packed.dense_base {
+                        count -= hi - lo; // Exception slots packed as pattern 0.
+                    }
+                    base + count
+                }
+            }
         }
-        count
+    }
+
+    /// `Occ(c, i)` for **every** code `c` in one pass: one checkpoint row
+    /// copy plus a single scan of the in-block prefix.
+    ///
+    /// `counts` must have length [`OccTable::code_count`].  This is the
+    /// single-scan primitive behind `FmIndex::extend_all`: expanding a trie
+    /// node costs two `rank_all` calls — two block scans — independent of σ.
+    pub fn rank_all(&self, i: usize, counts: &mut [u32]) {
+        debug_assert!(i <= self.len);
+        assert_eq!(counts.len(), self.code_count);
+        let block = i / BLOCK;
+        counts.copy_from_slice(
+            &self.checkpoints[block * self.code_count..(block + 1) * self.code_count],
+        );
+        let start = block * BLOCK;
+        match &self.storage {
+            OccStorage::Bytes(data) => {
+                self.scans.record(i - start);
+                for &b in &data[start..i] {
+                    counts[b as usize] += 1;
+                }
+            }
+            OccStorage::Packed(packed) => {
+                self.scans.record((i - start).div_ceil(4));
+                let mut dense = [0u32; DENSE_CODES];
+                packed.count_all(start, i, &mut dense);
+                let (lo, hi) = packed.exception_range(start, i);
+                dense[0] -= (hi - lo) as u32; // Exception slots packed as 0.
+                for k in lo..hi {
+                    counts[packed.exc_code[k] as usize] += 1;
+                }
+                let dense_base = packed.dense_base as usize;
+                for (offset, &n) in dense.iter().enumerate() {
+                    if dense_base + offset < self.code_count {
+                        counts[dense_base + offset] += n;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scan-work counters accumulated since construction.
+    pub fn scan_snapshot(&self) -> ScanSnapshot {
+        self.scans.snapshot()
     }
 
     /// Approximate heap footprint in bytes (sequence + checkpoints), used by
     /// the index-size experiment (Figure 11).
     pub fn size_in_bytes(&self) -> usize {
-        self.data.len() + self.checkpoints.len() * std::mem::size_of::<u32>()
+        let storage = match &self.storage {
+            OccStorage::Bytes(data) => data.len(),
+            OccStorage::Packed(packed) => packed.size_in_bytes(),
+        };
+        storage + self.checkpoints.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -107,13 +481,28 @@ mod tests {
         data[..i].iter().filter(|&&b| b == c).count()
     }
 
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    const LAYOUTS: [RankLayout; 3] = [RankLayout::Auto, RankLayout::Bytes, RankLayout::PackedDna];
+
     #[test]
     fn rank_matches_naive_on_small_input() {
         let data = vec![1u8, 2, 1, 3, 0, 1, 2, 2, 3, 1];
-        let table = OccTable::new(data.clone(), 4);
-        for c in 0..4u8 {
-            for i in 0..=data.len() {
-                assert_eq!(table.rank(c, i), naive_rank(&data, c, i), "c={c} i={i}");
+        for layout in LAYOUTS {
+            let table = OccTable::with_layout(data.clone(), 4, layout);
+            for c in 0..4u8 {
+                for i in 0..=data.len() {
+                    assert_eq!(
+                        table.rank(c, i),
+                        naive_rank(&data, c, i),
+                        "layout {layout:?} c={c} i={i}"
+                    );
+                }
             }
         }
     }
@@ -121,30 +510,137 @@ mod tests {
     #[test]
     fn rank_matches_naive_across_block_boundaries() {
         let mut state = 7u64;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            state >> 33
-        };
-        let data: Vec<u8> = (0..BLOCK * 3 + 17).map(|_| (next() % 5) as u8).collect();
-        let table = OccTable::new(data.clone(), 5);
-        for c in 0..5u8 {
-            for i in (0..=data.len()).step_by(7) {
-                assert_eq!(table.rank(c, i), naive_rank(&data, c, i));
-            }
-            // Exactly at the boundaries.
-            for block in 0..=3 {
-                let i = (block * BLOCK).min(data.len());
-                assert_eq!(table.rank(c, i), naive_rank(&data, c, i));
+        let data: Vec<u8> = (0..BLOCK * 3 + 17)
+            .map(|_| (xorshift(&mut state) % 5) as u8)
+            .collect();
+        for layout in LAYOUTS {
+            let table = OccTable::with_layout(data.clone(), 5, layout);
+            for c in 0..5u8 {
+                for i in (0..=data.len()).step_by(7) {
+                    assert_eq!(
+                        table.rank(c, i),
+                        naive_rank(&data, c, i),
+                        "layout {layout:?}"
+                    );
+                }
+                // Exactly at the boundaries.
+                for block in 0..=3 {
+                    let i = (block * BLOCK).min(data.len());
+                    assert_eq!(
+                        table.rank(c, i),
+                        naive_rank(&data, c, i),
+                        "layout {layout:?}"
+                    );
+                }
             }
         }
     }
 
     #[test]
+    fn rank_all_matches_per_code_rank() {
+        let mut state = 99u64;
+        for code_count in [2usize, 4, 6, 9, 21] {
+            let data: Vec<u8> = (0..BLOCK * 2 + 61)
+                .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
+                .collect();
+            let table = OccTable::new(data.clone(), code_count);
+            let mut counts = vec![0u32; code_count];
+            for i in (0..=data.len()).step_by(13) {
+                table.rank_all(i, &mut counts);
+                for c in 0..code_count as u8 {
+                    assert_eq!(
+                        counts[c as usize] as usize,
+                        naive_rank(&data, c, i),
+                        "code_count={code_count} c={c} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_and_bytes_layouts_agree() {
+        let mut state = 4242u64;
+        for code_count in [1usize, 2, 4, 5, 6] {
+            let data: Vec<u8> = (0..BLOCK * 2 + 93)
+                .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
+                .collect();
+            let bytes = OccTable::with_layout(data.clone(), code_count, RankLayout::Bytes);
+            let packed = OccTable::with_layout(data.clone(), code_count, RankLayout::PackedDna);
+            assert_eq!(bytes.layout(), RankLayout::Bytes);
+            assert_eq!(packed.layout(), RankLayout::PackedDna);
+            let mut counts_b = vec![0u32; code_count];
+            let mut counts_p = vec![0u32; code_count];
+            for i in (0..=data.len()).step_by(11) {
+                bytes.rank_all(i, &mut counts_b);
+                packed.rank_all(i, &mut counts_p);
+                assert_eq!(counts_b, counts_p, "i={i} code_count={code_count}");
+                for c in 0..code_count as u8 {
+                    assert_eq!(bytes.rank(c, i), packed.rank(c, i), "c={c} i={i}");
+                }
+            }
+            for (i, &expected) in data.iter().enumerate() {
+                assert_eq!(bytes.get(i), packed.get(i), "i={i}");
+                assert_eq!(bytes.get(i), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_layout_packs_small_alphabets_only() {
+        let small = OccTable::new(vec![0u8, 1, 2, 3, 4, 5], 6);
+        assert_eq!(small.layout(), RankLayout::PackedDna);
+        let large = OccTable::new(vec![0u8, 1, 2, 3, 4, 5, 6], 7);
+        assert_eq!(large.layout(), RankLayout::Bytes);
+    }
+
+    #[test]
+    fn sparse_codes_are_exact_in_the_packed_layout() {
+        // Mostly-dense data with rare sentinel/separator codes, mirroring a
+        // real DNA BWT (shifted codes 0 and 1 are the sparse ones).
+        let mut state = 31u64;
+        let mut data: Vec<u8> = (0..BLOCK * 2)
+            .map(|_| (xorshift(&mut state) % 4) as u8 + 2)
+            .collect();
+        data[0] = 0;
+        data[37] = 1;
+        data[BLOCK] = 1;
+        data[BLOCK + 1] = 1;
+        let table = OccTable::with_layout(data.clone(), 6, RankLayout::PackedDna);
+        for c in 0..6u8 {
+            for i in (0..=data.len()).step_by(3) {
+                assert_eq!(table.rank(c, i), naive_rank(&data, c, i), "c={c} i={i}");
+            }
+        }
+        for (i, &c) in data.iter().enumerate() {
+            assert_eq!(table.get(i), c);
+        }
+    }
+
+    #[test]
+    fn scan_counters_track_rank_all_calls() {
+        let data = vec![1u8; BLOCK + 40];
+        let table = OccTable::new(data, 4);
+        let before = table.scan_snapshot();
+        let mut counts = [0u32; 4];
+        table.rank_all(BLOCK + 20, &mut counts);
+        table.rank_all(10, &mut counts);
+        let delta = table.scan_snapshot().since(&before);
+        assert_eq!(delta.block_scans, 2);
+        assert!(delta.bytes_scanned > 0);
+    }
+
+    #[test]
     fn empty_sequence() {
-        let table = OccTable::new(Vec::new(), 3);
-        assert!(table.is_empty());
-        assert_eq!(table.rank(0, 0), 0);
-        assert_eq!(table.len(), 0);
+        for layout in LAYOUTS {
+            let table = OccTable::with_layout(Vec::new(), 3, layout);
+            assert!(table.is_empty());
+            assert_eq!(table.rank(0, 0), 0);
+            assert_eq!(table.len(), 0);
+            let mut counts = [0u32; 3];
+            table.rank_all(0, &mut counts);
+            assert_eq!(counts, [0, 0, 0]);
+        }
     }
 
     #[test]
@@ -154,12 +650,20 @@ mod tests {
         for (i, &c) in data.iter().enumerate() {
             assert_eq!(table.get(i), c);
         }
-        assert_eq!(table.data(), data.as_slice());
     }
 
     #[test]
     fn size_accounting_is_positive() {
-        let table = OccTable::new(vec![1u8; 1000], 2);
-        assert!(table.size_in_bytes() >= 1000);
+        let bytes = OccTable::with_layout(vec![1u8; 1000], 2, RankLayout::Bytes);
+        assert!(bytes.size_in_bytes() >= 1000);
+        // The packed layout stores the same data in a quarter of the space.
+        let packed = OccTable::with_layout(vec![1u8; 1000], 2, RankLayout::PackedDna);
+        assert!(packed.size_in_bytes() < bytes.size_in_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "packed layout")]
+    fn packed_layout_rejects_large_alphabets() {
+        let _ = OccTable::with_layout(vec![0u8; 10], 7, RankLayout::PackedDna);
     }
 }

@@ -75,7 +75,9 @@ fn sais_u32(text: &[u32], sa: &mut [u32], alphabet_size: usize) {
         };
     }
 
-    let is_lms = |i: usize, types: &[bool]| -> bool { i > 0 && types[i] == S_TYPE && types[i - 1] == L_TYPE };
+    let is_lms = |i: usize, types: &[bool]| -> bool {
+        i > 0 && types[i] == S_TYPE && types[i - 1] == L_TYPE
+    };
 
     // 2. Bucket sizes.
     let mut bucket_sizes = vec![0u32; alphabet_size];
@@ -148,7 +150,10 @@ fn sais_u32(text: &[u32], sa: &mut [u32], alphabet_size: usize) {
     };
 
     // 3. Collect LMS positions in text order.
-    let lms_positions: Vec<u32> = (1..n).filter(|&i| is_lms(i, &types)).map(|i| i as u32).collect();
+    let lms_positions: Vec<u32> = (1..n)
+        .filter(|&i| is_lms(i, &types))
+        .map(|i| i as u32)
+        .collect();
 
     // 4. First induced sort to order LMS substrings.
     induce(sa, &lms_positions, &types);
@@ -278,7 +283,9 @@ mod tests {
         };
         for len in [10usize, 50, 200, 500] {
             for sigma in [2u8, 4, 20] {
-                let text: Vec<u8> = (0..len).map(|_| (next() % sigma as u64) as u8 + 1).collect();
+                let text: Vec<u8> = (0..len)
+                    .map(|_| (next() % sigma as u64) as u8 + 1)
+                    .collect();
                 check(&text);
             }
         }

@@ -11,7 +11,80 @@
 //! trie node, i.e. a distinct substring of `T` together with all of its
 //! occurrences.
 
-use crate::fm_index::{FmIndex, SaRange};
+use crate::fm_index::{FmIndex, SaRange, MAX_CODE_COUNT};
+use crate::rank::{RankLayout, ScanSnapshot};
+
+/// Largest number of children a trie node can have (`MAX_CODE_COUNT` minus
+/// the separator, which never labels an edge).
+pub const MAX_CHILDREN: usize = MAX_CODE_COUNT - 1;
+
+/// A reusable, allocation-free buffer of one node's children.
+///
+/// [`TextIndex::children_into`] fills the buffer in place; DFS loops keep a
+/// single `ChildBuf` alive across every node they expand instead of
+/// allocating a `Vec` per node.
+#[derive(Debug, Clone)]
+pub struct ChildBuf {
+    entries: [(u8, SuffixTrieCursor); MAX_CHILDREN],
+    len: usize,
+}
+
+impl ChildBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        const EMPTY: (u8, SuffixTrieCursor) = (
+            0,
+            SuffixTrieCursor {
+                range: SaRange { start: 0, end: 0 },
+                depth: 0,
+            },
+        );
+        Self {
+            entries: [EMPTY; MAX_CHILDREN],
+            len: 0,
+        }
+    }
+
+    /// Number of children currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the node had no children.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stored `(edge label, child cursor)` pairs, in code order.
+    #[inline]
+    pub fn as_slice(&self) -> &[(u8, SuffixTrieCursor)] {
+        &self.entries[..self.len]
+    }
+
+    /// Iterate over the stored children.
+    pub fn iter(&self) -> impl Iterator<Item = &(u8, SuffixTrieCursor)> {
+        self.as_slice().iter()
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    #[inline]
+    fn push(&mut self, label: u8, cursor: SuffixTrieCursor) {
+        self.entries[self.len] = (label, cursor);
+        self.len += 1;
+    }
+}
+
+impl Default for ChildBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// A searchable text: the forward code sequence plus the FM-index of its
 /// reversal.
@@ -43,13 +116,34 @@ impl SuffixTrieCursor {
 impl TextIndex {
     /// Build the index for a code sequence whose codes are `< code_count`.
     pub fn new(text: Vec<u8>, code_count: usize) -> Self {
+        Self::with_layout(text, code_count, RankLayout::Auto)
+    }
+
+    /// Build with an explicit rank-storage layout (see [`RankLayout`]); used
+    /// to compare the packed-DNA and generic scan paths on the same text.
+    pub fn with_layout(text: Vec<u8>, code_count: usize, layout: RankLayout) -> Self {
         let reversed: Vec<u8> = text.iter().rev().copied().collect();
-        let fm_reverse = FmIndex::new(&reversed, code_count);
+        let fm_reverse = FmIndex::with_options(
+            &reversed,
+            code_count,
+            crate::fm_index::DEFAULT_SA_SAMPLE_RATE,
+            layout,
+        );
         Self {
             text,
             code_count,
             fm_reverse,
         }
+    }
+
+    /// Scan-work counters of the underlying occurrence table.
+    pub fn scan_snapshot(&self) -> ScanSnapshot {
+        self.fm_reverse.scan_snapshot()
+    }
+
+    /// The rank-storage layout selected at construction.
+    pub fn rank_layout(&self) -> RankLayout {
+        self.fm_reverse.rank_layout()
     }
 
     /// The forward text.
@@ -142,17 +236,37 @@ impl TextIndex {
         }
     }
 
-    /// The characters `c` for which the trie node has an outgoing edge,
-    /// together with the child cursors.  Separators (code 0) are excluded —
-    /// no alignment may extend across a record boundary.
-    pub fn children(&self, cursor: SuffixTrieCursor) -> Vec<(u8, SuffixTrieCursor)> {
-        let mut children = Vec::new();
-        for c in 1..self.code_count as u8 {
-            if let Some(child) = self.extend(cursor, c) {
-                children.push((c, child));
+    /// Fill `buf` with the characters `c` for which the trie node has an
+    /// outgoing edge, together with the child cursors.  Separators (code 0)
+    /// are excluded — no alignment may extend across a record boundary.
+    ///
+    /// The expansion derives every child range from one
+    /// [`FmIndex::extend_all`] call — exactly two occurrence-table block
+    /// scans per node, independent of the alphabet size — and reuses the
+    /// caller's buffer, so a DFS walk performs no per-node allocation.
+    pub fn children_into(&self, cursor: SuffixTrieCursor, buf: &mut ChildBuf) {
+        let mut ranges = [SaRange { start: 0, end: 0 }; MAX_CODE_COUNT];
+        self.fm_reverse
+            .extend_all(cursor.range, &mut ranges[..self.code_count]);
+        buf.clear();
+        for (code, &range) in ranges[..self.code_count].iter().enumerate().skip(1) {
+            if !range.is_empty() {
+                buf.push(
+                    code as u8,
+                    SuffixTrieCursor {
+                        range,
+                        depth: cursor.depth + 1,
+                    },
+                );
             }
         }
-        children
+    }
+
+    /// Allocating convenience wrapper around [`TextIndex::children_into`].
+    pub fn children(&self, cursor: SuffixTrieCursor) -> Vec<(u8, SuffixTrieCursor)> {
+        let mut buf = ChildBuf::new();
+        self.children_into(cursor, &mut buf);
+        buf.as_slice().to_vec()
     }
 
     /// Approximate index footprint in bytes (forward text + reversed-text
@@ -228,7 +342,7 @@ mod tests {
         // Children of the root are the distinct characters of the text.
         let labels: Vec<u8> = children.iter().map(|(c, _)| *c).collect();
         assert_eq!(labels, vec![1, 2, 3, 4]); // A, C, G, T all occur.
-        // Extensions of "A" are "AC" (pos 0), "AA" (pos 4), "AG" (pos 5).
+                                              // Extensions of "A" are "AC" (pos 0), "AA" (pos 4), "AG" (pos 5).
         let a_cursor = index.cursor_for(&encode(b"A")).unwrap();
         let a_children: Vec<u8> = index.children(a_cursor).iter().map(|(c, _)| *c).collect();
         assert_eq!(a_children, vec![1, 2, 3]); // A, C, G
@@ -272,6 +386,43 @@ mod tests {
             }
         }
         assert_eq!(from_trie, brute);
+    }
+
+    #[test]
+    fn children_into_matches_children_and_costs_two_scans_per_node() {
+        let text = encode(b"GCTAGCTAGGCATCGATCGGCTAGCAT");
+        let index = TextIndex::new(text, 5);
+        let mut buf = ChildBuf::new();
+        let mut stack = vec![index.root()];
+        let mut nodes = 0u64;
+        let before = index.scan_snapshot();
+        let mut expected_from_vec = Vec::new();
+        while let Some(cursor) = stack.pop() {
+            if cursor.depth >= 4 {
+                continue;
+            }
+            index.children_into(cursor, &mut buf);
+            nodes += 1;
+            expected_from_vec.push((cursor, buf.as_slice().to_vec()));
+            for &(_, child) in buf.as_slice() {
+                stack.push(child);
+            }
+        }
+        let delta = index.scan_snapshot().since(&before);
+        // The tentpole invariant: expanding a node costs exactly two
+        // occurrence-table block scans, independent of σ.
+        assert_eq!(delta.block_scans, 2 * nodes);
+        // And the fan-out reports exactly the edges the independent
+        // per-character `extend` path finds.
+        for (cursor, reported) in expected_from_vec {
+            let mut expected = Vec::new();
+            for c in 1..index.code_count() as u8 {
+                if let Some(child) = index.extend(cursor, c) {
+                    expected.push((c, child));
+                }
+            }
+            assert_eq!(reported, expected);
+        }
     }
 
     #[test]

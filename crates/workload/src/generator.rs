@@ -24,11 +24,11 @@ pub fn random_sequence_with(rng: &mut StdRng, alphabet: Alphabet, len: usize) ->
 pub fn generate_text(spec: &TextSpec) -> Sequence {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let sigma = spec.alphabet.sigma() as u8;
-    let mut codes: Vec<u8> = (0..spec.length)
-        .map(|_| rng.gen_range(1..=sigma))
-        .collect();
+    let mut codes: Vec<u8> = (0..spec.length).map(|_| rng.gen_range(1..=sigma)).collect();
 
-    if spec.repeat_fraction > 0.0 && spec.length > 2 * spec.repeat_max_len && spec.repeat_max_len > 0
+    if spec.repeat_fraction > 0.0
+        && spec.length > 2 * spec.repeat_max_len
+        && spec.repeat_max_len > 0
     {
         let target_repeated = (spec.length as f64 * spec.repeat_fraction) as usize;
         let mut repeated = 0usize;

@@ -39,8 +39,15 @@ impl MutationProfile {
 
     /// Validate that all probabilities lie in `[0, 1)`.
     pub fn validate(&self) {
-        for rate in [self.substitution_rate, self.insertion_rate, self.deletion_rate] {
-            assert!((0.0..1.0).contains(&rate), "mutation rate {rate} out of range");
+        for rate in [
+            self.substitution_rate,
+            self.insertion_rate,
+            self.deletion_rate,
+        ] {
+            assert!(
+                (0.0..1.0).contains(&rate),
+                "mutation rate {rate} out of range"
+            );
         }
     }
 }
@@ -94,7 +101,10 @@ mod tests {
         let mutated = mutate_sequence(Alphabet::Dna, &codes, &MutationProfile::HOMOLOGOUS, 5);
         // Length changes only by the indel rates (~1%).
         let len_ratio = mutated.len() as f64 / codes.len() as f64;
-        assert!((0.95..1.05).contains(&len_ratio), "length ratio {len_ratio}");
+        assert!(
+            (0.95..1.05).contains(&len_ratio),
+            "length ratio {len_ratio}"
+        );
         // With substitutions only (no frame shifts), positional identity
         // stays near 1 − substitution_rate.
         let subs_only = MutationProfile {

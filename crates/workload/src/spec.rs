@@ -144,7 +144,11 @@ impl WorkloadBuilder {
                     let slot = qlen / segment_count;
                     let dst = (s * slot + slot / 4).min(qlen.saturating_sub(segment_len));
                     let max_start = text.len().saturating_sub(segment_len);
-                    let src = if max_start == 0 { 0 } else { rng.gen_range(0..max_start) };
+                    let src = if max_start == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..max_start)
+                    };
                     let segment = mutate_sequence(
                         self.text.alphabet,
                         &text.codes()[src..src + segment_len],
@@ -176,7 +180,11 @@ impl WorkloadBuilder {
         let qlen = self.queries.length.min(text.len().max(1));
         for i in 0..self.queries.count {
             let max_start = text.len().saturating_sub(qlen);
-            let start = if max_start == 0 { 0 } else { rng.gen_range(0..max_start) };
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..max_start)
+            };
             let slice = &text.codes()[start..start + qlen];
             let mut query = mutate_sequence(
                 self.text.alphabet,
@@ -198,10 +206,8 @@ mod tests {
 
     #[test]
     fn builder_produces_requested_shape() {
-        let builder = WorkloadBuilder::new(
-            TextSpec::dna(5_000, 1),
-            QuerySpec::homologous(5, 200, 2),
-        );
+        let builder =
+            WorkloadBuilder::new(TextSpec::dna(5_000, 1), QuerySpec::homologous(5, 200, 2));
         let workload = builder.build();
         assert_eq!(workload.database.character_count(), 5_000);
         assert_eq!(workload.queries.len(), 5);
@@ -227,16 +233,15 @@ mod tests {
         let workload = builder.build();
         let text = workload.database.text();
         for q in &workload.queries {
-            let found = text
-                .windows(q.len())
-                .any(|window| window == q.codes());
+            let found = text.windows(q.len()).any(|window| window == q.codes());
             assert!(found, "exact query not found in text");
         }
     }
 
     #[test]
     fn deterministic_given_seeds() {
-        let builder = WorkloadBuilder::new(TextSpec::dna(3_000, 9), QuerySpec::homologous(4, 100, 10));
+        let builder =
+            WorkloadBuilder::new(TextSpec::dna(3_000, 9), QuerySpec::homologous(4, 100, 10));
         let a = builder.build();
         let b = builder.build();
         assert_eq!(a.database.text(), b.database.text());

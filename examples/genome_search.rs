@@ -97,11 +97,11 @@ fn main() {
         total.2 += bwtsw_result.hits.len();
     }
 
-    println!("\n           {:>12} {:>12} {:>12}", "ALAE", "BLAST-like", "BWT-SW");
     println!(
-        "hits       {:>12} {:>12} {:>12}",
-        total.0, total.1, total.2
+        "\n           {:>12} {:>12} {:>12}",
+        "ALAE", "BLAST-like", "BWT-SW"
     );
+    println!("hits       {:>12} {:>12} {:>12}", total.0, total.1, total.2);
     println!(
         "time (s)   {:>12.3} {:>12.3} {:>12.3}",
         times.0, times.1, times.2

@@ -165,6 +165,12 @@ fn index_size_split_matches_figure_11_shape_for_dna() {
     let dominate = aligner.domination_index_size_bytes() as f64;
     // At megabase scale the dominate index is negligible (Figure 11(a)); at
     // this test scale the 256 possible DNA 4-grams still cost a visible but
-    // clearly sub-dominant fraction of the BWT index.
-    assert!(dominate < bwt * 0.3, "dominate index too large for DNA ({dominate} vs {bwt})");
+    // clearly sub-dominant fraction of the BWT index.  The 2-bit packed rank
+    // layout shrinks the DNA BWT index roughly 4×, which inflates this
+    // micro-scale ratio (the dominate index has a fixed 4^q floor); it stays
+    // clearly below 1 and vanishes as the text grows.
+    assert!(
+        dominate < bwt * 0.5,
+        "dominate index too large for DNA ({dominate} vs {bwt})"
+    );
 }

@@ -100,8 +100,9 @@ fn shared_index_gives_identical_results_to_private_indexes() {
         )
         .align(query.codes());
         assert_eq!(from_shared.hits, from_private.hits);
-        let bwtsw_shared = BwtswAligner::with_index(shared.clone(), BwtswConfig::new(scheme, threshold))
-            .align(query.codes());
+        let bwtsw_shared =
+            BwtswAligner::with_index(shared.clone(), BwtswConfig::new(scheme, threshold))
+                .align(query.codes());
         assert_eq!(from_shared.hits, bwtsw_shared.hits);
     }
 }

@@ -1,63 +1,110 @@
-//! Property-based tests (proptest) on the core data structures and the
-//! exactness invariant.
+//! Property-based tests on the core data structures and the exactness
+//! invariant.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these tests drive the same properties from a deterministic xorshift
+//! generator: every case derives from a fixed seed, so failures reproduce
+//! exactly.
 
 use alae::baseline::{global_similarity, local_alignment_hits};
 use alae::bioseq::hits::diff_hits;
 use alae::bioseq::{Alphabet, KarlinAltschul, ScoringScheme, Sequence, SequenceDatabase};
 use alae::bwtsw::{BwtswAligner, BwtswConfig};
 use alae::core::{AlaeAligner, AlaeConfig, DominationIndex, QGramIndex};
+use alae::suffix::rank::OccTable;
 use alae::suffix::sais::{suffix_array, suffix_array_naive};
-use alae::suffix::TextIndex;
-use proptest::prelude::*;
+use alae::suffix::{ChildBuf, RankLayout, TextIndex};
 
-/// Strategy: a DNA code sequence (codes 1..=4) of the given length range.
-fn dna_codes(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(1u8..=4, len)
-}
+/// Deterministic case generator (xorshift64*).
+struct Gen(u64);
 
-/// Strategy: a small scoring scheme with the paper's sign conventions.
-fn schemes() -> impl Strategy<Value = ScoringScheme> {
-    (1i64..=2, -4i64..=-1, -6i64..=-2, -3i64..=-1)
-        .prop_map(|(sa, sb, sg, ss)| ScoringScheme::new(sa, sb, sg, ss).unwrap())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn suffix_array_matches_naive(text in dna_codes(0..200)) {
-        prop_assert_eq!(suffix_array(&text), suffix_array_naive(&text));
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.max(1))
     }
 
-    #[test]
-    fn fm_index_counts_match_naive_search(
-        text in dna_codes(30..300),
-        pattern in dna_codes(1..8),
-    ) {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.next() as usize) % (hi - lo)
+    }
+
+    /// A DNA code sequence (codes `1..=4`) with length in `[lo, hi)`.
+    fn dna(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        let len = self.range(lo, hi);
+        (0..len).map(|_| (self.next() % 4) as u8 + 1).collect()
+    }
+
+    /// A scoring scheme with the paper's sign conventions.
+    fn scheme(&mut self) -> ScoringScheme {
+        let sa = self.range(1, 3) as i64;
+        let sb = -(self.range(1, 5) as i64);
+        let sg = -(self.range(2, 7) as i64);
+        let ss = -(self.range(1, 4) as i64);
+        ScoringScheme::new(sa, sb, sg, ss).unwrap()
+    }
+}
+
+const CASES: usize = 48;
+
+#[test]
+fn suffix_array_matches_naive() {
+    let mut g = Gen::new(0x5eed_0001);
+    for case in 0..CASES {
+        let text = g.dna(0, 200);
+        assert_eq!(
+            suffix_array(&text),
+            suffix_array_naive(&text),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn fm_index_counts_match_naive_search() {
+    let mut g = Gen::new(0x5eed_0002);
+    for case in 0..CASES {
+        let text = g.dna(30, 300);
+        let pattern = g.dna(1, 8);
         let index = TextIndex::new(text.clone(), 5);
         let expected: Vec<usize> = (0..=text.len().saturating_sub(pattern.len()))
             .filter(|&i| text[i..].starts_with(&pattern))
             .collect();
-        prop_assert_eq!(index.find_occurrences(&pattern), expected);
+        assert_eq!(index.find_occurrences(&pattern), expected, "case {case}");
     }
+}
 
-    #[test]
-    fn qgram_index_positions_are_correct(query in dna_codes(10..120)) {
+#[test]
+fn qgram_index_positions_are_correct() {
+    let mut g = Gen::new(0x5eed_0003);
+    for case in 0..CASES {
+        let query = g.dna(10, 120);
         let q = 4;
         let index = QGramIndex::build(&query, q, 5);
         for (gram, positions) in index.iter() {
             for &p in positions {
                 let window = &query[p as usize..p as usize + q];
-                prop_assert_eq!(index.pack(window), Some(gram));
+                assert_eq!(index.pack(window), Some(gram), "case {case}");
             }
         }
         // Every window is indexed exactly once.
         let total: usize = index.iter().map(|(_, v)| v.len()).sum();
-        prop_assert_eq!(total, query.len() - q + 1);
+        assert_eq!(total, query.len().saturating_sub(q - 1), "case {case}");
     }
+}
 
-    #[test]
-    fn domination_index_respects_the_definition(text in dna_codes(20..250)) {
+#[test]
+fn domination_index_respects_the_definition() {
+    let mut g = Gen::new(0x5eed_0004);
+    for case in 0..CASES {
+        let text = g.dna(20, 250);
         let q = 4;
         let index = DominationIndex::build(&text, q, 5);
         // For every adjacent pair of grams, `dominates` implies the literal
@@ -70,94 +117,231 @@ proptest! {
             if index.dominates(prev_key, gram_key) {
                 for t in 0..=text.len() - q {
                     if &text[t..t + q] == gram {
-                        prop_assert!(t >= 1, "occurrence at text start cannot be dominated");
-                        prop_assert_eq!(&text[t - 1..t - 1 + q], prev);
+                        assert!(t >= 1, "case {case}: occurrence at text start");
+                        assert_eq!(&text[t - 1..t - 1 + q], prev, "case {case}");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn global_similarity_upper_bounds_identity(s1 in dna_codes(1..40), s2 in dna_codes(1..40)) {
+#[test]
+fn global_similarity_upper_bounds_identity() {
+    let mut g = Gen::new(0x5eed_0005);
+    for case in 0..CASES {
+        let s1 = g.dna(1, 40);
+        let s2 = g.dna(1, 40);
         let scheme = ScoringScheme::DEFAULT;
         let sim = global_similarity(&s1, &s2, &scheme);
-        // Never better than a perfect match of the shorter string with the
-        // length difference bridged by one gap for free (loose but valid).
-        prop_assert!(sim <= scheme.sa * s1.len().min(s2.len()) as i64);
+        // Never better than a perfect match of the shorter string.
+        assert!(
+            sim <= scheme.sa * s1.len().min(s2.len()) as i64,
+            "case {case}"
+        );
         // Symmetric.
-        prop_assert_eq!(sim, global_similarity(&s2, &s1, &scheme));
+        assert_eq!(sim, global_similarity(&s2, &s1, &scheme), "case {case}");
     }
+}
 
-    #[test]
-    fn alae_equals_oracle_on_random_instances(
-        text in dna_codes(60..220),
-        scheme in schemes(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn alae_equals_oracle_on_random_instances() {
+    let mut g = Gen::new(0x5eed_0006);
+    for case in 0..CASES {
+        let text = g.dna(60, 220);
+        let scheme = g.scheme();
         // Derive a query as a mutated slice of the text so hits exist often.
         let qlen = 24.min(text.len() / 2);
-        let start = (seed as usize * 7919) % (text.len() - qlen);
+        let start = g.range(0, text.len() - qlen);
         let mut query = text[start..start + qlen].to_vec();
-        if !query.is_empty() {
-            let pos = (seed as usize * 104729) % query.len();
-            query[pos] = (seed % 4) as u8 + 1;
-        }
+        let pos = g.range(0, query.len());
+        query[pos] = (g.next() % 4) as u8 + 1;
         let threshold = (scheme.q() as i64 * scheme.sa).max(6);
         let seq = Sequence::from_codes(Alphabet::Dna, text.clone());
         let database = SequenceDatabase::from_sequences(Alphabet::Dna, [seq]);
         let alae = AlaeAligner::build(&database, AlaeConfig::with_threshold(scheme, threshold))
             .align(&query);
         let (oracle, _) = local_alignment_hits(&text, &query, &scheme, threshold);
-        prop_assert!(
+        assert!(
             diff_hits(&alae.hits, &oracle).is_none(),
-            "ALAE vs oracle: {:?}",
+            "case {case}: ALAE vs oracle: {:?}",
             diff_hits(&alae.hits, &oracle)
         );
     }
+}
 
-    #[test]
-    fn bwtsw_equals_oracle_on_random_instances(
-        text in dna_codes(60..200),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn bwtsw_equals_oracle_on_random_instances() {
+    let mut g = Gen::new(0x5eed_0007);
+    for case in 0..CASES {
+        let text = g.dna(60, 200);
         let scheme = ScoringScheme::DEFAULT;
         let qlen = 20.min(text.len() / 2);
-        let start = (seed as usize * 6151) % (text.len() - qlen);
+        let start = g.range(0, text.len() - qlen);
         let query = text[start..start + qlen].to_vec();
         let threshold = 6;
         let seq = Sequence::from_codes(Alphabet::Dna, text.clone());
         let database = SequenceDatabase::from_sequences(Alphabet::Dna, [seq]);
-        let bwtsw = BwtswAligner::build(&database, BwtswConfig::new(scheme, threshold))
-            .align(&query);
+        let bwtsw =
+            BwtswAligner::build(&database, BwtswConfig::new(scheme, threshold)).align(&query);
         let (oracle, _) = local_alignment_hits(&text, &query, &scheme, threshold);
-        prop_assert!(diff_hits(&bwtsw.hits, &oracle).is_none());
+        assert!(diff_hits(&bwtsw.hits, &oracle).is_none(), "case {case}");
     }
+}
 
-    #[test]
-    fn evalue_threshold_is_monotone(
-        exp1 in -15.0f64..1.0,
-        exp2 in -15.0f64..1.0,
-        m in 100usize..10_000,
-        n in 1_000usize..10_000_000,
-    ) {
-        let ka = KarlinAltschul::estimate(Alphabet::Dna, &ScoringScheme::DEFAULT).unwrap();
-        let (e1, e2) = (10f64.powf(exp1), 10f64.powf(exp2));
-        let (h1, h2) = (ka.threshold_for_evalue(m, n, e1), ka.threshold_for_evalue(m, n, e2));
-        if e1 < e2 {
-            prop_assert!(h1 >= h2);
-        } else if e1 > e2 {
-            prop_assert!(h1 <= h2);
+#[test]
+fn extend_all_agrees_with_extend_left_on_random_dfs() {
+    // Tentpole invariant: for every trie node reached by a random DFS, the
+    // single-scan `extend_all` fan-out reports exactly the ranges the σ
+    // per-character `extend_left` steps report — on both rank layouts and on
+    // a protein-sized alphabet.
+    let mut g = Gen::new(0x5eed_000a);
+    for case in 0..24 {
+        let (code_count, layout) = match case % 3 {
+            0 => (5usize, RankLayout::PackedDna),
+            1 => (5usize, RankLayout::Bytes),
+            _ => (21usize, RankLayout::Auto),
+        };
+        let sigma = code_count - 1;
+        let len = g.range(100, 400);
+        let text: Vec<u8> = (0..len)
+            .map(|_| (g.next() % sigma as u64) as u8 + 1)
+            .collect();
+        let index = TextIndex::with_layout(text, code_count, layout);
+        let mut buf = ChildBuf::new();
+        let mut stack = vec![index.root()];
+        let mut visited = 0usize;
+        while let Some(cursor) = stack.pop() {
+            if cursor.depth >= 5 || visited >= 500 {
+                continue;
+            }
+            visited += 1;
+            index.children_into(cursor, &mut buf);
+            // Per-character extension must agree edge by edge.
+            let mut expected = Vec::new();
+            for c in 1..code_count as u8 {
+                if let Some(child) = index.extend(cursor, c) {
+                    expected.push((c, child));
+                }
+            }
+            assert_eq!(buf.as_slice(), expected.as_slice(), "case {case}");
+            // Randomly descend into a few children to diversify ranges.
+            for &(_, child) in buf.as_slice() {
+                if g.next().is_multiple_of(2) {
+                    stack.push(child);
+                }
+            }
         }
     }
+}
 
-    #[test]
-    fn alae_counters_are_internally_consistent(
-        text in dna_codes(80..200),
-        seed in 0u64..500,
-    ) {
+#[test]
+fn packed_and_generic_rank_paths_agree_on_random_texts() {
+    // The 2-bit-packed popcount path and the generic SWAR path must compute
+    // identical ranks — including sentinel/separator exception codes.
+    let mut g = Gen::new(0x5eed_000b);
+    for case in 0..32 {
+        let code_count = g.range(2, 7);
+        let len = g.range(1, 700);
+        let data: Vec<u8> = (0..len)
+            .map(|_| {
+                // Skew towards high codes so low (sparse) codes are rare, as
+                // in a real BWT with its single sentinel.
+                let r = g.next() % 100;
+                if r < 3 {
+                    (g.next() % code_count as u64) as u8
+                } else {
+                    let dense = 4.min(code_count) as u64;
+                    (code_count - 1) as u8 - (g.next() % dense) as u8
+                }
+            })
+            .collect();
+        let bytes = OccTable::with_layout(data.clone(), code_count, RankLayout::Bytes);
+        let packed = OccTable::with_layout(data.clone(), code_count, RankLayout::PackedDna);
+        let mut counts_b = vec![0u32; code_count];
+        let mut counts_p = vec![0u32; code_count];
+        for _ in 0..40 {
+            let i = g.range(0, len + 1);
+            bytes.rank_all(i, &mut counts_b);
+            packed.rank_all(i, &mut counts_p);
+            assert_eq!(counts_b, counts_p, "case {case} i={i}");
+            for c in 0..code_count as u8 {
+                assert_eq!(
+                    bytes.rank(c, i),
+                    packed.rank(c, i),
+                    "case {case} c={c} i={i}"
+                );
+            }
+        }
+        for i in 0..len {
+            assert_eq!(bytes.get(i), packed.get(i), "case {case} i={i}");
+        }
+    }
+}
+
+#[test]
+fn trie_expansion_performs_two_block_scans_per_node() {
+    let mut g = Gen::new(0x5eed_000c);
+    for (code_count, layout) in [
+        (5usize, RankLayout::PackedDna),
+        (5, RankLayout::Bytes),
+        (21, RankLayout::Bytes),
+    ] {
+        let sigma = code_count - 1;
+        let text: Vec<u8> = (0..300)
+            .map(|_| (g.next() % sigma as u64) as u8 + 1)
+            .collect();
+        let index = TextIndex::with_layout(text, code_count, layout);
+        let mut buf = ChildBuf::new();
+        let mut nodes = 0u64;
+        let mut stack = vec![index.root()];
+        let before = index.scan_snapshot();
+        while let Some(cursor) = stack.pop() {
+            if cursor.depth >= 3 {
+                continue;
+            }
+            index.children_into(cursor, &mut buf);
+            nodes += 1;
+            stack.extend(buf.iter().map(|&(_, child)| child));
+        }
+        let delta = index.scan_snapshot().since(&before);
+        assert_eq!(
+            delta.block_scans,
+            2 * nodes,
+            "layout {layout:?} code_count {code_count}"
+        );
+    }
+}
+
+#[test]
+fn evalue_threshold_is_monotone() {
+    let mut g = Gen::new(0x5eed_0008);
+    let ka = KarlinAltschul::estimate(Alphabet::Dna, &ScoringScheme::DEFAULT).unwrap();
+    for case in 0..CASES {
+        let exp1 = -15.0 + (g.next() % 1600) as f64 / 100.0;
+        let exp2 = -15.0 + (g.next() % 1600) as f64 / 100.0;
+        let m = g.range(100, 10_000);
+        let n = g.range(1_000, 10_000_000);
+        let (e1, e2) = (10f64.powf(exp1), 10f64.powf(exp2));
+        let (h1, h2) = (
+            ka.threshold_for_evalue(m, n, e1),
+            ka.threshold_for_evalue(m, n, e2),
+        );
+        if e1 < e2 {
+            assert!(h1 >= h2, "case {case}");
+        } else if e1 > e2 {
+            assert!(h1 <= h2, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn alae_counters_are_internally_consistent() {
+    let mut g = Gen::new(0x5eed_0009);
+    for case in 0..CASES {
+        let text = g.dna(80, 200);
         let qlen = 30.min(text.len() / 2);
-        let start = (seed as usize * 31) % (text.len() - qlen);
+        let start = g.range(0, text.len() - qlen);
         let query = text[start..start + qlen].to_vec();
         let seq = Sequence::from_codes(Alphabet::Dna, text);
         let database = SequenceDatabase::from_sequences(Alphabet::Dna, [seq]);
@@ -167,12 +351,16 @@ proptest! {
         )
         .align(&query);
         let stats = result.stats;
-        prop_assert_eq!(
+        assert_eq!(
             stats.accessed_entries(),
-            stats.calculated_entries() + stats.reused_entries
+            stats.calculated_entries() + stats.reused_entries,
+            "case {case}"
         );
-        prop_assert!(stats.reusing_ratio() >= 0.0 && stats.reusing_ratio() <= 100.0);
-        prop_assert!(stats.emr_entries >= 4 * stats.forks_started || stats.forks_started == 0);
-        prop_assert!(result.hits.iter().all(|h| h.score >= result.threshold));
+        assert!(stats.reusing_ratio() >= 0.0 && stats.reusing_ratio() <= 100.0);
+        assert!(
+            stats.emr_entries >= 4 * stats.forks_started || stats.forks_started == 0,
+            "case {case}"
+        );
+        assert!(result.hits.iter().all(|h| h.score >= result.threshold));
     }
 }
