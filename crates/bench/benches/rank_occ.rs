@@ -1,8 +1,11 @@
 //! Micro-benchmark of the occurrence (rank) layer: one `extend_all` call
-//! versus the σ per-character `extend_left` loop it replaces.
+//! versus the σ per-character `extend_left` loop it replaces, plus the
+//! checkpoint-scheme (two-level vs flat u32) and nibble-packing comparisons.
 
-use alae_bench::{collect_trie_nodes, extend_all_pass, extend_left_pass, protein_workload};
-use alae_suffix::ChildBuf;
+use alae_bench::{
+    collect_trie_nodes, extend_all_pass, extend_left_pass, protein_workload, reduce_alphabet,
+};
+use alae_suffix::{CheckpointScheme, ChildBuf, RankLayout, TextIndex};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -23,6 +26,30 @@ fn bench_rank_occ(c: &mut Criterion) {
     group.bench_function("extend_all", |b| {
         let mut buf = ChildBuf::new();
         b.iter(|| extend_all_pass(&index, &nodes, &mut buf))
+    });
+
+    // Same text with the flat u32 checkpoint rows the two-level scheme
+    // replaced: the delta is pure checkpoint-row width.
+    let flat_index = TextIndex::with_occ_options(
+        workload.database.text().to_vec(),
+        workload.database.alphabet().code_count(),
+        RankLayout::Auto,
+        CheckpointScheme::FlatU32,
+    );
+    let flat_nodes = collect_trie_nodes(&flat_index, 2, 2_000);
+    group.bench_function("extend_all_flat_u32", |b| {
+        let mut buf = ChildBuf::new();
+        b.iter(|| extend_all_pass(&flat_index, &flat_nodes, &mut buf))
+    });
+
+    // Reduced protein alphabet (σ = 15 + separator) on the 4-bit
+    // nibble-packed popcount path.
+    let reduced = reduce_alphabet(workload.database.text(), 15);
+    let nibble_index = TextIndex::with_layout(reduced, 16, RankLayout::PackedNibble);
+    let nibble_nodes = collect_trie_nodes(&nibble_index, 2, 2_000);
+    group.bench_function("extend_all_reduced15_nibble", |b| {
+        let mut buf = ChildBuf::new();
+        b.iter(|| extend_all_pass(&nibble_index, &nibble_nodes, &mut buf))
     });
 
     group.finish();

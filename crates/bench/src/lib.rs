@@ -38,6 +38,17 @@ pub fn collect_trie_nodes(
     nodes
 }
 
+/// Fold the alphabet codes of a text onto `sigma` codes (separator code 0
+/// stays 0), producing a reduced-alphabet text for the nibble rank layout
+/// (shared by the `rank_occ` bench and the harness `rank` experiment so
+/// both measure the same reduced text).
+pub fn reduce_alphabet(codes: &[u8], sigma: u8) -> Vec<u8> {
+    codes
+        .iter()
+        .map(|&c| if c == 0 { 0 } else { (c - 1) % sigma + 1 })
+        .collect()
+}
+
 /// Expand every node with the σ per-character `extend` loop (the layer the
 /// single-scan `extend_all` replaced); returns the number of live children.
 pub fn extend_left_pass(index: &TextIndex, nodes: &[SuffixTrieCursor]) -> usize {

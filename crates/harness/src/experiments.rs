@@ -33,6 +33,11 @@ pub struct ExperimentOptions {
     pub queries_per_point: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// `Some(tolerance)` turns the `rank` experiment into the CI
+    /// perf-regression gate: compare against the committed
+    /// `BENCH_rank.json` and fail the process on regression (`--check
+    /// [--tolerance <fraction>]`).
+    pub rank_check: Option<f64>,
 }
 
 impl Default for ExperimentOptions {
@@ -41,6 +46,7 @@ impl Default for ExperimentOptions {
             scale: 1.0,
             queries_per_point: 3,
             seed: 42,
+            rank_check: None,
         }
     }
 }
@@ -86,11 +92,18 @@ pub fn run_experiment(name: &str, options: &ExperimentOptions) -> bool {
 /// baseline is defined at the default `--scale`/`--seed`, so the snapshot is
 /// only written when the experiment was invoked directly (`direct`, never
 /// the `all` sweep) *and* the run used the defaults; anything else just
-/// prints.
+/// prints.  With `rank_check` set (`--check`), the run is additionally
+/// compared against the committed baseline and the process exits non-zero
+/// on regression — the CI perf gate.
 fn rank(options: &ExperimentOptions, direct: bool) {
     header("rank — occurrence-layer single-scan extend_all vs extend_left loop");
     let defaults = ExperimentOptions::default();
-    if direct && options.scale == defaults.scale && options.seed == defaults.seed {
+    let at_defaults = options.scale == defaults.scale && options.seed == defaults.seed;
+    if let Some(tolerance) = options.rank_check {
+        if !crate::rank_bench::run_and_check(options, tolerance, direct && at_defaults) {
+            std::process::exit(1);
+        }
+    } else if direct && at_defaults {
         crate::rank_bench::run_and_write(options);
     } else {
         crate::rank_bench::run_and_print(options);
@@ -196,8 +209,16 @@ fn table4(options: &ExperimentOptions) {
     let n = options.len(100_000);
     let query_lengths = [300usize, 1_000, 3_000];
     println!(
-        "{:>8} | {:>12} {:>12} {:>12} {:>14} | {:>14} {:>14}",
-        "m", "ALAE cost1", "ALAE cost2", "ALAE cost3", "ALAE cost", "BWT-SW entries", "BWT-SW cost"
+        "{:>8} | {:>12} {:>12} {:>12} {:>14} | {:>14} {:>14} | {:>12} {:>12}",
+        "m",
+        "ALAE cost1",
+        "ALAE cost2",
+        "ALAE cost3",
+        "ALAE cost",
+        "BWT-SW entries",
+        "BWT-SW cost",
+        "ALAE occ-scan",
+        "BWSW occ-scan"
     );
     for (i, &base_m) in query_lengths.iter().enumerate() {
         let m = options.len(base_m);
@@ -210,7 +231,7 @@ fn table4(options: &ExperimentOptions) {
         let (_, alae_stats, threshold) = run_alae(&prepared, default_config());
         let (_, bwtsw_stats) = run_bwtsw(&prepared, ScoringScheme::DEFAULT, threshold);
         println!(
-            "{:>8} | {:>12} {:>12} {:>12} {:>14} | {:>14} {:>14}",
+            "{:>8} | {:>12} {:>12} {:>12} {:>14} | {:>14} {:>14} | {:>12} {:>12}",
             m,
             alae_stats.emr_entries,
             alae_stats.ngr_entries,
@@ -218,9 +239,13 @@ fn table4(options: &ExperimentOptions) {
             alae_stats.computation_cost(),
             bwtsw_stats.calculated_entries,
             bwtsw_stats.computation_cost(),
+            alae_stats.occ_block_scans,
+            bwtsw_stats.occ_block_scans,
         );
     }
-    println!("(n = {n}; cost model: EMR x1, NGR x2, gap region x3, BWT-SW x3 per entry)");
+    println!("(n = {n}; cost model: EMR x1, NGR x2, gap region x3, BWT-SW x3 per entry;");
+    println!(" occ-scan columns are occurrence-table block scans — 2 per trie-node expansion —");
+    println!(" so the same filtering that prunes DP entries also shows up as fewer index scans)");
 }
 
 /// Table 5: reused / accessed / calculated entries for the two schemes the
@@ -278,36 +303,56 @@ fn fig7(options: &ExperimentOptions) {
             );
             let (_, alae_stats, threshold) = run_alae(&prepared, default_config());
             let (_, bwtsw_stats) = run_bwtsw(&prepared, ScoringScheme::DEFAULT, threshold);
+            // Occurrence-layer view of the same filtering: block scans the
+            // two engines spent walking the trie (2 per node expansion).
+            let scan_saving = if bwtsw_stats.occ_block_scans > 0 {
+                100.0
+                    * bwtsw_stats
+                        .occ_block_scans
+                        .saturating_sub(alae_stats.occ_block_scans) as f64
+                    / bwtsw_stats.occ_block_scans as f64
+            } else {
+                0.0
+            };
             grid.push((
                 n,
                 m,
                 alae_stats.filtering_ratio(bwtsw_stats.calculated_entries),
                 alae_stats.reusing_ratio(),
+                alae_stats.occ_block_scans,
+                scan_saving,
             ));
         }
     }
     println!("(a)/(b) ratios vs query length m, one line per text length n");
     println!(
-        "{:>10} {:>10} {:>18} {:>16}",
-        "n", "m", "filtering ratio %", "reusing ratio %"
+        "{:>10} {:>10} {:>18} {:>16} {:>14} {:>14}",
+        "n", "m", "filtering ratio %", "reusing ratio %", "ALAE occ-scan", "scan saving %"
     );
-    for &(n, m, filtering, reusing) in &grid {
-        println!("{:>10} {:>10} {:>18.1} {:>16.1}", n, m, filtering, reusing);
+    for &(n, m, filtering, reusing, scans, saving) in &grid {
+        println!(
+            "{:>10} {:>10} {:>18.1} {:>16.1} {:>14} {:>14.1}",
+            n, m, filtering, reusing, scans, saving
+        );
     }
     println!();
     println!("(c)/(d) ratios vs text length n, one line per query length m");
     println!(
-        "{:>10} {:>10} {:>18} {:>16}",
-        "m", "n", "filtering ratio %", "reusing ratio %"
+        "{:>10} {:>10} {:>18} {:>16} {:>14} {:>14}",
+        "m", "n", "filtering ratio %", "reusing ratio %", "ALAE occ-scan", "scan saving %"
     );
     for &base_m in &query_lengths {
         let m = options.len(base_m);
-        for &(n, grid_m, filtering, reusing) in &grid {
+        for &(n, grid_m, filtering, reusing, scans, saving) in &grid {
             if grid_m == m {
-                println!("{:>10} {:>10} {:>18.1} {:>16.1}", m, n, filtering, reusing);
+                println!(
+                    "{:>10} {:>10} {:>18.1} {:>16.1} {:>14} {:>14.1}",
+                    m, n, filtering, reusing, scans, saving
+                );
             }
         }
     }
+    println!("(scan saving % compares ALAE's occurrence-table block scans against BWT-SW's)");
 }
 
 /// Figure 8: ALAE alignment time as a function of the E-value.

@@ -3,16 +3,23 @@
 //!
 //! ```text
 //! alae-experiments <experiment> [--scale <factor>] [--queries <count>] [--seed <seed>]
+//!                               [--check] [--tolerance <fraction>]
 //!
 //! experiments: all, table2, table3, table4, table5, fig7, fig8, fig9,
 //!              fig10, fig11, bounds, sw-anchor, rank
 //! ```
+//!
+//! `--check` (rank experiment only) compares the fresh measurements against
+//! the committed `BENCH_rank.json` and exits non-zero when the per-layout
+//! `extend_all` throughput regresses beyond `--tolerance` (default 0.15) —
+//! the CI perf-regression gate.
 
 use alae_harness::{run_experiment, ExperimentOptions, EXPERIMENT_NAMES};
 
 fn print_usage() {
-    eprintln!("usage: alae-experiments <experiment> [--scale <factor>] [--queries <count>] [--seed <seed>]");
+    eprintln!("usage: alae-experiments <experiment> [--scale <factor>] [--queries <count>] [--seed <seed>] [--check] [--tolerance <fraction>]");
     eprintln!("experiments: all, {}", EXPERIMENT_NAMES.join(", "));
+    eprintln!("--check (rank only): fail when BENCH_rank.json throughput regresses beyond --tolerance (default 0.15)");
 }
 
 fn main() {
@@ -23,9 +30,24 @@ fn main() {
     }
     let mut experiment: Option<String> = None;
     let mut options = ExperimentOptions::default();
+    let mut check = false;
+    let mut tolerance = 0.15f64;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--check" => check = true,
+            "--tolerance" => {
+                let value = iter.next().unwrap_or_default();
+                match value.parse::<f64>() {
+                    Ok(fraction) if (0.0..1.0).contains(&fraction) => tolerance = fraction,
+                    _ => {
+                        eprintln!(
+                            "invalid --tolerance value (expected a fraction in [0, 1)): {value:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--scale" => {
                 let value = iter.next().unwrap_or_default();
                 match value.parse::<f64>() {
@@ -72,6 +94,24 @@ fn main() {
         print_usage();
         std::process::exit(2);
     };
+    if check {
+        if name != "rank" {
+            eprintln!("--check only applies to the `rank` experiment");
+            std::process::exit(2);
+        }
+        let defaults = ExperimentOptions::default();
+        if options.scale != defaults.scale || options.seed != defaults.seed {
+            // The committed baseline is defined at the default scale/seed;
+            // comparing a different workload against it would report
+            // phantom regressions (or mask real ones).
+            eprintln!(
+                "--check requires the default --scale ({}) and --seed ({}) the committed baseline was generated with",
+                defaults.scale, defaults.seed
+            );
+            std::process::exit(2);
+        }
+        options.rank_check = Some(tolerance);
+    }
     if !run_experiment(&name, &options) {
         eprintln!("unknown experiment: {name:?}");
         print_usage();

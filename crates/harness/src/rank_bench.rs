@@ -1,12 +1,15 @@
 //! Occurrence-layer micro-benchmark: one `extend_all` fan-out versus the σ
-//! per-character `extend_left` loop it replaces, measured on a
-//! protein-alphabet (σ = 21 codes) BWT plus a packed-vs-generic DNA
-//! comparison.  Writes the measurements to `BENCH_rank.json` so successive
-//! PRs accumulate a perf trajectory.
+//! per-character `extend_left` loop it replaces, measured per rank layout —
+//! protein (σ = 21 codes) with two-level and flat-`u32` checkpoint rows, a
+//! reduced-protein nibble-packed layout versus its byte-layout twin, and the
+//! packed-vs-generic DNA comparison.  Writes the measurements (including
+//! per-layout occurrence-table bytes) to `BENCH_rank.json` so successive PRs
+//! accumulate a perf trajectory, and implements the `--check` mode the CI
+//! perf-regression gate runs against the committed snapshot.
 
 use crate::experiments::ExperimentOptions;
 use alae_bioseq::Alphabet;
-use alae_suffix::{ChildBuf, RankLayout, SuffixTrieCursor, TextIndex};
+use alae_suffix::{CheckpointScheme, ChildBuf, RankLayout, SuffixTrieCursor, TextIndex};
 use alae_workload::{generate_text, TextSpec};
 use std::time::Instant;
 
@@ -19,10 +22,14 @@ pub struct RankBenchEntry {
     pub role: &'static str,
     /// Mean wall-clock nanoseconds per trie-node expansion.
     pub ns_per_node: f64,
-    /// Occurrence-table block scans per expansion (exact, from the counter).
+    /// Occurrence-table block scans per expansion (exact, from the counter;
+    /// zero when the `occ-counters` feature is disabled).
     pub block_scans_per_node: f64,
     /// Storage bytes examined per expansion (exact, from the counter).
     pub bytes_scanned_per_node: f64,
+    /// Occurrence-table footprint of the configuration's index (BWT storage
+    /// + checkpoint rows), in bytes.
+    pub index_bytes: u64,
 }
 
 /// The full report written to `BENCH_rank.json`.
@@ -39,7 +46,8 @@ pub struct RankBenchReport {
     pub code_count: usize,
     /// Number of trie nodes expanded per measured pass.
     pub nodes: usize,
-    /// Speedup of `extend_all` over the `extend_left` loop (protein).
+    /// Speedup of `extend_all` over the `extend_left` loop (protein,
+    /// two-level checkpoints).
     pub speedup: f64,
     /// The measured configurations.
     pub entries: Vec<RankBenchEntry>,
@@ -64,37 +72,58 @@ impl RankBenchReport {
         for (i, entry) in self.entries.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"role\": \"{}\", \"ns_per_node\": {:.1}, \
-                 \"block_scans_per_node\": {:.1}, \"bytes_scanned_per_node\": {:.1}}}{}\n",
+                 \"block_scans_per_node\": {:.1}, \"bytes_scanned_per_node\": {:.1}, \
+                 \"index_bytes\": {}}}{}\n",
                 entry.name,
                 entry.role,
                 entry.ns_per_node,
                 entry.block_scans_per_node,
                 entry.bytes_scanned_per_node,
+                entry.index_bytes,
                 if i + 1 < self.entries.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]\n}\n");
         out
     }
-}
 
-/// Best-of-N wall-clock time for `pass`, in nanoseconds.
-fn best_time_ns(mut pass: impl FnMut() -> usize, repetitions: usize) -> f64 {
-    let mut best = f64::INFINITY;
-    let mut guard = 0usize;
-    for _ in 0..repetitions {
-        let start = Instant::now();
-        guard = guard.wrapping_add(pass());
-        let elapsed = start.elapsed().as_secs_f64() * 1e9;
-        if elapsed < best {
-            best = elapsed;
+    /// The `extend_all` ("after") entry of a configuration, if measured.
+    fn after(&self, config: &str) -> Option<&RankBenchEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.role == "after" && e.name.starts_with(config))
+    }
+
+    /// The within-run speedup of `extend_all` over the `extend_left` loop
+    /// for one configuration prefix.
+    fn config_speedup(&self, config: &str) -> Option<f64> {
+        let before = self
+            .entries
+            .iter()
+            .find(|e| e.role == "before" && e.name.starts_with(config))?;
+        let after = self.after(config)?;
+        if after.ns_per_node > 0.0 {
+            Some(before.ns_per_node / after.ns_per_node)
+        } else {
+            None
         }
     }
-    std::hint::black_box(guard);
-    best
 }
 
-/// Measure one (index, node set) configuration both ways.
+/// Wall-clock nanoseconds of one invocation of `pass`.
+fn time_once(pass: &mut impl FnMut() -> usize) -> f64 {
+    let start = Instant::now();
+    let guard = pass();
+    let elapsed = start.elapsed().as_secs_f64() * 1e9;
+    std::hint::black_box(guard);
+    elapsed
+}
+
+/// Measure one (index, node set) configuration both ways.  The two passes
+/// are *interleaved* within each repetition (loop, then fan-out, N times,
+/// best-of-N each) so slow machine drift — CPU frequency, a noisy
+/// co-tenant — hits both sides alike and cancels out of the speedup ratio
+/// the CI gate checks.
 fn measure(
     name_prefix: &str,
     index: &TextIndex,
@@ -103,34 +132,45 @@ fn measure(
     entries: &mut Vec<RankBenchEntry>,
 ) -> f64 {
     let n = nodes.len() as f64;
+    let index_bytes = index.occ_size_in_bytes() as u64;
 
     // Before: the σ-scan per-character loop `children` used to perform.
-    let loop_pass = || alae_bench::extend_left_pass(index, nodes);
+    // After: the single-scan `extend_all` fan-out behind `children_into`.
+    let mut loop_pass = || alae_bench::extend_left_pass(index, nodes);
+    let mut buf = ChildBuf::new();
+    let mut all_pass = || alae_bench::extend_all_pass(index, nodes, &mut buf);
+
+    // Warm-up passes double as the exact scan-count measurement.
     let scans_before = index.scan_snapshot();
     let _ = loop_pass();
     let loop_scans = index.scan_snapshot().since(&scans_before);
-    let loop_ns = best_time_ns(loop_pass, repetitions) / n;
+    let scans_before = index.scan_snapshot();
+    let _ = all_pass();
+    let all_scans = index.scan_snapshot().since(&scans_before);
+
+    let (mut loop_best, mut all_best) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..repetitions {
+        loop_best = loop_best.min(time_once(&mut loop_pass));
+        all_best = all_best.min(time_once(&mut all_pass));
+    }
+    let loop_ns = loop_best / n;
+    let all_ns = all_best / n;
+
     entries.push(RankBenchEntry {
         name: format!("{name_prefix}/extend_left_loop"),
         role: "before",
         ns_per_node: loop_ns,
         block_scans_per_node: loop_scans.block_scans as f64 / n,
         bytes_scanned_per_node: loop_scans.bytes_scanned as f64 / n,
+        index_bytes,
     });
-
-    // After: the single-scan `extend_all` fan-out behind `children_into`.
-    let mut buf = ChildBuf::new();
-    let mut all_pass = || alae_bench::extend_all_pass(index, nodes, &mut buf);
-    let scans_before = index.scan_snapshot();
-    let _ = all_pass();
-    let all_scans = index.scan_snapshot().since(&scans_before);
-    let all_ns = best_time_ns(all_pass, repetitions) / n;
     entries.push(RankBenchEntry {
         name: format!("{name_prefix}/extend_all"),
         role: "after",
         ns_per_node: all_ns,
         block_scans_per_node: all_scans.block_scans as f64 / n,
         bytes_scanned_per_node: all_scans.bytes_scanned as f64 / n,
+        index_bytes,
     });
 
     loop_ns / all_ns
@@ -138,17 +178,56 @@ fn measure(
 
 /// Run the benchmark and build the report.
 pub fn run(options: &ExperimentOptions) -> RankBenchReport {
-    let repetitions = 7;
+    // Best-of-N; each pass is sub-millisecond, so a generous N buys noise
+    // immunity for the committed baseline (and the CI gate) cheaply.
+    let repetitions = 25;
 
     // Headline: protein alphabet (σ = 20 residues + separator = 21 codes),
-    // where the per-character loop pays 2σ block scans per node.
+    // where the per-character loop pays 2σ block scans per node — measured
+    // with the default two-level checkpoint rows and with the flat u32 rows
+    // they replaced.
     let text_len = (60_000_f64 * options.scale) as usize;
     let protein = generate_text(&TextSpec::protein(text_len.max(1_000), options.seed));
-    let index = TextIndex::new(protein.codes().to_vec(), Alphabet::Protein.code_count());
+    let protein_codes = protein.codes().to_vec();
+    let index = TextIndex::new(protein_codes.clone(), Alphabet::Protein.code_count());
     let nodes = alae_bench::collect_trie_nodes(&index, 2, 2_000);
 
     let mut entries = Vec::new();
     let speedup = measure("protein_sigma21", &index, &nodes, repetitions, &mut entries);
+
+    let flat_index = TextIndex::with_occ_options(
+        protein_codes.clone(),
+        Alphabet::Protein.code_count(),
+        RankLayout::Auto,
+        CheckpointScheme::FlatU32,
+    );
+    let flat_nodes = alae_bench::collect_trie_nodes(&flat_index, 2, 2_000);
+    measure(
+        "protein_flat_u32",
+        &flat_index,
+        &flat_nodes,
+        repetitions,
+        &mut entries,
+    );
+
+    // Reduced protein alphabet (σ = 15 + separator = 16 codes): the 4-bit
+    // nibble-packed popcount path versus the generic byte path on the same
+    // text.
+    let reduced = alae_bench::reduce_alphabet(&protein_codes, 15);
+    for (label, layout) in [
+        ("protein_reduced15_nibble", RankLayout::PackedNibble),
+        ("protein_reduced15_bytes", RankLayout::Bytes),
+    ] {
+        let reduced_index = TextIndex::with_layout(reduced.clone(), 16, layout);
+        let reduced_nodes = alae_bench::collect_trie_nodes(&reduced_index, 2, 2_000);
+        measure(
+            label,
+            &reduced_index,
+            &reduced_nodes,
+            repetitions,
+            &mut entries,
+        );
+    }
 
     // Side-by-side: the DNA packed popcount path versus the generic byte
     // path on the same text.
@@ -210,11 +289,236 @@ pub fn run_and_print(options: &ExperimentOptions) {
 pub fn run_and_write(options: &ExperimentOptions) {
     let report = run(options);
     print_report(&report);
+    write_snapshot(&report);
+}
+
+fn write_snapshot(report: &RankBenchReport) {
     let path = bench_output_path();
     match std::fs::write(&path, report.to_json()) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(error) => eprintln!("could not write {}: {error}", path.display()),
     }
+}
+
+/// Run, compare against the committed `BENCH_rank.json`, optionally refresh
+/// the snapshot (`refresh` is only true for runs at the baseline's default
+/// scale/seed), and return `false` when the run regressed beyond `tolerance`
+/// (the CI perf gate; see [`check_against_baseline`] for the rules).
+pub fn run_and_check(options: &ExperimentOptions, tolerance: f64, refresh: bool) -> bool {
+    let path = bench_output_path();
+    let baseline = std::fs::read_to_string(&path).ok();
+    let report = run(options);
+    print_report(&report);
+    let Some(baseline) = baseline else {
+        println!(
+            "no committed baseline at {}; nothing to check against",
+            path.display()
+        );
+        if refresh {
+            write_snapshot(&report);
+        }
+        return true;
+    };
+    let outcome = check_against_baseline(&baseline, &report, tolerance);
+    for note in &outcome.notes {
+        println!("check: {note}");
+    }
+    if outcome.failures.is_empty() {
+        println!("check: OK (tolerance {:.0}%)", tolerance * 100.0);
+        // Refresh only after the gate passes: a failing run must leave the
+        // committed baseline in place, so re-running `--check` still
+        // compares against the pre-regression numbers.
+        if refresh {
+            write_snapshot(&report);
+        }
+        true
+    } else {
+        for failure in &outcome.failures {
+            eprintln!("check FAILED: {failure}");
+        }
+        eprintln!(
+            "check FAILED: baseline at {} left untouched",
+            path.display()
+        );
+        false
+    }
+}
+
+/// Result of comparing a fresh run against the committed baseline.
+#[derive(Debug, Default)]
+pub struct CheckOutcome {
+    /// Human-readable regressions; non-empty fails the gate.
+    pub failures: Vec<String>,
+    /// Informational per-configuration comparisons.
+    pub notes: Vec<String>,
+}
+
+/// A subset of one baseline entry parsed back out of `BENCH_rank.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEntry {
+    /// Configuration name (e.g. `protein_sigma21/extend_all`).
+    pub name: String,
+    /// `"before"` or `"after"`.
+    pub role: String,
+    /// Mean wall-clock nanoseconds per node.
+    pub ns_per_node: f64,
+    /// Block scans per node (0 when counters were disabled).
+    pub block_scans_per_node: f64,
+    /// Occurrence-table bytes (absent in pre-two-level snapshots).
+    pub index_bytes: Option<f64>,
+}
+
+/// Extract a string field from one serialized entry object.
+fn field_str(object: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = object.find(&marker)? + marker.len();
+    let end = object[start..].find('"')? + start;
+    Some(object[start..end].to_string())
+}
+
+/// Extract a numeric field from one serialized entry object.
+fn field_num(object: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\": ");
+    let start = object.find(&marker)? + marker.len();
+    let end = object[start..]
+        .find([',', '}', '\n'])
+        .map_or(object.len(), |e| e + start);
+    object[start..end].trim().parse().ok()
+}
+
+/// Parse the `entries` array of a `BENCH_rank.json` snapshot.  The format is
+/// the workspace's own (one object per line, written by
+/// [`RankBenchReport::to_json`]), so a full JSON parser is unnecessary.
+pub fn parse_entries(json: &str) -> Vec<ParsedEntry> {
+    let mut entries = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !(line.starts_with('{') && line.contains("\"name\"")) {
+            continue;
+        }
+        let (Some(name), Some(role)) = (field_str(line, "name"), field_str(line, "role")) else {
+            continue;
+        };
+        let Some(ns_per_node) = field_num(line, "ns_per_node") else {
+            continue;
+        };
+        entries.push(ParsedEntry {
+            name,
+            role,
+            ns_per_node,
+            block_scans_per_node: field_num(line, "block_scans_per_node").unwrap_or(0.0),
+            index_bytes: field_num(line, "index_bytes"),
+        });
+    }
+    entries
+}
+
+/// Configuration prefixes the gate tracks (a baseline predating a
+/// configuration simply skips it).
+const CHECKED_CONFIGS: &[&str] = &[
+    "protein_sigma21",
+    "protein_flat_u32",
+    "protein_reduced15_nibble",
+    "protein_reduced15_bytes",
+    "dna_packed",
+    "dna_bytes",
+];
+
+/// Compare a fresh report against the committed baseline.
+///
+/// Raw nanoseconds are not comparable across machines (the committed
+/// baseline and a CI runner differ), so throughput is gated on the
+/// *within-run* `extend_all`-vs-`extend_left` speedup of each
+/// configuration: the fresh speedup must stay within `tolerance` of the
+/// baseline's.  Two machine-independent invariants are gated exactly:
+/// per-node block scans must not grow (deterministic for a fixed
+/// scale/seed), and the two-level/packed index-size orderings must hold.
+pub fn check_against_baseline(
+    baseline_json: &str,
+    fresh: &RankBenchReport,
+    tolerance: f64,
+) -> CheckOutcome {
+    let baseline = parse_entries(baseline_json);
+    let mut outcome = CheckOutcome::default();
+    let base_speedup = |config: &str| -> Option<f64> {
+        let before = baseline
+            .iter()
+            .find(|e| e.role == "before" && e.name.starts_with(config))?;
+        let after = baseline
+            .iter()
+            .find(|e| e.role == "after" && e.name.starts_with(config))?;
+        (after.ns_per_node > 0.0).then(|| before.ns_per_node / after.ns_per_node)
+    };
+
+    for config in CHECKED_CONFIGS {
+        let (Some(base), Some(now)) = (base_speedup(config), fresh.config_speedup(config)) else {
+            outcome
+                .notes
+                .push(format!("{config}: not in baseline, skipped"));
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        if now < floor {
+            outcome.failures.push(format!(
+                "{config}: extend_all speedup {now:.2}x fell below baseline {base:.2}x \
+                 - {:.0}% tolerance ({floor:.2}x)",
+                tolerance * 100.0
+            ));
+        } else {
+            outcome.notes.push(format!(
+                "{config}: speedup {now:.2}x (baseline {base:.2}x) ok"
+            ));
+        }
+
+        // Scans per node are exact and deterministic for a fixed
+        // scale/seed; any growth is a real algorithmic regression.  Skip
+        // when either side was built without the occ-counters feature.
+        let base_after = baseline
+            .iter()
+            .find(|e| e.role == "after" && e.name.starts_with(config));
+        let fresh_after = fresh.after(config);
+        if let (Some(base_after), Some(fresh_after)) = (base_after, fresh_after) {
+            if base_after.block_scans_per_node > 0.0
+                && fresh_after.block_scans_per_node > 0.0
+                && fresh_after.block_scans_per_node > base_after.block_scans_per_node + 1e-6
+            {
+                outcome.failures.push(format!(
+                    "{config}: block scans per node grew {:.2} -> {:.2}",
+                    base_after.block_scans_per_node, fresh_after.block_scans_per_node
+                ));
+            }
+        }
+    }
+
+    // Index-size orderings within the fresh run (machine-independent).
+    let size_of = |config: &str| fresh.after(config).map(|e| e.index_bytes);
+    if let (Some(two_level), Some(flat)) = (size_of("protein_sigma21"), size_of("protein_flat_u32"))
+    {
+        if two_level >= flat {
+            outcome.failures.push(format!(
+                "two-level protein index ({two_level} B) is not smaller than flat u32 ({flat} B)"
+            ));
+        } else {
+            outcome.notes.push(format!(
+                "protein index bytes: two-level {two_level} < flat {flat} ok"
+            ));
+        }
+    }
+    if let (Some(nibble), Some(bytes)) = (
+        size_of("protein_reduced15_nibble"),
+        size_of("protein_reduced15_bytes"),
+    ) {
+        if nibble >= bytes {
+            outcome.failures.push(format!(
+                "nibble-packed index ({nibble} B) is not smaller than the byte layout ({bytes} B)"
+            ));
+        } else {
+            outcome.notes.push(format!(
+                "reduced-protein index bytes: nibble {nibble} < bytes {bytes} ok"
+            ));
+        }
+    }
+    outcome
 }
 
 fn print_report(report: &RankBenchReport) {
@@ -223,17 +527,18 @@ fn print_report(report: &RankBenchReport) {
         report.nodes, report.text_len, report.code_count
     );
     println!(
-        "{:<34} {:>6} {:>12} {:>10} {:>10}",
-        "configuration", "role", "ns/node", "scans", "bytes"
+        "{:<34} {:>6} {:>12} {:>10} {:>10} {:>12}",
+        "configuration", "role", "ns/node", "scans", "bytes", "index bytes"
     );
     for entry in &report.entries {
         println!(
-            "{:<34} {:>6} {:>12.1} {:>10.1} {:>10.1}",
+            "{:<34} {:>6} {:>12.1} {:>10.1} {:>10.1} {:>12}",
             entry.name,
             entry.role,
             entry.ns_per_node,
             entry.block_scans_per_node,
-            entry.bytes_scanned_per_node
+            entry.bytes_scanned_per_node,
+            entry.index_bytes
         );
     }
     println!(
@@ -251,9 +556,11 @@ mod tests {
             scale: 0.02,
             queries_per_point: 1,
             seed: 5,
+            rank_check: None,
         }
     }
 
+    #[cfg(feature = "occ-counters")]
     #[test]
     fn scan_counts_match_the_analytic_model() {
         let report = run(&tiny_options());
@@ -273,6 +580,20 @@ mod tests {
     }
 
     #[test]
+    fn two_level_protein_index_is_smaller_than_flat() {
+        let report = run(&tiny_options());
+        let two_level = report.after("protein_sigma21").unwrap().index_bytes;
+        let flat = report.after("protein_flat_u32").unwrap().index_bytes;
+        assert!(two_level < flat, "two-level {two_level} vs flat {flat}");
+        let nibble = report
+            .after("protein_reduced15_nibble")
+            .unwrap()
+            .index_bytes;
+        let bytes = report.after("protein_reduced15_bytes").unwrap().index_bytes;
+        assert!(nibble < bytes, "nibble {nibble} vs bytes {bytes}");
+    }
+
+    #[test]
     fn json_is_well_formed_enough() {
         let report = run(&tiny_options());
         let json = report.to_json();
@@ -281,7 +602,54 @@ mod tests {
         assert!(json.contains("\"seed\": 5"));
         assert!(json.contains("extend_left_loop"));
         assert!(json.contains("extend_all"));
-        assert_eq!(json.matches("\"role\": \"before\"").count(), 3);
-        assert_eq!(json.matches("\"role\": \"after\"").count(), 3);
+        assert!(json.contains("protein_flat_u32"));
+        assert!(json.contains("protein_reduced15_nibble"));
+        assert!(json.contains("\"index_bytes\""));
+        assert_eq!(json.matches("\"role\": \"before\"").count(), 6);
+        assert_eq!(json.matches("\"role\": \"after\"").count(), 6);
+    }
+
+    #[test]
+    fn entries_round_trip_through_the_parser() {
+        let report = run(&tiny_options());
+        let parsed = parse_entries(&report.to_json());
+        assert_eq!(parsed.len(), report.entries.len());
+        for (parsed, original) in parsed.iter().zip(&report.entries) {
+            assert_eq!(parsed.name, original.name);
+            assert_eq!(parsed.role, original.role);
+            assert!((parsed.ns_per_node - original.ns_per_node).abs() < 0.1);
+            assert_eq!(parsed.index_bytes, Some(original.index_bytes as f64));
+        }
+    }
+
+    #[test]
+    fn check_passes_against_its_own_snapshot() {
+        let report = run(&tiny_options());
+        let outcome = check_against_baseline(&report.to_json(), &report, 0.15);
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        assert!(!outcome.notes.is_empty());
+    }
+
+    #[test]
+    fn check_flags_a_speedup_regression() {
+        let report = run(&tiny_options());
+        // Inflate the baseline's recorded extend_all throughput so the fresh
+        // run's within-run speedup falls beyond any reasonable tolerance.
+        let mut inflated = report.clone();
+        for entry in &mut inflated.entries {
+            if entry.role == "after" {
+                entry.ns_per_node /= 10.0;
+            }
+        }
+        let outcome = check_against_baseline(&inflated.to_json(), &report, 0.15);
+        assert!(!outcome.failures.is_empty());
+    }
+
+    #[test]
+    fn check_skips_configs_missing_from_the_baseline() {
+        let report = run(&tiny_options());
+        let outcome = check_against_baseline("{\n  \"entries\": [\n  ]\n}\n", &report, 0.15);
+        assert!(outcome.failures.is_empty());
+        assert!(outcome.notes.iter().any(|n| n.contains("not in baseline")));
     }
 }

@@ -1,21 +1,36 @@
 //! A plain bit vector with constant-time rank support.
 //!
 //! Used to mark sampled suffix-array rows in the FM-index without spending a
-//! full word per row: the marked rows cost one bit each plus a 32-bit rank
-//! checkpoint per 512 bits, which is what keeps the "BWT index" curve of
-//! Figure 11 close to the text size rather than a multiple of it.
+//! full word per row.  Rank checkpoints use the same two-level layout as the
+//! occurrence table's [`crate::rank::CheckpointScheme::TwoLevel`]: a `u32`
+//! absolute count every [`BLOCKS_PER_SUPER`] blocks of 512 bits plus a `u16`
+//! per-block delta, i.e. 2.5 bytes per 512 bits (2 + 4/8) instead of the 4
+//! a flat `u32` checkpoint costs — which is what keeps the "BWT index"
+//! curve of Figure 11 close to the text size rather than a multiple of it.
 
-/// Bits per rank superblock.
-const SUPERBLOCK_BITS: usize = 512;
-const WORDS_PER_SUPERBLOCK: usize = SUPERBLOCK_BITS / 64;
+/// Bits per rank block (one `u16` delta per block).
+const BLOCK_BITS: usize = 512;
+const WORDS_PER_BLOCK: usize = BLOCK_BITS / 64;
+
+/// Blocks per superblock (one `u32` absolute count per superblock).
+const BLOCKS_PER_SUPER: usize = 8;
+const SUPER_BITS: usize = BLOCK_BITS * BLOCKS_PER_SUPER;
+
+// Block deltas must fit a u16.
+const _: () = assert!(SUPER_BITS <= u16::MAX as usize);
 
 /// An immutable bit vector with `rank1` support.
 #[derive(Debug, Clone)]
 pub struct RankBitVec {
     len: usize,
     words: Vec<u64>,
-    /// `superblocks[i]` = number of set bits in `words[0 .. i*WORDS_PER_SUPERBLOCK]`.
+    /// `superblocks[s]` = number of set bits in `words[0 .. s * BLOCKS_PER_SUPER * WORDS_PER_BLOCK]`.
     superblocks: Vec<u32>,
+    /// `blocks[b]` = number of set bits between the enclosing superblock
+    /// boundary and `words[b * WORDS_PER_BLOCK]`.
+    blocks: Vec<u16>,
+    /// Total number of set bits.
+    ones: u32,
 }
 
 impl RankBitVec {
@@ -34,20 +49,33 @@ impl RankBitVec {
     /// Build from raw words (extra high bits in the final word must be zero).
     pub fn from_words(len: usize, words: Vec<u64>) -> Self {
         debug_assert_eq!(words.len(), len.div_ceil(64));
-        let superblock_count = words.len().div_ceil(WORDS_PER_SUPERBLOCK) + 1;
-        let mut superblocks = vec![0u32; superblock_count];
+        let block_count = words.len().div_ceil(WORDS_PER_BLOCK) + 1;
+        let super_count = block_count.div_ceil(BLOCKS_PER_SUPER);
+        let mut superblocks = vec![0u32; super_count];
+        let mut blocks = vec![0u16; block_count];
         let mut running: u32 = 0;
-        for (w, &word) in words.iter().enumerate() {
-            if w % WORDS_PER_SUPERBLOCK == 0 {
-                superblocks[w / WORDS_PER_SUPERBLOCK] = running;
+        let mut super_base: u32 = 0;
+        for block in 0..block_count {
+            if block % BLOCKS_PER_SUPER == 0 {
+                superblocks[block / BLOCKS_PER_SUPER] = running;
+                super_base = running;
             }
-            running += word.count_ones();
+            blocks[block] = (running - super_base) as u16;
+            let start = block * WORDS_PER_BLOCK;
+            let end = ((block + 1) * WORDS_PER_BLOCK).min(words.len());
+            if start < end {
+                running += words[start..end]
+                    .iter()
+                    .map(|w| w.count_ones())
+                    .sum::<u32>();
+            }
         }
-        superblocks[words.len().div_ceil(WORDS_PER_SUPERBLOCK)] = running;
         Self {
             len,
             words,
             superblocks,
+            blocks,
+            ones: running,
         }
     }
 
@@ -75,9 +103,10 @@ impl RankBitVec {
     pub fn rank1(&self, i: usize) -> usize {
         debug_assert!(i <= self.len);
         let word_index = i / 64;
-        let superblock = word_index / WORDS_PER_SUPERBLOCK;
-        let mut count = self.superblocks[superblock] as usize;
-        for w in superblock * WORDS_PER_SUPERBLOCK..word_index {
+        let block = word_index / WORDS_PER_BLOCK;
+        let mut count =
+            self.superblocks[block / BLOCKS_PER_SUPER] as usize + self.blocks[block] as usize;
+        for w in block * WORDS_PER_BLOCK..word_index {
             count += self.words[w].count_ones() as usize;
         }
         let bit = i % 64;
@@ -90,12 +119,12 @@ impl RankBitVec {
     /// Total number of set bits.
     #[inline]
     pub fn count_ones(&self) -> usize {
-        *self.superblocks.last().unwrap() as usize
+        self.ones as usize
     }
 
     /// Approximate heap footprint in bytes.
     pub fn size_in_bytes(&self) -> usize {
-        self.words.len() * 8 + self.superblocks.len() * 4
+        self.words.len() * 8 + self.superblocks.len() * 4 + self.blocks.len() * 2
     }
 }
 
@@ -118,7 +147,7 @@ mod tests {
     }
 
     #[test]
-    fn rank_matches_naive_across_superblocks() {
+    fn rank_matches_naive_across_blocks_and_superblocks() {
         let mut state = 99u64;
         let mut next = || {
             state = state
@@ -126,12 +155,17 @@ mod tests {
                 .wrapping_add(3037000493);
             state >> 40
         };
-        let bits: Vec<bool> = (0..SUPERBLOCK_BITS * 3 + 100)
+        let bits: Vec<bool> = (0..SUPER_BITS * 2 + BLOCK_BITS * 3 + 100)
             .map(|_| next() % 3 == 0)
             .collect();
         let bv = RankBitVec::from_bits(bits.iter().copied());
         for i in (0..=bits.len()).step_by(37) {
             assert_eq!(bv.rank1(i), naive_rank(&bits, i), "i = {i}");
+        }
+        // Exactly at block and superblock boundaries.
+        for b in 0..=bits.len() / BLOCK_BITS {
+            let i = (b * BLOCK_BITS).min(bits.len());
+            assert_eq!(bv.rank1(i), naive_rank(&bits, i), "boundary {i}");
         }
         assert_eq!(bv.rank1(bits.len()), naive_rank(&bits, bits.len()));
     }
@@ -157,10 +191,12 @@ mod tests {
 
     #[test]
     fn all_ones_and_all_zeros() {
-        let ones = RankBitVec::from_bits((0..1000).map(|_| true));
-        assert_eq!(ones.rank1(1000), 1000);
+        let ones = RankBitVec::from_bits((0..10_000).map(|_| true));
+        assert_eq!(ones.rank1(10_000), 10_000);
         assert_eq!(ones.rank1(513), 513);
-        let zeros = RankBitVec::from_bits((0..1000).map(|_| false));
-        assert_eq!(zeros.rank1(1000), 0);
+        assert_eq!(ones.rank1(SUPER_BITS + 1), SUPER_BITS + 1);
+        assert_eq!(ones.count_ones(), 10_000);
+        let zeros = RankBitVec::from_bits((0..10_000).map(|_| false));
+        assert_eq!(zeros.rank1(10_000), 0);
     }
 }

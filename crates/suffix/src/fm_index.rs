@@ -9,7 +9,7 @@
 
 use crate::bitvec::RankBitVec;
 use crate::bwt::bwt_from_sa;
-use crate::rank::{OccTable, RankLayout, ScanSnapshot};
+use crate::rank::{CheckpointScheme, OccTable, RankLayout, ScanSnapshot};
 use crate::sais::suffix_array;
 
 /// Largest caller-visible code count an index supports; keeps the
@@ -77,12 +77,31 @@ impl FmIndex {
 
     /// Build with an explicit sampling rate and rank-storage layout (the
     /// layout applies to the occurrence table over the BWT; see
-    /// [`RankLayout`]).
+    /// [`RankLayout`]).  Checkpoints use the default two-level scheme.
     pub fn with_options(
         text: &[u8],
         code_count: usize,
         sample_rate: usize,
         layout: RankLayout,
+    ) -> Self {
+        Self::with_full_options(
+            text,
+            code_count,
+            sample_rate,
+            layout,
+            CheckpointScheme::default(),
+        )
+    }
+
+    /// Build with every occurrence-table knob explicit: sampling rate,
+    /// rank-storage layout, and checkpoint scheme (see [`CheckpointScheme`];
+    /// the flat scheme exists for layout-comparison benchmarks).
+    pub fn with_full_options(
+        text: &[u8],
+        code_count: usize,
+        sample_rate: usize,
+        layout: RankLayout,
+        scheme: CheckpointScheme,
     ) -> Self {
         assert!(sample_rate >= 1);
         assert!(code_count >= 1);
@@ -113,7 +132,7 @@ impl FmIndex {
         for &c in &shifted_bwt {
             counts[c as usize] += 1;
         }
-        let occ = OccTable::with_layout(shifted_bwt, shifted_code_count, layout);
+        let occ = OccTable::with_options(shifted_bwt, shifted_code_count, layout, scheme);
         let mut c_array = vec![0usize; shifted_code_count];
         let mut running = 0usize;
         for c in 1..shifted_code_count {
@@ -227,6 +246,17 @@ impl FmIndex {
     /// The rank-storage layout selected at construction.
     pub fn rank_layout(&self) -> RankLayout {
         self.occ.layout()
+    }
+
+    /// The checkpoint scheme selected at construction.
+    pub fn checkpoint_scheme(&self) -> CheckpointScheme {
+        self.occ.checkpoint_scheme()
+    }
+
+    /// Footprint of the occurrence table alone (BWT storage + checkpoint
+    /// rows) — the per-layout figure the rank benchmark reports.
+    pub fn occ_size_in_bytes(&self) -> usize {
+        self.occ.size_in_bytes()
     }
 
     /// Backward search for a whole pattern; `O(|pattern|)` extension steps.
@@ -482,6 +512,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "occ-counters")]
     #[test]
     fn extend_all_costs_two_block_scans_regardless_of_alphabet() {
         for code_count in [5usize, 21] {

@@ -27,7 +27,7 @@ pub mod sais;
 pub mod trie;
 
 pub use fm_index::{FmIndex, SaRange, MAX_CODE_COUNT};
-pub use rank::{RankLayout, ScanSnapshot};
+pub use rank::{CheckpointScheme, RankLayout, ScanSnapshot};
 pub use trie::{ChildBuf, SuffixTrieCursor, TextIndex, MAX_CHILDREN};
 
 /// The sentinel code appended to the text before suffix-array construction.

@@ -11,18 +11,33 @@
 //! # Checkpoint-interleaving + single-scan design
 //!
 //! The table stores, every [`BLOCK`] positions, one *interleaved checkpoint
-//! row*: `checkpoints[block * code_count + c]` is the absolute count of code
-//! `c` before the block.  Interleaving means the whole row for one block is
-//! contiguous, so [`OccTable::rank_all`] — the query behind
-//! [`crate::FmIndex::extend_all`] — answers `Occ(c, i)` for **every** code
-//! `c` with one row copy plus **one** scan of the in-block prefix,
-//! instead of the `σ` independent scans a per-code `rank` loop would pay.
-//! A trie-node expansion needs ranks at both ends of its SA range, so it
-//! costs exactly **two block scans**, independent of the alphabet size.
+//! row* holding the absolute count of every code before the block.
+//! Interleaving means the whole row for one block is contiguous, so
+//! [`OccTable::rank_all`] — the query behind [`crate::FmIndex::extend_all`]
+//! — answers `Occ(c, i)` for **every** code `c` with one row load plus
+//! **one** scan of the in-block prefix, instead of the `σ` independent scans
+//! a per-code `rank` loop would pay.  A trie-node expansion needs ranks at
+//! both ends of its SA range, so it costs exactly **two block scans**,
+//! independent of the alphabet size.
+//!
+//! # Two-level checkpoint rows
+//!
+//! Checkpoint rows use a two-level scheme ([`CheckpointScheme::TwoLevel`],
+//! the default): a `u64` *super-block* row holding absolute counts every
+//! [`BLOCKS_PER_SUPER`] blocks, plus a `u16` *delta* row per block holding
+//! the count since the enclosing super-block.  A rank query reconstructs the
+//! absolute count as `super + delta`.  The hot per-block row shrinks from
+//! 4 bytes per code (the flat `u32` rows of
+//! [`CheckpointScheme::FlatU32`], kept for comparison benchmarks) to
+//! 2 bytes per code, so the row load touches half the bytes, and the
+//! amortized checkpoint footprint drops from 4 to 3 bytes per code per block
+//! — on the σ = 20 protein alphabet that is the difference between the
+//! checkpoint rows thrashing the cache and staying resident.  A super-block
+//! spans `8 × 128 = 1024` positions, so deltas always fit a `u16`.
 //!
 //! # Bit-parallel in-block scans
 //!
-//! Two storage layouts are selected at construction ([`RankLayout`]):
+//! Three storage layouts are selected at construction ([`RankLayout`]):
 //!
 //! * **`Bytes`** (generic, any `σ ≤ 30`): one byte per BWT character.
 //!   Single-code `rank` compares eight characters per step with a SWAR
@@ -32,50 +47,103 @@
 //!   characters per `u64`.  The four *dense* (most frequent) codes live in
 //!   the packed words and are counted with mask + popcount; the at-most-two
 //!   *sparse* codes (BWT sentinel and record separators, which are rare by
-//!   construction) live in a sorted exception list and are counted with two
-//!   binary searches — no scan at all.  Exception slots are packed as the
-//!   dense pattern `00`, and every query subtracts the in-range exception
-//!   count from the first dense code, so ranks stay exact.
+//!   construction) live in an exception list — no scan at all.
+//! * **`PackedNibble`** (`σ ≤ 18`: protein reduced alphabets, IUPAC DNA):
+//!   4 bits per character, 16 characters per `u64`.  Up to 16 dense codes
+//!   are counted with a SWAR nibble-equality mask + popcount
+//!   ([`eq4`]); sparse codes use the same exception list as `PackedDna`.
 //!
-//! The table also counts the block scans and storage bytes it touches
+//! Both packed layouts encode exception slots as the dense pattern `0` and
+//! subtract the in-range exception count from the first dense code, so ranks
+//! stay exact.  The exception list keeps a cumulative per-block count (one
+//! `u32` per checkpoint row, [`ExceptionList::block_starts`]), so locating
+//! the exceptions of a block is O(1) plus a search bounded by the handful of
+//! exceptions inside that one block — never a binary search over the whole
+//! list, which matters for million-record databases with one separator per
+//! record.
+//!
+//! When the on-by-default `occ-counters` cargo feature is enabled, the table
+//! counts the block scans and storage bytes it touches
 //! ([`OccTable::scan_snapshot`]); the engines surface the deltas in their
 //! work counters so the `O(σ)` → `O(1)` scan reduction is measurable
-//! end-to-end.
+//! end-to-end.  Disabling the feature removes the two relaxed `fetch_add`s
+//! from every rank call (`scan_snapshot` then reports zeros).
 
+#[cfg(feature = "occ-counters")]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of positions per sampled checkpoint block.
 pub const BLOCK: usize = 128;
 
+/// Checkpoint blocks per two-level super-block.
+pub const BLOCKS_PER_SUPER: usize = 8;
+
+/// Positions spanned by one super-block.
+const SUPER_SPAN: usize = BLOCK * BLOCKS_PER_SUPER;
+
 /// Characters per `u64` in the 2-bit packed layout.
 const CHARS_PER_WORD: usize = 32;
 
-/// Number of codes kept in the packed words (2 bits each).
+/// Number of codes kept in the 2-bit packed words.
 const DENSE_CODES: usize = 4;
 
-/// Largest code count eligible for the packed layout (4 dense + 2 sparse).
+/// Largest code count eligible for the 2-bit packed layout (4 dense +
+/// 2 sparse).
 const PACKED_MAX_CODES: usize = DENSE_CODES + 2;
+
+/// Characters per `u64` in the 4-bit nibble layout.
+const NIBBLE_CHARS_PER_WORD: usize = 16;
+
+/// Number of codes kept in the nibble-packed words.
+const NIBBLE_DENSE_CODES: usize = 16;
+
+/// Largest code count eligible for the nibble layout (16 dense + 2 sparse).
+const NIBBLE_MAX_CODES: usize = NIBBLE_DENSE_CODES + 2;
 
 /// Low bit of every 2-bit group.
 const GROUP_LOW_BITS: u64 = 0x5555_5555_5555_5555;
 
+/// Low bit of every nibble.
+const NIBBLE_LOW_BITS: u64 = 0x1111_1111_1111_1111;
+
 /// Low bit of every byte.
 const BYTE_LOW_BITS: u64 = 0x0101_0101_0101_0101;
 
-// The packed scan assumes checkpoint blocks start on a word boundary.
+// The packed scans assume checkpoint blocks start on a word boundary, and
+// the two-level deltas assume a super-block span fits a u16.
 const _: () = assert!(BLOCK.is_multiple_of(CHARS_PER_WORD));
+const _: () = assert!(BLOCK.is_multiple_of(NIBBLE_CHARS_PER_WORD));
+const _: () = assert!(SUPER_SPAN <= u16::MAX as usize);
 
 /// Storage layout for the in-block scan, chosen at construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RankLayout {
-    /// Pick [`RankLayout::PackedDna`] when the alphabet fits (`σ ≤ 6`),
-    /// [`RankLayout::Bytes`] otherwise.
+    /// Pick the narrowest layout the alphabet fits:
+    /// [`RankLayout::PackedDna`] for `σ ≤ 6`, [`RankLayout::PackedNibble`]
+    /// for `σ ≤ 18`, [`RankLayout::Bytes`] otherwise.
     Auto,
     /// One byte per character; SWAR equality scan.  Works for any alphabet.
     Bytes,
     /// 2 bits per character plus an exception list; popcount scan.
     /// Requires `code_count ≤ 6`.
     PackedDna,
+    /// 4 bits per character plus an exception list; SWAR nibble-popcount
+    /// scan.  Requires `code_count ≤ 18` (protein reduced alphabets,
+    /// IUPAC DNA).
+    PackedNibble,
+}
+
+/// Width of the checkpoint rows, chosen at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointScheme {
+    /// `u64` absolute counts every [`BLOCKS_PER_SUPER`] blocks plus `u16`
+    /// per-block deltas: hot rows are half as wide as `FlatU32` and the
+    /// checkpoint footprint shrinks from 4 to 3 bytes per code per block.
+    #[default]
+    TwoLevel,
+    /// One flat `u32` absolute count per code per block (the pre-two-level
+    /// layout, kept for comparison benchmarks and tests).
+    FlatU32,
 }
 
 /// Running totals of the work performed by rank queries.
@@ -85,8 +153,8 @@ pub struct ScanSnapshot {
     /// that touched storage).
     pub block_scans: u64,
     /// Storage bytes covered by the scanned prefixes (logical footprint:
-    /// one byte per character for the byte layout, a quarter byte for the
-    /// packed layout — not word-granular cache traffic).
+    /// one byte per character for the byte layout, a quarter/half byte for
+    /// the packed layouts — not word-granular cache traffic).
     pub bytes_scanned: u64,
 }
 
@@ -101,111 +169,301 @@ impl ScanSnapshot {
 }
 
 /// Interior-mutable scan counters (`OccTable` is shared behind `Arc`).
+///
+/// With the `occ-counters` feature disabled this is a zero-sized no-op, so
+/// the two relaxed `fetch_add`s disappear from every rank call.
 #[derive(Debug, Default)]
 struct ScanCounter {
+    #[cfg(feature = "occ-counters")]
     block_scans: AtomicU64,
+    #[cfg(feature = "occ-counters")]
     bytes_scanned: AtomicU64,
 }
 
 impl ScanCounter {
     #[inline]
     fn record(&self, bytes: usize) {
-        self.block_scans.fetch_add(1, Ordering::Relaxed);
-        self.bytes_scanned
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        #[cfg(feature = "occ-counters")]
+        {
+            self.block_scans.fetch_add(1, Ordering::Relaxed);
+            self.bytes_scanned
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "occ-counters"))]
+        let _ = bytes;
     }
 
     fn snapshot(&self) -> ScanSnapshot {
-        ScanSnapshot {
-            block_scans: self.block_scans.load(Ordering::Relaxed),
-            bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
+        #[cfg(feature = "occ-counters")]
+        {
+            ScanSnapshot {
+                block_scans: self.block_scans.load(Ordering::Relaxed),
+                bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
+            }
         }
+        #[cfg(not(feature = "occ-counters"))]
+        ScanSnapshot::default()
     }
 }
 
 impl Clone for ScanCounter {
     fn clone(&self) -> Self {
-        let snapshot = self.snapshot();
-        Self {
-            block_scans: AtomicU64::new(snapshot.block_scans),
-            bytes_scanned: AtomicU64::new(snapshot.bytes_scanned),
+        #[cfg(feature = "occ-counters")]
+        {
+            let snapshot = self.snapshot();
+            Self {
+                block_scans: AtomicU64::new(snapshot.block_scans),
+                bytes_scanned: AtomicU64::new(snapshot.bytes_scanned),
+            }
+        }
+        #[cfg(not(feature = "occ-counters"))]
+        Self::default()
+    }
+}
+
+/// Checkpoint rows in one of the two width schemes.
+#[derive(Debug, Clone)]
+enum Checkpoints {
+    /// `flat[block * code_count + c]` = absolute count of `c` before the
+    /// block.
+    Flat(Vec<u32>),
+    /// `supers[(block / BLOCKS_PER_SUPER) * code_count + c] +
+    /// deltas[block * code_count + c]` = absolute count of `c` before the
+    /// block.
+    TwoLevel { supers: Vec<u64>, deltas: Vec<u16> },
+}
+
+impl Checkpoints {
+    /// Build the rows for `data`; one row per block plus the final partial
+    /// row, so queries at `i == len` resolve without special cases.
+    fn build(data: &[u8], code_count: usize, scheme: CheckpointScheme) -> Self {
+        let block_count = data.len() / BLOCK + 1;
+        let mut running = vec![0u32; code_count];
+        match scheme {
+            CheckpointScheme::FlatU32 => {
+                let mut flat = vec![0u32; block_count * code_count];
+                for block in 0..block_count {
+                    flat[block * code_count..(block + 1) * code_count].copy_from_slice(&running);
+                    count_block(data, block, &mut running);
+                }
+                Checkpoints::Flat(flat)
+            }
+            CheckpointScheme::TwoLevel => {
+                let super_count = block_count.div_ceil(BLOCKS_PER_SUPER);
+                let mut supers = vec![0u64; super_count * code_count];
+                let mut deltas = vec![0u16; block_count * code_count];
+                let mut super_base = vec![0u32; code_count];
+                for block in 0..block_count {
+                    if block.is_multiple_of(BLOCKS_PER_SUPER) {
+                        let s = block / BLOCKS_PER_SUPER;
+                        for (c, &count) in running.iter().enumerate() {
+                            supers[s * code_count + c] = count as u64;
+                        }
+                        super_base.copy_from_slice(&running);
+                    }
+                    for c in 0..code_count {
+                        deltas[block * code_count + c] = (running[c] - super_base[c]) as u16;
+                    }
+                    count_block(data, block, &mut running);
+                }
+                Checkpoints::TwoLevel { supers, deltas }
+            }
+        }
+    }
+
+    /// Which scheme the rows were built with.
+    fn scheme(&self) -> CheckpointScheme {
+        match self {
+            Checkpoints::Flat(_) => CheckpointScheme::FlatU32,
+            Checkpoints::TwoLevel { .. } => CheckpointScheme::TwoLevel,
+        }
+    }
+
+    /// Absolute count of code `c` before `block`.
+    #[inline]
+    fn get(&self, block: usize, code_count: usize, c: usize) -> usize {
+        match self {
+            Checkpoints::Flat(flat) => flat[block * code_count + c] as usize,
+            Checkpoints::TwoLevel { supers, deltas } => {
+                let s = block / BLOCKS_PER_SUPER;
+                supers[s * code_count + c] as usize + deltas[block * code_count + c] as usize
+            }
+        }
+    }
+
+    /// Copy the whole absolute row for `block` into `counts`.
+    #[inline]
+    fn row_into(&self, block: usize, code_count: usize, counts: &mut [u32]) {
+        match self {
+            Checkpoints::Flat(flat) => {
+                counts.copy_from_slice(&flat[block * code_count..(block + 1) * code_count]);
+            }
+            Checkpoints::TwoLevel { supers, deltas } => {
+                let super_row = &supers[(block / BLOCKS_PER_SUPER) * code_count..][..code_count];
+                let delta_row = &deltas[block * code_count..][..code_count];
+                for ((slot, &base), &delta) in counts.iter_mut().zip(super_row).zip(delta_row) {
+                    // Counts fit u32 because indexed texts are capped at
+                    // u32 positions (the flat scheme and every rank_all
+                    // consumer are u32-wide); the u64 super rows only buy
+                    // headroom for a future >4G-position format.
+                    *slot = base as u32 + delta as u32;
+                }
+            }
+        }
+    }
+
+    /// Heap footprint in bytes.
+    fn size_in_bytes(&self) -> usize {
+        match self {
+            Checkpoints::Flat(flat) => flat.len() * std::mem::size_of::<u32>(),
+            Checkpoints::TwoLevel { supers, deltas } => {
+                supers.len() * std::mem::size_of::<u64>()
+                    + deltas.len() * std::mem::size_of::<u16>()
+            }
         }
     }
 }
 
-/// Sampled occurrence counts over a byte sequence.
-#[derive(Debug, Clone)]
-pub struct OccTable {
-    /// Number of distinct codes (alphabet size including the sentinel).
-    code_count: usize,
-    /// Sequence length.
-    len: usize,
-    /// `checkpoints[block * code_count + c]` = number of occurrences of `c`
-    /// in `data[0 .. block*BLOCK]` (one interleaved row per block).
-    checkpoints: Vec<u32>,
-    /// The BWT characters in one of the two scan layouts.
-    storage: OccStorage,
-    /// Scan-work accounting.
-    scans: ScanCounter,
+/// Add the histogram of checkpoint block `block` of `data` into `running`.
+fn count_block(data: &[u8], block: usize, running: &mut [u32]) {
+    let start = block * BLOCK;
+    let end = ((block + 1) * BLOCK).min(data.len());
+    if start < end {
+        for &c in &data[start..end] {
+            running[c as usize] += 1;
+        }
+    }
 }
 
-/// The two in-block scan layouts.
+/// Sparse-code exceptions of a packed layout: positions holding codes below
+/// the dense base, kept sorted with a cumulative per-block count.
+#[derive(Debug, Clone, Default)]
+struct ExceptionList {
+    /// Positions holding sparse codes, sorted ascending.
+    pos: Vec<u32>,
+    /// The sparse code at each exception position.
+    code: Vec<u8>,
+    /// `block_starts[b]` = number of exceptions before position `b * BLOCK`
+    /// (one `u32` per checkpoint row).  Makes the per-block exception lookup
+    /// O(1) plus a search bounded by the exceptions inside that one block,
+    /// instead of a binary search over the whole list.
+    block_starts: Vec<u32>,
+}
+
+impl ExceptionList {
+    /// Derive the per-block cumulative counts once the sorted positions are
+    /// complete; `len` is the underlying sequence length.
+    fn finish(&mut self, len: usize) {
+        let block_count = len / BLOCK + 1;
+        self.block_starts = Vec::with_capacity(block_count);
+        let mut k = 0usize;
+        for block in 0..block_count {
+            let start = (block * BLOCK) as u32;
+            while k < self.pos.len() && self.pos[k] < start {
+                k += 1;
+            }
+            self.block_starts.push(k as u32);
+        }
+    }
+
+    /// Number of exceptions.
+    #[inline]
+    fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Index range into the exception lists covering positions
+    /// `[block * BLOCK, i)`, where `i` lies inside `block` (or at its
+    /// start).  O(1) block lookup + bounded in-block search.
+    #[inline]
+    fn block_range(&self, block: usize, i: usize) -> (usize, usize) {
+        let lo = self.block_starts[block] as usize;
+        let cap = self
+            .block_starts
+            .get(block + 1)
+            .map_or(self.pos.len(), |&n| n as usize);
+        let hi = lo + self.pos[lo..cap].partition_point(|&p| (p as usize) < i);
+        (lo, hi)
+    }
+
+    /// The sparse code stored at position `i`, if `i` is an exception slot.
+    #[inline]
+    fn code_at(&self, i: usize) -> Option<u8> {
+        let (lo, cap) = {
+            let block = i / BLOCK;
+            let lo = self.block_starts[block] as usize;
+            let cap = self
+                .block_starts
+                .get(block + 1)
+                .map_or(self.pos.len(), |&n| n as usize);
+            (lo, cap)
+        };
+        self.pos[lo..cap]
+            .binary_search(&(i as u32))
+            .ok()
+            .map(|k| self.code[lo + k])
+    }
+
+    /// Occurrences of sparse code `c` in `[block * BLOCK, i)`.
+    #[inline]
+    fn count_code(&self, block: usize, i: usize, c: u8) -> usize {
+        let (lo, hi) = self.block_range(block, i);
+        self.code[lo..hi].iter().filter(|&&e| e == c).count()
+    }
+
+    /// Heap footprint in bytes.
+    fn size_in_bytes(&self) -> usize {
+        self.pos.len() * 4 + self.code.len() + self.block_starts.len() * 4
+    }
+}
+
+/// The in-block scan layouts.
 #[derive(Debug, Clone)]
 enum OccStorage {
     Bytes(Vec<u8>),
     Packed(PackedDna),
+    Nibble(PackedNibble),
 }
 
-/// 2-bit packed characters plus a sorted exception list for sparse codes.
+/// 2-bit packed characters plus an exception list for sparse codes.
 #[derive(Debug, Clone)]
 struct PackedDna {
     /// 32 characters per word, 2 bits each, little-endian within the word.
     words: Vec<u64>,
     /// Smallest dense code; packed pattern = `code - dense_base`.
     dense_base: u8,
-    /// Positions holding sparse codes (`code < dense_base`), sorted.
-    exc_pos: Vec<u32>,
-    /// The sparse code at each exception position.
-    exc_code: Vec<u8>,
+    /// Positions holding sparse codes (`code < dense_base`).
+    exc: ExceptionList,
 }
 
 impl PackedDna {
     fn build(data: &[u8], code_count: usize) -> Self {
         let dense_base = code_count.saturating_sub(DENSE_CODES) as u8;
         let mut words = vec![0u64; data.len().div_ceil(CHARS_PER_WORD)];
-        let mut exc_pos = Vec::new();
-        let mut exc_code = Vec::new();
+        let mut exc = ExceptionList::default();
         for (i, &c) in data.iter().enumerate() {
             let pattern = if c >= dense_base {
                 (c - dense_base) as u64
             } else {
-                exc_pos.push(i as u32);
-                exc_code.push(c);
+                exc.pos.push(i as u32);
+                exc.code.push(c);
                 0 // Filler; queries subtract the exception count from code 0.
             };
             words[i / CHARS_PER_WORD] |= pattern << (2 * (i % CHARS_PER_WORD));
         }
+        exc.finish(data.len());
         Self {
             words,
             dense_base,
-            exc_pos,
-            exc_code,
+            exc,
         }
-    }
-
-    /// Index range into the exception lists covering positions `[start, end)`.
-    #[inline]
-    fn exception_range(&self, start: usize, end: usize) -> (usize, usize) {
-        let lo = self.exc_pos.partition_point(|&p| (p as usize) < start);
-        let hi = self.exc_pos.partition_point(|&p| (p as usize) < end);
-        (lo, hi)
     }
 
     /// Character at position `i`.
     #[inline]
     fn get(&self, i: usize) -> u8 {
-        if let Ok(k) = self.exc_pos.binary_search(&(i as u32)) {
-            return self.exc_code[k];
+        if let Some(code) = self.exc.code_at(i) {
+            return code;
         }
         let pattern = (self.words[i / CHARS_PER_WORD] >> (2 * (i % CHARS_PER_WORD))) & 3;
         self.dense_base + pattern as u8
@@ -248,11 +506,107 @@ impl PackedDna {
     }
 
     fn size_in_bytes(&self) -> usize {
-        self.words.len() * 8 + self.exc_pos.len() * 4 + self.exc_code.len()
+        self.words.len() * 8 + self.exc.size_in_bytes()
     }
 }
 
-/// Low-bit-per-group equality mask: bit `2k` set iff group `k` equals
+/// 4-bit packed characters plus an exception list for sparse codes.
+#[derive(Debug, Clone)]
+struct PackedNibble {
+    /// 16 characters per word, 4 bits each, little-endian within the word.
+    words: Vec<u64>,
+    /// Smallest dense code; packed nibble = `code - dense_base`.
+    dense_base: u8,
+    /// Number of dense codes actually in use (`code_count - dense_base`).
+    dense_used: usize,
+    /// Positions holding sparse codes (`code < dense_base`).
+    exc: ExceptionList,
+}
+
+impl PackedNibble {
+    fn build(data: &[u8], code_count: usize) -> Self {
+        let dense_base = code_count.saturating_sub(NIBBLE_DENSE_CODES) as u8;
+        let dense_used = code_count - dense_base as usize;
+        let mut words = vec![0u64; data.len().div_ceil(NIBBLE_CHARS_PER_WORD)];
+        let mut exc = ExceptionList::default();
+        for (i, &c) in data.iter().enumerate() {
+            let pattern = if c >= dense_base {
+                (c - dense_base) as u64
+            } else {
+                exc.pos.push(i as u32);
+                exc.code.push(c);
+                0 // Filler; queries subtract the exception count from code 0.
+            };
+            words[i / NIBBLE_CHARS_PER_WORD] |= pattern << (4 * (i % NIBBLE_CHARS_PER_WORD));
+        }
+        exc.finish(data.len());
+        Self {
+            words,
+            dense_base,
+            dense_used,
+            exc,
+        }
+    }
+
+    /// Character at position `i`.
+    #[inline]
+    fn get(&self, i: usize) -> u8 {
+        if let Some(code) = self.exc.code_at(i) {
+            return code;
+        }
+        let pattern =
+            (self.words[i / NIBBLE_CHARS_PER_WORD] >> (4 * (i % NIBBLE_CHARS_PER_WORD))) & 0xF;
+        self.dense_base + pattern as u8
+    }
+
+    /// Occurrences of the 4-bit `pattern` in positions `[start, end)`;
+    /// `start` must be word-aligned.  Exception slots count as pattern 0.
+    fn count_pattern(&self, pattern: u64, start: usize, end: usize) -> usize {
+        debug_assert_eq!(start % NIBBLE_CHARS_PER_WORD, 0);
+        let mut count = 0u32;
+        let mut pos = start;
+        let mut w = start / NIBBLE_CHARS_PER_WORD;
+        while pos < end {
+            let rem = (end - pos).min(NIBBLE_CHARS_PER_WORD);
+            count += (eq4(self.words[w], pattern) & nibble_mask(rem)).count_ones();
+            pos += rem;
+            w += 1;
+        }
+        count as usize
+    }
+
+    /// Occurrence histogram of every dense pattern over `[start, end)` in a
+    /// single pass, accumulated straight into `out` (`out[pattern] += 1`,
+    /// so callers pass their counts slice offset by `dense_base`): each
+    /// storage word is loaded once and its nibbles are shifted out — the
+    /// same op count as the byte layout's histogram pass over half the
+    /// memory traffic.  (The per-pattern SWAR popcount kernel [`eq4`] stays
+    /// on the single-code `rank` path, where one pattern is needed instead
+    /// of sixteen.)  `start` must be word-aligned; exception slots count as
+    /// pattern 0.
+    fn count_into(&self, start: usize, end: usize, out: &mut [u32]) {
+        debug_assert_eq!(start % NIBBLE_CHARS_PER_WORD, 0);
+        debug_assert!(out.len() >= self.dense_used);
+        let mut pos = start;
+        let mut w = start / NIBBLE_CHARS_PER_WORD;
+        while pos < end {
+            let rem = (end - pos).min(NIBBLE_CHARS_PER_WORD);
+            let mut word = self.words[w];
+            for _ in 0..rem {
+                out[(word & 0xF) as usize] += 1;
+                word >>= 4;
+            }
+            pos += rem;
+            w += 1;
+        }
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        self.words.len() * 8 + self.exc.size_in_bytes()
+    }
+}
+
+/// Low-bit-per-group equality mask: bit `2k` set iff 2-bit group `k` equals
 /// `pattern`.
 #[inline]
 fn eq2(word: u64, pattern: u64) -> u64 {
@@ -265,6 +619,18 @@ fn eq2(word: u64, pattern: u64) -> u64 {
     lo & hi & GROUP_LOW_BITS
 }
 
+/// Low-bit-per-nibble equality mask: bit `4k` set iff nibble `k` equals
+/// `pattern` (`pattern < 16`).
+#[inline]
+fn eq4(word: u64, pattern: u64) -> u64 {
+    // XOR leaves matching nibbles zero; fold each nibble onto its low bit
+    // (all folds stay inside the nibble, so this is exact).
+    let x = word ^ (pattern * NIBBLE_LOW_BITS);
+    let mut folded = x | (x >> 2);
+    folded |= folded >> 1;
+    !folded & NIBBLE_LOW_BITS
+}
+
 /// Mask selecting the first `rem` 2-bit groups of a word.
 #[inline]
 fn group_mask(rem: usize) -> u64 {
@@ -274,6 +640,17 @@ fn group_mask(rem: usize) -> u64 {
         (1u64 << (2 * rem)) - 1
     };
     groups & GROUP_LOW_BITS
+}
+
+/// Mask selecting the first `rem` nibbles of a word.
+#[inline]
+fn nibble_mask(rem: usize) -> u64 {
+    let nibbles = if rem >= NIBBLE_CHARS_PER_WORD {
+        !0
+    } else {
+        (1u64 << (4 * rem)) - 1
+    };
+    nibbles & NIBBLE_LOW_BITS
 }
 
 /// Number of bytes of `data` equal to `c`, eight bytes per SWAR step.
@@ -295,9 +672,25 @@ fn count_eq_bytes(data: &[u8], c: u8) -> usize {
     count + chunks.remainder().iter().filter(|&&b| b == c).count()
 }
 
+/// Sampled occurrence counts over a byte sequence.
+#[derive(Debug, Clone)]
+pub struct OccTable {
+    /// Number of distinct codes (alphabet size including the sentinel).
+    code_count: usize,
+    /// Sequence length.
+    len: usize,
+    /// Interleaved checkpoint rows (one per block).
+    checkpoints: Checkpoints,
+    /// The BWT characters in one of the scan layouts.
+    storage: OccStorage,
+    /// Scan-work accounting.
+    scans: ScanCounter,
+}
+
 impl OccTable {
     /// Build the table for `data` where all codes are `< code_count`,
-    /// auto-selecting the storage layout.
+    /// auto-selecting the storage layout and the default (two-level)
+    /// checkpoint scheme.
     pub fn new(data: Vec<u8>, code_count: usize) -> Self {
         Self::with_layout(data, code_count, RankLayout::Auto)
     }
@@ -305,39 +698,50 @@ impl OccTable {
     /// Build with an explicit storage layout (used by tests and benchmarks
     /// to compare the scan paths).
     pub fn with_layout(data: Vec<u8>, code_count: usize, layout: RankLayout) -> Self {
+        Self::with_options(data, code_count, layout, CheckpointScheme::default())
+    }
+
+    /// Build with an explicit storage layout *and* checkpoint scheme.
+    pub fn with_options(
+        data: Vec<u8>,
+        code_count: usize,
+        layout: RankLayout,
+        scheme: CheckpointScheme,
+    ) -> Self {
         assert!(code_count > 0);
         debug_assert!(data.iter().all(|&c| (c as usize) < code_count));
-        let block_count = data.len() / BLOCK + 1;
-        let mut checkpoints = vec![0u32; block_count * code_count];
-        let mut running = vec![0u32; code_count];
-        for (i, &c) in data.iter().enumerate() {
-            if i % BLOCK == 0 {
-                let block = i / BLOCK;
-                checkpoints[block * code_count..(block + 1) * code_count].copy_from_slice(&running);
+        let checkpoints = Checkpoints::build(&data, code_count, scheme);
+        let layout = match layout {
+            RankLayout::Auto => {
+                if code_count <= PACKED_MAX_CODES {
+                    RankLayout::PackedDna
+                } else if code_count <= NIBBLE_MAX_CODES {
+                    RankLayout::PackedNibble
+                } else {
+                    RankLayout::Bytes
+                }
             }
-            running[c as usize] += 1;
-        }
-        // Final checkpoint for positions at the very end.
-        if data.len().is_multiple_of(BLOCK) {
-            let block = data.len() / BLOCK;
-            checkpoints[block * code_count..(block + 1) * code_count].copy_from_slice(&running);
-        }
-        let packed = match layout {
-            RankLayout::Auto => code_count <= PACKED_MAX_CODES,
             RankLayout::PackedDna => {
                 assert!(
                     code_count <= PACKED_MAX_CODES,
                     "packed layout supports at most {PACKED_MAX_CODES} codes, got {code_count}"
                 );
-                true
+                RankLayout::PackedDna
             }
-            RankLayout::Bytes => false,
+            RankLayout::PackedNibble => {
+                assert!(
+                    code_count <= NIBBLE_MAX_CODES,
+                    "nibble layout supports at most {NIBBLE_MAX_CODES} codes, got {code_count}"
+                );
+                RankLayout::PackedNibble
+            }
+            RankLayout::Bytes => RankLayout::Bytes,
         };
         let len = data.len();
-        let storage = if packed {
-            OccStorage::Packed(PackedDna::build(&data, code_count))
-        } else {
-            OccStorage::Bytes(data)
+        let storage = match layout {
+            RankLayout::PackedDna => OccStorage::Packed(PackedDna::build(&data, code_count)),
+            RankLayout::PackedNibble => OccStorage::Nibble(PackedNibble::build(&data, code_count)),
+            _ => OccStorage::Bytes(data),
         };
         Self {
             code_count,
@@ -371,7 +775,13 @@ impl OccTable {
         match self.storage {
             OccStorage::Bytes(_) => RankLayout::Bytes,
             OccStorage::Packed(_) => RankLayout::PackedDna,
+            OccStorage::Nibble(_) => RankLayout::PackedNibble,
         }
+    }
+
+    /// The checkpoint scheme selected at construction.
+    pub fn checkpoint_scheme(&self) -> CheckpointScheme {
+        self.checkpoints.scheme()
     }
 
     /// Character at position `i`.
@@ -381,6 +791,7 @@ impl OccTable {
         match &self.storage {
             OccStorage::Bytes(data) => data[i],
             OccStorage::Packed(packed) => packed.get(i),
+            OccStorage::Nibble(nibble) => nibble.get(i),
         }
     }
 
@@ -392,7 +803,7 @@ impl OccTable {
         debug_assert!(i <= self.len);
         debug_assert!((c as usize) < self.code_count);
         let block = i / BLOCK;
-        let base = self.checkpoints[block * self.code_count + c as usize] as usize;
+        let base = self.checkpoints.get(block, self.code_count, c as usize);
         let start = block * BLOCK;
         match &self.storage {
             OccStorage::Bytes(data) => {
@@ -400,16 +811,31 @@ impl OccTable {
                 base + count_eq_bytes(&data[start..i], c)
             }
             OccStorage::Packed(packed) => {
-                let (lo, hi) = packed.exception_range(start, i);
                 if c < packed.dense_base {
                     // Sparse code: the exception list answers exactly,
                     // without touching the packed words.
-                    base + packed.exc_code[lo..hi].iter().filter(|&&e| e == c).count()
+                    base + packed.exc.count_code(block, i, c)
                 } else {
                     self.scans.record((i - start).div_ceil(4));
                     let mut count = packed.count_pattern((c - packed.dense_base) as u64, start, i);
                     if c == packed.dense_base {
-                        count -= hi - lo; // Exception slots packed as pattern 0.
+                        // Exception slots packed as pattern 0.
+                        let (lo, hi) = packed.exc.block_range(block, i);
+                        count -= hi - lo;
+                    }
+                    base + count
+                }
+            }
+            OccStorage::Nibble(nibble) => {
+                if c < nibble.dense_base {
+                    base + nibble.exc.count_code(block, i, c)
+                } else {
+                    self.scans.record((i - start).div_ceil(2));
+                    let mut count = nibble.count_pattern((c - nibble.dense_base) as u64, start, i);
+                    if c == nibble.dense_base {
+                        // Exception slots packed as pattern 0.
+                        let (lo, hi) = nibble.exc.block_range(block, i);
+                        count -= hi - lo;
                     }
                     base + count
                 }
@@ -418,7 +844,7 @@ impl OccTable {
     }
 
     /// `Occ(c, i)` for **every** code `c` in one pass: one checkpoint row
-    /// copy plus a single scan of the in-block prefix.
+    /// load plus a single scan of the in-block prefix.
     ///
     /// `counts` must have length [`OccTable::code_count`].  This is the
     /// single-scan primitive behind `FmIndex::extend_all`: expanding a trie
@@ -427,9 +853,7 @@ impl OccTable {
         debug_assert!(i <= self.len);
         assert_eq!(counts.len(), self.code_count);
         let block = i / BLOCK;
-        counts.copy_from_slice(
-            &self.checkpoints[block * self.code_count..(block + 1) * self.code_count],
-        );
+        self.checkpoints.row_into(block, self.code_count, counts);
         let start = block * BLOCK;
         match &self.storage {
             OccStorage::Bytes(data) => {
@@ -442,10 +866,10 @@ impl OccTable {
                 self.scans.record((i - start).div_ceil(4));
                 let mut dense = [0u32; DENSE_CODES];
                 packed.count_all(start, i, &mut dense);
-                let (lo, hi) = packed.exception_range(start, i);
+                let (lo, hi) = packed.exc.block_range(block, i);
                 dense[0] -= (hi - lo) as u32; // Exception slots packed as 0.
                 for k in lo..hi {
-                    counts[packed.exc_code[k] as usize] += 1;
+                    counts[packed.exc.code[k] as usize] += 1;
                 }
                 let dense_base = packed.dense_base as usize;
                 for (offset, &n) in dense.iter().enumerate() {
@@ -454,10 +878,24 @@ impl OccTable {
                     }
                 }
             }
+            OccStorage::Nibble(nibble) => {
+                self.scans.record((i - start).div_ceil(2));
+                let dense_base = nibble.dense_base as usize;
+                // Nibble patterns are `code - dense_base`, so offsetting the
+                // counts slice lets the histogram accumulate in place with
+                // no temporary.
+                nibble.count_into(start, i, &mut counts[dense_base..]);
+                let (lo, hi) = nibble.exc.block_range(block, i);
+                counts[dense_base] -= (hi - lo) as u32; // Exceptions packed as 0.
+                for k in lo..hi {
+                    counts[nibble.exc.code[k] as usize] += 1;
+                }
+            }
         }
     }
 
-    /// Scan-work counters accumulated since construction.
+    /// Scan-work counters accumulated since construction (all zeros when the
+    /// `occ-counters` feature is disabled).
     pub fn scan_snapshot(&self) -> ScanSnapshot {
         self.scans.snapshot()
     }
@@ -465,11 +903,31 @@ impl OccTable {
     /// Approximate heap footprint in bytes (sequence + checkpoints), used by
     /// the index-size experiment (Figure 11).
     pub fn size_in_bytes(&self) -> usize {
-        let storage = match &self.storage {
+        self.storage_bytes() + self.checkpoint_bytes()
+    }
+
+    /// Footprint of the character storage alone (packed words + exception
+    /// lists, or the raw bytes).
+    pub fn storage_bytes(&self) -> usize {
+        match &self.storage {
             OccStorage::Bytes(data) => data.len(),
             OccStorage::Packed(packed) => packed.size_in_bytes(),
-        };
-        storage + self.checkpoints.len() * std::mem::size_of::<u32>()
+            OccStorage::Nibble(nibble) => nibble.size_in_bytes(),
+        }
+    }
+
+    /// Footprint of the checkpoint rows alone.
+    pub fn checkpoint_bytes(&self) -> usize {
+        self.checkpoints.size_in_bytes()
+    }
+
+    /// Number of exception-list entries (0 for the byte layout).
+    pub fn exception_count(&self) -> usize {
+        match &self.storage {
+            OccStorage::Bytes(_) => 0,
+            OccStorage::Packed(packed) => packed.exc.len(),
+            OccStorage::Nibble(nibble) => nibble.exc.len(),
+        }
     }
 }
 
@@ -488,20 +946,29 @@ mod tests {
         *state
     }
 
-    const LAYOUTS: [RankLayout; 3] = [RankLayout::Auto, RankLayout::Bytes, RankLayout::PackedDna];
+    const LAYOUTS: [RankLayout; 4] = [
+        RankLayout::Auto,
+        RankLayout::Bytes,
+        RankLayout::PackedDna,
+        RankLayout::PackedNibble,
+    ];
+
+    const SCHEMES: [CheckpointScheme; 2] = [CheckpointScheme::TwoLevel, CheckpointScheme::FlatU32];
 
     #[test]
     fn rank_matches_naive_on_small_input() {
         let data = vec![1u8, 2, 1, 3, 0, 1, 2, 2, 3, 1];
         for layout in LAYOUTS {
-            let table = OccTable::with_layout(data.clone(), 4, layout);
-            for c in 0..4u8 {
-                for i in 0..=data.len() {
-                    assert_eq!(
-                        table.rank(c, i),
-                        naive_rank(&data, c, i),
-                        "layout {layout:?} c={c} i={i}"
-                    );
+            for scheme in SCHEMES {
+                let table = OccTable::with_options(data.clone(), 4, layout, scheme);
+                for c in 0..4u8 {
+                    for i in 0..=data.len() {
+                        assert_eq!(
+                            table.rank(c, i),
+                            naive_rank(&data, c, i),
+                            "layout {layout:?} scheme {scheme:?} c={c} i={i}"
+                        );
+                    }
                 }
             }
         }
@@ -514,23 +981,52 @@ mod tests {
             .map(|_| (xorshift(&mut state) % 5) as u8)
             .collect();
         for layout in LAYOUTS {
-            let table = OccTable::with_layout(data.clone(), 5, layout);
-            for c in 0..5u8 {
-                for i in (0..=data.len()).step_by(7) {
-                    assert_eq!(
-                        table.rank(c, i),
-                        naive_rank(&data, c, i),
-                        "layout {layout:?}"
-                    );
+            for scheme in SCHEMES {
+                let table = OccTable::with_options(data.clone(), 5, layout, scheme);
+                for c in 0..5u8 {
+                    for i in (0..=data.len()).step_by(7) {
+                        assert_eq!(
+                            table.rank(c, i),
+                            naive_rank(&data, c, i),
+                            "layout {layout:?} scheme {scheme:?}"
+                        );
+                    }
+                    // Exactly at the boundaries.
+                    for block in 0..=3 {
+                        let i = (block * BLOCK).min(data.len());
+                        assert_eq!(
+                            table.rank(c, i),
+                            naive_rank(&data, c, i),
+                            "layout {layout:?} scheme {scheme:?}"
+                        );
+                    }
                 }
-                // Exactly at the boundaries.
-                for block in 0..=3 {
-                    let i = (block * BLOCK).min(data.len());
-                    assert_eq!(
-                        table.rank(c, i),
-                        naive_rank(&data, c, i),
-                        "layout {layout:?}"
-                    );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_matches_naive_across_superblock_boundaries() {
+        // Long enough to cross two super-block boundaries with a partial
+        // tail, so the u64 + u16 reconstruction is exercised end-to-end.
+        let mut state = 13u64;
+        let data: Vec<u8> = (0..SUPER_SPAN * 2 + 3 * BLOCK + 41)
+            .map(|_| (xorshift(&mut state) % 6) as u8)
+            .collect();
+        let table = OccTable::with_options(
+            data.clone(),
+            6,
+            RankLayout::Bytes,
+            CheckpointScheme::TwoLevel,
+        );
+        for c in 0..6u8 {
+            for i in (0..=data.len()).step_by(97) {
+                assert_eq!(table.rank(c, i), naive_rank(&data, c, i), "c={c} i={i}");
+            }
+            for s in 0..=2 {
+                for b in 0..BLOCKS_PER_SUPER {
+                    let i = (s * SUPER_SPAN + b * BLOCK).min(data.len());
+                    assert_eq!(table.rank(c, i), naive_rank(&data, c, i), "c={c} i={i}");
                 }
             }
         }
@@ -539,20 +1035,23 @@ mod tests {
     #[test]
     fn rank_all_matches_per_code_rank() {
         let mut state = 99u64;
-        for code_count in [2usize, 4, 6, 9, 21] {
+        for code_count in [2usize, 4, 6, 9, 16, 18, 21] {
             let data: Vec<u8> = (0..BLOCK * 2 + 61)
                 .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
                 .collect();
-            let table = OccTable::new(data.clone(), code_count);
-            let mut counts = vec![0u32; code_count];
-            for i in (0..=data.len()).step_by(13) {
-                table.rank_all(i, &mut counts);
-                for c in 0..code_count as u8 {
-                    assert_eq!(
-                        counts[c as usize] as usize,
-                        naive_rank(&data, c, i),
-                        "code_count={code_count} c={c} i={i}"
-                    );
+            for scheme in SCHEMES {
+                let table =
+                    OccTable::with_options(data.clone(), code_count, RankLayout::Auto, scheme);
+                let mut counts = vec![0u32; code_count];
+                for i in (0..=data.len()).step_by(13) {
+                    table.rank_all(i, &mut counts);
+                    for c in 0..code_count as u8 {
+                        assert_eq!(
+                            counts[c as usize] as usize,
+                            naive_rank(&data, c, i),
+                            "code_count={code_count} scheme={scheme:?} c={c} i={i}"
+                        );
+                    }
                 }
             }
         }
@@ -587,36 +1086,184 @@ mod tests {
     }
 
     #[test]
-    fn auto_layout_packs_small_alphabets_only() {
+    fn nibble_and_bytes_layouts_agree() {
+        let mut state = 31337u64;
+        for code_count in [1usize, 5, 8, 12, 16, 17, 18] {
+            let data: Vec<u8> = (0..BLOCK * 3 + 55)
+                .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
+                .collect();
+            let bytes = OccTable::with_layout(data.clone(), code_count, RankLayout::Bytes);
+            let nibble = OccTable::with_layout(data.clone(), code_count, RankLayout::PackedNibble);
+            assert_eq!(nibble.layout(), RankLayout::PackedNibble);
+            let mut counts_b = vec![0u32; code_count];
+            let mut counts_n = vec![0u32; code_count];
+            for i in (0..=data.len()).step_by(9) {
+                bytes.rank_all(i, &mut counts_b);
+                nibble.rank_all(i, &mut counts_n);
+                assert_eq!(counts_b, counts_n, "i={i} code_count={code_count}");
+                for c in 0..code_count as u8 {
+                    assert_eq!(bytes.rank(c, i), nibble.rank(c, i), "c={c} i={i}");
+                }
+            }
+            for (i, &expected) in data.iter().enumerate() {
+                assert_eq!(nibble.get(i), expected, "i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_and_flat_checkpoints_agree() {
+        let mut state = 2024u64;
+        for code_count in [4usize, 18, 22] {
+            let data: Vec<u8> = (0..SUPER_SPAN + 5 * BLOCK + 7)
+                .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
+                .collect();
+            let flat = OccTable::with_options(
+                data.clone(),
+                code_count,
+                RankLayout::Auto,
+                CheckpointScheme::FlatU32,
+            );
+            let two_level = OccTable::with_options(
+                data.clone(),
+                code_count,
+                RankLayout::Auto,
+                CheckpointScheme::TwoLevel,
+            );
+            assert_eq!(flat.checkpoint_scheme(), CheckpointScheme::FlatU32);
+            assert_eq!(two_level.checkpoint_scheme(), CheckpointScheme::TwoLevel);
+            let mut counts_f = vec![0u32; code_count];
+            let mut counts_t = vec![0u32; code_count];
+            for i in (0..=data.len()).step_by(17) {
+                flat.rank_all(i, &mut counts_f);
+                two_level.rank_all(i, &mut counts_t);
+                assert_eq!(counts_f, counts_t, "code_count={code_count} i={i}");
+                for c in 0..code_count as u8 {
+                    assert_eq!(flat.rank(c, i), two_level.rank(c, i), "c={c} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_checkpoints_are_smaller() {
+        // The headline size claim: on a protein-sized alphabet the two-level
+        // checkpoint rows take 3/4 of the flat u32 footprint (u16 rows plus
+        // the amortized u64 super rows), and the row actually loaded per
+        // rank is half as wide.
+        let mut state = 555u64;
+        let code_count = 22; // shifted protein: sentinel + separator + 20.
+        let data: Vec<u8> = (0..SUPER_SPAN * 16)
+            .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
+            .collect();
+        let flat = OccTable::with_options(
+            data.clone(),
+            code_count,
+            RankLayout::Bytes,
+            CheckpointScheme::FlatU32,
+        );
+        let two_level = OccTable::with_options(
+            data,
+            code_count,
+            RankLayout::Bytes,
+            CheckpointScheme::TwoLevel,
+        );
+        assert!(
+            two_level.checkpoint_bytes() < flat.checkpoint_bytes(),
+            "two-level {} vs flat {}",
+            two_level.checkpoint_bytes(),
+            flat.checkpoint_bytes()
+        );
+        assert!(two_level.size_in_bytes() < flat.size_in_bytes());
+        // ~3/4 of the flat rows (2 + 8/BLOCKS_PER_SUPER vs 4 bytes per code
+        // per block), within slack for the partial tail rows.
+        let ratio = two_level.checkpoint_bytes() as f64 / flat.checkpoint_bytes() as f64;
+        assert!((0.70..0.80).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn auto_layout_picks_the_narrowest_fit() {
         let small = OccTable::new(vec![0u8, 1, 2, 3, 4, 5], 6);
         assert_eq!(small.layout(), RankLayout::PackedDna);
-        let large = OccTable::new(vec![0u8, 1, 2, 3, 4, 5, 6], 7);
+        let mid = OccTable::new((0u8..7).collect(), 7);
+        assert_eq!(mid.layout(), RankLayout::PackedNibble);
+        let nibble_edge = OccTable::new((0u8..18).collect(), 18);
+        assert_eq!(nibble_edge.layout(), RankLayout::PackedNibble);
+        let large = OccTable::new((0u8..19).collect(), 19);
         assert_eq!(large.layout(), RankLayout::Bytes);
     }
 
     #[test]
-    fn sparse_codes_are_exact_in_the_packed_layout() {
+    fn sparse_codes_are_exact_in_the_packed_layouts() {
         // Mostly-dense data with rare sentinel/separator codes, mirroring a
-        // real DNA BWT (shifted codes 0 and 1 are the sparse ones).
+        // real BWT (the lowest shifted codes are the sparse ones).
         let mut state = 31u64;
-        let mut data: Vec<u8> = (0..BLOCK * 2)
-            .map(|_| (xorshift(&mut state) % 4) as u8 + 2)
-            .collect();
-        data[0] = 0;
-        data[37] = 1;
-        data[BLOCK] = 1;
-        data[BLOCK + 1] = 1;
-        let table = OccTable::with_layout(data.clone(), 6, RankLayout::PackedDna);
-        for c in 0..6u8 {
-            for i in (0..=data.len()).step_by(3) {
-                assert_eq!(table.rank(c, i), naive_rank(&data, c, i), "c={c} i={i}");
+        for (layout, code_count, dense) in [
+            (RankLayout::PackedDna, 6usize, 4usize),
+            (RankLayout::PackedNibble, 18, 16),
+        ] {
+            let sparse = code_count - dense;
+            let mut data: Vec<u8> = (0..BLOCK * 2)
+                .map(|_| (xorshift(&mut state) % dense as u64) as u8 + sparse as u8)
+                .collect();
+            data[0] = 0;
+            data[37] = 1;
+            data[BLOCK] = 1;
+            data[BLOCK + 1] = 1;
+            let table = OccTable::with_layout(data.clone(), code_count, layout);
+            assert_eq!(table.exception_count(), 4);
+            for c in 0..code_count as u8 {
+                for i in (0..=data.len()).step_by(3) {
+                    assert_eq!(
+                        table.rank(c, i),
+                        naive_rank(&data, c, i),
+                        "layout {layout:?} c={c} i={i}"
+                    );
+                }
             }
-        }
-        for (i, &c) in data.iter().enumerate() {
-            assert_eq!(table.get(i), c);
+            for (i, &c) in data.iter().enumerate() {
+                assert_eq!(table.get(i), c);
+            }
         }
     }
 
+    #[test]
+    fn exception_heavy_inputs_stay_exact() {
+        // Pathological separator-heavy input (every third position is a
+        // sparse code) across several blocks: stresses the per-block
+        // cumulative exception counts.
+        let mut state = 77u64;
+        let code_count = 6usize;
+        let data: Vec<u8> = (0..BLOCK * 5 + 19)
+            .map(|i| {
+                if i % 3 == 0 {
+                    (xorshift(&mut state) % 2) as u8 // sparse: 0 or 1
+                } else {
+                    (xorshift(&mut state) % 4) as u8 + 2 // dense: 2..=5
+                }
+            })
+            .collect();
+        for layout in [RankLayout::PackedDna, RankLayout::PackedNibble] {
+            let table = OccTable::with_layout(data.clone(), code_count, layout);
+            let mut counts = vec![0u32; code_count];
+            for i in (0..=data.len()).step_by(5) {
+                table.rank_all(i, &mut counts);
+                for c in 0..code_count as u8 {
+                    assert_eq!(
+                        counts[c as usize] as usize,
+                        naive_rank(&data, c, i),
+                        "layout {layout:?} c={c} i={i}"
+                    );
+                    assert_eq!(table.rank(c, i), naive_rank(&data, c, i));
+                }
+            }
+            for (i, &c) in data.iter().enumerate() {
+                assert_eq!(table.get(i), c, "layout {layout:?} i={i}");
+            }
+        }
+    }
+
+    #[cfg(feature = "occ-counters")]
     #[test]
     fn scan_counters_track_rank_all_calls() {
         let data = vec![1u8; BLOCK + 40];
@@ -656,14 +1303,23 @@ mod tests {
     fn size_accounting_is_positive() {
         let bytes = OccTable::with_layout(vec![1u8; 1000], 2, RankLayout::Bytes);
         assert!(bytes.size_in_bytes() >= 1000);
-        // The packed layout stores the same data in a quarter of the space.
+        // The packed layouts store the same data in a fraction of the space.
         let packed = OccTable::with_layout(vec![1u8; 1000], 2, RankLayout::PackedDna);
         assert!(packed.size_in_bytes() < bytes.size_in_bytes());
+        let nibble = OccTable::with_layout(vec![1u8; 1000], 2, RankLayout::PackedNibble);
+        assert!(nibble.size_in_bytes() < bytes.size_in_bytes());
+        assert!(packed.size_in_bytes() < nibble.size_in_bytes());
     }
 
     #[test]
     #[should_panic(expected = "packed layout")]
     fn packed_layout_rejects_large_alphabets() {
         let _ = OccTable::with_layout(vec![0u8; 10], 7, RankLayout::PackedDna);
+    }
+
+    #[test]
+    #[should_panic(expected = "nibble layout")]
+    fn nibble_layout_rejects_large_alphabets() {
+        let _ = OccTable::with_layout(vec![0u8; 10], 19, RankLayout::PackedNibble);
     }
 }

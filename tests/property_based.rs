@@ -13,7 +13,7 @@ use alae::bwtsw::{BwtswAligner, BwtswConfig};
 use alae::core::{AlaeAligner, AlaeConfig, DominationIndex, QGramIndex};
 use alae::suffix::rank::OccTable;
 use alae::suffix::sais::{suffix_array, suffix_array_naive};
-use alae::suffix::{ChildBuf, RankLayout, TextIndex};
+use alae::suffix::{CheckpointScheme, ChildBuf, RankLayout, TextIndex};
 
 /// Deterministic case generator (xorshift64*).
 struct Gen(u64);
@@ -280,11 +280,107 @@ fn packed_and_generic_rank_paths_agree_on_random_texts() {
 }
 
 #[test]
+fn nibble_and_two_level_agree_with_generic_on_random_texts() {
+    // The 4-bit nibble-packed path and the two-level checkpoint rows must
+    // compute identical ranks to the generic SWAR byte layout with flat u32
+    // checkpoints — on random texts, including separator/sentinel-heavy
+    // ones where the exception list carries a large share of positions.
+    let mut g = Gen::new(0x5eed_000d);
+    for case in 0..24 {
+        let code_count = g.range(5, 19);
+        let len = g.range(1, 2_500);
+        let sparse_cut = if case % 3 == 0 { 25 } else { 2 }; // heavy vs rare
+        let data: Vec<u8> = (0..len)
+            .map(|_| {
+                if g.next() % 100 < sparse_cut {
+                    // Sentinel/separator band: the lowest codes.
+                    (g.next() % 2.min(code_count as u64)) as u8
+                } else {
+                    (g.next() % code_count as u64) as u8
+                }
+            })
+            .collect();
+        let reference = OccTable::with_options(
+            data.clone(),
+            code_count,
+            RankLayout::Bytes,
+            CheckpointScheme::FlatU32,
+        );
+        let nibble = OccTable::with_options(
+            data.clone(),
+            code_count,
+            RankLayout::PackedNibble,
+            CheckpointScheme::TwoLevel,
+        );
+        let mut counts_r = vec![0u32; code_count];
+        let mut counts_n = vec![0u32; code_count];
+        for _ in 0..60 {
+            let i = g.range(0, len + 1);
+            reference.rank_all(i, &mut counts_r);
+            nibble.rank_all(i, &mut counts_n);
+            assert_eq!(counts_r, counts_n, "case {case} i={i}");
+            for c in 0..code_count as u8 {
+                assert_eq!(
+                    reference.rank(c, i),
+                    nibble.rank(c, i),
+                    "case {case} c={c} i={i}"
+                );
+            }
+        }
+        for i in 0..len {
+            assert_eq!(reference.get(i), nibble.get(i), "case {case} i={i}");
+        }
+    }
+}
+
+#[test]
+fn two_level_protein_index_is_smaller_than_flat_u32() {
+    // The tentpole size claim, asserted at the index level: the two-level
+    // checkpoint rows make a protein-alphabet occurrence table strictly
+    // smaller than the flat u32 rows it replaced, and the nibble packing
+    // makes a reduced-alphabet table smaller still than its byte twin.
+    let mut g = Gen::new(0x5eed_000e);
+    let protein: Vec<u8> = (0..40_000).map(|_| (g.next() % 22) as u8).collect();
+    let flat = OccTable::with_options(
+        protein.clone(),
+        22,
+        RankLayout::Bytes,
+        CheckpointScheme::FlatU32,
+    );
+    let two_level =
+        OccTable::with_options(protein, 22, RankLayout::Bytes, CheckpointScheme::TwoLevel);
+    assert!(
+        two_level.size_in_bytes() < flat.size_in_bytes(),
+        "two-level {} vs flat {}",
+        two_level.size_in_bytes(),
+        flat.size_in_bytes()
+    );
+    assert!(two_level.checkpoint_bytes() < flat.checkpoint_bytes());
+
+    let reduced: Vec<u8> = (0..40_000).map(|_| (g.next() % 16) as u8).collect();
+    let bytes16 = OccTable::with_options(
+        reduced.clone(),
+        16,
+        RankLayout::Bytes,
+        CheckpointScheme::TwoLevel,
+    );
+    let nibble16 = OccTable::with_options(
+        reduced,
+        16,
+        RankLayout::PackedNibble,
+        CheckpointScheme::TwoLevel,
+    );
+    assert!(nibble16.size_in_bytes() < bytes16.size_in_bytes());
+}
+
+#[cfg(feature = "occ-counters")]
+#[test]
 fn trie_expansion_performs_two_block_scans_per_node() {
     let mut g = Gen::new(0x5eed_000c);
     for (code_count, layout) in [
         (5usize, RankLayout::PackedDna),
         (5, RankLayout::Bytes),
+        (16, RankLayout::PackedNibble),
         (21, RankLayout::Bytes),
     ] {
         let sigma = code_count - 1;
