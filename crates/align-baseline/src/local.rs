@@ -21,6 +21,15 @@ pub struct LocalDpStats {
     pub positive_entries: u64,
 }
 
+impl LocalDpStats {
+    /// Accumulate another run's counters (used when aggregating a whole
+    /// query workload).
+    pub fn merge(&mut self, other: &LocalDpStats) {
+        self.calculated_entries += other.calculated_entries;
+        self.positive_entries += other.positive_entries;
+    }
+}
+
 /// Compute all local alignment hits with `score ≥ threshold`.
 ///
 /// `text` and `query` are code sequences (record separators allowed in the

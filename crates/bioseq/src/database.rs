@@ -9,14 +9,48 @@
 
 use crate::alphabet::{Alphabet, SEPARATOR_CODE};
 use crate::sequence::Sequence;
+use std::sync::Arc;
 
 /// Location of a text position inside the original database records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Carries the record name directly (shared, not copied) so callers never
+/// need the `locate` + `record_name` double lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecordLocation {
     /// Index of the record in insertion order.
     pub record: usize,
+    /// Name of that record.
+    pub name: Arc<str>,
     /// 1-based offset of the position inside that record.
     pub offset: usize,
+}
+
+/// An inclusive span of text positions resolved into a single record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// Index of the record in insertion order.
+    pub record: usize,
+    /// Name of that record.
+    pub name: Arc<str>,
+    /// 1-based offset of the first position inside the record.
+    pub start: usize,
+    /// 1-based offset of the last position inside the record (inclusive).
+    pub end: usize,
+}
+
+impl RecordSpan {
+    /// Number of characters covered by the span (zero for a degenerate
+    /// caller-constructed span with `end < start`; `locate_range` never
+    /// returns one).
+    pub fn len(&self) -> usize {
+        (self.end + 1).saturating_sub(self.start)
+    }
+
+    /// True only for a degenerate caller-constructed span with
+    /// `end < start`.
+    pub fn is_empty(&self) -> bool {
+        self.end < self.start
+    }
 }
 
 /// A collection of sequences concatenated into one searchable text.
@@ -25,8 +59,9 @@ pub struct SequenceDatabase {
     alphabet: Alphabet,
     /// Concatenated codes: `rec1 $ rec2 $ … $ recK` (no trailing separator).
     text: Vec<u8>,
-    /// Names of the records, parallel to `starts`.
-    names: Vec<String>,
+    /// Names of the records, parallel to `starts` (shared so locations can
+    /// carry them without copying).
+    names: Vec<Arc<str>>,
     /// 0-based start offset of each record inside `text`.
     starts: Vec<usize>,
     /// Lengths of each record.
@@ -69,7 +104,7 @@ impl SequenceDatabase {
         }
         self.starts.push(self.text.len());
         self.lengths.push(sequence.len());
-        self.names.push(sequence.name().to_string());
+        self.names.push(Arc::from(sequence.name()));
         self.text.extend_from_slice(sequence.codes());
     }
 
@@ -108,9 +143,43 @@ impl SequenceDatabase {
         self.lengths.iter().sum()
     }
 
-    /// Map a 0-based position in the concatenated text to its record and
-    /// 1-based offset, or `None` if the position is a separator.
+    /// Map a 0-based position in the concatenated text to its record, the
+    /// record's name and the 1-based offset inside it, or `None` if the
+    /// position is a separator.
     pub fn locate(&self, position: usize) -> Option<RecordLocation> {
+        let (record, offset) = self.locate_raw(position)?;
+        Some(RecordLocation {
+            record,
+            name: self.names[record].clone(),
+            offset: offset + 1,
+        })
+    }
+
+    /// Map an inclusive 0-based span `[start, end]` of the concatenated text
+    /// to the record containing it and the 1-based in-record span.
+    ///
+    /// Returns `None` when either endpoint falls on a separator (or outside
+    /// the text), or when the endpoints land in different records — a span
+    /// crossing a record boundary is not a valid alignment location.
+    pub fn locate_range(&self, start: usize, end: usize) -> Option<RecordSpan> {
+        if start > end {
+            return None;
+        }
+        let (record, start_offset) = self.locate_raw(start)?;
+        let (end_record, end_offset) = self.locate_raw(end)?;
+        if record != end_record {
+            return None;
+        }
+        Some(RecordSpan {
+            record,
+            name: self.names[record].clone(),
+            start: start_offset + 1,
+            end: end_offset + 1,
+        })
+    }
+
+    /// Shared lookup: record index and 0-based in-record offset.
+    fn locate_raw(&self, position: usize) -> Option<(usize, usize)> {
         if position >= self.text.len() || self.text[position] == SEPARATOR_CODE {
             return None;
         }
@@ -121,10 +190,7 @@ impl SequenceDatabase {
         };
         let offset = position - self.starts[record];
         debug_assert!(offset < self.lengths[record]);
-        Some(RecordLocation {
-            record,
-            offset: offset + 1,
-        })
+        Some((record, offset))
     }
 
     /// Decode the concatenated text back to ASCII (separators become `$`).
@@ -159,6 +225,7 @@ mod tests {
             db.locate(0),
             Some(RecordLocation {
                 record: 0,
+                name: "r1".into(),
                 offset: 1
             })
         );
@@ -166,6 +233,7 @@ mod tests {
             db.locate(3),
             Some(RecordLocation {
                 record: 0,
+                name: "r1".into(),
                 offset: 4
             })
         );
@@ -175,6 +243,7 @@ mod tests {
             db.locate(5),
             Some(RecordLocation {
                 record: 1,
+                name: "r2".into(),
                 offset: 1
             })
         );
@@ -182,10 +251,39 @@ mod tests {
             db.locate(7),
             Some(RecordLocation {
                 record: 1,
+                name: "r2".into(),
                 offset: 3
             })
         );
         assert_eq!(db.locate(8), None);
+    }
+
+    #[test]
+    fn locate_range_resolves_in_record_spans() {
+        let db = db_two_records(); // ACGT$GGC
+        assert_eq!(
+            db.locate_range(1, 3),
+            Some(RecordSpan {
+                record: 0,
+                name: "r1".into(),
+                start: 2,
+                end: 4
+            })
+        );
+        let span = db.locate_range(5, 7).unwrap();
+        assert_eq!((span.record, &*span.name), (1, "r2"));
+        assert_eq!((span.start, span.end), (1, 3));
+        assert_eq!(span.len(), 3);
+        assert!(!span.is_empty());
+        // Single-position spans work.
+        assert_eq!(db.locate_range(6, 6).unwrap().len(), 1);
+        // Separator endpoints, cross-record spans, reversed and out-of-range
+        // spans all fail.
+        assert_eq!(db.locate_range(4, 6), None);
+        assert_eq!(db.locate_range(3, 4), None);
+        assert_eq!(db.locate_range(3, 5), None);
+        assert_eq!(db.locate_range(5, 3), None);
+        assert_eq!(db.locate_range(7, 8), None);
     }
 
     #[test]

@@ -70,10 +70,16 @@ impl HitMap {
         self.best.get(&(end_text, end_query)).copied()
     }
 
-    /// Extract all hits with `score ≥ threshold`, sorted by
-    /// `(end_text, end_query)` for deterministic output.
+    /// Extract all hits with `score ≥ threshold` in the canonical total
+    /// order of [`canonical_key`]: score descending, then text end position,
+    /// then query end position.
+    ///
+    /// The order is total (no two distinct hits compare equal) and the map
+    /// keys are unique, so the output never depends on `HashMap` traversal
+    /// order — every engine emits bit-identical hit vectors for the same
+    /// result set.
     pub fn into_hits(self, threshold: i64) -> Vec<AlignmentHit> {
-        let mut hits: Vec<AlignmentHit> = self
+        let hits: Vec<AlignmentHit> = self
             .best
             .into_iter()
             .filter(|&(_, score)| score >= threshold)
@@ -83,15 +89,29 @@ impl HitMap {
                 score,
             })
             .collect();
-        hits.sort_by_key(|h| (h.end_text, h.end_query));
-        hits
+        canonicalize(hits)
     }
 }
 
-/// Sort hits into the canonical order used for equality comparisons in tests
-/// and experiments.
+/// The canonical sort key of a hit: best score first, ties broken by text
+/// end position and then query end position.
+///
+/// This is a total order over *distinct* hits, so any hit set has exactly
+/// one canonical arrangement regardless of how (or by which engine) it was
+/// produced.
+pub fn canonical_key(hit: &AlignmentHit) -> (std::cmp::Reverse<i64>, usize, usize) {
+    (std::cmp::Reverse(hit.score), hit.end_text, hit.end_query)
+}
+
+/// Sort hits into the canonical total order (score descending, then text
+/// position, then query position) and drop exact duplicates.
+///
+/// Used for every cross-engine equality comparison: after canonicalization
+/// two hit vectors are equal if and only if they describe the same result
+/// set, independent of traversal order or accidental duplicate reporting.
 pub fn canonicalize(mut hits: Vec<AlignmentHit>) -> Vec<AlignmentHit> {
-    hits.sort_by_key(|h| (h.end_text, h.end_query, h.score));
+    hits.sort_by_key(canonical_key);
+    hits.dedup();
     hits
 }
 
@@ -143,17 +163,42 @@ mod tests {
             hits,
             vec![
                 AlignmentHit {
-                    end_text: 2,
-                    end_query: 2,
-                    score: 8
-                },
-                AlignmentHit {
                     end_text: 9,
                     end_query: 1,
                     score: 10
                 },
+                AlignmentHit {
+                    end_text: 2,
+                    end_query: 2,
+                    score: 8
+                },
             ]
         );
+    }
+
+    #[test]
+    fn canonicalize_is_a_total_order_and_dedupes() {
+        let a = AlignmentHit {
+            end_text: 4,
+            end_query: 2,
+            score: 7,
+        };
+        let b = AlignmentHit {
+            end_text: 1,
+            end_query: 9,
+            score: 9,
+        };
+        let c = AlignmentHit {
+            end_text: 4,
+            end_query: 1,
+            score: 7,
+        };
+        // Shuffled input with an exact duplicate of `a`.
+        let hits = canonicalize(vec![a, b, a, c]);
+        assert_eq!(hits, vec![b, c, a]);
+        // Every permutation canonicalizes identically.
+        let again = canonicalize(vec![c, a, b]);
+        assert_eq!(hits, again);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod scoring;
 pub mod sequence;
 
 pub use alphabet::Alphabet;
-pub use database::{RecordLocation, SequenceDatabase};
+pub use database::{RecordLocation, RecordSpan, SequenceDatabase};
 pub use evalue::KarlinAltschul;
 pub use hits::{AlignmentHit, HitMap};
 pub use scoring::ScoringScheme;

@@ -5,6 +5,7 @@ use crate::seed::WordIndex;
 use alae_bioseq::hits::{AlignmentHit, HitMap};
 use alae_bioseq::{Alphabet, ScoringScheme, SequenceDatabase};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration of the BLAST-like heuristic.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +56,17 @@ pub struct BlastStats {
     pub raw_alignments: u64,
 }
 
+impl BlastStats {
+    /// Accumulate another run's counters (used when aggregating a whole
+    /// query workload).
+    pub fn merge(&mut self, other: &BlastStats) {
+        self.seed_hits += other.seed_hits;
+        self.ungapped_extensions += other.ungapped_extensions;
+        self.gapped_extensions += other.gapped_extensions;
+        self.raw_alignments += other.raw_alignments;
+    }
+}
+
 /// The outcome of one BLAST-like search.
 #[derive(Debug, Clone)]
 pub struct BlastResult {
@@ -73,19 +85,21 @@ pub struct BlastResult {
 /// a database.
 #[derive(Debug, Clone)]
 pub struct BlastLikeAligner {
-    text: Vec<u8>,
-    code_count: usize,
+    database: Arc<SequenceDatabase>,
     config: BlastConfig,
 }
 
 impl BlastLikeAligner {
-    /// Build the aligner for a database.
+    /// Build the aligner for a database (clones it once).
     pub fn build(database: &SequenceDatabase, config: BlastConfig) -> Self {
-        Self {
-            text: database.text().to_vec(),
-            code_count: database.alphabet().code_count(),
-            config,
-        }
+        Self::with_database(Arc::new(database.clone()), config)
+    }
+
+    /// Build the aligner around an already-shared database, so per-query
+    /// reconfigurations (e.g. a new threshold from an E-value) never copy
+    /// the text again.
+    pub fn with_database(database: Arc<SequenceDatabase>, config: BlastConfig) -> Self {
+        Self { database, config }
     }
 
     /// The configuration.
@@ -97,14 +111,16 @@ impl BlastLikeAligner {
     pub fn align(&self, query: &[u8]) -> BlastResult {
         let mut stats = BlastStats::default();
         let config = &self.config;
-        if query.len() < config.word_size || self.text.len() < config.word_size {
+        let text = self.database.text();
+        if query.len() < config.word_size || text.len() < config.word_size {
             return BlastResult {
                 hits: Vec::new(),
                 stats,
             };
         }
-        let index = WordIndex::build(query, config.word_size, self.code_count);
-        let seeds = index.scan(&self.text);
+        let code_count = self.database.alphabet().code_count();
+        let index = WordIndex::build(query, config.word_size, code_count);
+        let seeds = index.scan(text);
         stats.seed_hits = seeds.len() as u64;
 
         // Per-diagonal high-water marks: once a seed on a diagonal has been
@@ -123,7 +139,7 @@ impl BlastLikeAligner {
             }
             stats.ungapped_extensions += 1;
             let ungapped = ungapped_extend(
-                &self.text,
+                text,
                 query,
                 seed.text_pos,
                 seed.query_pos,
@@ -136,13 +152,7 @@ impl BlastLikeAligner {
                 continue;
             }
             stats.gapped_extensions += 1;
-            let gapped = gapped_extend(
-                &self.text,
-                query,
-                &ungapped,
-                &config.scheme,
-                config.gapped_pad,
-            );
+            let gapped = gapped_extend(text, query, &ungapped, &config.scheme, config.gapped_pad);
             let best = if gapped.score >= ungapped.score {
                 gapped
             } else {

@@ -102,6 +102,12 @@ impl AlaeAligner {
     }
 
     /// Align a query [`Sequence`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the engine through the `alae::search` facade \
+                (`Searcher::search`), which resolves hits to records and \
+                supports every engine uniformly"
+    )]
     pub fn align_sequence(&self, query: &Sequence) -> AlaeResult {
         assert_eq!(query.alphabet(), self.alphabet, "query alphabet mismatch");
         self.align(query.codes())

@@ -1,12 +1,17 @@
-//! Thin wrappers running each aligner over a query workload and collecting
-//! wall-clock time, result counts and work counters.
+//! Runners driving each engine over a query workload through the unified
+//! `alae::search` facade, collecting wall-clock time, result counts and
+//! work counters.
+//!
+//! Every engine goes through the same [`alae::search::LocalAligner`] path
+//! (via [`build_engine`]) — the per-engine functions below only translate
+//! configurations and unpack the engine-specific counters the experiment
+//! tables print.
 
 use crate::setup::PreparedWorkload;
-use alae_align_baseline::local_alignment_hits;
+use alae::search::{build_engine, EngineKind, EngineRun, SearchRequest};
 use alae_bioseq::ScoringScheme;
-use alae_blast_like::{BlastConfig, BlastLikeAligner};
-use alae_bwtsw::{BwtswAligner, BwtswConfig, BwtswStats};
-use alae_core::{AlaeAligner, AlaeConfig, AlaeStats};
+use alae_bwtsw::BwtswStats;
+use alae_core::{AlaeConfig, AlaeStats, ThresholdSpec};
 use std::time::{Duration, Instant};
 
 /// Aggregated outcome of running one aligner over a whole query workload.
@@ -31,21 +36,49 @@ impl RunSummary {
     }
 }
 
-/// Run ALAE over the workload.
-pub fn run_alae(prepared: &PreparedWorkload, config: AlaeConfig) -> (RunSummary, AlaeStats, i64) {
-    let aligner =
-        AlaeAligner::with_index(prepared.index.clone(), prepared.database.alphabet(), config);
+/// Run any engine over the workload through the engine-agnostic
+/// `LocalAligner` trait, timing each query.
+///
+/// Only the engine's `align_codes` call is inside the timed section —
+/// record resolution and result shaping are facade conveniences the
+/// experiment tables deliberately exclude, so timings stay comparable
+/// across engines regardless of how many hits each reports.
+///
+/// Returns the aggregate summary plus the per-query runs (hit sets,
+/// thresholds and engine counters) for callers that need more than counts.
+pub fn run_request(
+    prepared: &PreparedWorkload,
+    request: SearchRequest,
+) -> (RunSummary, Vec<EngineRun>) {
+    let engine = build_engine(&prepared.indexed, &request);
     let mut summary = RunSummary::default();
-    let mut stats = AlaeStats::default();
-    let mut threshold = 0;
+    let mut runs = Vec::with_capacity(prepared.queries.len());
     for query in &prepared.queries {
         let start = Instant::now();
-        let result = aligner.align(query.codes());
+        let run = engine.align_codes(query.codes());
         summary.total_time += start.elapsed();
-        summary.result_count += result.hits.len();
+        summary.result_count += run.hits.len();
         summary.query_count += 1;
-        stats.merge(&result.stats);
-        threshold = result.threshold;
+        runs.push(run);
+    }
+    (summary, runs)
+}
+
+/// Run ALAE over the workload.
+pub fn run_alae(prepared: &PreparedWorkload, config: AlaeConfig) -> (RunSummary, AlaeStats, i64) {
+    let mut request = match config.threshold {
+        ThresholdSpec::Score(h) => SearchRequest::with_threshold(config.scheme, h),
+        ThresholdSpec::EValue(e) => SearchRequest::with_evalue(config.scheme, e),
+    }
+    .engine(EngineKind::Alae)
+    .filters(config.filters);
+    request.max_depth = config.max_depth;
+    let (summary, runs) = run_request(prepared, request);
+    let mut stats = AlaeStats::default();
+    let mut threshold = 0;
+    for run in &runs {
+        stats.merge(run.counters.as_alae().expect("ALAE ran"));
+        threshold = run.threshold;
     }
     (summary, stats, threshold)
 }
@@ -56,17 +89,11 @@ pub fn run_bwtsw(
     scheme: ScoringScheme,
     threshold: i64,
 ) -> (RunSummary, BwtswStats) {
-    let aligner =
-        BwtswAligner::with_index(prepared.index.clone(), BwtswConfig::new(scheme, threshold));
-    let mut summary = RunSummary::default();
+    let request = SearchRequest::with_threshold(scheme, threshold).engine(EngineKind::Bwtsw);
+    let (summary, runs) = run_request(prepared, request);
     let mut stats = BwtswStats::default();
-    for query in &prepared.queries {
-        let start = Instant::now();
-        let result = aligner.align(query.codes());
-        summary.total_time += start.elapsed();
-        summary.result_count += result.hits.len();
-        summary.query_count += 1;
-        stats.merge(&result.stats);
+    for run in &runs {
+        stats.merge(run.counters.as_bwtsw().expect("BWT-SW ran"));
     }
     (summary, stats)
 }
@@ -74,17 +101,8 @@ pub fn run_bwtsw(
 /// Run the BLAST-like heuristic over the workload with an explicit
 /// threshold.
 pub fn run_blast(prepared: &PreparedWorkload, scheme: ScoringScheme, threshold: i64) -> RunSummary {
-    let config = BlastConfig::for_alphabet(prepared.database.alphabet(), scheme, threshold);
-    let aligner = BlastLikeAligner::build(&prepared.database, config);
-    let mut summary = RunSummary::default();
-    for query in &prepared.queries {
-        let start = Instant::now();
-        let result = aligner.align(query.codes());
-        summary.total_time += start.elapsed();
-        summary.result_count += result.hits.len();
-        summary.query_count += 1;
-    }
-    summary
+    let request = SearchRequest::with_threshold(scheme, threshold).engine(EngineKind::BlastLike);
+    run_request(prepared, request).0
 }
 
 /// Run the full Smith–Waterman oracle over the workload (only used for the
@@ -94,23 +112,15 @@ pub fn run_smith_waterman(
     scheme: ScoringScheme,
     threshold: i64,
 ) -> RunSummary {
-    let mut summary = RunSummary::default();
-    for query in &prepared.queries {
-        let start = Instant::now();
-        let (hits, _) =
-            local_alignment_hits(prepared.database.text(), query.codes(), &scheme, threshold);
-        summary.total_time += start.elapsed();
-        summary.result_count += hits.len();
-        summary.query_count += 1;
-    }
-    summary
+    let request =
+        SearchRequest::with_threshold(scheme, threshold).engine(EngineKind::SmithWaterman);
+    run_request(prepared, request).0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::setup::prepare_dna;
-    use alae_bioseq::hits::diff_hits;
 
     #[test]
     fn all_runners_produce_consistent_results_on_a_tiny_workload() {
@@ -135,18 +145,15 @@ mod tests {
 
     #[test]
     fn exactness_holds_per_query_on_the_runner_path() {
+        // The exact engines must report bit-identical canonical hit
+        // vectors query by query when driven through the trait.
         let prepared = prepare_dna(2_000, 100, 1, 11);
         let scheme = ScoringScheme::DEFAULT;
-        let aligner = AlaeAligner::with_index(
-            prepared.index.clone(),
-            prepared.database.alphabet(),
-            AlaeConfig::with_threshold(scheme, 25),
-        );
-        for query in &prepared.queries {
-            let result = aligner.align(query.codes());
-            let (oracle, _) =
-                local_alignment_hits(prepared.database.text(), query.codes(), &scheme, 25);
-            assert!(diff_hits(&result.hits, &oracle).is_none());
+        let request = SearchRequest::with_threshold(scheme, 25);
+        let (_, alae_runs) = run_request(&prepared, request);
+        let (_, sw_runs) = run_request(&prepared, request.engine(EngineKind::SmithWaterman));
+        for (alae, sw) in alae_runs.iter().zip(&sw_runs) {
+            assert_eq!(alae.hits, sw.hits);
         }
     }
 }

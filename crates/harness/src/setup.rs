@@ -1,24 +1,35 @@
 //! Workload construction and shared index setup for the experiments.
 
+use alae::search::IndexedDatabase;
 use alae_bioseq::{Alphabet, Sequence, SequenceDatabase};
 use alae_suffix::TextIndex;
 use alae_workload::{MutationProfile, QuerySpec, TextSpec, Workload, WorkloadBuilder};
 use std::sync::Arc;
 
-/// A workload plus the suffix-trie index shared by the exact aligners.
+/// A workload plus the shared database/index handle every runner searches
+/// through.
 pub struct PreparedWorkload {
-    /// The database.
-    pub database: SequenceDatabase,
+    /// The shared database + suffix-trie index (the facade's unit of
+    /// sharing across engines and threads).
+    pub indexed: IndexedDatabase,
     /// The query set.
     pub queries: Vec<Sequence>,
-    /// Shared compressed-suffix-array index of the database text.
-    pub index: Arc<TextIndex>,
 }
 
 impl PreparedWorkload {
+    /// The record table and concatenated text.
+    pub fn database(&self) -> &SequenceDatabase {
+        self.indexed.database()
+    }
+
+    /// The shared compressed-suffix-array index of the database text.
+    pub fn index(&self) -> &Arc<TextIndex> {
+        self.indexed.index()
+    }
+
     /// Total text length `n` (including record separators).
     pub fn text_len(&self) -> usize {
-        self.database.text_len()
+        self.database().text_len()
     }
 }
 
@@ -66,14 +77,9 @@ fn prepare(
     let segments = (query_len / 400).clamp(2, 8);
     let Workload { database, queries } =
         WorkloadBuilder::new(text_spec, query_spec).build_segmented(segments);
-    let index = Arc::new(TextIndex::new(
-        database.text().to_vec(),
-        database.alphabet().code_count(),
-    ));
     PreparedWorkload {
-        database,
+        indexed: IndexedDatabase::build(database),
         queries,
-        index,
     }
 }
 
@@ -95,7 +101,7 @@ mod tests {
     #[test]
     fn prepared_workload_has_index_over_the_text() {
         let prepared = prepare_dna(5_000, 200, 2, 7);
-        assert_eq!(prepared.index.len(), prepared.database.text_len());
+        assert_eq!(prepared.index().len(), prepared.database().text_len());
         assert_eq!(prepared.queries.len(), 2);
         assert_eq!(prepared.text_len(), 5_000);
     }
@@ -103,7 +109,7 @@ mod tests {
     #[test]
     fn protein_workload_uses_protein_alphabet() {
         let prepared = prepare_protein(3_000, 150, 1, 3);
-        assert_eq!(prepared.database.alphabet(), Alphabet::Protein);
+        assert_eq!(prepared.database().alphabet(), Alphabet::Protein);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //!
 //! Checkpoint rows use a two-level scheme ([`CheckpointScheme::TwoLevel`],
 //! the default): a `u64` *super-block* row holding absolute counts every
-//! [`BLOCKS_PER_SUPER`] blocks, plus a `u16` *delta* row per block holding
+//! `BLOCKS_PER_SUPER` blocks, plus a `u16` *delta* row per block holding
 //! the count since the enclosing super-block.  A rank query reconstructs the
 //! absolute count as `super + delta`.  The hot per-block row shrinks from
 //! 4 bytes per code (the flat `u32` rows of
@@ -51,12 +51,12 @@
 //! * **`PackedNibble`** (`σ ≤ 18`: protein reduced alphabets, IUPAC DNA):
 //!   4 bits per character, 16 characters per `u64`.  Up to 16 dense codes
 //!   are counted with a SWAR nibble-equality mask + popcount
-//!   ([`eq4`]); sparse codes use the same exception list as `PackedDna`.
+//!   (`eq4`); sparse codes use the same exception list as `PackedDna`.
 //!
 //! Both packed layouts encode exception slots as the dense pattern `0` and
 //! subtract the in-range exception count from the first dense code, so ranks
 //! stay exact.  The exception list keeps a cumulative per-block count (one
-//! `u32` per checkpoint row, [`ExceptionList::block_starts`]), so locating
+//! `u32` per checkpoint row, `ExceptionList::block_starts`), so locating
 //! the exceptions of a block is O(1) plus a search bounded by the handful of
 //! exceptions inside that one block — never a binary search over the whole
 //! list, which matters for million-record databases with one separator per
@@ -136,7 +136,7 @@ pub enum RankLayout {
 /// Width of the checkpoint rows, chosen at construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CheckpointScheme {
-    /// `u64` absolute counts every [`BLOCKS_PER_SUPER`] blocks plus `u16`
+    /// `u64` absolute counts every `BLOCKS_PER_SUPER` blocks plus `u16`
     /// per-block deltas: hot rows are half as wide as `FlatU32` and the
     /// checkpoint footprint shrinks from 4 to 3 bytes per code per block.
     #[default]
@@ -580,7 +580,7 @@ impl PackedNibble {
     /// so callers pass their counts slice offset by `dense_base`): each
     /// storage word is loaded once and its nibbles are shifted out — the
     /// same op count as the byte layout's histogram pass over half the
-    /// memory traffic.  (The per-pattern SWAR popcount kernel [`eq4`] stays
+    /// memory traffic.  (The per-pattern SWAR popcount kernel `eq4` stays
     /// on the single-code `rank` path, where one pattern is needed instead
     /// of sixteen.)  `start` must be word-aligned; exception slots count as
     /// pattern 0.

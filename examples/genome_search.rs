@@ -1,31 +1,28 @@
 //! Genome-scale homology search (scaled): align mutated "mouse" queries
-//! against a synthetic "human" chromosome and compare ALAE with the
-//! BLAST-like heuristic and the exact BWT-SW baseline — the workload shape
-//! of Tables 2 and 3 of the paper.
+//! against a synthetic "human" chromosome, comparing engines through the
+//! unified facade and fanning the query batch out over threads — the
+//! workload shape of Tables 2 and 3 of the paper, served the way a search
+//! service would run it.
 //!
 //! ```bash
 //! cargo run --release --example genome_search
 //! ```
 
 use alae::bioseq::ScoringScheme;
-use alae::blast::{BlastConfig, BlastLikeAligner};
-use alae::bwtsw::{BwtswAligner, BwtswConfig};
-use alae::core::{AlaeAligner, AlaeConfig};
-use alae::suffix::TextIndex;
+use alae::search::{EngineKind, IndexedDatabase, SearchRequest, Searcher};
 use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
-use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    // A 200 kb synthetic chromosome with genome-like repeat structure, and
-    // five 1 kb queries extracted from it through a homologous mutation
+    // A 100 kb synthetic chromosome with genome-like repeat structure, and
+    // three 1 kb queries extracted from it through a homologous mutation
     // channel (~95% identity with occasional indels).
-    let text_len = 200_000;
+    let text_len = 100_000;
     let query_len = 1_000;
     let workload = WorkloadBuilder::new(
         TextSpec::dna(text_len, 2024),
         QuerySpec {
-            count: 5,
+            count: 3,
             length: query_len,
             mutation: MutationProfile::HOMOLOGOUS,
             seed: 7,
@@ -39,73 +36,83 @@ fn main() {
         query_len
     );
 
-    // Index once, share across the exact aligners.
+    // Index once; every engine (and every thread) shares this handle.
     let build_start = Instant::now();
-    let index = Arc::new(TextIndex::new(
-        workload.database.text().to_vec(),
-        workload.database.alphabet().code_count(),
-    ));
+    let db = IndexedDatabase::build(workload.database);
     println!("index built in {:.2?}", build_start.elapsed());
 
     let scheme = ScoringScheme::DEFAULT;
-    let alae = AlaeAligner::with_index(
-        index.clone(),
-        workload.database.alphabet(),
-        AlaeConfig::with_evalue(scheme, 10.0),
-    );
+    let request = SearchRequest::with_evalue(scheme, 10.0);
 
-    let mut total = (0usize, 0usize, 0usize);
-    let mut times = (0.0f64, 0.0f64, 0.0f64);
-    for (i, query) in workload.queries.iter().enumerate() {
+    // Run the whole batch through each engine via the same facade.
+    let engines = [EngineKind::Alae, EngineKind::BlastLike, EngineKind::Bwtsw];
+    let mut totals = Vec::new();
+    for kind in engines {
+        let searcher = Searcher::new(db.clone(), request.engine(kind));
         let start = Instant::now();
-        let alae_result = alae.align(query.codes());
-        times.0 += start.elapsed().as_secs_f64();
-        let threshold = alae_result.threshold;
-
-        let blast = BlastLikeAligner::build(
-            &workload.database,
-            BlastConfig::for_alphabet(workload.database.alphabet(), scheme, threshold),
-        );
-        let start = Instant::now();
-        let blast_result = blast.align(query.codes());
-        times.1 += start.elapsed().as_secs_f64();
-
-        let bwtsw = BwtswAligner::with_index(index.clone(), BwtswConfig::new(scheme, threshold));
-        let start = Instant::now();
-        let bwtsw_result = bwtsw.align(query.codes());
-        times.2 += start.elapsed().as_secs_f64();
-
-        println!(
-            "query {}: H = {threshold}; ALAE {} hits, BLAST-like {} hits, BWT-SW {} hits \
-             (filtering {:.0}%, reuse {:.0}%)",
-            i + 1,
-            alae_result.hits.len(),
-            blast_result.hits.len(),
-            bwtsw_result.hits.len(),
-            alae_result
-                .stats
-                .filtering_ratio(bwtsw_result.stats.calculated_entries),
-            alae_result.stats.reusing_ratio(),
-        );
-        assert_eq!(
-            alae_result.hits.len(),
-            bwtsw_result.hits.len(),
-            "the two exact engines must agree"
-        );
-        total.0 += alae_result.hits.len();
-        total.1 += blast_result.hits.len();
-        total.2 += bwtsw_result.hits.len();
+        let responses = searcher.search_batch(&workload.queries, 1);
+        let elapsed = start.elapsed().as_secs_f64();
+        let hits: usize = responses.iter().map(|r| r.hits.len()).sum();
+        totals.push((kind, hits, elapsed, responses));
     }
 
-    println!(
-        "\n           {:>12} {:>12} {:>12}",
-        "ALAE", "BLAST-like", "BWT-SW"
-    );
-    println!("hits       {:>12} {:>12} {:>12}", total.0, total.1, total.2);
-    println!(
-        "time (s)   {:>12.3} {:>12.3} {:>12.3}",
-        times.0, times.1, times.2
-    );
+    // Per-query detail from the ALAE run (exactness + work counters).
+    let responses_of = |wanted: EngineKind| {
+        &totals
+            .iter()
+            .find(|(kind, ..)| *kind == wanted)
+            .expect("engine ran")
+            .3
+    };
+    let alae_responses = responses_of(EngineKind::Alae);
+    let bwtsw_responses = responses_of(EngineKind::Bwtsw);
+    for (i, (alae, bwtsw)) in alae_responses
+        .iter()
+        .zip(bwtsw_responses.iter())
+        .enumerate()
+    {
+        let stats = alae.counters.as_alae().expect("ALAE ran");
+        let bwtsw_stats = bwtsw.counters.as_bwtsw().expect("BWT-SW ran");
+        println!(
+            "query {}: H = {}; ALAE {} hits, BWT-SW {} hits (filtering {:.0}%, reuse {:.0}%)",
+            i + 1,
+            alae.threshold,
+            alae.hits.len(),
+            bwtsw.hits.len(),
+            stats.filtering_ratio(bwtsw_stats.calculated_entries),
+            stats.reusing_ratio(),
+        );
+        assert_eq!(alae.hits, bwtsw.hits, "the two exact engines must agree");
+    }
+
+    println!("\n{:>14} {:>10} {:>10}", "engine", "hits", "time (s)");
+    for (kind, hits, elapsed, _) in &totals {
+        println!("{:>14} {:>10} {:>10.3}", kind.to_string(), hits, elapsed);
+    }
+
+    // The same batch fans out over threads against the shared index —
+    // bit-identical results, service-style throughput (speedups need more
+    // cores than queries are long; correctness holds regardless).
+    let searcher = Searcher::new(db, request.engine(EngineKind::Alae));
+    for threads in [2, 4] {
+        let start = Instant::now();
+        let responses = searcher.search_batch(&workload.queries, threads);
+        let elapsed = start.elapsed().as_secs_f64();
+        let hits: usize = responses.iter().map(|r| r.hits.len()).sum();
+        assert_eq!(
+            responses
+                .iter()
+                .flat_map(|r| r.hits.iter())
+                .collect::<Vec<_>>(),
+            alae_responses
+                .iter()
+                .flat_map(|r| r.hits.iter())
+                .collect::<Vec<_>>(),
+            "batch results must be identical at any thread count"
+        );
+        println!("ALAE batch x{threads} threads: {hits} hits in {elapsed:.3} s");
+    }
+
     println!(
         "\nALAE and BWT-SW report identical result sets (exact); the heuristic may miss \
          alignments whose seeds are broken by mutations."

@@ -1,13 +1,14 @@
 //! Protein database search: align protein queries (σ = 20) under the
 //! protein scoring scheme ⟨1, −3, −11, −1⟩ with an E-value threshold, the
-//! setup of the paper's UniParc experiments.
+//! setup of the paper's UniParc experiments — driven through the unified
+//! facade with per-record result shaping.
 //!
 //! ```bash
 //! cargo run --release --example protein_search
 //! ```
 
 use alae::bioseq::{Alphabet, KarlinAltschul, ScoringScheme};
-use alae::core::{AlaeAligner, AlaeConfig};
+use alae::search::{IndexedDatabase, SearchRequest, Searcher};
 use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
 
 fn main() {
@@ -37,35 +38,39 @@ fn main() {
         ka.lambda, ka.k
     );
 
-    let aligner = AlaeAligner::build(&workload.database, AlaeConfig::with_evalue(scheme, evalue));
-    println!(
-        "index sizes: BWT index {} KB, dominate index {} KB\n",
-        aligner.bwt_index_size_bytes() / 1024,
-        aligner.domination_index_size_bytes() / 1024
-    );
+    let db = IndexedDatabase::build(workload.database);
+    // Keep only the three best hits per query — the facade shapes results
+    // before they reach the caller.
+    let request = SearchRequest::with_evalue(scheme, evalue).top_k(3);
+    let searcher = Searcher::new(db, request);
 
     for (i, query) in workload.queries.iter().enumerate() {
-        let result = aligner.align(query.codes());
-        let best = result.hits.iter().map(|h| h.score).max().unwrap_or(0);
+        let response = searcher.search(query);
+        let best = response.best().map_or(0, |hit| hit.score);
         println!(
-            "query {} ({} residues): H = {}, {} hits, best score {} (bit score {:.1}, E = {:.2e})",
+            "query {} ({} residues): H = {}, {} hits ({} before top-k), best score {} \
+             (bit score {:.1})",
             i + 1,
             query.len(),
-            result.threshold,
-            result.hits.len(),
+            response.threshold,
+            response.hits.len(),
+            response.raw_hit_count,
             best,
             ka.bit_score(best),
-            ka.evalue(query.len(), workload.database.text_len(), best),
         );
-        // Show the three strongest end pairs.
-        let mut top = result.hits.clone();
-        top.sort_by_key(|h| std::cmp::Reverse(h.score));
-        for hit in top.iter().take(3) {
+        // Hits are already in canonical order: strongest first.
+        for hit in &response.hits {
+            let record = if hit.name.is_empty() {
+                format!("record {}", hit.record)
+            } else {
+                hit.name.to_string()
+            };
             println!(
-                "    score {:>4} ending at text position {} / query position {}",
+                "    score {:>4} ending at {record}:{} / query position {} (E = {:.2e})",
                 hit.score,
-                hit.end_text_1based(),
-                hit.end_query_1based()
+                hit.record_end,
+                hit.query_end,
+                hit.evalue.unwrap_or(f64::NAN),
             );
         }
     }

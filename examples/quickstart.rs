@@ -1,16 +1,17 @@
-//! Quickstart: index a small DNA database, run an exact local-alignment
-//! search with ALAE, and display the best alignment.
+//! Quickstart: index a small DNA database once, search it through the
+//! unified `alae::search` facade, and display the best alignment.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
 use alae::baseline::best_local_alignment;
-use alae::bioseq::{Alphabet, ScoringScheme, Sequence, SequenceDatabase};
-use alae::core::{AlaeAligner, AlaeConfig};
+use alae::bioseq::{Alphabet, ScoringScheme, Sequence};
+use alae::search::{EngineKind, IndexedDatabase, SearchRequest, Searcher};
 
 fn main() {
-    // 1. Build a tiny database of two "chromosomes".
+    // 1. Build and index a tiny database of two "chromosomes".  The
+    //    IndexedDatabase handle is cheap to clone and shares its memory.
     let records = [
         Sequence::from_ascii_named(
             Alphabet::Dna,
@@ -25,11 +26,11 @@ fn main() {
         )
         .unwrap(),
     ];
-    let database = SequenceDatabase::from_sequences(Alphabet::Dna, records);
+    let db = IndexedDatabase::from_sequences(Alphabet::Dna, records);
     println!(
         "database: {} records, {} characters",
-        database.record_count(),
-        database.character_count()
+        db.record_count(),
+        db.database().character_count()
     );
 
     // 2. A query that is homologous (but not identical) to a region present
@@ -37,53 +38,59 @@ fn main() {
     let query = Sequence::from_ascii(Alphabet::Dna, b"CAGGATCCAGTTGACCATTACAGTCAGG").unwrap();
     println!("query: {} ({} characters)", query.to_ascii(), query.len());
 
-    // 3. Configure ALAE with the paper's default scoring scheme
-    //    ⟨1, −3, −5, −2⟩ and an explicit score threshold.
+    // 3. Describe the search: the ALAE engine with the paper's default
+    //    scoring scheme ⟨1, −3, −5, −2⟩ and an explicit score threshold.
     let scheme = ScoringScheme::DEFAULT;
     let threshold = 15;
-    let aligner = AlaeAligner::build(&database, AlaeConfig::with_threshold(scheme, threshold));
+    let request = SearchRequest::with_threshold(scheme, threshold).engine(EngineKind::Alae);
+    let searcher = Searcher::new(db.clone(), request);
 
-    // 4. Align.  The result contains every (text end, query end) pair whose
-    //    best local alignment reaches the threshold, plus work counters.
-    let result = aligner.align(query.codes());
+    // 4. Search.  Hits arrive record-resolved (record name, 1-based
+    //    in-record coordinates) in canonical order: best score first.
+    let response = searcher.search(&query);
     println!(
         "\n{} alignment end pairs with score >= {threshold}:",
-        result.hits.len()
+        response.hits.len()
     );
-    for hit in &result.hits {
-        let location = database
-            .locate(hit.end_text)
-            .expect("hit ends inside a record");
+    for hit in &response.hits {
         println!(
-            "  score {:>3}  ends at {}:{} (query position {})",
+            "  score {:>3}  ends at {}:{} (query position {}, E = {:.2e})",
             hit.score,
-            database.record_name(location.record),
-            location.offset,
-            hit.end_query_1based(),
+            hit.name,
+            hit.record_end,
+            hit.query_end,
+            hit.evalue.unwrap_or(f64::NAN),
         );
     }
+    let stats = response.counters.as_alae().expect("the ALAE engine ran");
     println!(
         "\nwork: {} entries calculated, {} reused ({}% reuse), {} forks",
-        result.stats.calculated_entries(),
-        result.stats.reused_entries,
-        result.stats.reusing_ratio().round(),
-        result.stats.forks_started,
+        stats.calculated_entries(),
+        stats.reused_entries,
+        stats.reusing_ratio().round(),
+        stats.forks_started,
     );
 
     // 5. For display, trace the single best alignment with the
     //    Smith-Waterman traceback from the baseline crate.
-    if let Some(alignment) = best_local_alignment(database.text(), query.codes(), &scheme) {
+    let text = db.database().text();
+    if let Some(alignment) = best_local_alignment(text, query.codes(), &scheme) {
+        let span = db
+            .database()
+            .locate_range(alignment.text_start, alignment.text_end)
+            .expect("the best alignment lies inside one record");
         println!(
-            "\nbest alignment (score {}, text {}..{}, query {}..{}):",
+            "\nbest alignment (score {}, {}:{}..{}, query {}..{}):",
             alignment.score,
-            alignment.text_start,
-            alignment.text_end,
+            span.name,
+            span.start,
+            span.end,
             alignment.query_start,
             alignment.query_end
         );
         println!(
             "{}",
-            alignment.render(database.text(), query.codes(), |c| {
+            alignment.render(text, query.codes(), |c| {
                 Alphabet::Dna.decode_code(c) as char
             })
         );

@@ -1,6 +1,7 @@
 //! Scoring-scheme sensitivity: how the choice of ⟨sa, sb, sg, ss⟩ affects
 //! ALAE's work, together with the analytic entry bounds of Section 6 —
-//! the narrative behind Figures 9 and 10 of the paper.
+//! the narrative behind Figures 9 and 10 of the paper, with each scheme
+//! driven through the unified facade over one shared index.
 //!
 //! ```bash
 //! cargo run --release --example scheme_sensitivity
@@ -8,7 +9,7 @@
 
 use alae::bioseq::{Alphabet, ScoringScheme};
 use alae::core::analysis::{bwtsw_default_bound, expected_entry_bound};
-use alae::core::{AlaeAligner, AlaeConfig};
+use alae::search::{IndexedDatabase, SearchRequest, Searcher};
 use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
 use std::time::Instant;
 
@@ -27,6 +28,9 @@ fn main() {
     .build();
     let query = &workload.queries[0];
 
+    // The suffix-trie index is built once; every scheme's searcher shares it.
+    let db = IndexedDatabase::build(workload.database);
+
     println!(
         "{:>16} {:>6} {:>22} {:>14} {:>12} {:>10}",
         "scheme", "q", "analytic bound", "calculated", "reuse %", "time"
@@ -36,17 +40,18 @@ fn main() {
         let bound = model
             .map(|m| format!("{:.2} m n^{:.3}", m.coefficient, m.exponent))
             .unwrap_or_else(|| "n/a".to_string());
-        let aligner = AlaeAligner::build(&workload.database, AlaeConfig::with_evalue(scheme, 10.0));
+        let searcher = Searcher::new(db.clone(), SearchRequest::with_evalue(scheme, 10.0));
         let start = Instant::now();
-        let result = aligner.align(query.codes());
+        let response = searcher.search(query);
         let elapsed = start.elapsed();
+        let stats = response.counters.as_alae().expect("the ALAE engine ran");
         println!(
             "{:>16} {:>6} {:>22} {:>14} {:>12.1} {:>10.2?}",
             scheme.to_string(),
             scheme.q(),
             bound,
-            result.stats.calculated_entries(),
-            result.stats.reusing_ratio(),
+            stats.calculated_entries(),
+            stats.reusing_ratio(),
             elapsed,
         );
     }

@@ -1,8 +1,49 @@
 //! ALAE — Accelerating Local Alignment with Affine gap Exactly.
 //!
-//! This is the umbrella crate of the workspace: it re-exports every
-//! sub-crate so that examples, integration tests and downstream users can
-//! depend on a single `alae` crate.
+//! This is the umbrella crate of the workspace.  Its public face is the
+//! [`search`] module: a unified facade that drives all four alignment
+//! engines through one engine-agnostic trait over one shared index, and
+//! returns record-resolved hits.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use alae::bioseq::{Alphabet, ScoringScheme, Sequence};
+//! use alae::search::{EngineKind, IndexedDatabase, Searcher, SearchRequest};
+//!
+//! // 1. Index the database once; the handle is cheap to clone and every
+//! //    clone shares the same index memory.
+//! let db = IndexedDatabase::from_sequences(
+//!     Alphabet::Dna,
+//!     [Sequence::from_ascii_named(Alphabet::Dna, "chr1", b"GCTAGCTAGGCATCGATCGGCTAGCAT").unwrap()],
+//! );
+//!
+//! // 2. Describe the search: engine, scoring, threshold (or E-value) and
+//! //    result shaping.
+//! let request = SearchRequest::with_threshold(ScoringScheme::DEFAULT, 6)
+//!     .engine(EngineKind::Alae)
+//!     .top_k(10);
+//!
+//! // 3. Search.  Hits are resolved to records (name + 1-based in-record
+//! //    coordinates) and arrive best-score-first.
+//! let searcher = Searcher::new(db, request);
+//! let query = Sequence::from_ascii(Alphabet::Dna, b"GCTAGCAT").unwrap();
+//! let response = searcher.search(&query);
+//! let best = response.best().unwrap();
+//! assert_eq!(&*best.name, "chr1");
+//! assert!(best.score >= 6);
+//! ```
+//!
+//! Batches of queries fan out over OS threads against the shared index with
+//! [`search::Searcher::search_batch`]; streaming consumers implement
+//! [`search::HitSink`] and use [`search::Searcher::search_into`].
+//!
+//! # Engine crates
+//!
+//! The facade is a thin layer over the per-engine crates, which remain
+//! available for direct use (their bespoke entry points are kept as
+//! compatibility shims for one release — new code should go through
+//! [`search`]):
 //!
 //! * [`bioseq`] — alphabets, sequences, scoring schemes, E-values, FASTA.
 //! * [`suffix`] — suffix array, BWT, FM-index / compressed suffix array.
@@ -11,22 +52,8 @@
 //! * [`blast`] — a BLAST-like seed-and-extend heuristic comparator.
 //! * [`core`] — the ALAE engine: filtering, score reuse, counters, analysis.
 //! * [`workload`] — synthetic DNA/protein workload generators.
-//!
-//! # Quickstart
-//!
-//! ```
-//! use alae::bioseq::{Alphabet, ScoringScheme, Sequence, SequenceDatabase};
-//! use alae::core::{AlaeAligner, AlaeConfig};
-//!
-//! let text = Sequence::from_ascii(Alphabet::Dna, b"GCTAGCTAGGCATCGATCGGCTAGCAT").unwrap();
-//! let db = SequenceDatabase::from_sequences(Alphabet::Dna, [text]);
-//! let query = Sequence::from_ascii(Alphabet::Dna, b"GCTAGCAT").unwrap();
-//!
-//! let config = AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 6);
-//! let aligner = AlaeAligner::build(&db, config);
-//! let result = aligner.align_sequence(&query);
-//! assert!(!result.hits.is_empty());
-//! ```
+
+pub mod search;
 
 pub use alae_align_baseline as baseline;
 pub use alae_bioseq as bioseq;

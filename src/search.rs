@@ -1,0 +1,961 @@
+//! The unified search facade: one shared index, four interchangeable
+//! engines, record-resolved results.
+//!
+//! Every aligner in the workspace historically had a bespoke entry point
+//! (`AlaeAligner::align`, `BwtswAligner::align`, `BlastLikeAligner::align`,
+//! `baseline::local_alignment_hits`), all returning eager hit vectors keyed
+//! by offsets into the *concatenated* database text.  This module redesigns
+//! the public API around the deployable unit of a sequence-search service —
+//! many queries against one shared index:
+//!
+//! * [`IndexedDatabase`] — a cheaply-cloneable handle bundling the record
+//!   table, the concatenated text and the compressed-suffix-array index.
+//!   Build it once, share it everywhere (all clones share the same memory).
+//! * [`LocalAligner`] — the engine-agnostic trait implemented by all four
+//!   engines; [`EngineKind`] selects one.
+//! * [`SearchRequest`] — a builder covering threshold-or-E-value reporting,
+//!   the ALAE filter toggles and result shaping (`top_k`, `min_score`,
+//!   `max_hits_per_record`).
+//! * [`SearchResponse`] / [`SearchHit`] — record-resolved hits (record
+//!   index, record name, 1-based in-record coordinates, score, E-value)
+//!   plus the engine's work counters.
+//! * [`HitSink`] — streaming delivery with early termination.
+//! * [`Searcher::search_batch`] — multi-threaded fan-out of a query batch
+//!   over the shared index, bit-identical to the sequential path.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use alae::bioseq::{Alphabet, ScoringScheme, Sequence};
+//! use alae::search::{EngineKind, IndexedDatabase, Searcher, SearchRequest};
+//!
+//! let db = IndexedDatabase::from_sequences(
+//!     Alphabet::Dna,
+//!     [Sequence::from_ascii_named(Alphabet::Dna, "chr1", b"GCTAGCTAGGCATCGATCGGCTAGCAT").unwrap()],
+//! );
+//! let request = SearchRequest::with_threshold(ScoringScheme::DEFAULT, 6)
+//!     .engine(EngineKind::Alae);
+//! let searcher = Searcher::new(db, request);
+//!
+//! let query = Sequence::from_ascii(Alphabet::Dna, b"GCTAGCAT").unwrap();
+//! let response = searcher.search(&query);
+//! assert!(!response.hits.is_empty());
+//! let best = &response.hits[0]; // canonical order: best score first
+//! assert_eq!(&*best.name, "chr1");
+//! ```
+
+use alae_align_baseline::{local_alignment_hits, LocalDpStats};
+use alae_bioseq::hits::AlignmentHit;
+use alae_bioseq::{Alphabet, KarlinAltschul, ScoringScheme, Sequence, SequenceDatabase};
+use alae_blast_like::{BlastConfig, BlastLikeAligner, BlastStats};
+use alae_bwtsw::{BwtswAligner, BwtswConfig, BwtswStats};
+use alae_core::{AlaeAligner, AlaeConfig, AlaeStats, FilterToggles, ThresholdSpec};
+use alae_suffix::TextIndex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Shared index
+// ---------------------------------------------------------------------------
+
+/// A sequence database bundled with its suffix-trie index, behind `Arc`s so
+/// clones are cheap and every engine (and every thread) shares one copy of
+/// the text and index memory.
+#[derive(Debug, Clone)]
+pub struct IndexedDatabase {
+    database: Arc<SequenceDatabase>,
+    index: Arc<TextIndex>,
+}
+
+impl IndexedDatabase {
+    /// Index a database (builds the compressed suffix array once).
+    pub fn build(database: SequenceDatabase) -> Self {
+        let index = Arc::new(TextIndex::new(
+            database.text().to_vec(),
+            database.alphabet().code_count(),
+        ));
+        Self::from_parts(Arc::new(database), index)
+    }
+
+    /// Convenience: collect sequences into a database and index it.
+    pub fn from_sequences<I>(alphabet: Alphabet, sequences: I) -> Self
+    where
+        I: IntoIterator<Item = Sequence>,
+    {
+        Self::build(SequenceDatabase::from_sequences(alphabet, sequences))
+    }
+
+    /// Assemble from an existing database and a matching index (the index
+    /// must have been built over exactly `database.text()`).
+    pub fn from_parts(database: Arc<SequenceDatabase>, index: Arc<TextIndex>) -> Self {
+        debug_assert_eq!(
+            database.text(),
+            index.text(),
+            "index must cover the database text"
+        );
+        Self { database, index }
+    }
+
+    /// The record table and concatenated text.
+    pub fn database(&self) -> &SequenceDatabase {
+        &self.database
+    }
+
+    /// The shared suffix-trie index.
+    pub fn index(&self) -> &Arc<TextIndex> {
+        &self.index
+    }
+
+    /// The database alphabet.
+    pub fn alphabet(&self) -> Alphabet {
+        self.database.alphabet()
+    }
+
+    /// Length of the concatenated text `n` (including separators).
+    pub fn text_len(&self) -> usize {
+        self.database.text_len()
+    }
+
+    /// Number of records.
+    pub fn record_count(&self) -> usize {
+        self.database.record_count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+/// Which alignment engine a [`SearchRequest`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The ALAE engine (exact; filtering + score reuse — the paper's
+    /// contribution).
+    Alae,
+    /// The BWT-SW pruned suffix-trie baseline (exact).
+    Bwtsw,
+    /// The BLAST-like seed-and-extend heuristic (may miss hits).
+    BlastLike,
+    /// The full Smith–Waterman dynamic program (exact oracle; slow).
+    SmithWaterman,
+}
+
+impl EngineKind {
+    /// All four engines, in the order they appear in the paper's tables.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Alae,
+        EngineKind::Bwtsw,
+        EngineKind::BlastLike,
+        EngineKind::SmithWaterman,
+    ];
+
+    /// True for the engines guaranteed to report the complete result set.
+    pub fn is_exact(self) -> bool {
+        !matches!(self, EngineKind::BlastLike)
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Alae => "ALAE",
+            EngineKind::Bwtsw => "BWT-SW",
+            EngineKind::BlastLike => "BLAST-like",
+            EngineKind::SmithWaterman => "Smith-Waterman",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative description of one search: engine, scoring, reporting
+/// threshold and result shaping.  Construct with [`SearchRequest::with_threshold`]
+/// or [`SearchRequest::with_evalue`], then chain builder methods.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchRequest {
+    /// The engine to run (default: [`EngineKind::Alae`]).
+    pub engine: EngineKind,
+    /// The affine-gap scoring scheme.
+    pub scheme: ScoringScheme,
+    /// Explicit score threshold or E-value.
+    pub threshold: ThresholdSpec,
+    /// ALAE technique toggles (ignored by the other engines).
+    pub filters: FilterToggles,
+    /// Keep only the best `k` hits (canonical order) when set.
+    pub top_k: Option<usize>,
+    /// Extra score floor on top of the resolved threshold.
+    pub min_score: Option<i64>,
+    /// Keep at most this many hits per database record when set.
+    pub max_hits_per_record: Option<usize>,
+    /// Optional hard cap on the trie depth (testing aid; exact engines
+    /// only).
+    pub max_depth: Option<usize>,
+}
+
+impl SearchRequest {
+    /// A request reporting every hit with score at least `threshold`.
+    pub fn with_threshold(scheme: ScoringScheme, threshold: i64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        Self::new(scheme, ThresholdSpec::Score(threshold))
+    }
+
+    /// A request reporting every hit with E-value at most `evalue`
+    /// (the per-query score threshold follows from the Karlin–Altschul
+    /// statistics, Section 7 of the paper).
+    pub fn with_evalue(scheme: ScoringScheme, evalue: f64) -> Self {
+        assert!(evalue > 0.0, "E-value must be positive");
+        Self::new(scheme, ThresholdSpec::EValue(evalue))
+    }
+
+    fn new(scheme: ScoringScheme, threshold: ThresholdSpec) -> Self {
+        Self {
+            engine: EngineKind::Alae,
+            scheme,
+            threshold,
+            filters: FilterToggles::ALL,
+            top_k: None,
+            min_score: None,
+            max_hits_per_record: None,
+            max_depth: None,
+        }
+    }
+
+    /// Select the engine.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replace the ALAE filter toggles.
+    pub fn filters(mut self, filters: FilterToggles) -> Self {
+        self.filters = filters;
+        self
+    }
+
+    /// Keep only the best `k` hits per query.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Report only hits scoring at least `score` (on top of the resolved
+    /// threshold).
+    pub fn min_score(mut self, score: i64) -> Self {
+        self.min_score = Some(score);
+        self
+    }
+
+    /// Keep at most `k` hits per database record.
+    pub fn max_hits_per_record(mut self, k: usize) -> Self {
+        self.max_hits_per_record = Some(k);
+        self
+    }
+
+    /// Cap the suffix-trie depth (testing aid).
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Resolve the reporting threshold `H` for a query of length `m`
+    /// against a text of length `n` — the same resolution (including the
+    /// `q·sa` exactness floor of Theorem 3) for every engine, so the exact
+    /// engines agree hit-for-hit.
+    pub fn resolve_threshold(&self, alphabet: Alphabet, m: usize, n: usize) -> i64 {
+        self.to_alae_config().resolve_threshold(alphabet, m, n)
+    }
+
+    fn to_alae_config(self) -> AlaeConfig {
+        let mut config = match self.threshold {
+            ThresholdSpec::Score(h) => AlaeConfig::with_threshold(self.scheme, h),
+            ThresholdSpec::EValue(e) => AlaeConfig::with_evalue(self.scheme, e),
+        }
+        .filters(self.filters);
+        config.max_depth = self.max_depth;
+        config
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine trait
+// ---------------------------------------------------------------------------
+
+/// Work counters of whichever engine ran, normalized behind one enum so the
+/// facade can report them uniformly.
+#[derive(Debug, Clone)]
+pub enum EngineCounters {
+    /// ALAE counters (calculated/reused entries, forks, occ scans, …).
+    Alae(AlaeStats),
+    /// BWT-SW counters (calculated entries, pruned subtrees, occ scans, …).
+    Bwtsw(BwtswStats),
+    /// BLAST-like counters (seeds, extensions).
+    BlastLike(BlastStats),
+    /// Smith–Waterman counters (always `n·m` calculated entries).
+    SmithWaterman(LocalDpStats),
+}
+
+impl EngineCounters {
+    /// Dynamic-programming entries the engine actually computed — the
+    /// paper's primary work measure, comparable across engines.
+    pub fn calculated_entries(&self) -> u64 {
+        match self {
+            EngineCounters::Alae(s) => s.calculated_entries(),
+            EngineCounters::Bwtsw(s) => s.calculated_entries,
+            // The heuristic does no trie DP; its closest analogue is the
+            // number of extension attempts.
+            EngineCounters::BlastLike(s) => s.ungapped_extensions + s.gapped_extensions,
+            EngineCounters::SmithWaterman(s) => s.calculated_entries,
+        }
+    }
+
+    /// The ALAE counters, when ALAE ran.
+    pub fn as_alae(&self) -> Option<&AlaeStats> {
+        match self {
+            EngineCounters::Alae(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The BWT-SW counters, when BWT-SW ran.
+    pub fn as_bwtsw(&self) -> Option<&BwtswStats> {
+        match self {
+            EngineCounters::Bwtsw(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The BLAST-like counters, when the heuristic ran.
+    pub fn as_blast(&self) -> Option<&BlastStats> {
+        match self {
+            EngineCounters::BlastLike(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One engine run over one query: offset-keyed hits in canonical order, the
+/// threshold that was applied, and the engine's work counters.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Hits keyed by 0-based end offsets into the concatenated text, in
+    /// canonical order (score descending, then text, then query position).
+    pub hits: Vec<AlignmentHit>,
+    /// The resolved reporting threshold `H`.
+    pub threshold: i64,
+    /// Engine work counters.
+    pub counters: EngineCounters,
+}
+
+/// The engine-agnostic local-alignment interface.
+///
+/// Implementations are thread-safe (`Send + Sync`) and take `&self`, so one
+/// engine instance can serve concurrent queries over the shared index —
+/// this is what [`Searcher::search_batch`] relies on.
+pub trait LocalAligner: Send + Sync {
+    /// Which engine this is.
+    fn kind(&self) -> EngineKind;
+
+    /// The threshold this engine will apply to a query of length `m`.
+    fn resolve_threshold(&self, query_len: usize) -> i64;
+
+    /// Align one query (given as alphabet codes) and report every end pair
+    /// reaching the threshold, in canonical hit order.
+    fn align_codes(&self, query: &[u8]) -> EngineRun;
+}
+
+/// Build the engine selected by `request` over `db`.
+///
+/// The returned trait object is self-contained (it shares the index/text
+/// via `Arc`) and reusable across any number of queries and threads.
+pub fn build_engine(db: &IndexedDatabase, request: &SearchRequest) -> Box<dyn LocalAligner> {
+    let shared = EngineShared {
+        request: *request,
+        alphabet: db.alphabet(),
+        text_len: db.text_len(),
+    };
+    match request.engine {
+        EngineKind::Alae => Box::new(AlaeEngine {
+            aligner: AlaeAligner::with_index(
+                db.index.clone(),
+                db.alphabet(),
+                request.to_alae_config(),
+            ),
+            shared,
+        }),
+        EngineKind::Bwtsw => Box::new(BwtswEngine {
+            index: db.index.clone(),
+            shared,
+        }),
+        EngineKind::BlastLike => Box::new(BlastEngine {
+            database: db.database.clone(),
+            shared,
+        }),
+        EngineKind::SmithWaterman => Box::new(SmithWatermanEngine {
+            database: db.database.clone(),
+            shared,
+        }),
+    }
+}
+
+/// The request-derived state every engine wrapper needs.
+#[derive(Debug, Clone, Copy)]
+struct EngineShared {
+    request: SearchRequest,
+    alphabet: Alphabet,
+    text_len: usize,
+}
+
+impl EngineShared {
+    fn resolve_threshold(&self, query_len: usize) -> i64 {
+        self.request
+            .resolve_threshold(self.alphabet, query_len, self.text_len)
+    }
+}
+
+struct AlaeEngine {
+    aligner: AlaeAligner,
+    shared: EngineShared,
+}
+
+impl LocalAligner for AlaeEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Alae
+    }
+
+    fn resolve_threshold(&self, query_len: usize) -> i64 {
+        self.shared.resolve_threshold(query_len)
+    }
+
+    fn align_codes(&self, query: &[u8]) -> EngineRun {
+        let result = self.aligner.align(query);
+        EngineRun {
+            hits: result.hits,
+            threshold: result.threshold,
+            counters: EngineCounters::Alae(result.stats),
+        }
+    }
+}
+
+struct BwtswEngine {
+    index: Arc<TextIndex>,
+    shared: EngineShared,
+}
+
+impl LocalAligner for BwtswEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Bwtsw
+    }
+
+    fn resolve_threshold(&self, query_len: usize) -> i64 {
+        self.shared.resolve_threshold(query_len)
+    }
+
+    fn align_codes(&self, query: &[u8]) -> EngineRun {
+        let threshold = self.resolve_threshold(query.len());
+        let mut config = BwtswConfig::new(self.shared.request.scheme, threshold);
+        config.max_depth = self.shared.request.max_depth;
+        // Constructing the aligner is one `Arc` clone; the index is shared.
+        let result = BwtswAligner::with_index(self.index.clone(), config).align(query);
+        EngineRun {
+            hits: result.hits,
+            threshold,
+            counters: EngineCounters::Bwtsw(result.stats),
+        }
+    }
+}
+
+struct BlastEngine {
+    database: Arc<SequenceDatabase>,
+    shared: EngineShared,
+}
+
+impl LocalAligner for BlastEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::BlastLike
+    }
+
+    fn resolve_threshold(&self, query_len: usize) -> i64 {
+        self.shared.resolve_threshold(query_len)
+    }
+
+    fn align_codes(&self, query: &[u8]) -> EngineRun {
+        let threshold = self.resolve_threshold(query.len());
+        let config =
+            BlastConfig::for_alphabet(self.shared.alphabet, self.shared.request.scheme, threshold);
+        // Constructing the aligner is one `Arc` clone; the text is shared.
+        let result = BlastLikeAligner::with_database(self.database.clone(), config).align(query);
+        EngineRun {
+            hits: result.hits,
+            threshold,
+            counters: EngineCounters::BlastLike(result.stats),
+        }
+    }
+}
+
+struct SmithWatermanEngine {
+    database: Arc<SequenceDatabase>,
+    shared: EngineShared,
+}
+
+impl LocalAligner for SmithWatermanEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::SmithWaterman
+    }
+
+    fn resolve_threshold(&self, query_len: usize) -> i64 {
+        self.shared.resolve_threshold(query_len)
+    }
+
+    fn align_codes(&self, query: &[u8]) -> EngineRun {
+        let threshold = self.resolve_threshold(query.len());
+        let (hits, stats) = local_alignment_hits(
+            self.database.text(),
+            query,
+            &self.shared.request.scheme,
+            threshold,
+        );
+        EngineRun {
+            hits,
+            threshold,
+            counters: EngineCounters::SmithWaterman(stats),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record-resolved results
+// ---------------------------------------------------------------------------
+
+/// One reported alignment, resolved to its database record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Index of the record the alignment ends in.
+    pub record: usize,
+    /// Name of that record (shared, not copied).
+    pub name: Arc<str>,
+    /// 1-based end position of the alignment inside the record.
+    pub record_end: usize,
+    /// 1-based end position of the alignment in the query.
+    pub query_end: usize,
+    /// 0-based end offset in the concatenated text (for diffing against the
+    /// offset-keyed engine output).
+    pub text_end: usize,
+    /// The alignment score.
+    pub score: i64,
+    /// The hit's E-value under the Karlin–Altschul model, when the
+    /// statistics exist for the request's scoring scheme.
+    pub evalue: Option<f64>,
+}
+
+/// The outcome of one query through the facade.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// Which engine ran.
+    pub engine: EngineKind,
+    /// The resolved reporting threshold `H`.
+    pub threshold: i64,
+    /// Record-resolved hits in canonical order (score descending, then text
+    /// position, then query position), after the request's `min_score`,
+    /// `max_hits_per_record` and `top_k` shaping.
+    pub hits: Vec<SearchHit>,
+    /// Number of hits the engine reported before result shaping.
+    pub raw_hit_count: usize,
+    /// Engine work counters for this query.
+    ///
+    /// Note: the occurrence-layer scan counters (`occ_block_scans`,
+    /// `occ_bytes_scanned`) are snapshots of index-wide totals, so inside a
+    /// concurrent [`Searcher::search_batch`] they attribute scans to
+    /// whichever query observed them; hits and all per-run DP counters are
+    /// unaffected.
+    pub counters: EngineCounters,
+}
+
+impl SearchResponse {
+    /// True when result shaping dropped hits (`raw_hit_count > hits.len()`).
+    pub fn truncated(&self) -> bool {
+        self.raw_hit_count > self.hits.len()
+    }
+
+    /// The best hit, if any (the first one — hits are in canonical order).
+    pub fn best(&self) -> Option<&SearchHit> {
+        self.hits.first()
+    }
+}
+
+/// Flow control returned by a [`HitSink`] after each hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkFlow {
+    /// Keep delivering hits.
+    Continue,
+    /// Stop the stream; the searcher returns immediately.
+    Stop,
+}
+
+/// A streaming consumer of search hits.
+///
+/// Hits arrive in canonical order (best score first) after result shaping.
+/// A sink that only wants the strongest alignments can [`SinkFlow::Stop`]
+/// early: the engine itself runs to completion (its hit set is computed
+/// eagerly), but record resolution, E-value computation and delivery for
+/// every remaining hit are skipped.
+pub trait HitSink {
+    /// Consume one hit and decide whether to continue.
+    fn accept(&mut self, hit: SearchHit) -> SinkFlow;
+}
+
+/// A sink that collects every delivered hit into a vector.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// The hits delivered so far.
+    pub hits: Vec<SearchHit>,
+}
+
+impl HitSink for CollectSink {
+    fn accept(&mut self, hit: SearchHit) -> SinkFlow {
+        self.hits.push(hit);
+        SinkFlow::Continue
+    }
+}
+
+/// Adapter turning a closure into a [`HitSink`].
+pub struct FnSink<F>(pub F);
+
+impl<F: FnMut(SearchHit) -> SinkFlow> HitSink for FnSink<F> {
+    fn accept(&mut self, hit: SearchHit) -> SinkFlow {
+        (self.0)(hit)
+    }
+}
+
+/// Summary returned by the streaming entry point.
+#[derive(Debug, Clone)]
+pub struct SinkSummary {
+    /// Which engine ran.
+    pub engine: EngineKind,
+    /// The resolved reporting threshold `H`.
+    pub threshold: i64,
+    /// Hits delivered to the sink.
+    pub delivered: usize,
+    /// True when the sink stopped the stream before it was exhausted.
+    pub stopped_early: bool,
+    /// Engine work counters for this query.
+    pub counters: EngineCounters,
+}
+
+// ---------------------------------------------------------------------------
+// Searcher
+// ---------------------------------------------------------------------------
+
+/// The facade: one [`IndexedDatabase`], one [`SearchRequest`], one engine —
+/// any number of queries, sequentially or in parallel.
+pub struct Searcher {
+    db: IndexedDatabase,
+    request: SearchRequest,
+    engine: Box<dyn LocalAligner>,
+    /// Karlin–Altschul statistics for per-hit E-values (absent when they do
+    /// not exist for the scheme/alphabet combination).
+    ka: Option<KarlinAltschul>,
+}
+
+impl Searcher {
+    /// Build the engine selected by `request` over `db`.
+    pub fn new(db: IndexedDatabase, request: SearchRequest) -> Self {
+        let engine = build_engine(&db, &request);
+        let ka = KarlinAltschul::estimate(db.alphabet(), &request.scheme).ok();
+        Self {
+            db,
+            request,
+            engine,
+            ka,
+        }
+    }
+
+    /// The shared database handle.
+    pub fn database(&self) -> &IndexedDatabase {
+        &self.db
+    }
+
+    /// The request this searcher was built from.
+    pub fn request(&self) -> &SearchRequest {
+        &self.request
+    }
+
+    /// The engine, as the engine-agnostic trait.
+    pub fn engine(&self) -> &dyn LocalAligner {
+        self.engine.as_ref()
+    }
+
+    /// Run one query eagerly.
+    ///
+    /// Panics if the query's alphabet differs from the database's.
+    pub fn search(&self, query: &Sequence) -> SearchResponse {
+        assert_eq!(
+            query.alphabet(),
+            self.db.alphabet(),
+            "query alphabet must match the database alphabet"
+        );
+        self.search_codes(query.codes())
+    }
+
+    /// Run one query given as raw alphabet codes.
+    pub fn search_codes(&self, query: &[u8]) -> SearchResponse {
+        let run = self.engine.align_codes(query);
+        let raw_hit_count = run.hits.len();
+        let hits = self.shape_hits(query.len(), &run);
+        SearchResponse {
+            engine: self.engine.kind(),
+            threshold: run.threshold,
+            hits,
+            raw_hit_count,
+            counters: run.counters,
+        }
+    }
+
+    /// Run one query and stream its hits into `sink` (canonical order, best
+    /// first), stopping as soon as the sink asks to.
+    pub fn search_into(&self, query: &Sequence, sink: &mut dyn HitSink) -> SinkSummary {
+        assert_eq!(
+            query.alphabet(),
+            self.db.alphabet(),
+            "query alphabet must match the database alphabet"
+        );
+        let run = self.engine.align_codes(query.codes());
+        let (delivered, stopped_early) =
+            self.for_each_shaped_hit(query.len(), &run, &mut |hit| sink.accept(hit));
+        SinkSummary {
+            engine: self.engine.kind(),
+            threshold: run.threshold,
+            delivered,
+            stopped_early,
+            counters: run.counters,
+        }
+    }
+
+    /// Fan a batch of queries out over `threads` OS threads sharing this
+    /// searcher's engine and index.
+    ///
+    /// The responses are returned in query order and their hits are
+    /// bit-identical to running [`Searcher::search`] sequentially — queries
+    /// are independent and every engine emits the canonical total hit order
+    /// (see the [`SearchResponse::counters`] note for the one caveat about
+    /// index-wide occurrence-scan snapshots).
+    pub fn search_batch(&self, queries: &[Sequence], threads: usize) -> Vec<SearchResponse> {
+        for query in queries {
+            assert_eq!(
+                query.alphabet(),
+                self.db.alphabet(),
+                "query alphabet must match the database alphabet"
+            );
+        }
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads == 1 {
+            return queries.iter().map(|q| self.search(q)).collect();
+        }
+        // Work-stealing over an atomic cursor: each worker claims the next
+        // unprocessed query, so long and short queries balance out.
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, SearchResponse)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            mine.push((i, self.search_codes(queries[i].codes())));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("search worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, response)| response).collect()
+    }
+
+    /// Resolve offset-keyed engine hits to records and apply the request's
+    /// result shaping (`min_score`, `max_hits_per_record`, `top_k`) in
+    /// canonical order.
+    fn shape_hits(&self, query_len: usize, run: &EngineRun) -> Vec<SearchHit> {
+        let mut out = Vec::new();
+        self.for_each_shaped_hit(query_len, run, &mut |hit| {
+            out.push(hit);
+            SinkFlow::Continue
+        });
+        out
+    }
+
+    /// Shape hits one at a time, stopping (and skipping the remaining
+    /// record resolution and E-value work) as soon as `consume` asks to.
+    ///
+    /// Returns `(delivered, stopped_early)`.
+    fn for_each_shaped_hit(
+        &self,
+        query_len: usize,
+        run: &EngineRun,
+        consume: &mut dyn FnMut(SearchHit) -> SinkFlow,
+    ) -> (usize, bool) {
+        let min_score = self.request.min_score.unwrap_or(i64::MIN);
+        let top_k = self.request.top_k.unwrap_or(usize::MAX);
+        // Per-record counting is only paid for when a cap is set.
+        let mut per_record: Option<Vec<usize>> = self
+            .request
+            .max_hits_per_record
+            .map(|_| vec![0; self.db.record_count()]);
+        let per_record_cap = self.request.max_hits_per_record.unwrap_or(usize::MAX);
+        let mut delivered = 0;
+        for hit in &run.hits {
+            if delivered >= top_k {
+                break;
+            }
+            if hit.score < min_score {
+                // Canonical order is score-descending: nothing later passes.
+                break;
+            }
+            let location = self
+                .db
+                .database
+                .locate(hit.end_text)
+                .expect("engine hits always end inside a record");
+            if let Some(counts) = per_record.as_mut() {
+                if counts[location.record] >= per_record_cap {
+                    continue;
+                }
+                counts[location.record] += 1;
+            }
+            delivered += 1;
+            let shaped = SearchHit {
+                record: location.record,
+                name: location.name,
+                record_end: location.offset,
+                query_end: hit.end_query + 1,
+                text_end: hit.end_text,
+                score: hit.score,
+                evalue: self
+                    .ka
+                    .as_ref()
+                    .map(|ka| ka.evalue(query_len, self.db.text_len(), hit.score)),
+            };
+            if consume(shaped) == SinkFlow::Stop {
+                return (delivered, true);
+            }
+        }
+        (delivered, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_db() -> IndexedDatabase {
+        IndexedDatabase::from_sequences(
+            Alphabet::Dna,
+            [
+                Sequence::from_ascii_named(Alphabet::Dna, "r1", b"TTGCTAGCTT").unwrap(),
+                Sequence::from_ascii_named(Alphabet::Dna, "r2", b"AAGCTAGCAAGCTAGG").unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn eager_search_resolves_records_and_orders_canonically() {
+        let db = tiny_db();
+        let request = SearchRequest::with_threshold(ScoringScheme::DEFAULT, 5);
+        let searcher = Searcher::new(db, request);
+        let query = Sequence::from_ascii(Alphabet::Dna, b"GCTAGC").unwrap();
+        let response = searcher.search(&query);
+        assert!(!response.hits.is_empty());
+        assert!(!response.truncated());
+        // Canonical order: scores never increase.
+        for pair in response.hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+        // Every hit is record-resolved and its coordinates are 1-based.
+        for hit in &response.hits {
+            assert!(hit.record < 2);
+            assert_eq!(&*hit.name, if hit.record == 0 { "r1" } else { "r2" });
+            assert!(hit.record_end >= 1);
+            assert!(hit.query_end >= 1 && hit.query_end <= query.len());
+            assert!(hit.evalue.is_some());
+        }
+        assert_eq!(response.best().unwrap().score, response.hits[0].score);
+    }
+
+    #[test]
+    fn top_k_min_score_and_per_record_caps_shape_results() {
+        let db = tiny_db();
+        let query = Sequence::from_ascii(Alphabet::Dna, b"GCTAGC").unwrap();
+        let base = SearchRequest::with_threshold(ScoringScheme::DEFAULT, 4);
+        let all = Searcher::new(db.clone(), base).search(&query);
+        assert!(all.hits.len() > 2);
+
+        let top2 = Searcher::new(db.clone(), base.top_k(2)).search(&query);
+        assert_eq!(top2.hits.len(), 2);
+        assert!(top2.truncated());
+        assert_eq!(top2.hits[..], all.hits[..2]);
+
+        let strong = Searcher::new(db.clone(), base.min_score(6)).search(&query);
+        assert!(strong.hits.iter().all(|h| h.score >= 6));
+        assert!(strong.hits.len() < all.hits.len());
+
+        let capped = Searcher::new(db, base.max_hits_per_record(1)).search(&query);
+        let mut seen = std::collections::HashMap::new();
+        for hit in &capped.hits {
+            *seen.entry(hit.record).or_insert(0) += 1;
+        }
+        assert!(seen.values().all(|&count| count == 1));
+    }
+
+    #[test]
+    fn sink_streams_in_order_and_stops_early() {
+        let db = tiny_db();
+        let searcher = Searcher::new(db, SearchRequest::with_threshold(ScoringScheme::DEFAULT, 4));
+        let query = Sequence::from_ascii(Alphabet::Dna, b"GCTAGC").unwrap();
+        let eager = searcher.search(&query);
+        assert!(eager.hits.len() >= 2);
+
+        let mut collect = CollectSink::default();
+        let summary = searcher.search_into(&query, &mut collect);
+        assert!(!summary.stopped_early);
+        assert_eq!(summary.delivered, eager.hits.len());
+        assert_eq!(collect.hits, eager.hits);
+
+        let mut first = None;
+        let summary = searcher.search_into(
+            &query,
+            &mut FnSink(|hit| {
+                first = Some(hit);
+                SinkFlow::Stop
+            }),
+        );
+        assert!(summary.stopped_early);
+        assert_eq!(summary.delivered, 1);
+        assert_eq!(first.as_ref(), eager.hits.first());
+    }
+
+    #[test]
+    fn every_engine_is_drivable_through_the_trait() {
+        let db = tiny_db();
+        let query = Alphabet::Dna.encode(b"GCTAGC").unwrap();
+        for kind in EngineKind::ALL {
+            let request = SearchRequest::with_threshold(ScoringScheme::DEFAULT, 5).engine(kind);
+            let engine = build_engine(&db, &request);
+            assert_eq!(engine.kind(), kind);
+            assert_eq!(engine.resolve_threshold(query.len()), 5);
+            let run = engine.align_codes(&query);
+            assert_eq!(run.threshold, 5);
+            if kind.is_exact() {
+                assert!(!run.hits.is_empty(), "{kind} found nothing");
+            }
+        }
+    }
+}
