@@ -16,6 +16,7 @@
 //!   traceback (used by the examples to print alignments),
 //! * [`global_similarity`] — the `sim(S1, S2)` of Section 2 (global
 //!   alignment of two whole strings with affine gaps).
+#![forbid(unsafe_code)]
 
 pub mod global;
 pub mod local;

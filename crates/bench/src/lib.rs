@@ -6,6 +6,7 @@
 //! completes in milliseconds, while the *relative* ordering of the aligners
 //! — the shape the paper reports — is preserved.  The full-scale (minutes,
 //! not milliseconds) reproduction lives in the `alae-experiments` binary.
+#![forbid(unsafe_code)]
 
 use alae_bioseq::{Alphabet, ScoringScheme, Sequence, SequenceDatabase};
 use alae_suffix::{ChildBuf, SuffixTrieCursor, TextIndex};

@@ -15,6 +15,7 @@
 //! * [`evalue`] — the Karlin–Altschul statistics used to convert a
 //!   user-supplied E-value into the score threshold `H` (Section 7),
 //! * [`fasta`] — minimal FASTA reading and writing for the examples.
+#![forbid(unsafe_code)]
 
 pub mod alphabet;
 pub mod database;

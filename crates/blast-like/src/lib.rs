@@ -16,6 +16,7 @@
 //! behaviour Tables 2 and 3 of the paper show (BLAST reports fewer results
 //! than the exact methods).  This crate is the documented substitution for
 //! the BLAST binary (see DESIGN.md).
+#![forbid(unsafe_code)]
 
 pub mod extend;
 pub mod search;

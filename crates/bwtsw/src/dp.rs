@@ -90,7 +90,10 @@ impl BwtswAligner {
     /// every end pair reaching the threshold.
     pub fn align(&self, query: &[u8]) -> BwtswResult {
         let mut stats = BwtswStats::default();
-        let scans_at_start = self.index.scan_snapshot();
+        // Thread-local scan totals: the whole walk runs on the calling
+        // thread, so the snapshot delta attributes exactly this query's
+        // occurrence-table work even under concurrent batch search.
+        let scans_at_start = alae_suffix::thread_scan_snapshot();
         let mut hits = HitMap::new();
         let m = query.len();
         if m == 0 || self.index.is_empty() {
@@ -143,7 +146,7 @@ impl BwtswAligner {
             }
         }
 
-        let scan_delta = self.index.scan_snapshot().since(&scans_at_start);
+        let scan_delta = alae_suffix::thread_scan_snapshot().since(&scans_at_start);
         stats.occ_block_scans = scan_delta.block_scans;
         stats.occ_bytes_scanned = scan_delta.bytes_scanned;
 

@@ -20,6 +20,7 @@
 //! integration tests).  The number of calculated entries is counted so the
 //! filtering ratio of Equation 5 and the cost accounting of Table 4 can be
 //! reproduced.
+#![forbid(unsafe_code)]
 
 pub mod dp;
 pub mod stats;

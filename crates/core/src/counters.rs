@@ -44,12 +44,13 @@ pub struct AlaeStats {
     /// expansion with the single-scan `extend_all` layer, plus the scans
     /// spent locating occurrences).
     ///
-    /// Measured as a delta of the index-wide counter, so it is only
-    /// attributable to this run while no other thread aligns against the
-    /// same shared index concurrently.
+    /// Measured as a delta of the per-thread scan counter
+    /// (`alae_suffix::thread_scan_snapshot`), so the count is exactly this
+    /// run's — even while other threads align against the same shared index
+    /// concurrently.
     pub occ_block_scans: u64,
-    /// Occurrence-table storage bytes examined by those scans (same
-    /// single-threaded-attribution caveat as `occ_block_scans`).
+    /// Occurrence-table storage bytes examined by those scans (same exact
+    /// per-run attribution as `occ_block_scans`).
     pub occ_bytes_scanned: u64,
     /// Deepest trie node reached.
     pub max_depth: usize,

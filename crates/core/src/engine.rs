@@ -117,7 +117,10 @@ impl AlaeAligner {
     /// best local-alignment score reaches the threshold.
     pub fn align(&self, query: &[u8]) -> AlaeResult {
         let mut stats = AlaeStats::default();
-        let scans_at_start = self.index.scan_snapshot();
+        // Thread-local scan totals: one align call runs entirely on the
+        // calling thread, so the snapshot delta counts exactly this run's
+        // occurrence-table work even while other threads share the index.
+        let scans_at_start = alae_suffix::thread_scan_snapshot();
         let mut hits = HitMap::new();
         let scheme = self.config.scheme;
         let m = query.len();
@@ -160,7 +163,7 @@ impl AlaeAligner {
             );
         }
 
-        let scan_delta = self.index.scan_snapshot().since(&scans_at_start);
+        let scan_delta = alae_suffix::thread_scan_snapshot().since(&scans_at_start);
         stats.occ_block_scans = scan_delta.block_scans;
         stats.occ_bytes_scanned = scan_delta.bytes_scanned;
 

@@ -27,6 +27,7 @@
 //! the same `(end position, score)` pairs as the thresholded Smith–Waterman
 //! oracle and as BWT-SW.  The integration tests in `tests/` assert this on
 //! randomized workloads.
+#![forbid(unsafe_code)]
 
 pub mod analysis;
 pub mod config;

@@ -12,6 +12,7 @@
 //! minimum, mean and maximum per-iteration time across samples, printed as
 //! one line per benchmark — enough to compare alternatives locally and in CI
 //! smoke runs, without the real crate's HTML reports.
+#![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
 

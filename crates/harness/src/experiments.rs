@@ -21,6 +21,7 @@ pub const EXPERIMENT_NAMES: &[&str] = &[
     "bounds",
     "sw-anchor",
     "rank",
+    "search",
 ];
 
 /// Options shared by every experiment.
@@ -33,11 +34,11 @@ pub struct ExperimentOptions {
     pub queries_per_point: usize,
     /// Base RNG seed.
     pub seed: u64,
-    /// `Some(tolerance)` turns the `rank` experiment into the CI
-    /// perf-regression gate: compare against the committed
-    /// `BENCH_rank.json` and fail the process on regression (`--check
-    /// [--tolerance <fraction>]`).
-    pub rank_check: Option<f64>,
+    /// `Some(tolerance)` turns the `rank` / `search` experiments into the
+    /// CI perf-regression gates: compare against the committed
+    /// `BENCH_rank.json` / `BENCH_search.json` and fail the process on
+    /// regression (`--check [--tolerance <fraction>]`).
+    pub bench_check: Option<f64>,
 }
 
 impl Default for ExperimentOptions {
@@ -46,7 +47,7 @@ impl Default for ExperimentOptions {
             scale: 1.0,
             queries_per_point: 3,
             seed: 42,
-            rank_check: None,
+            bench_check: None,
         }
     }
 }
@@ -62,11 +63,13 @@ pub fn run_experiment(name: &str, options: &ExperimentOptions) -> bool {
     match name {
         "all" => {
             for experiment in EXPERIMENT_NAMES {
-                if *experiment == "rank" {
-                    // Sweep runs never refresh the committed baseline.
-                    rank(options, false);
-                } else {
-                    run_experiment(experiment, options);
+                match *experiment {
+                    // Sweep runs never refresh the committed baselines.
+                    "rank" => rank(options, false),
+                    "search" => search(options, false),
+                    _ => {
+                        run_experiment(experiment, options);
+                    }
                 }
                 println!();
             }
@@ -83,6 +86,7 @@ pub fn run_experiment(name: &str, options: &ExperimentOptions) -> bool {
         "bounds" => bounds(options),
         "sw-anchor" => sw_anchor(options),
         "rank" => rank(options, true),
+        "search" => search(options, true),
         _ => return false,
     }
     true
@@ -92,14 +96,14 @@ pub fn run_experiment(name: &str, options: &ExperimentOptions) -> bool {
 /// baseline is defined at the default `--scale`/`--seed`, so the snapshot is
 /// only written when the experiment was invoked directly (`direct`, never
 /// the `all` sweep) *and* the run used the defaults; anything else just
-/// prints.  With `rank_check` set (`--check`), the run is additionally
+/// prints.  With `bench_check` set (`--check`), the run is additionally
 /// compared against the committed baseline and the process exits non-zero
 /// on regression — the CI perf gate.
 fn rank(options: &ExperimentOptions, direct: bool) {
     header("rank — occurrence-layer single-scan extend_all vs extend_left loop");
     let defaults = ExperimentOptions::default();
     let at_defaults = options.scale == defaults.scale && options.seed == defaults.seed;
-    if let Some(tolerance) = options.rank_check {
+    if let Some(tolerance) = options.bench_check {
         if !crate::rank_bench::run_and_check(options, tolerance, direct && at_defaults) {
             std::process::exit(1);
         }
@@ -108,6 +112,26 @@ fn rank(options: &ExperimentOptions, direct: bool) {
     } else {
         crate::rank_bench::run_and_print(options);
         println!("(BENCH_rank.json not written: the committed baseline is only refreshed by a direct `rank` run at default --scale/--seed)");
+    }
+}
+
+/// Facade-level search benchmark.  The committed `BENCH_search.json`
+/// baseline follows the same conventions as the rank snapshot: refreshed
+/// only by a direct run at the default `--scale`/`--seed`, gated by
+/// `--check` (the CI facade perf gate).
+fn search(options: &ExperimentOptions, direct: bool) {
+    header("search — facade-level queries/sec per engine (BENCH_search.json)");
+    let defaults = ExperimentOptions::default();
+    let at_defaults = options.scale == defaults.scale && options.seed == defaults.seed;
+    if let Some(tolerance) = options.bench_check {
+        if !crate::search_bench::run_and_check(options, tolerance, direct && at_defaults) {
+            std::process::exit(1);
+        }
+    } else if direct && at_defaults {
+        crate::search_bench::run_and_write(options);
+    } else {
+        crate::search_bench::run_and_print(options);
+        println!("(BENCH_search.json not written: the committed baseline is only refreshed by a direct `search` run at default --scale/--seed)");
     }
 }
 

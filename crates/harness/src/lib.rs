@@ -22,10 +22,12 @@
 //! to laptop-sized instances; the `--scale <factor>` flag grows or shrinks
 //! every length proportionally.  EXPERIMENTS.md records the mapping and the
 //! paper-vs-measured comparison.
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod rank_bench;
 pub mod runners;
+pub mod search_bench;
 pub mod setup;
 
 pub use experiments::{run_experiment, ExperimentOptions, EXPERIMENT_NAMES};

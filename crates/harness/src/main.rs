@@ -2,24 +2,30 @@
 //! on scaled synthetic workloads.
 //!
 //! ```text
-//! alae-experiments <experiment> [--scale <factor>] [--queries <count>] [--seed <seed>]
+//! alae-experiments <experiment> [--scale <factor>|large] [--queries <count>] [--seed <seed>]
 //!                               [--check] [--tolerance <fraction>]
 //!
 //! experiments: all, table2, table3, table4, table5, fig7, fig8, fig9,
-//!              fig10, fig11, bounds, sw-anchor, rank
+//!              fig10, fig11, bounds, sw-anchor, rank, search
 //! ```
 //!
-//! `--check` (rank experiment only) compares the fresh measurements against
-//! the committed `BENCH_rank.json` and exits non-zero when the per-layout
-//! `extend_all` throughput regresses beyond `--tolerance` (default 0.15) —
-//! the CI perf-regression gate.
+//! `--check` (rank and search experiments) compares the fresh measurements
+//! against the committed `BENCH_rank.json` / `BENCH_search.json` and exits
+//! non-zero on regression beyond `--tolerance` (default 0.15) — the CI
+//! perf-regression gates.  `--scale large` is shorthand for a tens-of-MB
+//! text (factor 500), the scale where the two-level checkpoint rows stop
+//! being cache-resident.
 
 use alae_harness::{run_experiment, ExperimentOptions, EXPERIMENT_NAMES};
 
+/// The `--scale large` factor: 500 × the 60 kB default ≈ 30 MB of text.
+const LARGE_SCALE: f64 = 500.0;
+
 fn print_usage() {
-    eprintln!("usage: alae-experiments <experiment> [--scale <factor>] [--queries <count>] [--seed <seed>] [--check] [--tolerance <fraction>]");
+    eprintln!("usage: alae-experiments <experiment> [--scale <factor>|large] [--queries <count>] [--seed <seed>] [--check] [--tolerance <fraction>]");
     eprintln!("experiments: all, {}", EXPERIMENT_NAMES.join(", "));
-    eprintln!("--check (rank only): fail when BENCH_rank.json throughput regresses beyond --tolerance (default 0.15)");
+    eprintln!("--check (rank, search): fail when the committed BENCH_rank.json / BENCH_search.json throughput regresses beyond --tolerance (default 0.15)");
+    eprintln!("--scale large: tens-of-MB text (factor {LARGE_SCALE}); the two-level-checkpoint bench point");
 }
 
 fn main() {
@@ -50,11 +56,15 @@ fn main() {
             }
             "--scale" => {
                 let value = iter.next().unwrap_or_default();
-                match value.parse::<f64>() {
-                    Ok(scale) if scale > 0.0 => options.scale = scale,
-                    _ => {
-                        eprintln!("invalid --scale value: {value:?}");
-                        std::process::exit(2);
+                if value == "large" {
+                    options.scale = LARGE_SCALE;
+                } else {
+                    match value.parse::<f64>() {
+                        Ok(scale) if scale > 0.0 => options.scale = scale,
+                        _ => {
+                            eprintln!("invalid --scale value: {value:?}");
+                            std::process::exit(2);
+                        }
                     }
                 }
             }
@@ -95,14 +105,14 @@ fn main() {
         std::process::exit(2);
     };
     if check {
-        if name != "rank" {
-            eprintln!("--check only applies to the `rank` experiment");
+        if name != "rank" && name != "search" {
+            eprintln!("--check only applies to the `rank` and `search` experiments");
             std::process::exit(2);
         }
         let defaults = ExperimentOptions::default();
         if options.scale != defaults.scale || options.seed != defaults.seed {
-            // The committed baseline is defined at the default scale/seed;
-            // comparing a different workload against it would report
+            // The committed baselines are defined at the default scale/seed;
+            // comparing a different workload against them would report
             // phantom regressions (or mask real ones).
             eprintln!(
                 "--check requires the default --scale ({}) and --seed ({}) the committed baseline was generated with",
@@ -110,7 +120,7 @@ fn main() {
             );
             std::process::exit(2);
         }
-        options.rank_check = Some(tolerance);
+        options.bench_check = Some(tolerance);
     }
     if !run_experiment(&name, &options) {
         eprintln!("unknown experiment: {name:?}");

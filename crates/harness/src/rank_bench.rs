@@ -9,7 +9,9 @@
 
 use crate::experiments::ExperimentOptions;
 use alae_bioseq::Alphabet;
-use alae_suffix::{CheckpointScheme, ChildBuf, RankLayout, SuffixTrieCursor, TextIndex};
+use alae_suffix::{
+    simd, CheckpointScheme, ChildBuf, RankLayout, ScanBackend, SuffixTrieCursor, TextIndex,
+};
 use alae_workload::{generate_text, TextSpec};
 use std::time::Instant;
 
@@ -20,6 +22,9 @@ pub struct RankBenchEntry {
     pub name: String,
     /// `"before"` for the per-character loop, `"after"` for `extend_all`.
     pub role: &'static str,
+    /// The scan backend the configuration's index resolved to
+    /// (`"swar"` / `"sse2"` / `"avx2"`).
+    pub backend: &'static str,
     /// Mean wall-clock nanoseconds per trie-node expansion.
     pub ns_per_node: f64,
     /// Occurrence-table block scans per expansion (exact, from the counter;
@@ -31,6 +36,15 @@ pub struct RankBenchEntry {
     /// + checkpoint rows), in bytes.
     pub index_bytes: u64,
 }
+
+/// The `(default-backend, forced-SWAR)` configuration pairs whose
+/// `extend_all` throughput ratio is recorded as the SIMD-vs-SWAR speedup.
+const SIMD_VS_SWAR_PAIRS: &[(&str, &str)] = &[
+    ("protein_sigma21", "protein_sigma21_swar"),
+    ("protein_reduced15_nibble", "protein_reduced15_nibble_swar"),
+    ("dna_packed", "dna_packed_swar"),
+    ("dna_bytes", "dna_bytes_swar"),
+];
 
 /// The full report written to `BENCH_rank.json`.
 #[derive(Debug, Clone)]
@@ -49,6 +63,11 @@ pub struct RankBenchReport {
     /// Speedup of `extend_all` over the `extend_left` loop (protein,
     /// two-level checkpoints).
     pub speedup: f64,
+    /// The scan backend the default (auto) configurations resolved to.
+    pub scan_backend: &'static str,
+    /// Per-layout `extend_all` speedup of the default backend over the
+    /// forced-SWAR twin (≈ 1.0 when the default backend *is* SWAR).
+    pub simd_vs_swar: Vec<(&'static str, f64)>,
     /// The measured configurations.
     pub entries: Vec<RankBenchEntry>,
 }
@@ -68,14 +87,29 @@ impl RankBenchReport {
             "  \"extend_all_speedup_vs_extend_left\": {:.2},\n",
             self.speedup
         ));
+        out.push_str(&format!("  \"scan_backend\": \"{}\",\n", self.scan_backend));
+        out.push_str("  \"simd_vs_swar\": {");
+        for (i, (config, ratio)) in self.simd_vs_swar.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{config}\": {ratio:.2}{}",
+                if i + 1 < self.simd_vs_swar.len() {
+                    ", "
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("},\n");
         out.push_str("  \"entries\": [\n");
         for (i, entry) in self.entries.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"role\": \"{}\", \"ns_per_node\": {:.1}, \
+                "    {{\"name\": \"{}\", \"role\": \"{}\", \"backend\": \"{}\", \
+                 \"ns_per_node\": {:.1}, \
                  \"block_scans_per_node\": {:.1}, \"bytes_scanned_per_node\": {:.1}, \
                  \"index_bytes\": {}}}{}\n",
                 entry.name,
                 entry.role,
+                entry.backend,
                 entry.ns_per_node,
                 entry.block_scans_per_node,
                 entry.bytes_scanned_per_node,
@@ -89,18 +123,20 @@ impl RankBenchReport {
 
     /// The `extend_all` ("after") entry of a configuration, if measured.
     fn after(&self, config: &str) -> Option<&RankBenchEntry> {
+        let prefix = format!("{config}/");
         self.entries
             .iter()
-            .find(|e| e.role == "after" && e.name.starts_with(config))
+            .find(|e| e.role == "after" && e.name.starts_with(&prefix))
     }
 
     /// The within-run speedup of `extend_all` over the `extend_left` loop
     /// for one configuration prefix.
     fn config_speedup(&self, config: &str) -> Option<f64> {
+        let prefix = format!("{config}/");
         let before = self
             .entries
             .iter()
-            .find(|e| e.role == "before" && e.name.starts_with(config))?;
+            .find(|e| e.role == "before" && e.name.starts_with(&prefix))?;
         let after = self.after(config)?;
         if after.ns_per_node > 0.0 {
             Some(before.ns_per_node / after.ns_per_node)
@@ -133,6 +169,7 @@ fn measure(
 ) -> f64 {
     let n = nodes.len() as f64;
     let index_bytes = index.occ_size_in_bytes() as u64;
+    let backend = index.scan_backend().name();
 
     // Before: the σ-scan per-character loop `children` used to perform.
     // After: the single-scan `extend_all` fan-out behind `children_into`.
@@ -159,6 +196,7 @@ fn measure(
     entries.push(RankBenchEntry {
         name: format!("{name_prefix}/extend_left_loop"),
         role: "before",
+        backend,
         ns_per_node: loop_ns,
         block_scans_per_node: loop_scans.block_scans as f64 / n,
         bytes_scanned_per_node: loop_scans.bytes_scanned as f64 / n,
@@ -167,6 +205,7 @@ fn measure(
     entries.push(RankBenchEntry {
         name: format!("{name_prefix}/extend_all"),
         role: "after",
+        backend,
         ns_per_node: all_ns,
         block_scans_per_node: all_scans.block_scans as f64 / n,
         bytes_scanned_per_node: all_scans.bytes_scanned as f64 / n,
@@ -242,6 +281,80 @@ pub fn run(options: &ExperimentOptions) -> RankBenchReport {
         measure(label, &dna_index, &dna_nodes, repetitions, &mut entries);
     }
 
+    // Forced-SWAR twins of one configuration per layout: same text, same
+    // layout, SIMD dispatch disabled.  Each twin gets its own entries, and
+    // the SIMD-vs-SWAR ratio the gate tracks is then measured with
+    // *interleaved* extend_all passes over the two indexes (default, SWAR,
+    // default, SWAR, … best-of-N each) — machine drift between two
+    // measurements taken minutes apart would otherwise dominate the ratio.
+    let mut simd_vs_swar = Vec::new();
+    for (label, config, codes, code_count, layout, trie_depth) in [
+        (
+            "protein_sigma21_swar",
+            "protein_sigma21",
+            protein_codes.as_slice(),
+            Alphabet::Protein.code_count(),
+            RankLayout::Auto,
+            2usize,
+        ),
+        (
+            "protein_reduced15_nibble_swar",
+            "protein_reduced15_nibble",
+            reduced.as_slice(),
+            16,
+            RankLayout::PackedNibble,
+            2,
+        ),
+        (
+            "dna_packed_swar",
+            "dna_packed",
+            dna.codes(),
+            Alphabet::Dna.code_count(),
+            RankLayout::PackedDna,
+            4,
+        ),
+        (
+            "dna_bytes_swar",
+            "dna_bytes",
+            dna.codes(),
+            Alphabet::Dna.code_count(),
+            RankLayout::Bytes,
+            4,
+        ),
+    ] {
+        let default_index = TextIndex::with_scan_backend(
+            codes.to_vec(),
+            code_count,
+            layout,
+            CheckpointScheme::default(),
+            simd::default_backend(),
+        );
+        let swar_index = TextIndex::with_scan_backend(
+            codes.to_vec(),
+            code_count,
+            layout,
+            CheckpointScheme::default(),
+            ScanBackend::Swar,
+        );
+        // The SA ranges are backend-independent, so one node set serves
+        // both indexes.
+        let pair_nodes = alae_bench::collect_trie_nodes(&swar_index, trie_depth, 2_000);
+        measure(label, &swar_index, &pair_nodes, repetitions, &mut entries);
+        let mut buf = ChildBuf::new();
+        let (mut default_best, mut swar_best) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..repetitions {
+            default_best = default_best.min(time_once(&mut || {
+                alae_bench::extend_all_pass(&default_index, &pair_nodes, &mut buf)
+            }));
+            swar_best = swar_best.min(time_once(&mut || {
+                alae_bench::extend_all_pass(&swar_index, &pair_nodes, &mut buf)
+            }));
+        }
+        if default_best > 0.0 {
+            simd_vs_swar.push((config, swar_best / default_best));
+        }
+    }
+
     RankBenchReport {
         scale: options.scale,
         seed: options.seed,
@@ -249,17 +362,20 @@ pub fn run(options: &ExperimentOptions) -> RankBenchReport {
         code_count: index.code_count(),
         nodes: nodes.len(),
         speedup,
+        scan_backend: index.scan_backend().name(),
+        simd_vs_swar,
         entries,
     }
 }
 
-/// Where to write the snapshot: `$ALAE_BENCH_DIR` if set, else the enclosing
-/// workspace root (nearest ancestor of the CWD holding `Cargo.toml` and
-/// `crates/suffix/`) so runs from anywhere inside a checkout update its
-/// committed baseline, else the CWD.
-fn bench_output_path() -> std::path::PathBuf {
+/// Where to write a committed benchmark snapshot named `file_name`:
+/// `$ALAE_BENCH_DIR` if set, else the enclosing workspace root (nearest
+/// ancestor of the CWD holding `Cargo.toml` and `crates/suffix/`) so runs
+/// from anywhere inside a checkout update its committed baseline, else the
+/// CWD.  Shared by the rank and search benchmarks.
+pub(crate) fn snapshot_path(file_name: &str) -> std::path::PathBuf {
     if let Ok(dir) = std::env::var("ALAE_BENCH_DIR") {
-        return std::path::PathBuf::from(dir).join("BENCH_rank.json");
+        return std::path::PathBuf::from(dir).join(file_name);
     }
     let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
     let mut dir = cwd.as_path();
@@ -267,14 +383,19 @@ fn bench_output_path() -> std::path::PathBuf {
         // `crates/suffix` is specific to this workspace, so the walk cannot
         // stop at the root of some other repository that also has `crates/`.
         if dir.join("Cargo.toml").is_file() && dir.join("crates/suffix").is_dir() {
-            return dir.join("BENCH_rank.json");
+            return dir.join(file_name);
         }
         match dir.parent() {
             Some(parent) => dir = parent,
             None => break,
         }
     }
-    cwd.join("BENCH_rank.json")
+    cwd.join(file_name)
+}
+
+/// The rank benchmark's committed snapshot location.
+fn bench_output_path() -> std::path::PathBuf {
+    snapshot_path("BENCH_rank.json")
 }
 
 /// Run and print a human-readable table without touching the committed
@@ -369,7 +490,7 @@ pub struct ParsedEntry {
 }
 
 /// Extract a string field from one serialized entry object.
-fn field_str(object: &str, key: &str) -> Option<String> {
+pub(crate) fn field_str(object: &str, key: &str) -> Option<String> {
     let marker = format!("\"{key}\": \"");
     let start = object.find(&marker)? + marker.len();
     let end = object[start..].find('"')? + start;
@@ -377,7 +498,7 @@ fn field_str(object: &str, key: &str) -> Option<String> {
 }
 
 /// Extract a numeric field from one serialized entry object.
-fn field_num(object: &str, key: &str) -> Option<f64> {
+pub(crate) fn field_num(object: &str, key: &str) -> Option<f64> {
     let marker = format!("\"{key}\": ");
     let start = object.find(&marker)? + marker.len();
     let end = object[start..]
@@ -422,6 +543,28 @@ const CHECKED_CONFIGS: &[&str] = &[
     "protein_reduced15_bytes",
     "dna_packed",
     "dna_bytes",
+    "protein_sigma21_swar",
+    "protein_reduced15_nibble_swar",
+    "dna_packed_swar",
+    "dna_bytes_swar",
+];
+
+/// Hard floors on the SIMD-vs-SWAR `extend_all` speedups when the run
+/// resolved to AVX2, checked regardless of the baseline.  The `dna_bytes`
+/// floor (small-alphabet byte layout, where the bit-plane tree is ≥ 1.3× on
+/// AVX2 hardware) asserts the SIMD dispatch stays load-bearing; the
+/// remaining floors assert the adaptive kernels never make the default
+/// backend meaningfully *slower* than forced SWAR (the wide-alphabet byte
+/// histogram deliberately falls back to the scalar pass, so its honest
+/// ratio is ~1.0).  All floors sit well below the committed ratios (≥ 10%
+/// headroom against the lowest observed value) to absorb machine-to-machine
+/// and run-to-run variance — unlike the tolerance-scaled baseline checks,
+/// crossing a floor fails outright.
+const AVX2_SIMD_FLOORS: &[(&str, f64)] = &[
+    ("dna_bytes", 1.1),
+    ("dna_packed", 0.9),
+    ("protein_sigma21", 0.9),
+    ("protein_reduced15_nibble", 0.85),
 ];
 
 /// Compare a fresh report against the committed baseline.
@@ -441,12 +584,13 @@ pub fn check_against_baseline(
     let baseline = parse_entries(baseline_json);
     let mut outcome = CheckOutcome::default();
     let base_speedup = |config: &str| -> Option<f64> {
+        let prefix = format!("{config}/");
         let before = baseline
             .iter()
-            .find(|e| e.role == "before" && e.name.starts_with(config))?;
+            .find(|e| e.role == "before" && e.name.starts_with(&prefix))?;
         let after = baseline
             .iter()
-            .find(|e| e.role == "after" && e.name.starts_with(config))?;
+            .find(|e| e.role == "after" && e.name.starts_with(&prefix))?;
         (after.ns_per_node > 0.0).then(|| before.ns_per_node / after.ns_per_node)
     };
 
@@ -473,9 +617,10 @@ pub fn check_against_baseline(
         // Scans per node are exact and deterministic for a fixed
         // scale/seed; any growth is a real algorithmic regression.  Skip
         // when either side was built without the occ-counters feature.
+        let prefix = format!("{config}/");
         let base_after = baseline
             .iter()
-            .find(|e| e.role == "after" && e.name.starts_with(config));
+            .find(|e| e.role == "after" && e.name.starts_with(&prefix));
         let fresh_after = fresh.after(config);
         if let (Some(base_after), Some(fresh_after)) = (base_after, fresh_after) {
             if base_after.block_scans_per_node > 0.0
@@ -518,23 +663,98 @@ pub fn check_against_baseline(
             ));
         }
     }
+
+    // SIMD-vs-SWAR speedups.  These compare the default backend against the
+    // forced-SWAR twin *within* the fresh run, so they are machine-portable
+    // the same way the extend_all speedups are — but only comparable when
+    // both runs resolved the same backend, and meaningless when the fresh
+    // run resolved to SWAR (forced via env/feature, or no SIMD hardware).
+    let base_backend = field_str(baseline_json, "scan_backend");
+    if fresh.scan_backend == "swar" {
+        outcome.notes.push(
+            "simd-vs-swar: fresh run resolved to the SWAR backend; speedup checks skipped"
+                .to_string(),
+        );
+    } else {
+        for &(config, _) in SIMD_VS_SWAR_PAIRS {
+            let now = fresh
+                .simd_vs_swar
+                .iter()
+                .find(|(name, _)| *name == config)
+                .map(|&(_, ratio)| ratio);
+            let Some(now) = now else {
+                // A SIMD run must produce every tracked pair ratio; a
+                // missing one means the pair lists drifted apart and a gate
+                // check silently stopped running — fail loudly instead.
+                outcome.failures.push(format!(
+                    "{config}: simd-vs-swar ratio missing from the fresh run \
+                     (SIMD_VS_SWAR_PAIRS and the measured configurations are out of sync)"
+                ));
+                continue;
+            };
+            let base = field_num(baseline_json, config)
+                .filter(|_| base_backend.as_deref() == Some(fresh.scan_backend));
+            match base {
+                Some(base) => {
+                    let floor = base * (1.0 - tolerance);
+                    if now < floor {
+                        outcome.failures.push(format!(
+                            "{config}: simd-vs-swar speedup {now:.2}x fell below baseline \
+                             {base:.2}x - {:.0}% tolerance ({floor:.2}x) on {}",
+                            tolerance * 100.0,
+                            fresh.scan_backend
+                        ));
+                    } else {
+                        outcome.notes.push(format!(
+                            "{config}: simd-vs-swar {now:.2}x (baseline {base:.2}x, {}) ok",
+                            fresh.scan_backend
+                        ));
+                    }
+                }
+                None => outcome.notes.push(format!(
+                    "{config}: simd-vs-swar {now:.2}x on {} (baseline backend {}; not compared)",
+                    fresh.scan_backend,
+                    base_backend.as_deref().unwrap_or("absent")
+                )),
+            }
+        }
+        // The dispatch layer must stay load-bearing on AVX2 hardware
+        // regardless of what the baseline recorded.  Only meaningful at the
+        // baseline scale and above — sub-scale runs (unit tests) measure
+        // blocks too small for a stable ratio.
+        if fresh.scan_backend == "avx2" && fresh.scale >= 1.0 {
+            for &(config, floor) in AVX2_SIMD_FLOORS {
+                if let Some(&(_, ratio)) =
+                    fresh.simd_vs_swar.iter().find(|(name, _)| *name == config)
+                {
+                    if ratio < floor {
+                        outcome.failures.push(format!(
+                            "{config}: simd-vs-swar speedup {ratio:.2}x is below the AVX2 \
+                             floor {floor:.2}x"
+                        ));
+                    }
+                }
+            }
+        }
+    }
     outcome
 }
 
 fn print_report(report: &RankBenchReport) {
     println!(
-        "occurrence layer: {} nodes over {} protein characters (σ+1 = {})",
-        report.nodes, report.text_len, report.code_count
+        "occurrence layer: {} nodes over {} protein characters (σ+1 = {}), scan backend {}",
+        report.nodes, report.text_len, report.code_count, report.scan_backend
     );
     println!(
-        "{:<34} {:>6} {:>12} {:>10} {:>10} {:>12}",
-        "configuration", "role", "ns/node", "scans", "bytes", "index bytes"
+        "{:<34} {:>6} {:>7} {:>12} {:>10} {:>10} {:>12}",
+        "configuration", "role", "kernel", "ns/node", "scans", "bytes", "index bytes"
     );
     for entry in &report.entries {
         println!(
-            "{:<34} {:>6} {:>12.1} {:>10.1} {:>10.1} {:>12}",
+            "{:<34} {:>6} {:>7} {:>12.1} {:>10.1} {:>10.1} {:>12}",
             entry.name,
             entry.role,
+            entry.backend,
             entry.ns_per_node,
             entry.block_scans_per_node,
             entry.bytes_scanned_per_node,
@@ -545,6 +765,12 @@ fn print_report(report: &RankBenchReport) {
         "extend_all speedup over the extend_left loop (protein): {:.2}x",
         report.speedup
     );
+    for (config, ratio) in &report.simd_vs_swar {
+        println!(
+            "{config}: extend_all {} backend is {ratio:.2}x the forced-SWAR twin",
+            report.scan_backend
+        );
+    }
 }
 
 #[cfg(test)]
@@ -556,7 +782,7 @@ mod tests {
             scale: 0.02,
             queries_per_point: 1,
             seed: 5,
-            rank_check: None,
+            bench_check: None,
         }
     }
 
@@ -605,8 +831,13 @@ mod tests {
         assert!(json.contains("protein_flat_u32"));
         assert!(json.contains("protein_reduced15_nibble"));
         assert!(json.contains("\"index_bytes\""));
-        assert_eq!(json.matches("\"role\": \"before\"").count(), 6);
-        assert_eq!(json.matches("\"role\": \"after\"").count(), 6);
+        assert!(json.contains("\"scan_backend\""));
+        assert!(json.contains("\"simd_vs_swar\""));
+        assert!(json.contains("protein_sigma21_swar"));
+        assert!(json.contains("dna_packed_swar"));
+        assert!(json.contains("dna_bytes_swar"));
+        assert_eq!(json.matches("\"role\": \"before\"").count(), 10);
+        assert_eq!(json.matches("\"role\": \"after\"").count(), 10);
     }
 
     #[test]
@@ -628,6 +859,55 @@ mod tests {
         let outcome = check_against_baseline(&report.to_json(), &report, 0.15);
         assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
         assert!(!outcome.notes.is_empty());
+    }
+
+    #[test]
+    fn check_flags_a_simd_vs_swar_regression() {
+        let mut report = run(&tiny_options());
+        if report.scan_backend == "swar" {
+            // force-swar build or no SIMD hardware: nothing to flag.
+            return;
+        }
+        report.simd_vs_swar = SIMD_VS_SWAR_PAIRS
+            .iter()
+            .map(|&(config, _)| (config, 2.0))
+            .collect();
+        let baseline = report.to_json();
+        for (_, ratio) in &mut report.simd_vs_swar {
+            *ratio = 1.0; // collapsed speedup: dispatch stopped mattering
+        }
+        let outcome = check_against_baseline(&baseline, &report, 0.15);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("simd-vs-swar")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn check_skips_simd_comparison_across_different_backends() {
+        let mut report = run(&tiny_options());
+        if report.scan_backend == "swar" {
+            return;
+        }
+        report.simd_vs_swar = SIMD_VS_SWAR_PAIRS
+            .iter()
+            .map(|&(config, _)| (config, 2.0))
+            .collect();
+        let baseline = report.to_json().replace(
+            &format!("\"scan_backend\": \"{}\"", report.scan_backend),
+            "\"scan_backend\": \"sse4-imaginary\"",
+        );
+        for (_, ratio) in &mut report.simd_vs_swar {
+            *ratio = 1.2; // would fail if compared against 2.0
+        }
+        let outcome = check_against_baseline(&baseline, &report, 0.15);
+        assert!(
+            !outcome.failures.iter().any(|f| f.contains("simd-vs-swar")),
+            "{:?}",
+            outcome.failures
+        );
+        assert!(outcome.notes.iter().any(|n| n.contains("not compared")));
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! End-to-end search benchmark: facade-level queries/sec per engine.
+//!
+//! Where `rank_bench` gates the occurrence layer, this benchmark drives the
+//! whole `alae::search` stack — engine construction aside, exactly what a
+//! query hitting a deployed service would execute — for every engine over
+//! one shared [`crate::setup::PreparedWorkload`], and writes the
+//! measurements to
+//! `BENCH_search.json` so successive PRs accumulate a facade-level perf
+//! trajectory next to the rank layer's.
+//!
+//! `alae-experiments search --check [--tolerance 0.20]` re-measures and
+//! fails (exit 1) when ALAE's speedup over Smith–Waterman or over BWT-SW
+//! falls below the committed baseline's beyond tolerance, or when the exact
+//! engines stop agreeing on the result count.  Speedup *ratios* are gated
+//! (not raw queries/sec), the same machine-portability convention as `rank
+//! --check`.
+
+use crate::experiments::ExperimentOptions;
+use crate::rank_bench::{field_num, field_str, snapshot_path};
+use crate::runners::run_request;
+use crate::setup::prepare_dna;
+use alae::search::{EngineKind, SearchRequest};
+use alae_bioseq::ScoringScheme;
+
+/// Workload shape at `--scale 1` (text length and query length multiply by
+/// the scale; the query count stays fixed so per-query times stay
+/// comparable).
+const BASE_TEXT_LEN: usize = 60_000;
+const BASE_QUERY_LEN: usize = 200;
+const QUERY_COUNT: usize = 6;
+
+/// Best-of-N repetitions per engine.  Engines are *interleaved* within each
+/// repetition (ALAE, BWT-SW, BLAST, SW, then again) so slow machine drift
+/// hits every engine alike and cancels out of the speedup ratios the CI
+/// gate checks — the same convention as the rank benchmark.
+const REPETITIONS: usize = 5;
+
+/// Reporting threshold shared by every engine (`H = 30`, the scaled
+/// stringency the experiment suite uses throughout).
+const THRESHOLD: i64 = 30;
+
+/// One engine's measurement.
+#[derive(Debug, Clone)]
+pub struct SearchBenchEntry {
+    /// Engine display name (`ALAE`, `BWT-SW`, …).
+    pub engine: &'static str,
+    /// Queries per second (best-of-N pass over the whole query set).
+    pub queries_per_sec: f64,
+    /// Mean milliseconds per query within the best pass.
+    pub ms_per_query: f64,
+    /// Total reported alignments across the query set.
+    pub hits: usize,
+}
+
+/// The full report written to `BENCH_search.json`.
+#[derive(Debug, Clone)]
+pub struct SearchBenchReport {
+    /// The `--scale` the report was generated with.
+    pub scale: f64,
+    /// The `--seed` the report was generated with.
+    pub seed: u64,
+    /// Indexed text length (including separators).
+    pub text_len: usize,
+    /// Query length.
+    pub query_len: usize,
+    /// Number of queries per measured pass.
+    pub queries: usize,
+    /// The reporting threshold applied by every engine.
+    pub threshold: i64,
+    /// Per-engine measurements, in [`EngineKind::ALL`] order.
+    pub entries: Vec<SearchBenchEntry>,
+}
+
+impl SearchBenchReport {
+    /// The entry for one engine, if measured.
+    fn entry(&self, engine: &str) -> Option<&SearchBenchEntry> {
+        self.entries.iter().find(|e| e.engine == engine)
+    }
+
+    /// ALAE's throughput ratio over `engine` (`> 1` = ALAE is faster).
+    pub fn alae_speedup_over(&self, engine: &str) -> Option<f64> {
+        let alae = self.entry("ALAE")?;
+        let other = self.entry(engine)?;
+        (other.queries_per_sec > 0.0).then(|| alae.queries_per_sec / other.queries_per_sec)
+    }
+
+    /// Serialize as JSON (hand-rolled; the environment has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"benchmark\": \"search\",\n");
+        out.push_str("  \"generated_by\": \"alae-experiments search\",\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"text_len\": {},\n", self.text_len));
+        out.push_str(&format!("  \"query_len\": {},\n", self.query_len));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!("  \"threshold\": {},\n", self.threshold));
+        for (key, engine) in [
+            ("speedup_alae_vs_sw", "Smith-Waterman"),
+            ("speedup_alae_vs_bwtsw", "BWT-SW"),
+            ("speedup_alae_vs_blast", "BLAST-like"),
+        ] {
+            if let Some(ratio) = self.alae_speedup_over(engine) {
+                out.push_str(&format!("  \"{key}\": {ratio:.2},\n"));
+            }
+        }
+        out.push_str("  \"engines\": [\n");
+        for (i, entry) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"engine\": \"{}\", \"queries_per_sec\": {:.3}, \
+                 \"ms_per_query\": {:.3}, \"hits\": {}}}{}\n",
+                entry.engine,
+                entry.queries_per_sec,
+                entry.ms_per_query,
+                entry.hits,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Run the benchmark: every engine over the same prepared workload.
+pub fn run(options: &ExperimentOptions) -> SearchBenchReport {
+    let text_len = ((BASE_TEXT_LEN as f64 * options.scale) as usize).max(2_000);
+    let query_len = ((BASE_QUERY_LEN as f64 * options.scale.min(4.0)) as usize).max(100);
+    let prepared = prepare_dna(text_len, query_len, QUERY_COUNT, options.seed);
+    let queries = prepared.queries.len().max(1) as f64;
+    let mut best = [f64::INFINITY; EngineKind::ALL.len()];
+    let mut hits = [0usize; EngineKind::ALL.len()];
+    for _ in 0..REPETITIONS {
+        for (k, kind) in EngineKind::ALL.into_iter().enumerate() {
+            let request =
+                SearchRequest::with_threshold(ScoringScheme::DEFAULT, THRESHOLD).engine(kind);
+            let (summary, runs) = run_request(&prepared, request);
+            best[k] = best[k].min(summary.total_time.as_secs_f64());
+            hits[k] = runs.iter().map(|run| run.hits.len()).sum();
+        }
+    }
+    let entries = EngineKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(k, kind)| SearchBenchEntry {
+            engine: kind.name(),
+            queries_per_sec: if best[k] > 0.0 {
+                queries / best[k]
+            } else {
+                0.0
+            },
+            ms_per_query: best[k] * 1e3 / queries,
+            hits: hits[k],
+        })
+        .collect();
+    SearchBenchReport {
+        scale: options.scale,
+        seed: options.seed,
+        text_len: prepared.text_len(),
+        query_len,
+        queries: prepared.queries.len(),
+        threshold: THRESHOLD,
+        entries,
+    }
+}
+
+fn print_report(report: &SearchBenchReport) {
+    println!(
+        "facade search: {} queries x {} chars against {} indexed chars (H = {})",
+        report.queries, report.query_len, report.text_len, report.threshold
+    );
+    println!(
+        "{:<16} {:>14} {:>14} {:>8}",
+        "engine", "queries/sec", "ms/query", "hits"
+    );
+    for entry in &report.entries {
+        println!(
+            "{:<16} {:>14.3} {:>14.3} {:>8}",
+            entry.engine, entry.queries_per_sec, entry.ms_per_query, entry.hits
+        );
+    }
+    for (label, engine) in [
+        ("Smith-Waterman", "Smith-Waterman"),
+        ("BWT-SW", "BWT-SW"),
+        ("BLAST-like", "BLAST-like"),
+    ] {
+        if let Some(ratio) = report.alae_speedup_over(engine) {
+            println!("ALAE speedup over {label}: {ratio:.2}x");
+        }
+    }
+}
+
+fn write_snapshot(report: &SearchBenchReport) {
+    let path = snapshot_path("BENCH_search.json");
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("could not write {}: {error}", path.display()),
+    }
+}
+
+/// Run and print without touching the committed snapshot (the `all` sweep).
+pub fn run_and_print(options: &ExperimentOptions) {
+    let report = run(options);
+    print_report(&report);
+}
+
+/// Run, print, and refresh `BENCH_search.json` (direct runs at the default
+/// scale/seed).
+pub fn run_and_write(options: &ExperimentOptions) {
+    let report = run(options);
+    print_report(&report);
+    write_snapshot(&report);
+}
+
+/// Run, compare against the committed `BENCH_search.json`, optionally
+/// refresh the snapshot, and return `false` on regression beyond
+/// `tolerance` — the CI facade-level perf gate.
+pub fn run_and_check(options: &ExperimentOptions, tolerance: f64, refresh: bool) -> bool {
+    let path = snapshot_path("BENCH_search.json");
+    let baseline = std::fs::read_to_string(&path).ok();
+    let report = run(options);
+    print_report(&report);
+    let Some(baseline) = baseline else {
+        println!(
+            "no committed baseline at {}; nothing to check against",
+            path.display()
+        );
+        if refresh {
+            write_snapshot(&report);
+        }
+        return true;
+    };
+    let outcome = check_against_baseline(&baseline, &report, tolerance);
+    for note in &outcome.notes {
+        println!("check: {note}");
+    }
+    if outcome.failures.is_empty() {
+        println!("check: OK (tolerance {:.0}%)", tolerance * 100.0);
+        if refresh {
+            write_snapshot(&report);
+        }
+        true
+    } else {
+        for failure in &outcome.failures {
+            eprintln!("check FAILED: {failure}");
+        }
+        eprintln!(
+            "check FAILED: baseline at {} left untouched",
+            path.display()
+        );
+        false
+    }
+}
+
+/// Result of comparing a fresh run against the committed baseline.
+#[derive(Debug, Default)]
+pub struct CheckOutcome {
+    /// Human-readable regressions; non-empty fails the gate.
+    pub failures: Vec<String>,
+    /// Informational comparisons.
+    pub notes: Vec<String>,
+}
+
+/// The gated ALAE-vs-engine speedup ratios: the JSON key and the engine
+/// whose hit count must also match ALAE's exactly (both engines are exact).
+const CHECKED_SPEEDUPS: &[(&str, &str, bool)] = &[
+    ("speedup_alae_vs_sw", "Smith-Waterman", true),
+    ("speedup_alae_vs_bwtsw", "BWT-SW", true),
+    ("speedup_alae_vs_blast", "BLAST-like", false),
+];
+
+/// Compare a fresh report against the committed baseline.
+///
+/// Raw queries/sec are machine-bound, so the gate tracks the *within-run*
+/// ALAE-vs-engine speedup ratios: each fresh ratio must stay within
+/// `tolerance` of the committed one.  Two machine-independent invariants
+/// are checked exactly: the exact engines (ALAE, BWT-SW, Smith–Waterman)
+/// must report identical hit counts, and ALAE must actually be faster than
+/// Smith–Waterman (the paper's headline property).
+pub fn check_against_baseline(
+    baseline_json: &str,
+    fresh: &SearchBenchReport,
+    tolerance: f64,
+) -> CheckOutcome {
+    let mut outcome = CheckOutcome::default();
+
+    // Exactness: the exact engines agree on the total result count.
+    if let (Some(alae), Some(bwtsw), Some(sw)) = (
+        fresh.entry("ALAE"),
+        fresh.entry("BWT-SW"),
+        fresh.entry("Smith-Waterman"),
+    ) {
+        if alae.hits == bwtsw.hits && alae.hits == sw.hits {
+            outcome
+                .notes
+                .push(format!("exact engines agree on {} hits", alae.hits));
+        } else {
+            outcome.failures.push(format!(
+                "exact engines disagree: ALAE {} vs BWT-SW {} vs Smith-Waterman {} hits",
+                alae.hits, bwtsw.hits, sw.hits
+            ));
+        }
+    }
+
+    // ALAE must beat the full dynamic program outright (machine-free).
+    if let Some(ratio) = fresh.alae_speedup_over("Smith-Waterman") {
+        if ratio <= 1.0 {
+            outcome.failures.push(format!(
+                "ALAE is not faster than Smith-Waterman ({ratio:.2}x)"
+            ));
+        }
+    }
+
+    // Baseline-relative ratio gates (machine-portable).
+    let base_scale = field_num(baseline_json, "scale");
+    let comparable = base_scale == Some(fresh.scale)
+        && field_str(baseline_json, "benchmark").as_deref() == Some("search");
+    for &(key, engine, _exact) in CHECKED_SPEEDUPS {
+        let Some(now) = fresh.alae_speedup_over(engine) else {
+            continue;
+        };
+        let base = comparable.then(|| field_num(baseline_json, key)).flatten();
+        match base {
+            Some(base) => {
+                let floor = base * (1.0 - tolerance);
+                if now < floor {
+                    outcome.failures.push(format!(
+                        "{key}: ALAE speedup {now:.2}x fell below baseline {base:.2}x - \
+                         {:.0}% tolerance ({floor:.2}x)",
+                        tolerance * 100.0
+                    ));
+                } else {
+                    outcome
+                        .notes
+                        .push(format!("{key}: {now:.2}x (baseline {base:.2}x) ok"));
+                }
+            }
+            None => outcome
+                .notes
+                .push(format!("{key}: {now:.2}x (not in baseline, skipped)")),
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> ExperimentOptions {
+        ExperimentOptions {
+            scale: 0.05,
+            queries_per_point: 1,
+            seed: 9,
+            bench_check: None,
+        }
+    }
+
+    #[test]
+    fn report_measures_all_engines_and_serializes() {
+        let report = run(&tiny_options());
+        assert_eq!(report.entries.len(), 4);
+        assert!(report.entries.iter().all(|e| e.queries_per_sec > 0.0));
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"search\""));
+        assert!(json.contains("\"engine\": \"ALAE\""));
+        assert!(json.contains("speedup_alae_vs_sw"));
+        assert!(json.contains("speedup_alae_vs_bwtsw"));
+    }
+
+    #[test]
+    fn exact_engines_agree_and_check_passes_against_itself() {
+        let report = run(&tiny_options());
+        let alae = report.entry("ALAE").unwrap().hits;
+        assert_eq!(report.entry("BWT-SW").unwrap().hits, alae);
+        assert_eq!(report.entry("Smith-Waterman").unwrap().hits, alae);
+        let outcome = check_against_baseline(&report.to_json(), &report, 0.20);
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        assert!(!outcome.notes.is_empty());
+    }
+
+    #[test]
+    fn check_flags_a_speedup_regression() {
+        let report = run(&tiny_options());
+        // Inflate the committed ALAE-vs-SW ratio far beyond the fresh one.
+        let sw_ratio = report.alae_speedup_over("Smith-Waterman").unwrap();
+        let json = report.to_json();
+        let inflated = json.replace(
+            &format!("\"speedup_alae_vs_sw\": {sw_ratio:.2}"),
+            &format!("\"speedup_alae_vs_sw\": {:.2}", sw_ratio * 100.0),
+        );
+        assert_ne!(inflated, json);
+        let outcome = check_against_baseline(&inflated, &report, 0.20);
+        assert!(
+            outcome
+                .failures
+                .iter()
+                .any(|f| f.contains("speedup_alae_vs_sw")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn check_skips_baselines_from_a_different_scale() {
+        let report = run(&tiny_options());
+        let json = report.to_json().replace("\"scale\": 0.05", "\"scale\": 7");
+        let outcome = check_against_baseline(&json, &report, 0.20);
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        assert!(outcome.notes.iter().any(|n| n.contains("skipped")));
+    }
+}

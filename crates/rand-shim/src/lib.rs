@@ -5,6 +5,7 @@
 //! `Rng::gen_range` over unsigned integer ranges and `Rng::gen_bool` — backed
 //! by SplitMix64.  The generators only need a deterministic, well-mixed
 //! stream; they do not need to reproduce the upstream `rand` bit stream.
+#![forbid(unsafe_code)]
 
 /// Seeding constructor, mirroring `rand::SeedableRng::seed_from_u64`.
 pub trait SeedableRng: Sized {

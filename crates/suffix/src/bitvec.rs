@@ -8,6 +8,8 @@
 //! a flat `u32` checkpoint costs — which is what keeps the "BWT index"
 //! curve of Figure 11 close to the text size rather than a multiple of it.
 
+use crate::simd::popcount_words;
+
 /// Bits per rank block (one `u16` delta per block).
 const BLOCK_BITS: usize = 512;
 const WORDS_PER_BLOCK: usize = BLOCK_BITS / 64;
@@ -64,10 +66,7 @@ impl RankBitVec {
             let start = block * WORDS_PER_BLOCK;
             let end = ((block + 1) * WORDS_PER_BLOCK).min(words.len());
             if start < end {
-                running += words[start..end]
-                    .iter()
-                    .map(|w| w.count_ones())
-                    .sum::<u32>();
+                running += popcount_words(&words[start..end]);
             }
         }
         Self {
@@ -104,11 +103,9 @@ impl RankBitVec {
         debug_assert!(i <= self.len);
         let word_index = i / 64;
         let block = word_index / WORDS_PER_BLOCK;
-        let mut count =
-            self.superblocks[block / BLOCKS_PER_SUPER] as usize + self.blocks[block] as usize;
-        for w in block * WORDS_PER_BLOCK..word_index {
-            count += self.words[w].count_ones() as usize;
-        }
+        let mut count = self.superblocks[block / BLOCKS_PER_SUPER] as usize
+            + self.blocks[block] as usize
+            + popcount_words(&self.words[block * WORDS_PER_BLOCK..word_index]) as usize;
         let bit = i % 64;
         if bit > 0 && word_index < self.words.len() {
             count += (self.words[word_index] & ((1u64 << bit) - 1)).count_ones() as usize;

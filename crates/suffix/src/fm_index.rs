@@ -11,6 +11,7 @@ use crate::bitvec::RankBitVec;
 use crate::bwt::bwt_from_sa;
 use crate::rank::{CheckpointScheme, OccTable, RankLayout, ScanSnapshot};
 use crate::sais::suffix_array;
+use crate::simd::{self, ActiveBackend, ScanBackend};
 
 /// Largest caller-visible code count an index supports; keeps the
 /// [`FmIndex::extend_all`] scratch buffers on the stack.
@@ -95,13 +96,35 @@ impl FmIndex {
 
     /// Build with every occurrence-table knob explicit: sampling rate,
     /// rank-storage layout, and checkpoint scheme (see [`CheckpointScheme`];
-    /// the flat scheme exists for layout-comparison benchmarks).
+    /// the flat scheme exists for layout-comparison benchmarks).  The scan
+    /// backend comes from [`simd::default_backend`].
     pub fn with_full_options(
         text: &[u8],
         code_count: usize,
         sample_rate: usize,
         layout: RankLayout,
         scheme: CheckpointScheme,
+    ) -> Self {
+        Self::with_scan_backend(
+            text,
+            code_count,
+            sample_rate,
+            layout,
+            scheme,
+            simd::default_backend(),
+        )
+    }
+
+    /// Build with every knob explicit *including* the in-block scan backend
+    /// (forced-SWAR and forced-SIMD tables for agreement tests and
+    /// per-backend benchmarks).
+    pub fn with_scan_backend(
+        text: &[u8],
+        code_count: usize,
+        sample_rate: usize,
+        layout: RankLayout,
+        scheme: CheckpointScheme,
+        backend: ScanBackend,
     ) -> Self {
         assert!(sample_rate >= 1);
         assert!(code_count >= 1);
@@ -132,7 +155,7 @@ impl FmIndex {
         for &c in &shifted_bwt {
             counts[c as usize] += 1;
         }
-        let occ = OccTable::with_options(shifted_bwt, shifted_code_count, layout, scheme);
+        let occ = OccTable::with_backend(shifted_bwt, shifted_code_count, layout, scheme, backend);
         let mut c_array = vec![0usize; shifted_code_count];
         let mut running = 0usize;
         for c in 1..shifted_code_count {
@@ -251,6 +274,11 @@ impl FmIndex {
     /// The checkpoint scheme selected at construction.
     pub fn checkpoint_scheme(&self) -> CheckpointScheme {
         self.occ.checkpoint_scheme()
+    }
+
+    /// The in-block scan backend resolved at construction.
+    pub fn scan_backend(&self) -> ActiveBackend {
+        self.occ.scan_backend()
     }
 
     /// Footprint of the occurrence table alone (BWT storage + checkpoint

@@ -13,6 +13,7 @@
 
 use crate::fm_index::{FmIndex, SaRange, MAX_CODE_COUNT};
 use crate::rank::{CheckpointScheme, RankLayout, ScanSnapshot};
+use crate::simd::{self, ActiveBackend, ScanBackend};
 
 /// Largest number of children a trie node can have (`MAX_CODE_COUNT` minus
 /// the separator, which never labels an edge).
@@ -127,20 +128,36 @@ impl TextIndex {
 
     /// Build with an explicit rank-storage layout *and* checkpoint scheme
     /// (the flat `u32` scheme exists for comparison benchmarks; see
-    /// [`CheckpointScheme`]).
+    /// [`CheckpointScheme`]).  The scan backend comes from
+    /// [`simd::default_backend`].
     pub fn with_occ_options(
         text: Vec<u8>,
         code_count: usize,
         layout: RankLayout,
         scheme: CheckpointScheme,
     ) -> Self {
+        Self::with_scan_backend(text, code_count, layout, scheme, simd::default_backend())
+    }
+
+    /// Build with an explicit in-block scan backend on top of the layout and
+    /// checkpoint knobs (forced-SWAR/forced-SIMD indexes for the
+    /// backend-agreement tests and the per-backend rank benchmarks; see
+    /// [`ScanBackend`]).
+    pub fn with_scan_backend(
+        text: Vec<u8>,
+        code_count: usize,
+        layout: RankLayout,
+        scheme: CheckpointScheme,
+        backend: ScanBackend,
+    ) -> Self {
         let reversed: Vec<u8> = text.iter().rev().copied().collect();
-        let fm_reverse = FmIndex::with_full_options(
+        let fm_reverse = FmIndex::with_scan_backend(
             &reversed,
             code_count,
             crate::fm_index::DEFAULT_SA_SAMPLE_RATE,
             layout,
             scheme,
+            backend,
         );
         Self {
             text,
@@ -162,6 +179,11 @@ impl TextIndex {
     /// The checkpoint scheme selected at construction.
     pub fn checkpoint_scheme(&self) -> CheckpointScheme {
         self.fm_reverse.checkpoint_scheme()
+    }
+
+    /// The in-block scan backend resolved at construction.
+    pub fn scan_backend(&self) -> ActiveBackend {
+        self.fm_reverse.scan_backend()
     }
 
     /// Footprint of the occurrence table alone (BWT storage + checkpoint

@@ -19,6 +19,7 @@
 //! substitution/indel mutation channel, mimicking how the paper derives
 //! mouse queries to align against human chromosomes (homologous but not
 //! identical sequences).  Every generator is deterministic given its seed.
+#![forbid(unsafe_code)]
 
 pub mod generator;
 pub mod mutate;

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Workspace unsafe-code lint (run by CI's lint job and usable locally).
+#
+# The only module in the workspace allowed to contain `unsafe` is the SIMD
+# kernel module `crates/suffix/src/simd.rs` (std::arch intrinsics).  This
+# script fails when:
+#   1. any other .rs file contains the `unsafe` keyword outside a comment,
+#   2. any non-suffix crate root is missing `#![forbid(unsafe_code)]`,
+#   3. the suffix crate root stops denying unsafe code, or the kernel
+#      module stops scoping its allowance explicitly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# 1. No `unsafe` outside the SIMD kernel module.  `unsafe_code` (the lint
+# name) has a trailing word character, so \bunsafe\b skips it; comment-only
+# mentions are filtered by the leading // check.
+strays=$(grep -rn --include='*.rs' -E '\bunsafe\b' src crates tests examples 2>/dev/null |
+    grep -v '^crates/suffix/src/simd.rs:' |
+    grep -vE '^[^:]+:[0-9]+:[[:space:]]*(//|//!|///)' || true)
+if [ -n "$strays" ]; then
+    echo "stray \`unsafe\` outside crates/suffix/src/simd.rs:"
+    echo "$strays"
+    fail=1
+fi
+
+# 2. Every non-suffix crate root forbids unsafe code outright.
+for root in src/lib.rs crates/*/src/lib.rs; do
+    case "$root" in
+    crates/suffix/*) continue ;;
+    esac
+    if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
+        echo "missing #![forbid(unsafe_code)] in $root"
+        fail=1
+    fi
+done
+
+# 3. The suffix crate denies unsafe everywhere except the kernel module,
+# which must carry the scoped allowance.
+if ! grep -q '#!\[deny(unsafe_code)\]' crates/suffix/src/lib.rs; then
+    echo "crates/suffix/src/lib.rs must carry #![deny(unsafe_code)]"
+    fail=1
+fi
+if ! grep -q '#!\[allow(unsafe_code)\]' crates/suffix/src/simd.rs; then
+    echo "crates/suffix/src/simd.rs must scope its unsafe allowance explicitly"
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "unsafe-code lint OK"
+fi
+exit "$fail"

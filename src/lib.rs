@@ -52,6 +52,7 @@
 //! * [`blast`] — a BLAST-like seed-and-extend heuristic comparator.
 //! * [`core`] — the ALAE engine: filtering, score reuse, counters, analysis.
 //! * [`workload`] — synthetic DNA/protein workload generators.
+#![forbid(unsafe_code)]
 
 pub mod search;
 

@@ -565,11 +565,10 @@ pub struct SearchResponse {
     pub raw_hit_count: usize,
     /// Engine work counters for this query.
     ///
-    /// Note: the occurrence-layer scan counters (`occ_block_scans`,
-    /// `occ_bytes_scanned`) are snapshots of index-wide totals, so inside a
-    /// concurrent [`Searcher::search_batch`] they attribute scans to
-    /// whichever query observed them; hits and all per-run DP counters are
-    /// unaffected.
+    /// All counters — including the occurrence-layer scan counters
+    /// (`occ_block_scans`, `occ_bytes_scanned`), which are measured with
+    /// per-thread snapshots — are exact per-query values, even inside a
+    /// concurrent [`Searcher::search_batch`].
     pub counters: EngineCounters,
 }
 
@@ -736,11 +735,11 @@ impl Searcher {
     /// Fan a batch of queries out over `threads` OS threads sharing this
     /// searcher's engine and index.
     ///
-    /// The responses are returned in query order and their hits are
-    /// bit-identical to running [`Searcher::search`] sequentially — queries
-    /// are independent and every engine emits the canonical total hit order
-    /// (see the [`SearchResponse::counters`] note for the one caveat about
-    /// index-wide occurrence-scan snapshots).
+    /// The responses are returned in query order and are bit-identical to
+    /// running [`Searcher::search`] sequentially — queries are independent,
+    /// every engine emits the canonical total hit order, and the work
+    /// counters (including the per-thread occurrence-scan deltas) are exact
+    /// per query.
     pub fn search_batch(&self, queries: &[Sequence], threads: usize) -> Vec<SearchResponse> {
         for query in queries {
             assert_eq!(

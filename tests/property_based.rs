@@ -460,3 +460,78 @@ fn alae_counters_are_internally_consistent() {
         assert!(result.hits.iter().all(|h| h.score >= result.threshold));
     }
 }
+
+#[test]
+fn scan_backends_agree_through_the_text_index() {
+    // The SIMD dispatch must be invisible end-to-end: for every
+    // (layout × checkpoint scheme × backend) combination, over random and
+    // separator-heavy texts, a forced-SIMD index and a forced-SWAR index
+    // report identical trie expansions, identical occurrence sets, and
+    // identical scan-counter values (the numbers BENCH_rank.json gates).
+    use alae::suffix::ScanBackend;
+    let mut g = Gen::new(0x5eed_51f0);
+    for (code_count, layout) in [
+        (5usize, RankLayout::PackedDna),
+        (5, RankLayout::Bytes),
+        (17, RankLayout::PackedNibble),
+        (22, RankLayout::Bytes),
+    ] {
+        for scheme in [CheckpointScheme::TwoLevel, CheckpointScheme::FlatU32] {
+            for separator_heavy in [false, true] {
+                let len = g.range(900, 1800);
+                let mut text = Vec::with_capacity(len);
+                for i in 0..len {
+                    if separator_heavy && i % 7 == 0 {
+                        text.push(0); // record separator (sparse code)
+                    } else {
+                        text.push((g.next() % (code_count as u64 - 1)) as u8 + 1);
+                    }
+                }
+                let reference = TextIndex::with_scan_backend(
+                    text.clone(),
+                    code_count,
+                    layout,
+                    scheme,
+                    ScanBackend::Swar,
+                );
+                let simd = TextIndex::with_scan_backend(
+                    text.clone(),
+                    code_count,
+                    layout,
+                    scheme,
+                    ScanBackend::Simd,
+                );
+                // DFS over the top of the trie: identical children at every
+                // node (ranges and labels), so identical walks everywhere.
+                let mut buf_ref = ChildBuf::new();
+                let mut buf_simd = ChildBuf::new();
+                let mut stack = vec![reference.root()];
+                let mut nodes = 0;
+                while let Some(cursor) = stack.pop() {
+                    reference.children_into(cursor, &mut buf_ref);
+                    simd.children_into(cursor, &mut buf_simd);
+                    assert_eq!(
+                        buf_ref.as_slice(),
+                        buf_simd.as_slice(),
+                        "layout {layout:?} scheme {scheme:?} separators {separator_heavy}"
+                    );
+                    nodes += 1;
+                    if cursor.depth < 3 {
+                        stack.extend(buf_ref.iter().map(|&(_, child)| child));
+                    }
+                }
+                assert!(nodes > 1);
+                // Identical occurrence sets for a sampled substring.
+                let start = g.range(0, text.len() - 8);
+                let pattern = text[start..start + 6].to_vec();
+                assert_eq!(
+                    reference.find_occurrences(&pattern),
+                    simd.find_occurrences(&pattern)
+                );
+                // Scan accounting is backend-independent — the exact counts
+                // the BENCH_rank.json gate tracks.
+                assert_eq!(reference.scan_snapshot(), simd.scan_snapshot());
+            }
+        }
+    }
+}

@@ -134,6 +134,49 @@ fn batch_search_is_identical_to_sequential_at_every_thread_count() {
 }
 
 #[test]
+fn batch_search_reports_exact_per_query_scan_counts() {
+    // The occurrence-layer scan counters are measured with per-thread
+    // snapshot deltas, so every concurrent batch query must report exactly
+    // the counts the sequential run reports — not whatever another thread's
+    // scans happened to bleed into an index-wide total.
+    let (db, queries) = workload(Alphabet::Dna, 5_000, 8, 150, 59);
+    let occ_scans = |counters: &alae::search::EngineCounters| -> (u64, u64) {
+        if let Some(stats) = counters.as_alae() {
+            (stats.occ_block_scans, stats.occ_bytes_scanned)
+        } else if let Some(stats) = counters.as_bwtsw() {
+            (stats.occ_block_scans, stats.occ_bytes_scanned)
+        } else {
+            panic!("an exact trie engine ran");
+        }
+    };
+    for kind in [EngineKind::Alae, EngineKind::Bwtsw] {
+        let searcher = Searcher::new(
+            db.clone(),
+            SearchRequest::with_evalue(ScoringScheme::DEFAULT, 10.0).engine(kind),
+        );
+        let sequential: Vec<(u64, u64)> = queries
+            .iter()
+            .map(|q| occ_scans(&searcher.search(q).counters))
+            .collect();
+        // With the occ-counters feature enabled the workload must actually
+        // scan; without it both sides are all zeros and equality is trivial.
+        if cfg!(feature = "occ-counters") {
+            assert!(sequential.iter().any(|&(scans, _)| scans > 0));
+        }
+        for threads in [2, 4] {
+            let batch = searcher.search_batch(&queries, threads);
+            for (qi, (response, expected)) in batch.iter().zip(&sequential).enumerate() {
+                assert_eq!(
+                    occ_scans(&response.counters),
+                    *expected,
+                    "{kind}, {threads} threads, query {qi}: occ scan counters"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn batch_search_tolerates_more_threads_than_queries() {
     let (db, queries) = workload(Alphabet::Dna, 2_000, 2, 100, 41);
     let searcher = Searcher::new(
