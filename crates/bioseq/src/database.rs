@@ -54,11 +54,16 @@ impl RecordSpan {
 }
 
 /// A collection of sequences concatenated into one searchable text.
+///
+/// The concatenated text lives behind an [`Arc`] so index builders and
+/// aligners can share the database's copy instead of duplicating it (see
+/// [`SequenceDatabase::shared_text`]); cloning the database is cheap on the
+/// text side.
 #[derive(Debug, Clone)]
 pub struct SequenceDatabase {
     alphabet: Alphabet,
     /// Concatenated codes: `rec1 $ rec2 $ … $ recK` (no trailing separator).
-    text: Vec<u8>,
+    text: Arc<Vec<u8>>,
     /// Names of the records, parallel to `starts` (shared so locations can
     /// carry them without copying).
     names: Vec<Arc<str>>,
@@ -73,7 +78,7 @@ impl SequenceDatabase {
     pub fn new(alphabet: Alphabet) -> Self {
         Self {
             alphabet,
-            text: Vec::new(),
+            text: Arc::new(Vec::new()),
             names: Vec::new(),
             starts: Vec::new(),
             lengths: Vec::new(),
@@ -99,13 +104,18 @@ impl SequenceDatabase {
             self.alphabet,
             "record alphabet must match database alphabet"
         );
-        if !self.text.is_empty() {
-            self.text.push(SEPARATOR_CODE);
+        // While the database is being built the `Arc` is unshared, so
+        // `make_mut` is a plain mutable borrow; pushing after the text has
+        // been shared with an index copies once (and the copy is then the
+        // new canonical text).
+        let text = Arc::make_mut(&mut self.text);
+        if !text.is_empty() {
+            text.push(SEPARATOR_CODE);
         }
-        self.starts.push(self.text.len());
+        self.starts.push(text.len());
         self.lengths.push(sequence.len());
         self.names.push(Arc::from(sequence.name()));
-        self.text.extend_from_slice(sequence.codes());
+        text.extend_from_slice(sequence.codes());
     }
 
     /// The alphabet of the database.
@@ -131,6 +141,13 @@ impl SequenceDatabase {
     /// The concatenated text (codes, including separators).
     pub fn text(&self) -> &[u8] {
         &self.text
+    }
+
+    /// The concatenated text behind its `Arc`, for consumers that want to
+    /// share the database's copy instead of duplicating it (index builders,
+    /// aligners over multi-megabyte databases).
+    pub fn shared_text(&self) -> Arc<Vec<u8>> {
+        Arc::clone(&self.text)
     }
 
     /// Length of the concatenated text `n` (including separators).
@@ -302,6 +319,27 @@ mod tests {
         let db = SequenceDatabase::from_sequences(Alphabet::Dna, [a]);
         assert_eq!(db.text_len(), 4);
         assert_eq!(db.to_ascii(), "ACGT");
+    }
+
+    #[test]
+    fn shared_text_is_the_same_allocation() {
+        let db = db_two_records();
+        let shared = db.shared_text();
+        assert!(std::ptr::eq(shared.as_slice(), db.text()));
+        // Cloning the database shares the text too.
+        let clone = db.clone();
+        assert!(std::ptr::eq(clone.text(), db.text()));
+    }
+
+    #[test]
+    fn push_after_sharing_keeps_old_readers_intact() {
+        let mut db = db_two_records();
+        let before = db.shared_text();
+        let c = Sequence::from_ascii(Alphabet::Dna, b"TT").unwrap();
+        db.push(c);
+        // The shared snapshot still sees the old text; the database moved on.
+        assert_eq!(before.len(), 8);
+        assert_eq!(db.text_len(), 8 + 1 + 2);
     }
 
     #[test]

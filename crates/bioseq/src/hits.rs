@@ -8,6 +8,7 @@
 //! `A(i, j)` table of the BASIC algorithm (Algorithm 1) restricted to its
 //! reported entries.
 
+use crate::hash::FastBuildHasher;
 use std::collections::HashMap;
 
 /// One reported local alignment: the paper's `A(i, j)` entry with
@@ -35,9 +36,14 @@ impl AlignmentHit {
 }
 
 /// Accumulates the best score per `(end_text, end_query)` pair.
+///
+/// Keyed with the multiply-mix [`FastBuildHasher`]: `record` sits on the
+/// hit-recording hot path of every engine (one probe per threshold entry ×
+/// occurrence), where SipHash overhead is measurable on hit-dense
+/// workloads.
 #[derive(Debug, Clone, Default)]
 pub struct HitMap {
-    best: HashMap<(usize, usize), i64>,
+    best: HashMap<(usize, usize), i64, FastBuildHasher>,
 }
 
 impl HitMap {

@@ -21,6 +21,7 @@ pub mod alphabet;
 pub mod database;
 pub mod evalue;
 pub mod fasta;
+pub mod hash;
 pub mod hits;
 pub mod scoring;
 pub mod sequence;

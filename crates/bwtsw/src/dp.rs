@@ -1,14 +1,64 @@
 //! The pruned suffix-trie dynamic program of BWT-SW.
+//!
+//! The DFS shares the ALAE engine's zero-allocation traversal shape: sparse
+//! DP rows are pooled `Vec<Cell>` buffers recycled through a per-thread
+//! scratch (acquired per child, released when the node's subtree is done),
+//! and occurrence location reuses one pooled buffer — no per-trie-node heap
+//! allocation once the scratch is warm.
 
 use crate::stats::BwtswStats;
 use alae_bioseq::hits::{AlignmentHit, HitMap};
 use alae_bioseq::{ScoringScheme, SequenceDatabase};
 use alae_suffix::{ChildBuf, SuffixTrieCursor, TextIndex};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// "Minus infinity" for pruned scores; far from `i64::MIN` so arithmetic
 /// never overflows.
 const NEG_INF: i64 = i64::MIN / 4;
+
+/// Reusable per-thread DFS scratch: pooled sparse rows, the frame stack,
+/// the child-expansion buffer and the occurrence buffer.
+#[derive(Debug, Default)]
+struct BwtswScratch {
+    /// Recycled row buffers.
+    row_pool: Vec<Vec<Cell>>,
+    /// The DFS stack (each frame owns a pooled row).
+    stack: Vec<(SuffixTrieCursor, Vec<Cell>)>,
+    /// Child-expansion buffer (two occurrence-table scans per refill).
+    child_buf: ChildBuf,
+    /// Occurrence positions of the current reported node.
+    occ_buf: Vec<usize>,
+    /// Row 0 (every column is a valid start).
+    root_row: Vec<Cell>,
+}
+
+impl BwtswScratch {
+    #[inline]
+    fn acquire_row(&mut self) -> Vec<Cell> {
+        let mut row = self.row_pool.pop().unwrap_or_default();
+        row.clear();
+        row
+    }
+
+    #[inline]
+    fn release_row(&mut self, row: Vec<Cell>) {
+        self.row_pool.push(row);
+    }
+
+    /// Reclaim every frame (safe after a truncated run), keeping capacity.
+    fn reset(&mut self) {
+        while let Some((_, row)) = self.stack.pop() {
+            self.row_pool.push(row);
+        }
+    }
+}
+
+thread_local! {
+    /// The calling thread's scratch; every `align` call on this thread
+    /// (including all queries a batch worker processes) reuses it.
+    static THREAD_SCRATCH: RefCell<BwtswScratch> = RefCell::new(BwtswScratch::default());
+}
 
 /// Configuration for a BWT-SW run.
 #[derive(Debug, Clone, Copy)]
@@ -63,8 +113,11 @@ pub struct BwtswAligner {
 
 impl BwtswAligner {
     /// Build the aligner (and its index) from a sequence database.
+    ///
+    /// The database's text is shared with the new index, not copied.
     pub fn build(database: &SequenceDatabase, config: BwtswConfig) -> Self {
-        let index = TextIndex::new(database.text().to_vec(), database.alphabet().code_count());
+        let index =
+            TextIndex::from_shared(database.shared_text(), database.alphabet().code_count());
         Self {
             index: Arc::new(index),
             config,
@@ -88,7 +141,18 @@ impl BwtswAligner {
 
     /// Align a query (code sequence) against the indexed text and report
     /// every end pair reaching the threshold.
+    ///
+    /// Uses (and warms) the calling thread's pooled DFS scratch, so
+    /// repeated calls on one thread perform no per-node heap allocation.
     pub fn align(&self, query: &[u8]) -> BwtswResult {
+        THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.align_with_scratch(query, &mut scratch),
+            // Re-entrant alignment on the same thread: throwaway scratch.
+            Err(_) => self.align_with_scratch(query, &mut BwtswScratch::default()),
+        })
+    }
+
+    fn align_with_scratch(&self, query: &[u8], scratch: &mut BwtswScratch) -> BwtswResult {
         let mut stats = BwtswStats::default();
         // Thread-local scan totals: the whole walk runs on the calling
         // thread, so the snapshot delta attributes exactly this query's
@@ -106,44 +170,60 @@ impl BwtswAligner {
         let threshold = self.config.threshold;
         let depth_cap = self.config.max_depth.unwrap_or(usize::MAX);
 
+        scratch.reset();
         // Row 0: every column (including column 0, the empty query prefix)
         // is a valid start with score 0.
-        let root_row: Vec<Cell> = (0..=m as u32)
-            .map(|j| Cell {
-                j,
-                m: 0,
-                ga: NEG_INF,
-            })
-            .collect();
+        scratch.root_row.clear();
+        scratch.root_row.extend((0..=m as u32).map(|j| Cell {
+            j,
+            m: 0,
+            ga: NEG_INF,
+        }));
 
-        // Depth-first traversal of the suffix trie; each stack entry owns the
-        // sparse DP row of its node.  One child buffer serves the whole walk:
-        // each node expansion refills it in place (two occurrence-table block
-        // scans via `extend_all`, no allocation).
-        let mut child_buf = ChildBuf::new();
-        let mut stack: Vec<(SuffixTrieCursor, Vec<Cell>)> = Vec::new();
+        // Depth-first traversal of the suffix trie; each stack entry owns
+        // the sparse DP row of its node, drawn from (and returned to) the
+        // row pool.  One child buffer serves the whole walk: each node
+        // expansion refills it in place (two occurrence-table block scans
+        // via `extend_all`).
         let root = self.index.root();
-        self.index.children_into(root, &mut child_buf);
-        for &(c, child) in child_buf.as_slice() {
-            let row = advance_row(&root_row, c, query, scheme, &mut stats);
-            self.visit(child, &row, query, &mut hits, &mut stats);
+        self.index.children_into(root, &mut scratch.child_buf);
+        for k in 0..scratch.child_buf.len() {
+            let (c, child) = scratch.child_buf.as_slice()[k];
+            let mut row = scratch.acquire_row();
+            advance_row_into(&scratch.root_row, c, query, scheme, &mut stats, &mut row);
+            self.visit(child, &row, &mut scratch.occ_buf, &mut hits, &mut stats);
             if !row.is_empty() && child.depth < depth_cap {
-                stack.push((child, row));
-            } else if row.is_empty() {
-                stats.pruned_subtrees += 1;
-            }
-        }
-        while let Some((cursor, row)) = stack.pop() {
-            self.index.children_into(cursor, &mut child_buf);
-            for &(c, child) in child_buf.as_slice() {
-                let child_row = advance_row(&row, c, query, scheme, &mut stats);
-                self.visit(child, &child_row, query, &mut hits, &mut stats);
-                if !child_row.is_empty() && child.depth < depth_cap {
-                    stack.push((child, child_row));
-                } else if child_row.is_empty() {
+                scratch.stack.push((child, row));
+            } else {
+                if row.is_empty() {
                     stats.pruned_subtrees += 1;
                 }
+                scratch.release_row(row);
             }
+        }
+        while let Some((cursor, row)) = scratch.stack.pop() {
+            self.index.children_into(cursor, &mut scratch.child_buf);
+            for k in 0..scratch.child_buf.len() {
+                let (c, child) = scratch.child_buf.as_slice()[k];
+                let mut child_row = scratch.acquire_row();
+                advance_row_into(&row, c, query, scheme, &mut stats, &mut child_row);
+                self.visit(
+                    child,
+                    &child_row,
+                    &mut scratch.occ_buf,
+                    &mut hits,
+                    &mut stats,
+                );
+                if !child_row.is_empty() && child.depth < depth_cap {
+                    scratch.stack.push((child, child_row));
+                } else {
+                    if child_row.is_empty() {
+                        stats.pruned_subtrees += 1;
+                    }
+                    scratch.release_row(child_row);
+                }
+            }
+            scratch.release_row(row);
         }
 
         let scan_delta = alae_suffix::thread_scan_snapshot().since(&scans_at_start);
@@ -161,7 +241,7 @@ impl BwtswAligner {
         &self,
         cursor: SuffixTrieCursor,
         row: &[Cell],
-        _query: &[u8],
+        occ_buf: &mut Vec<usize>,
         hits: &mut HitMap,
         stats: &mut BwtswStats,
     ) {
@@ -171,13 +251,13 @@ impl BwtswAligner {
         if row.iter().all(|cell| cell.m < threshold) {
             return;
         }
-        // Locate the occurrences once per node; every reported cell of this
-        // node shares them.
-        let occurrences = self.index.occurrences(cursor);
+        // Locate the occurrences once per node (into the pooled buffer);
+        // every reported cell of this node shares them.
+        self.index.occurrences_into(cursor, occ_buf);
         for cell in row {
             if cell.m >= threshold {
                 stats.threshold_entries += 1;
-                for &start in &occurrences {
+                for &start in occ_buf.iter() {
                     let end_text = start + cursor.depth - 1;
                     hits.record(end_text, cell.j as usize - 1, cell.m);
                 }
@@ -186,18 +266,20 @@ impl BwtswAligner {
     }
 }
 
-/// Compute the sparse row for `X·c` from the sparse row for `X`.
+/// Compute the sparse row for `X·c` from the sparse row for `X`, writing
+/// into the pooled `out` buffer (cleared first).
 ///
 /// `prev` holds only the cells whose scores survived the positivity pruning;
 /// every other cell of the previous row is exactly `−∞` for the purposes of
 /// the recurrence (Section 3.1.2, case (i)).
-fn advance_row(
+fn advance_row_into(
     prev: &[Cell],
     text_char: u8,
     query: &[u8],
     scheme: &ScoringScheme,
     stats: &mut BwtswStats,
-) -> Vec<Cell> {
+    out: &mut Vec<Cell>,
+) {
     let m = query.len() as u32;
     let open = scheme.gap_open_extend();
     let ss = scheme.ss;
@@ -205,7 +287,7 @@ fn advance_row(
     // Candidate columns: vertical (same j) and diagonal (j + 1) successors of
     // every surviving cell.  Both streams are sorted, so a merge keeps the
     // whole pass linear.
-    let mut out: Vec<Cell> = Vec::with_capacity(prev.len() + 8);
+    out.clear();
     let mut vert_idx = 0usize; // candidates prev[vert_idx].j
     let mut diag_idx = 0usize; // candidates prev[diag_idx].j + 1
     let mut lookup_idx = 0usize; // pointer for prev-row lookups
@@ -297,7 +379,6 @@ fn advance_row(
             forced = Some(j + 1);
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -52,6 +52,15 @@ pub struct AlaeStats {
     /// Occurrence-table storage bytes examined by those scans (same exact
     /// per-run attribution as `occ_block_scans`).
     pub occ_bytes_scanned: u64,
+    /// Fork-group slots the run obtained from the arena's free list instead
+    /// of growing the slab — the recycling the zero-allocation DFS relies
+    /// on.  In steady state (warm arena) every acquired slot is a reused
+    /// one.
+    pub fork_slots_reused: u64,
+    /// Resident footprint of the fork arena (slot slab, pools and scratch
+    /// buffers) at the end of the run, in bytes.  A gauge, not a count;
+    /// [`AlaeStats::merge`] keeps the maximum.
+    pub arena_bytes: u64,
     /// Deepest trie node reached.
     pub max_depth: usize,
 }
@@ -107,6 +116,8 @@ impl AlaeStats {
         self.threshold_entries += other.threshold_entries;
         self.occ_block_scans += other.occ_block_scans;
         self.occ_bytes_scanned += other.occ_bytes_scanned;
+        self.fork_slots_reused += other.fork_slots_reused;
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
         self.max_depth = self.max_depth.max(other.max_depth);
     }
 }
@@ -128,6 +139,8 @@ mod tests {
             threshold_entries: 3,
             occ_block_scans: 14,
             occ_bytes_scanned: 500,
+            fork_slots_reused: 6,
+            arena_bytes: 2048,
             max_depth: 12,
         }
     }
@@ -162,5 +175,8 @@ mod tests {
         assert_eq!(a.forks_started, 10);
         assert_eq!(a.occ_block_scans, 28);
         assert_eq!(a.occ_bytes_scanned, 1000);
+        // Slot reuse accumulates; the arena footprint is a high-water gauge.
+        assert_eq!(a.fork_slots_reused, 12);
+        assert_eq!(a.arena_bytes, 2048);
     }
 }

@@ -16,6 +16,7 @@
 //! [`DominationIndex::size_in_bytes`] accessor feeds that experiment.
 
 use crate::qgram::pack_gram;
+use alae_bioseq::hash::FastBuildHasher;
 use std::collections::HashMap;
 
 /// Predecessor summary for one distinct q-gram of the text.
@@ -29,10 +30,13 @@ enum Predecessor {
 }
 
 /// The offline dominate index of a text.
+///
+/// The predecessor map is probed once per candidate fork start, so it uses
+/// the multiply-mix [`FastBuildHasher`] instead of SipHash.
 #[derive(Debug, Clone)]
 pub struct DominationIndex {
     q: usize,
-    predecessors: HashMap<u64, Predecessor>,
+    predecessors: HashMap<u64, Predecessor, FastBuildHasher>,
 }
 
 impl DominationIndex {
@@ -41,7 +45,7 @@ impl DominationIndex {
     pub fn build(text: &[u8], q: usize, code_count: usize) -> Self {
         assert!(q >= 1);
         let code_count = code_count as u64;
-        let mut predecessors: HashMap<u64, Predecessor> = HashMap::new();
+        let mut predecessors: HashMap<u64, Predecessor, FastBuildHasher> = HashMap::default();
         if text.len() >= q {
             let mut previous_key: Option<u64> = None;
             for start in 0..=text.len() - q {

@@ -102,6 +102,88 @@ pub struct AdvanceOutcome {
     pub gap_entries: u64,
 }
 
+/// A borrowed view of a fork's phase, as the arena engine stores it
+/// flattened inside a slot (no owned `Vec` per phase).
+#[derive(Debug, Clone, Copy)]
+pub enum PhaseRef<'a> {
+    /// EMR / NGR: only the diagonal cell is meaningful.
+    Diagonal {
+        /// Score of the diagonal cell at the current depth.
+        score: i64,
+    },
+    /// Gap region: the sparse meaningful cells at the current depth.
+    Gap {
+        /// Meaningful cells, sorted by offset.
+        cells: &'a [GapCell],
+        /// Depth (row) at which the FGOE was found.
+        fgoe_depth: usize,
+    },
+}
+
+impl<'a> PhaseRef<'a> {
+    /// Borrow an owned [`ForkPhase`] as a view.
+    pub fn from_phase(phase: &'a ForkPhase) -> Self {
+        match phase {
+            ForkPhase::Diagonal { score } => PhaseRef::Diagonal { score: *score },
+            ForkPhase::Gap { cells, fgoe_depth } => PhaseRef::Gap {
+                cells,
+                fgoe_depth: *fgoe_depth,
+            },
+        }
+    }
+}
+
+/// Reusable output buffers for [`advance_fork_into`]: the in-place twin of
+/// [`AdvanceOutcome`].  One instance lives in the engine's `ForkArena` and
+/// is rewritten per advance — no owned vectors are returned on the hot
+/// path.
+#[derive(Debug, Default, Clone)]
+pub struct AdvanceScratch {
+    /// False when the fork died.
+    pub alive: bool,
+    /// True when the resulting phase is the gap region (then `cells` /
+    /// `fgoe_depth` describe it); false for the diagonal phase (then
+    /// `diag_score` does).
+    pub is_gap: bool,
+    /// Diagonal-phase score (meaningful when `alive && !is_gap`).
+    pub diag_score: i64,
+    /// Gap-phase FGOE depth (meaningful when `alive && is_gap`).
+    pub fgoe_depth: usize,
+    /// Gap-phase cells (meaningful when `alive && is_gap`).
+    pub cells: Vec<GapCell>,
+    /// `(offset, query character)` pairs consulted by the computation.
+    pub consulted: Vec<(u32, u8)>,
+    /// Number of cost-2 (no-gap region) entries computed.
+    pub ngr_entries: u64,
+    /// Number of cost-3 (gap region) entries computed.
+    pub gap_entries: u64,
+}
+
+impl AdvanceScratch {
+    fn begin(&mut self) {
+        self.alive = false;
+        self.is_gap = false;
+        self.diag_score = 0;
+        self.fgoe_depth = 0;
+        self.cells.clear();
+        self.consulted.clear();
+        self.ngr_entries = 0;
+        self.gap_entries = 0;
+    }
+}
+
+/// Whether [`advance_fork_into`] should record the consulted `(offset,
+/// query character)` pairs.  Only a group with more than one member ever
+/// reads them (the Lemma 2 agreement check), so single-member advances skip
+/// the recording entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consulted {
+    /// Record consulted pairs (the group has members to check).
+    Record,
+    /// Skip recording (single-member group; nothing will read them).
+    Skip,
+}
+
 /// Open a gap region at a first-gap-open entry.
 ///
 /// Besides the FGOE cell itself, the paper requires the *extension entries*
@@ -118,12 +200,31 @@ pub fn open_gap_region(
     new_depth: usize,
     ctx: &AdvanceContext<'_>,
 ) -> (Vec<GapCell>, u64) {
+    let mut cells = Vec::new();
+    let boundary_entries =
+        open_gap_region_into(fgoe_offset, score, start_col, new_depth, ctx, &mut cells);
+    (cells, boundary_entries)
+}
+
+/// In-place twin of [`open_gap_region`]: appends the FGOE cell and its
+/// extension entries to `cells` (cleared first) and returns the number of
+/// boundary entries computed.  The hot path calls this with an arena-pooled
+/// buffer.
+pub fn open_gap_region_into(
+    fgoe_offset: u32,
+    score: i64,
+    start_col: u32,
+    new_depth: usize,
+    ctx: &AdvanceContext<'_>,
+    cells: &mut Vec<GapCell>,
+) -> u64 {
     let m = ctx.query.len();
-    let mut cells = vec![GapCell {
+    cells.clear();
+    cells.push(GapCell {
         offset: fgoe_offset,
         m: score,
         ga: NEG_INF,
-    }];
+    });
     let mut boundary_entries = 0u64;
     let remaining_text = ctx.max_depth.saturating_sub(new_depth);
     let mut gb = score + ctx.scheme.gap_open_extend();
@@ -153,11 +254,14 @@ pub fn open_gap_region(
         gb += ctx.scheme.ss;
         offset += 1;
     }
-    (cells, boundary_entries)
+    boundary_entries
 }
 
 /// Advance the representative fork (EMR start at `start_col`) from `depth`
 /// to `depth + 1`, appending `text_char` to the text substring.
+///
+/// Allocating wrapper around [`advance_fork_into`], retained for the
+/// clone-based reference engine path and unit tests.
 pub fn advance_fork(
     phase: &ForkPhase,
     start_col: u32,
@@ -165,21 +269,69 @@ pub fn advance_fork(
     depth: usize,
     ctx: &AdvanceContext<'_>,
 ) -> AdvanceOutcome {
-    match phase {
-        ForkPhase::Diagonal { score } => advance_diagonal(*score, start_col, text_char, depth, ctx),
-        ForkPhase::Gap { cells, fgoe_depth } => {
-            advance_gap(cells, *fgoe_depth, start_col, text_char, depth, ctx)
-        }
+    let mut scratch = AdvanceScratch::default();
+    advance_fork_into(
+        PhaseRef::from_phase(phase),
+        start_col,
+        text_char,
+        depth,
+        ctx,
+        Consulted::Record,
+        &mut scratch,
+    );
+    let phase = if !scratch.alive {
+        None
+    } else if scratch.is_gap {
+        Some(ForkPhase::Gap {
+            cells: std::mem::take(&mut scratch.cells),
+            fgoe_depth: scratch.fgoe_depth,
+        })
+    } else {
+        Some(ForkPhase::Diagonal {
+            score: scratch.diag_score,
+        })
+    };
+    AdvanceOutcome {
+        phase,
+        consulted: scratch.consulted,
+        ngr_entries: scratch.ngr_entries,
+        gap_entries: scratch.gap_entries,
     }
 }
 
-fn advance_diagonal(
+/// Advance the representative fork, writing the result into `out`'s reused
+/// buffers — the allocation-free hot-path form of [`advance_fork`].
+#[allow(clippy::too_many_arguments)]
+pub fn advance_fork_into(
+    phase: PhaseRef<'_>,
+    start_col: u32,
+    text_char: u8,
+    depth: usize,
+    ctx: &AdvanceContext<'_>,
+    consulted: Consulted,
+    out: &mut AdvanceScratch,
+) {
+    out.begin();
+    match phase {
+        PhaseRef::Diagonal { score } => {
+            advance_diagonal_into(score, start_col, text_char, depth, ctx, consulted, out)
+        }
+        PhaseRef::Gap { cells, fgoe_depth } => advance_gap_into(
+            cells, fgoe_depth, start_col, text_char, depth, ctx, consulted, out,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn advance_diagonal_into(
     score: i64,
     start_col: u32,
     text_char: u8,
     depth: usize,
     ctx: &AdvanceContext<'_>,
-) -> AdvanceOutcome {
+    consulted: Consulted,
+    out: &mut AdvanceScratch,
+) {
     let m = ctx.query.len();
     let new_depth = depth + 1;
     // New diagonal cell column (0-based): start + new_depth − 1.
@@ -188,24 +340,16 @@ fn advance_diagonal(
     if abs_col >= m {
         // The diagonal has run off the end of the query; without an FGOE no
         // gap may be opened, so the fork dies.
-        return AdvanceOutcome {
-            phase: None,
-            consulted: Vec::new(),
-            ngr_entries: 0,
-            gap_entries: 0,
-        };
+        return;
     }
     let qc = ctx.query[abs_col];
     let new_score = score + ctx.scheme.delta(text_char, qc);
-    let consulted = vec![(offset, qc)];
-    let outcome_dead = AdvanceOutcome {
-        phase: None,
-        consulted: consulted.clone(),
-        ngr_entries: 1,
-        gap_entries: 0,
-    };
+    if consulted == Consulted::Record {
+        out.consulted.push((offset, qc));
+    }
+    out.ngr_entries = 1;
     if new_score <= 0 {
-        return outcome_dead;
+        return;
     }
     if ctx.score_filter {
         let remaining_query = m - 1 - abs_col;
@@ -217,50 +361,44 @@ fn advance_diagonal(
             remaining_query,
             remaining_text,
         ) {
-            return outcome_dead;
+            return;
         }
     }
+    out.alive = true;
     if new_score > ctx.scheme.gap_open_extend().abs() {
         // First gap open entry: switch to the gap region and compute the
         // extension entries of the FGOE row.
-        let (cells, boundary_entries) =
-            open_gap_region(offset, new_score, start_col, new_depth, ctx);
-        AdvanceOutcome {
-            phase: Some(ForkPhase::Gap {
-                cells,
-                fgoe_depth: new_depth,
-            }),
-            consulted,
-            ngr_entries: 1 + boundary_entries,
-            gap_entries: 0,
-        }
+        let boundary_entries =
+            open_gap_region_into(offset, new_score, start_col, new_depth, ctx, &mut out.cells);
+        out.is_gap = true;
+        out.fgoe_depth = new_depth;
+        out.ngr_entries = 1 + boundary_entries;
     } else {
-        AdvanceOutcome {
-            phase: Some(ForkPhase::Diagonal { score: new_score }),
-            consulted,
-            ngr_entries: 1,
-            gap_entries: 0,
-        }
+        out.diag_score = new_score;
     }
 }
 
-fn advance_gap(
+#[allow(clippy::too_many_arguments)]
+fn advance_gap_into(
     cells: &[GapCell],
     fgoe_depth: usize,
     start_col: u32,
     text_char: u8,
     depth: usize,
     ctx: &AdvanceContext<'_>,
-) -> AdvanceOutcome {
+    record_consulted: Consulted,
+    out_scratch: &mut AdvanceScratch,
+) {
     let m = ctx.query.len();
     let scheme = ctx.scheme;
     let open = scheme.gap_open_extend();
     let ss = scheme.ss;
     let new_depth = depth + 1;
     let remaining_text = ctx.max_depth.saturating_sub(new_depth);
+    let record_consulted = record_consulted == Consulted::Record;
 
-    let mut out: Vec<GapCell> = Vec::with_capacity(cells.len() + 4);
-    let mut consulted: Vec<(u32, u8)> = Vec::with_capacity(cells.len() + 4);
+    let out: &mut Vec<GapCell> = &mut out_scratch.cells;
+    let consulted: &mut Vec<(u32, u8)> = &mut out_scratch.consulted;
     let mut gap_entries = 0u64;
 
     // Merge the vertical (same offset) and diagonal (offset + 1) candidate
@@ -333,7 +471,9 @@ fn advance_gap(
         let diag_score = prev_m_diag + scheme.delta(text_char, qc);
         let score = diag_score.max(ga).max(gb);
         gap_entries += 1;
-        consulted.push((offset, qc));
+        if record_consulted {
+            consulted.push((offset, qc));
+        }
 
         let keep = if score <= 0 {
             false
@@ -368,20 +508,10 @@ fn advance_gap(
         }
     }
 
-    let phase = if out.is_empty() {
-        None
-    } else {
-        Some(ForkPhase::Gap {
-            cells: out,
-            fgoe_depth,
-        })
-    };
-    AdvanceOutcome {
-        phase,
-        consulted,
-        ngr_entries: 0,
-        gap_entries,
-    }
+    out_scratch.alive = !out.is_empty();
+    out_scratch.is_gap = true;
+    out_scratch.fgoe_depth = fgoe_depth;
+    out_scratch.gap_entries = gap_entries;
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod arena;
 pub mod config;
 pub mod counters;
 pub mod domination;
@@ -39,6 +40,7 @@ pub mod fork;
 pub mod qgram;
 
 pub use analysis::{expected_entry_bound, EntryBoundModel};
+pub use arena::ForkArena;
 pub use config::{AlaeConfig, FilterToggles, ThresholdSpec};
 pub use counters::AlaeStats;
 pub use domination::DominationIndex;

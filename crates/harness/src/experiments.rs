@@ -233,7 +233,7 @@ fn table4(options: &ExperimentOptions) {
     let n = options.len(100_000);
     let query_lengths = [300usize, 1_000, 3_000];
     println!(
-        "{:>8} | {:>12} {:>12} {:>12} {:>14} | {:>14} {:>14} | {:>12} {:>12}",
+        "{:>8} | {:>12} {:>12} {:>12} {:>14} | {:>14} {:>14} | {:>12} {:>12} | {:>12} {:>10}",
         "m",
         "ALAE cost1",
         "ALAE cost2",
@@ -242,7 +242,9 @@ fn table4(options: &ExperimentOptions) {
         "BWT-SW entries",
         "BWT-SW cost",
         "ALAE occ-scan",
-        "BWSW occ-scan"
+        "BWSW occ-scan",
+        "fork-reuse",
+        "arena-kB"
     );
     for (i, &base_m) in query_lengths.iter().enumerate() {
         let m = options.len(base_m);
@@ -255,7 +257,7 @@ fn table4(options: &ExperimentOptions) {
         let (_, alae_stats, threshold) = run_alae(&prepared, default_config());
         let (_, bwtsw_stats) = run_bwtsw(&prepared, ScoringScheme::DEFAULT, threshold);
         println!(
-            "{:>8} | {:>12} {:>12} {:>12} {:>14} | {:>14} {:>14} | {:>12} {:>12}",
+            "{:>8} | {:>12} {:>12} {:>12} {:>14} | {:>14} {:>14} | {:>12} {:>12} | {:>12} {:>10.1}",
             m,
             alae_stats.emr_entries,
             alae_stats.ngr_entries,
@@ -265,11 +267,15 @@ fn table4(options: &ExperimentOptions) {
             bwtsw_stats.computation_cost(),
             alae_stats.occ_block_scans,
             bwtsw_stats.occ_block_scans,
+            alae_stats.fork_slots_reused,
+            alae_stats.arena_bytes as f64 / 1024.0,
         );
     }
     println!("(n = {n}; cost model: EMR x1, NGR x2, gap region x3, BWT-SW x3 per entry;");
     println!(" occ-scan columns are occurrence-table block scans — 2 per trie-node expansion —");
-    println!(" so the same filtering that prunes DP entries also shows up as fewer index scans)");
+    println!(" so the same filtering that prunes DP entries also shows up as fewer index scans;");
+    println!(" fork-reuse counts fork-group slots served from the arena free list, arena-kB is");
+    println!(" the scratch arena's resident high-water footprint)");
 }
 
 /// Table 5: reused / accessed / calculated entries for the two schemes the

@@ -1,24 +1,36 @@
-//! End-to-end search benchmark: facade-level queries/sec per engine.
+//! End-to-end search benchmark: facade-level queries/sec per engine, on a
+//! hit-dense *and* a sparse-hit workload.
 //!
 //! Where `rank_bench` gates the occurrence layer, this benchmark drives the
 //! whole `alae::search` stack — engine construction aside, exactly what a
 //! query hitting a deployed service would execute — for every engine over
-//! one shared [`crate::setup::PreparedWorkload`], and writes the
-//! measurements to
-//! `BENCH_search.json` so successive PRs accumulate a facade-level perf
-//! trajectory next to the rank layer's.
+//! two shared [`crate::setup::PreparedWorkload`]s, and writes the
+//! measurements to `BENCH_search.json` so successive PRs accumulate a
+//! facade-level perf trajectory next to the rank layer's:
+//!
+//! * **hit-dense** — segmented-homologous queries (the default workload of
+//!   the earlier snapshots): most trie descents carry live forks and many
+//!   nodes report hits.  This is the regime the zero-allocation fork arena
+//!   targets; the ALAE-vs-BWT-SW ratio here is gated against an absolute
+//!   1.0× floor.
+//! * **sparse-hit** — fully random queries of the same shape: hits are
+//!   rare, time is dominated by traversal and pruning (the regime of the
+//!   paper's m = 100 rows, where ALAE's filters shine).
 //!
 //! `alae-experiments search --check [--tolerance 0.20]` re-measures and
-//! fails (exit 1) when ALAE's speedup over Smith–Waterman or over BWT-SW
-//! falls below the committed baseline's beyond tolerance, or when the exact
-//! engines stop agreeing on the result count.  Speedup *ratios* are gated
-//! (not raw queries/sec), the same machine-portability convention as `rank
+//! fails (exit 1) when, on either workload, ALAE's speedup over
+//! Smith–Waterman or over BWT-SW falls below the committed baseline's
+//! beyond tolerance, when the exact engines stop agreeing on the result
+//! count, when ALAE is not faster than Smith–Waterman outright, or when
+//! the hit-dense ALAE-vs-BWT-SW ratio drops below the absolute 1.0× floor
+//! (full-scale runs only).  Speedup *ratios* are gated (not raw
+//! queries/sec), the same machine-portability convention as `rank
 //! --check`.
 
 use crate::experiments::ExperimentOptions;
 use crate::rank_bench::{field_num, field_str, snapshot_path};
 use crate::runners::run_request;
-use crate::setup::prepare_dna;
+use crate::setup::{prepare_dna, prepare_dna_sparse, PreparedWorkload};
 use alae::search::{EngineKind, SearchRequest};
 use alae_bioseq::ScoringScheme;
 
@@ -39,6 +51,12 @@ const REPETITIONS: usize = 5;
 /// stringency the experiment suite uses throughout).
 const THRESHOLD: i64 = 30;
 
+/// Absolute floor on the hit-dense ALAE-vs-BWT-SW speedup: the
+/// zero-allocation fork arena flipped the historical ~0.8× deficit, and the
+/// gate keeps it flipped.  Only enforced at full scale (tiny test scales
+/// are too noisy to gate an absolute ratio).
+pub const HIT_DENSE_BWTSW_FLOOR: f64 = 1.0;
+
 /// One engine's measurement.
 #[derive(Debug, Clone)]
 pub struct SearchBenchEntry {
@@ -52,28 +70,24 @@ pub struct SearchBenchEntry {
     pub hits: usize,
 }
 
-/// The full report written to `BENCH_search.json`.
+/// One workload's measurements.
 #[derive(Debug, Clone)]
-pub struct SearchBenchReport {
-    /// The `--scale` the report was generated with.
-    pub scale: f64,
-    /// The `--seed` the report was generated with.
-    pub seed: u64,
+pub struct WorkloadBench {
+    /// Workload name (`hit-dense` / `sparse-hit`).
+    pub workload: &'static str,
     /// Indexed text length (including separators).
     pub text_len: usize,
     /// Query length.
     pub query_len: usize,
     /// Number of queries per measured pass.
     pub queries: usize,
-    /// The reporting threshold applied by every engine.
-    pub threshold: i64,
     /// Per-engine measurements, in [`EngineKind::ALL`] order.
     pub entries: Vec<SearchBenchEntry>,
 }
 
-impl SearchBenchReport {
+impl WorkloadBench {
     /// The entry for one engine, if measured.
-    fn entry(&self, engine: &str) -> Option<&SearchBenchEntry> {
+    pub fn entry(&self, engine: &str) -> Option<&SearchBenchEntry> {
         self.entries.iter().find(|e| e.engine == engine)
     }
 
@@ -83,6 +97,26 @@ impl SearchBenchReport {
         let other = self.entry(engine)?;
         (other.queries_per_sec > 0.0).then(|| alae.queries_per_sec / other.queries_per_sec)
     }
+}
+
+/// The full report written to `BENCH_search.json`.
+#[derive(Debug, Clone)]
+pub struct SearchBenchReport {
+    /// The `--scale` the report was generated with.
+    pub scale: f64,
+    /// The `--seed` the report was generated with.
+    pub seed: u64,
+    /// The reporting threshold applied by every engine.
+    pub threshold: i64,
+    /// Per-workload measurements (`hit-dense`, then `sparse-hit`).
+    pub workloads: Vec<WorkloadBench>,
+}
+
+impl SearchBenchReport {
+    /// The named workload's measurements, if present.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadBench> {
+        self.workloads.iter().find(|w| w.workload == name)
+    }
 
     /// Serialize as JSON (hand-rolled; the environment has no serde).
     pub fn to_json(&self) -> String {
@@ -91,29 +125,47 @@ impl SearchBenchReport {
         out.push_str("  \"generated_by\": \"alae-experiments search\",\n");
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
-        out.push_str(&format!("  \"text_len\": {},\n", self.text_len));
-        out.push_str(&format!("  \"query_len\": {},\n", self.query_len));
-        out.push_str(&format!("  \"queries\": {},\n", self.queries));
         out.push_str(&format!("  \"threshold\": {},\n", self.threshold));
-        for (key, engine) in [
-            ("speedup_alae_vs_sw", "Smith-Waterman"),
-            ("speedup_alae_vs_bwtsw", "BWT-SW"),
-            ("speedup_alae_vs_blast", "BLAST-like"),
-        ] {
-            if let Some(ratio) = self.alae_speedup_over(engine) {
-                out.push_str(&format!("  \"{key}\": {ratio:.2},\n"));
+        out.push_str("  \"workloads\": [\n");
+        for (w, workload) in self.workloads.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"workload\": \"{}\",\n", workload.workload));
+            out.push_str(&format!("      \"text_len\": {},\n", workload.text_len));
+            out.push_str(&format!("      \"query_len\": {},\n", workload.query_len));
+            out.push_str(&format!("      \"queries\": {},\n", workload.queries));
+            for (key, engine) in [
+                ("speedup_alae_vs_sw", "Smith-Waterman"),
+                ("speedup_alae_vs_bwtsw", "BWT-SW"),
+                ("speedup_alae_vs_blast", "BLAST-like"),
+            ] {
+                if let Some(ratio) = workload.alae_speedup_over(engine) {
+                    out.push_str(&format!("      \"{key}\": {ratio:.2},\n"));
+                }
             }
-        }
-        out.push_str("  \"engines\": [\n");
-        for (i, entry) in self.entries.iter().enumerate() {
+            out.push_str("      \"engines\": [\n");
+            for (i, entry) in workload.entries.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"engine\": \"{}\", \"queries_per_sec\": {:.3}, \
+                     \"ms_per_query\": {:.3}, \"hits\": {}}}{}\n",
+                    entry.engine,
+                    entry.queries_per_sec,
+                    entry.ms_per_query,
+                    entry.hits,
+                    if i + 1 < workload.entries.len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            out.push_str("      ]\n");
             out.push_str(&format!(
-                "    {{\"engine\": \"{}\", \"queries_per_sec\": {:.3}, \
-                 \"ms_per_query\": {:.3}, \"hits\": {}}}{}\n",
-                entry.engine,
-                entry.queries_per_sec,
-                entry.ms_per_query,
-                entry.hits,
-                if i + 1 < self.entries.len() { "," } else { "" }
+                "    }}{}\n",
+                if w + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -121,11 +173,9 @@ impl SearchBenchReport {
     }
 }
 
-/// Run the benchmark: every engine over the same prepared workload.
-pub fn run(options: &ExperimentOptions) -> SearchBenchReport {
-    let text_len = ((BASE_TEXT_LEN as f64 * options.scale) as usize).max(2_000);
-    let query_len = ((BASE_QUERY_LEN as f64 * options.scale.min(4.0)) as usize).max(100);
-    let prepared = prepare_dna(text_len, query_len, QUERY_COUNT, options.seed);
+/// Measure all four engines over one prepared workload (interleaved,
+/// best-of-N).
+fn run_workload(prepared: &PreparedWorkload) -> Vec<SearchBenchEntry> {
     let queries = prepared.queries.len().max(1) as f64;
     let mut best = [f64::INFINITY; EngineKind::ALL.len()];
     let mut hits = [0usize; EngineKind::ALL.len()];
@@ -133,12 +183,12 @@ pub fn run(options: &ExperimentOptions) -> SearchBenchReport {
         for (k, kind) in EngineKind::ALL.into_iter().enumerate() {
             let request =
                 SearchRequest::with_threshold(ScoringScheme::DEFAULT, THRESHOLD).engine(kind);
-            let (summary, runs) = run_request(&prepared, request);
+            let (summary, runs) = run_request(prepared, request);
             best[k] = best[k].min(summary.total_time.as_secs_f64());
             hits[k] = runs.iter().map(|run| run.hits.len()).sum();
         }
     }
-    let entries = EngineKind::ALL
+    EngineKind::ALL
         .into_iter()
         .enumerate()
         .map(|(k, kind)| SearchBenchEntry {
@@ -151,41 +201,63 @@ pub fn run(options: &ExperimentOptions) -> SearchBenchReport {
             ms_per_query: best[k] * 1e3 / queries,
             hits: hits[k],
         })
-        .collect();
+        .collect()
+}
+
+/// Run the benchmark: every engine over the hit-dense and the sparse-hit
+/// workload.
+pub fn run(options: &ExperimentOptions) -> SearchBenchReport {
+    let text_len = ((BASE_TEXT_LEN as f64 * options.scale) as usize).max(2_000);
+    let query_len = ((BASE_QUERY_LEN as f64 * options.scale.min(4.0)) as usize).max(100);
+    let mut workloads = Vec::new();
+    for (name, sparse) in [("hit-dense", false), ("sparse-hit", true)] {
+        let prepared = if sparse {
+            prepare_dna_sparse(text_len, query_len, QUERY_COUNT, options.seed)
+        } else {
+            prepare_dna(text_len, query_len, QUERY_COUNT, options.seed)
+        };
+        workloads.push(WorkloadBench {
+            workload: name,
+            text_len: prepared.text_len(),
+            query_len,
+            queries: prepared.queries.len(),
+            entries: run_workload(&prepared),
+        });
+    }
     SearchBenchReport {
         scale: options.scale,
         seed: options.seed,
-        text_len: prepared.text_len(),
-        query_len,
-        queries: prepared.queries.len(),
         threshold: THRESHOLD,
-        entries,
+        workloads,
     }
 }
 
 fn print_report(report: &SearchBenchReport) {
-    println!(
-        "facade search: {} queries x {} chars against {} indexed chars (H = {})",
-        report.queries, report.query_len, report.text_len, report.threshold
-    );
-    println!(
-        "{:<16} {:>14} {:>14} {:>8}",
-        "engine", "queries/sec", "ms/query", "hits"
-    );
-    for entry in &report.entries {
+    for workload in &report.workloads {
         println!(
-            "{:<16} {:>14.3} {:>14.3} {:>8}",
-            entry.engine, entry.queries_per_sec, entry.ms_per_query, entry.hits
+            "facade search [{}]: {} queries x {} chars against {} indexed chars (H = {})",
+            workload.workload,
+            workload.queries,
+            workload.query_len,
+            workload.text_len,
+            report.threshold
         );
-    }
-    for (label, engine) in [
-        ("Smith-Waterman", "Smith-Waterman"),
-        ("BWT-SW", "BWT-SW"),
-        ("BLAST-like", "BLAST-like"),
-    ] {
-        if let Some(ratio) = report.alae_speedup_over(engine) {
-            println!("ALAE speedup over {label}: {ratio:.2}x");
+        println!(
+            "{:<16} {:>14} {:>14} {:>8}",
+            "engine", "queries/sec", "ms/query", "hits"
+        );
+        for entry in &workload.entries {
+            println!(
+                "{:<16} {:>14.3} {:>14.3} {:>8}",
+                entry.engine, entry.queries_per_sec, entry.ms_per_query, entry.hits
+            );
         }
+        for engine in ["Smith-Waterman", "BWT-SW", "BLAST-like"] {
+            if let Some(ratio) = workload.alae_speedup_over(engine) {
+                println!("ALAE speedup over {engine}: {ratio:.2}x");
+            }
+        }
+        println!();
     }
 }
 
@@ -260,22 +332,34 @@ pub struct CheckOutcome {
     pub notes: Vec<String>,
 }
 
-/// The gated ALAE-vs-engine speedup ratios: the JSON key and the engine
-/// whose hit count must also match ALAE's exactly (both engines are exact).
-const CHECKED_SPEEDUPS: &[(&str, &str, bool)] = &[
-    ("speedup_alae_vs_sw", "Smith-Waterman", true),
-    ("speedup_alae_vs_bwtsw", "BWT-SW", true),
-    ("speedup_alae_vs_blast", "BLAST-like", false),
+/// The gated ALAE-vs-engine speedup ratios (JSON key + engine name).
+const CHECKED_SPEEDUPS: &[(&str, &str)] = &[
+    ("speedup_alae_vs_sw", "Smith-Waterman"),
+    ("speedup_alae_vs_bwtsw", "BWT-SW"),
+    ("speedup_alae_vs_blast", "BLAST-like"),
 ];
+
+/// Slice the section of the baseline JSON belonging to one workload (from
+/// its `"workload": "<name>"` marker up to the next workload marker or the
+/// end), so the repeated per-workload keys resolve unambiguously.
+fn workload_section<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let marker = format!("\"workload\": \"{name}\"");
+    let start = json.find(&marker)?;
+    let rest = &json[start + marker.len()..];
+    let end = rest.find("\"workload\":").unwrap_or(rest.len());
+    Some(&rest[..end])
+}
 
 /// Compare a fresh report against the committed baseline.
 ///
 /// Raw queries/sec are machine-bound, so the gate tracks the *within-run*
-/// ALAE-vs-engine speedup ratios: each fresh ratio must stay within
-/// `tolerance` of the committed one.  Two machine-independent invariants
-/// are checked exactly: the exact engines (ALAE, BWT-SW, Smith–Waterman)
-/// must report identical hit counts, and ALAE must actually be faster than
-/// Smith–Waterman (the paper's headline property).
+/// ALAE-vs-engine speedup ratios per workload: each fresh ratio must stay
+/// within `tolerance` of the committed one.  Three machine-independent
+/// invariants are checked exactly on every workload: the exact engines
+/// (ALAE, BWT-SW, Smith–Waterman) must report identical hit counts, ALAE
+/// must actually be faster than Smith–Waterman (the paper's headline
+/// property), and — at full scale — the hit-dense ALAE-vs-BWT-SW ratio
+/// must hold the absolute [`HIT_DENSE_BWTSW_FLOOR`].
 pub fn check_against_baseline(
     baseline_json: &str,
     fresh: &SearchBenchReport,
@@ -283,60 +367,88 @@ pub fn check_against_baseline(
 ) -> CheckOutcome {
     let mut outcome = CheckOutcome::default();
 
-    // Exactness: the exact engines agree on the total result count.
-    if let (Some(alae), Some(bwtsw), Some(sw)) = (
-        fresh.entry("ALAE"),
-        fresh.entry("BWT-SW"),
-        fresh.entry("Smith-Waterman"),
-    ) {
-        if alae.hits == bwtsw.hits && alae.hits == sw.hits {
-            outcome
-                .notes
-                .push(format!("exact engines agree on {} hits", alae.hits));
-        } else {
-            outcome.failures.push(format!(
-                "exact engines disagree: ALAE {} vs BWT-SW {} vs Smith-Waterman {} hits",
-                alae.hits, bwtsw.hits, sw.hits
-            ));
-        }
-    }
-
-    // ALAE must beat the full dynamic program outright (machine-free).
-    if let Some(ratio) = fresh.alae_speedup_over("Smith-Waterman") {
-        if ratio <= 1.0 {
-            outcome.failures.push(format!(
-                "ALAE is not faster than Smith-Waterman ({ratio:.2}x)"
-            ));
-        }
-    }
-
-    // Baseline-relative ratio gates (machine-portable).
     let base_scale = field_num(baseline_json, "scale");
     let comparable = base_scale == Some(fresh.scale)
         && field_str(baseline_json, "benchmark").as_deref() == Some("search");
-    for &(key, engine, _exact) in CHECKED_SPEEDUPS {
-        let Some(now) = fresh.alae_speedup_over(engine) else {
-            continue;
-        };
-        let base = comparable.then(|| field_num(baseline_json, key)).flatten();
-        match base {
-            Some(base) => {
-                let floor = base * (1.0 - tolerance);
-                if now < floor {
+
+    for workload in &fresh.workloads {
+        let label = workload.workload;
+
+        // Exactness: the exact engines agree on the total result count.
+        if let (Some(alae), Some(bwtsw), Some(sw)) = (
+            workload.entry("ALAE"),
+            workload.entry("BWT-SW"),
+            workload.entry("Smith-Waterman"),
+        ) {
+            if alae.hits == bwtsw.hits && alae.hits == sw.hits {
+                outcome.notes.push(format!(
+                    "[{label}] exact engines agree on {} hits",
+                    alae.hits
+                ));
+            } else {
+                outcome.failures.push(format!(
+                    "[{label}] exact engines disagree: ALAE {} vs BWT-SW {} vs \
+                     Smith-Waterman {} hits",
+                    alae.hits, bwtsw.hits, sw.hits
+                ));
+            }
+        }
+
+        // ALAE must beat the full dynamic program outright (machine-free).
+        if let Some(ratio) = workload.alae_speedup_over("Smith-Waterman") {
+            if ratio <= 1.0 {
+                outcome.failures.push(format!(
+                    "[{label}] ALAE is not faster than Smith-Waterman ({ratio:.2}x)"
+                ));
+            }
+        }
+
+        // Absolute hit-dense floor (full-scale runs only; tiny test scales
+        // are too noisy for an absolute ratio).
+        if label == "hit-dense" && fresh.scale >= 1.0 {
+            if let Some(ratio) = workload.alae_speedup_over("BWT-SW") {
+                if ratio < HIT_DENSE_BWTSW_FLOOR {
                     outcome.failures.push(format!(
-                        "{key}: ALAE speedup {now:.2}x fell below baseline {base:.2}x - \
-                         {:.0}% tolerance ({floor:.2}x)",
-                        tolerance * 100.0
+                        "[{label}] ALAE-vs-BWT-SW speedup {ratio:.2}x fell below the \
+                         absolute {HIT_DENSE_BWTSW_FLOOR:.1}x floor"
                     ));
                 } else {
-                    outcome
-                        .notes
-                        .push(format!("{key}: {now:.2}x (baseline {base:.2}x) ok"));
+                    outcome.notes.push(format!(
+                        "[{label}] ALAE-vs-BWT-SW {ratio:.2}x holds the absolute \
+                         {HIT_DENSE_BWTSW_FLOOR:.1}x floor"
+                    ));
                 }
             }
-            None => outcome
-                .notes
-                .push(format!("{key}: {now:.2}x (not in baseline, skipped)")),
+        }
+
+        // Baseline-relative ratio gates (machine-portable).
+        let section = comparable
+            .then(|| workload_section(baseline_json, label))
+            .flatten();
+        for &(key, engine) in CHECKED_SPEEDUPS {
+            let Some(now) = workload.alae_speedup_over(engine) else {
+                continue;
+            };
+            let base = section.and_then(|s| field_num(s, key));
+            match base {
+                Some(base) => {
+                    let floor = base * (1.0 - tolerance);
+                    if now < floor {
+                        outcome.failures.push(format!(
+                            "[{label}] {key}: ALAE speedup {now:.2}x fell below baseline \
+                             {base:.2}x - {:.0}% tolerance ({floor:.2}x)",
+                            tolerance * 100.0
+                        ));
+                    } else {
+                        outcome.notes.push(format!(
+                            "[{label}] {key}: {now:.2}x (baseline {base:.2}x) ok"
+                        ));
+                    }
+                }
+                None => outcome.notes.push(format!(
+                    "[{label}] {key}: {now:.2}x (not in baseline, skipped)"
+                )),
+            }
         }
     }
     outcome
@@ -356,23 +468,38 @@ mod tests {
     }
 
     #[test]
-    fn report_measures_all_engines_and_serializes() {
+    fn report_measures_both_workloads_and_serializes() {
         let report = run(&tiny_options());
-        assert_eq!(report.entries.len(), 4);
-        assert!(report.entries.iter().all(|e| e.queries_per_sec > 0.0));
+        assert_eq!(report.workloads.len(), 2);
+        for workload in &report.workloads {
+            assert_eq!(workload.entries.len(), 4);
+            assert!(workload.entries.iter().all(|e| e.queries_per_sec > 0.0));
+        }
         let json = report.to_json();
         assert!(json.contains("\"benchmark\": \"search\""));
+        assert!(json.contains("\"workload\": \"hit-dense\""));
+        assert!(json.contains("\"workload\": \"sparse-hit\""));
         assert!(json.contains("\"engine\": \"ALAE\""));
         assert!(json.contains("speedup_alae_vs_sw"));
         assert!(json.contains("speedup_alae_vs_bwtsw"));
+        // The two workloads genuinely differ: random queries report fewer
+        // hits than homologous ones.
+        let dense = report.workload("hit-dense").unwrap();
+        let sparse = report.workload("sparse-hit").unwrap();
+        assert!(
+            sparse.entry("ALAE").unwrap().hits <= dense.entry("ALAE").unwrap().hits,
+            "sparse workload should not out-hit the dense one"
+        );
     }
 
     #[test]
     fn exact_engines_agree_and_check_passes_against_itself() {
         let report = run(&tiny_options());
-        let alae = report.entry("ALAE").unwrap().hits;
-        assert_eq!(report.entry("BWT-SW").unwrap().hits, alae);
-        assert_eq!(report.entry("Smith-Waterman").unwrap().hits, alae);
+        for workload in &report.workloads {
+            let alae = workload.entry("ALAE").unwrap().hits;
+            assert_eq!(workload.entry("BWT-SW").unwrap().hits, alae);
+            assert_eq!(workload.entry("Smith-Waterman").unwrap().hits, alae);
+        }
         let outcome = check_against_baseline(&report.to_json(), &report, 0.20);
         assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
         assert!(!outcome.notes.is_empty());
@@ -381,12 +508,19 @@ mod tests {
     #[test]
     fn check_flags_a_speedup_regression() {
         let report = run(&tiny_options());
-        // Inflate the committed ALAE-vs-SW ratio far beyond the fresh one.
-        let sw_ratio = report.alae_speedup_over("Smith-Waterman").unwrap();
+        // Inflate the committed hit-dense ALAE-vs-SW ratio far beyond the
+        // fresh one.
+        let sw_ratio = report
+            .workload("hit-dense")
+            .unwrap()
+            .alae_speedup_over("Smith-Waterman")
+            .unwrap();
         let json = report.to_json();
-        let inflated = json.replace(
-            &format!("\"speedup_alae_vs_sw\": {sw_ratio:.2}"),
+        let needle = format!("\"speedup_alae_vs_sw\": {sw_ratio:.2}");
+        let inflated = json.replacen(
+            &needle,
             &format!("\"speedup_alae_vs_sw\": {:.2}", sw_ratio * 100.0),
+            1,
         );
         assert_ne!(inflated, json);
         let outcome = check_against_baseline(&inflated, &report, 0.20);
@@ -394,7 +528,38 @@ mod tests {
             outcome
                 .failures
                 .iter()
-                .any(|f| f.contains("speedup_alae_vs_sw")),
+                .any(|f| f.contains("hit-dense") && f.contains("speedup_alae_vs_sw")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn check_flags_a_hit_dense_floor_breach_at_full_scale() {
+        // Synthesize a full-scale report whose hit-dense ALAE-vs-BWT-SW
+        // ratio sits below 1.0: the absolute floor must fire even when the
+        // baseline agrees (i.e. the committed baseline cannot grandfather a
+        // regression in).
+        let mut report = run(&tiny_options());
+        report.scale = 1.0;
+        let dense = report
+            .workloads
+            .iter_mut()
+            .find(|w| w.workload == "hit-dense")
+            .unwrap();
+        let bwtsw_qps = dense.entry("BWT-SW").unwrap().queries_per_sec;
+        dense
+            .entries
+            .iter_mut()
+            .find(|e| e.engine == "ALAE")
+            .unwrap()
+            .queries_per_sec = bwtsw_qps * 0.8;
+        let outcome = check_against_baseline(&report.to_json(), &report, 0.20);
+        assert!(
+            outcome
+                .failures
+                .iter()
+                .any(|f| f.contains("absolute") && f.contains("floor")),
             "{:?}",
             outcome.failures
         );
@@ -407,5 +572,23 @@ mod tests {
         let outcome = check_against_baseline(&json, &report, 0.20);
         assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
         assert!(outcome.notes.iter().any(|n| n.contains("skipped")));
+    }
+
+    #[test]
+    fn workload_sections_resolve_repeated_keys() {
+        let report = run(&tiny_options());
+        let json = report.to_json();
+        let dense = workload_section(&json, "hit-dense").unwrap();
+        let sparse = workload_section(&json, "sparse-hit").unwrap();
+        // Each section carries exactly its own workload's text_len.
+        assert_eq!(
+            field_num(dense, "text_len"),
+            Some(report.workload("hit-dense").unwrap().text_len as f64)
+        );
+        assert_eq!(
+            field_num(sparse, "text_len"),
+            Some(report.workload("sparse-hit").unwrap().text_len as f64)
+        );
+        assert!(workload_section(&json, "no-such-workload").is_none());
     }
 }

@@ -44,6 +44,33 @@ pub fn prepare_dna(
     prepare(Alphabet::Dna, text_len, query_len, query_count, seed)
 }
 
+/// Build a *sparse-hit* DNA workload: fully random queries (no homologous
+/// segments embedded), so alignments reaching the threshold are rare and
+/// engine time is dominated by traversal/pruning rather than hit
+/// recording — the regime of the paper's m = 100 rows, and the counterpart
+/// of the hit-dense default in `BENCH_search.json`.
+pub fn prepare_dna_sparse(
+    text_len: usize,
+    query_len: usize,
+    query_count: usize,
+    seed: u64,
+) -> PreparedWorkload {
+    let text_spec = TextSpec::dna(text_len, seed);
+    let query_spec = QuerySpec {
+        count: query_count,
+        length: query_len,
+        mutation: MutationProfile::HOMOLOGOUS,
+        seed: seed.wrapping_add(1),
+    };
+    // segment_count = 0 degenerates to fully random queries.
+    let Workload { database, queries } =
+        WorkloadBuilder::new(text_spec, query_spec).build_segmented(0);
+    PreparedWorkload {
+        indexed: IndexedDatabase::build(database),
+        queries,
+    }
+}
+
 /// Build a protein workload (same shape as [`prepare_dna`]).
 pub fn prepare_protein(
     text_len: usize,

@@ -14,6 +14,7 @@
 use crate::fm_index::{FmIndex, SaRange, MAX_CODE_COUNT};
 use crate::rank::{CheckpointScheme, RankLayout, ScanSnapshot};
 use crate::simd::{self, ActiveBackend, ScanBackend};
+use std::sync::Arc;
 
 /// Largest number of children a trie node can have (`MAX_CODE_COUNT` minus
 /// the separator, which never labels an edge).
@@ -89,9 +90,15 @@ impl Default for ChildBuf {
 
 /// A searchable text: the forward code sequence plus the FM-index of its
 /// reversal.
+///
+/// The forward text is held behind an [`Arc`], so an index built with
+/// [`TextIndex::from_shared`] shares the caller's copy (e.g. a
+/// `SequenceDatabase`'s concatenated text) instead of duplicating a
+/// multi-megabyte buffer, and [`TextIndex::shared_text`] lets further
+/// consumers share it onward.
 #[derive(Debug, Clone)]
 pub struct TextIndex {
-    text: Vec<u8>,
+    text: Arc<Vec<u8>>,
     code_count: usize,
     fm_reverse: FmIndex,
 }
@@ -120,6 +127,18 @@ impl TextIndex {
         Self::with_layout(text, code_count, RankLayout::Auto)
     }
 
+    /// Build the index around an already-shared text without copying it —
+    /// the constructor for aligners over a shared `SequenceDatabase` text.
+    pub fn from_shared(text: Arc<Vec<u8>>, code_count: usize) -> Self {
+        Self::with_scan_backend_shared(
+            text,
+            code_count,
+            RankLayout::Auto,
+            CheckpointScheme::default(),
+            simd::default_backend(),
+        )
+    }
+
     /// Build with an explicit rank-storage layout (see [`RankLayout`]); used
     /// to compare the packed and generic scan paths on the same text.
     pub fn with_layout(text: Vec<u8>, code_count: usize, layout: RankLayout) -> Self {
@@ -145,6 +164,18 @@ impl TextIndex {
     /// [`ScanBackend`]).
     pub fn with_scan_backend(
         text: Vec<u8>,
+        code_count: usize,
+        layout: RankLayout,
+        scheme: CheckpointScheme,
+        backend: ScanBackend,
+    ) -> Self {
+        Self::with_scan_backend_shared(Arc::new(text), code_count, layout, scheme, backend)
+    }
+
+    /// The fully-explicit constructor over a shared text (all other
+    /// constructors funnel here).
+    pub fn with_scan_backend_shared(
+        text: Arc<Vec<u8>>,
         code_count: usize,
         layout: RankLayout,
         scheme: CheckpointScheme,
@@ -196,6 +227,11 @@ impl TextIndex {
     #[inline]
     pub fn text(&self) -> &[u8] {
         &self.text
+    }
+
+    /// The forward text behind its `Arc` (shared, not copied).
+    pub fn shared_text(&self) -> Arc<Vec<u8>> {
+        Arc::clone(&self.text)
     }
 
     /// Text length `n`.
@@ -254,19 +290,27 @@ impl TextIndex {
     /// All starting positions (0-based) in the forward text of the substring
     /// represented by `cursor`.
     pub fn occurrences(&self, cursor: SuffixTrieCursor) -> Vec<usize> {
+        let mut positions = Vec::new();
+        self.occurrences_into(cursor, &mut positions);
+        positions
+    }
+
+    /// Fill `out` with the starting positions of the substring represented
+    /// by `cursor` (0-based, sorted), reusing the buffer's capacity — the
+    /// allocation-free twin of [`TextIndex::occurrences`] for DFS hot loops
+    /// that locate occurrences once per reported node.
+    pub fn occurrences_into(&self, cursor: SuffixTrieCursor, out: &mut Vec<usize>) {
         let n = self.text.len();
         let depth = cursor.depth;
-        let mut positions: Vec<usize> = (cursor.range.start..cursor.range.end)
-            .map(|row| {
-                let rev_start = self.fm_reverse.locate(row);
-                // The reversed substring occupies rev_start .. rev_start+depth
-                // in T⁻¹, which corresponds to the forward-range starting at
-                // n − rev_start − depth.
-                n - rev_start - depth
-            })
-            .collect();
-        positions.sort_unstable();
-        positions
+        out.clear();
+        out.extend((cursor.range.start..cursor.range.end).map(|row| {
+            let rev_start = self.fm_reverse.locate(row);
+            // The reversed substring occupies rev_start .. rev_start+depth
+            // in T⁻¹, which corresponds to the forward-range starting at
+            // n − rev_start − depth.
+            n - rev_start - depth
+        }));
+        out.sort_unstable();
     }
 
     /// Does `pattern` occur in the text?

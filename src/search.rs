@@ -69,9 +69,14 @@ pub struct IndexedDatabase {
 
 impl IndexedDatabase {
     /// Index a database (builds the compressed suffix array once).
+    ///
+    /// The database's concatenated text is *shared* with the index (one
+    /// `Arc`'d buffer serves both), so an [`IndexedDatabase`] holds exactly
+    /// one copy of the text no matter how many engines and threads search
+    /// through it.
     pub fn build(database: SequenceDatabase) -> Self {
-        let index = Arc::new(TextIndex::new(
-            database.text().to_vec(),
+        let index = Arc::new(TextIndex::from_shared(
+            database.shared_text(),
             database.alphabet().code_count(),
         ));
         Self::from_parts(Arc::new(database), index)
@@ -863,6 +868,16 @@ mod tests {
                 Sequence::from_ascii_named(Alphabet::Dna, "r2", b"AAGCTAGCAAGCTAGG").unwrap(),
             ],
         )
+    }
+
+    #[test]
+    fn indexed_database_shares_one_text_copy() {
+        let db = tiny_db();
+        // Database and index hold the same allocation, not two copies.
+        assert!(std::ptr::eq(
+            db.database().text(),
+            db.index().text() as *const [u8]
+        ));
     }
 
     #[test]

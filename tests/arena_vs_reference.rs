@@ -1,0 +1,138 @@
+//! Hit-dense property test: the arena engine is hit-identical,
+//! scan-counter-identical and work-counter-identical to the retained
+//! clone-based reference path (`AlaeAligner::align_reference`).
+//!
+//! The queries are sampled directly from the text (optionally lightly
+//! mutated), so nearly every trie node below a q-prefix carries live forks
+//! and most descents reach reporting depth — the hit-dense regime the
+//! zero-allocation arena rewrite targets, where a bookkeeping divergence
+//! (slot recycling bug, stale cell buffer, wrong split order) would be
+//! loudest.
+
+use alae::bioseq::{Alphabet, ScoringScheme, Sequence, SequenceDatabase};
+use alae::core::{AlaeAligner, AlaeConfig, AlaeStats, FilterToggles};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Blank the arena-only counters so the remaining fields can be compared
+/// exactly against the reference path (which has no arena).
+fn comparable(mut stats: AlaeStats) -> AlaeStats {
+    stats.fork_slots_reused = 0;
+    stats.arena_bytes = 0;
+    stats
+}
+
+fn assert_paths_agree(aligner: &AlaeAligner, query: &[u8], context: &str) {
+    let arena_run = aligner.align(query);
+    let reference = aligner.align_reference(query);
+    assert_eq!(
+        arena_run.hits, reference.hits,
+        "{context}: arena and reference hit sets differ"
+    );
+    assert_eq!(arena_run.threshold, reference.threshold, "{context}");
+    // Exact counter identity: DP entry classes, reuse accounting, fork
+    // starts, domination decisions (rolling key vs re-packing), node
+    // visits, threshold entries, and the occurrence-layer scan counters.
+    assert_eq!(
+        comparable(arena_run.stats),
+        reference.stats,
+        "{context}: work counters diverged"
+    );
+}
+
+#[test]
+fn hit_dense_queries_sampled_from_the_text_agree_with_the_reference() {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    for trial in 0..12 {
+        let n = 250 + (rng.next() % 400) as usize;
+        let text: Vec<u8> = (0..n).map(|_| (rng.next() % 4) as u8 + 1).collect();
+        let qlen = 25 + (rng.next() % 40) as usize;
+        let start = (rng.next() as usize) % (n - qlen);
+        // Exact substring: every q-gram of the query occurs in the text, so
+        // every gram starts forks and nearly every node advances some.
+        let mut query: Vec<u8> = text[start..start + qlen].to_vec();
+        // Half the trials add light mutations (still hit-dense, but the
+        // fork groups split at the mutated columns — the splitting logic is
+        // where arena and reference could drift).
+        if trial % 2 == 1 {
+            for _ in 0..2 {
+                let pos = (rng.next() as usize) % qlen;
+                query[pos] = (rng.next() % 4) as u8 + 1;
+            }
+        }
+        let db = SequenceDatabase::from_sequences(
+            Alphabet::Dna,
+            [Sequence::from_codes(Alphabet::Dna, text.clone())],
+        );
+        let threshold = 5 + (rng.next() % 6) as i64;
+        let aligner = AlaeAligner::build(
+            &db,
+            AlaeConfig::with_threshold(ScoringScheme::DEFAULT, threshold),
+        );
+        let context = format!("trial {trial} (n={n}, m={qlen}, H={threshold})");
+        let result = aligner.align(&query);
+        assert!(
+            !result.hits.is_empty(),
+            "{context}: expected a hit-dense instance"
+        );
+        assert_paths_agree(&aligner, &query, &context);
+    }
+}
+
+#[test]
+fn every_filter_combination_agrees_with_the_reference() {
+    // A repetitive text and a query with a repeated block: exercises group
+    // splitting, reuse sharing and domination skipping simultaneously.
+    let mut text: Vec<u8> = Vec::new();
+    let mut rng = Rng(0x1234_5678_9abc_def0);
+    for _ in 0..40 {
+        text.extend_from_slice(&[3, 2, 4, 1, 3, 2, 1, 4]);
+        text.push((rng.next() % 4) as u8 + 1);
+    }
+    let query: Vec<u8> = text[30..78].to_vec();
+    let db = SequenceDatabase::from_sequences(
+        Alphabet::Dna,
+        [Sequence::from_codes(Alphabet::Dna, text.clone())],
+    );
+    for length_filter in [false, true] {
+        for score_filter in [false, true] {
+            for domination_filter in [false, true] {
+                for reuse in [false, true] {
+                    let filters = FilterToggles {
+                        length_filter,
+                        score_filter,
+                        domination_filter,
+                        reuse,
+                    };
+                    let aligner = AlaeAligner::build(
+                        &db,
+                        AlaeConfig::with_threshold(ScoringScheme::DEFAULT, 8).filters(filters),
+                    );
+                    assert_paths_agree(&aligner, &query, &format!("filters {filters:?}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_record_and_alternative_schemes_agree_with_the_reference() {
+    let a = Sequence::from_ascii(Alphabet::Dna, b"ACGGTCAGTTCAGGATCCAGTTGACCATTGCA").unwrap();
+    let b = Sequence::from_ascii(Alphabet::Dna, b"GGATCCAGTTGACCATTGCAGTCAGGTTCAAC").unwrap();
+    let db = SequenceDatabase::from_sequences(Alphabet::Dna, [a, b]);
+    let query = Alphabet::Dna.encode(b"CAGGATCCAGTTGACCATT").unwrap();
+    for scheme in ScoringScheme::FIGURE9_SCHEMES {
+        let threshold = (scheme.q() as i64 * scheme.sa).max(8);
+        let aligner = AlaeAligner::build(&db, AlaeConfig::with_threshold(scheme, threshold));
+        assert_paths_agree(&aligner, &query, &format!("scheme {scheme}"));
+    }
+}
