@@ -23,7 +23,9 @@ pub mod local;
 pub mod traceback;
 
 pub use global::global_similarity;
-pub use local::{local_alignment_hits, local_score_matrix, LocalDpStats};
+pub use local::{
+    local_alignment_hits, local_alignment_hits_guarded, local_score_matrix, LocalDpStats,
+};
 pub use traceback::{best_local_alignment, AlignedPair, TracebackAlignment};
 
 /// Sentinel "minus infinity" used in the dynamic programs.  Kept far from

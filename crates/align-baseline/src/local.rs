@@ -8,6 +8,7 @@
 //! above the threshold is reported.
 
 use crate::NEG_INF;
+use alae_bioseq::guard::{SearchGuard, Termination};
 use alae_bioseq::hits::{AlignmentHit, HitMap};
 use alae_bioseq::ScoringScheme;
 
@@ -40,13 +41,35 @@ pub fn local_alignment_hits(
     scheme: &ScoringScheme,
     threshold: i64,
 ) -> (Vec<AlignmentHit>, LocalDpStats) {
+    let (hits, stats, _) =
+        local_alignment_hits_guarded(text, query, scheme, threshold, &SearchGuard::none());
+    (hits, stats)
+}
+
+/// [`local_alignment_hits`] under request guardrails: the row loop polls
+/// `guard` once per text row (amortized; see [`SearchGuard`]) and stops
+/// cleanly when a deadline, budget or cancellation trips.
+///
+/// Because the matrix is computed text-row by text-row and every end pair
+/// is finalized by its row, a truncated run reports *exactly* the full
+/// run's hits whose text end position lies in the completed row prefix.
+pub fn local_alignment_hits_guarded(
+    text: &[u8],
+    query: &[u8],
+    scheme: &ScoringScheme,
+    threshold: i64,
+    guard: &SearchGuard,
+) -> (Vec<AlignmentHit>, LocalDpStats, Termination) {
     assert!(threshold > 0, "threshold must be positive");
     let m = query.len();
     let mut stats = LocalDpStats::default();
     let mut hits = HitMap::new();
     if m == 0 || text.is_empty() {
-        return (Vec::new(), stats);
+        return (Vec::new(), stats, Termination::Complete);
     }
+    let mut probe = guard.probe(m);
+    // The DP's whole scratch footprint is four fixed rows.
+    let row_bytes = (4 * (m + 1) * std::mem::size_of::<i64>()) as u64;
 
     // One row at a time: M and the vertical gap score Ga need only the
     // previous row; the horizontal gap score Gb only the current row.
@@ -56,6 +79,11 @@ pub fn local_alignment_hits(
     let mut curr_ga = vec![NEG_INF; m + 1];
 
     for (i, &tc) in text.iter().enumerate() {
+        // One poll per text row, before the row is computed: a truncated
+        // run ends on a whole-row boundary.
+        if probe.poll(|| row_bytes) {
+            break;
+        }
         if tc == alae_bioseq::alphabet::SEPARATOR_CODE {
             // A record boundary is a hard barrier: no alignment may end at
             // it, substitute against it, or bridge it with a gap.  Reset the
@@ -91,9 +119,10 @@ pub fn local_alignment_hits(
         }
         std::mem::swap(&mut prev_m, &mut curr_m);
         std::mem::swap(&mut prev_ga, &mut curr_ga);
+        probe.add_work(m as u64);
     }
 
-    (hits.into_hits(threshold), stats)
+    (hits.into_hits(threshold), stats, probe.termination())
 }
 
 /// Compute the full clamped score matrix (row-major, `n × m`).

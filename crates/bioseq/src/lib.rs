@@ -21,6 +21,7 @@ pub mod alphabet;
 pub mod database;
 pub mod evalue;
 pub mod fasta;
+pub mod guard;
 pub mod hash;
 pub mod hits;
 pub mod scoring;
@@ -29,6 +30,7 @@ pub mod sequence;
 pub use alphabet::Alphabet;
 pub use database::{RecordLocation, RecordSpan, SequenceDatabase};
 pub use evalue::KarlinAltschul;
+pub use guard::{CancelOnDrop, CancelToken, GuardProbe, SearchError, SearchGuard, Termination};
 pub use hits::{AlignmentHit, HitMap};
 pub use scoring::ScoringScheme;
 pub use sequence::Sequence;

@@ -2,6 +2,7 @@
 
 use crate::extend::{gapped_extend, ungapped_extend, Extension};
 use crate::seed::WordIndex;
+use alae_bioseq::guard::{SearchGuard, Termination};
 use alae_bioseq::hits::{AlignmentHit, HitMap};
 use alae_bioseq::{Alphabet, ScoringScheme, SequenceDatabase};
 use std::collections::HashMap;
@@ -76,6 +77,9 @@ pub struct BlastResult {
     pub hits: Vec<AlignmentHit>,
     /// Work counters.
     pub stats: BlastStats,
+    /// Why the run ended (guardrails; [`Termination::Complete`] for the
+    /// unguarded entry point).
+    pub termination: Termination,
 }
 
 /// The BLAST-like aligner: a text plus a configuration.
@@ -109,6 +113,15 @@ impl BlastLikeAligner {
 
     /// Search a query (code sequence) against the text.
     pub fn align(&self, query: &[u8]) -> BlastResult {
+        self.align_guarded(query, &SearchGuard::none())
+    }
+
+    /// Search under request guardrails: the extension loop polls `guard`
+    /// once per seed (amortized; see [`SearchGuard`]) and stops cleanly
+    /// when a deadline, budget or cancellation trips.  The initial word
+    /// scan of the text is a single unguarded `O(n)` pass — the first poll
+    /// happens before any extension work.
+    pub fn align_guarded(&self, query: &[u8], guard: &SearchGuard) -> BlastResult {
         let mut stats = BlastStats::default();
         let config = &self.config;
         let text = self.database.text();
@@ -116,12 +129,16 @@ impl BlastLikeAligner {
             return BlastResult {
                 hits: Vec::new(),
                 stats,
+                termination: Termination::Complete,
             };
         }
+        let mut probe = guard.probe(query.len());
         let code_count = self.database.alphabet().code_count();
         let index = WordIndex::build(query, config.word_size, code_count);
         let seeds = index.scan(text);
         stats.seed_hits = seeds.len() as u64;
+        // The dominant transient allocation is the seed list itself.
+        let seed_bytes = (seeds.capacity() * std::mem::size_of::<crate::seed::SeedHit>()) as u64;
 
         // Per-diagonal high-water marks: once a seed on a diagonal has been
         // extended past a text position, later seeds on the same diagonal
@@ -131,6 +148,10 @@ impl BlastLikeAligner {
         let mut hits = HitMap::new();
 
         for seed in seeds {
+            // One poll per seed; extension attempts are the work units.
+            if probe.poll(|| seed_bytes) {
+                break;
+            }
             let diagonal = seed.diagonal();
             if let Some(&covered_to) = diagonal_covered.get(&diagonal) {
                 if seed.text_pos < covered_to {
@@ -138,6 +159,7 @@ impl BlastLikeAligner {
                 }
             }
             stats.ungapped_extensions += 1;
+            probe.add_work(1);
             let ungapped = ungapped_extend(
                 text,
                 query,
@@ -152,6 +174,7 @@ impl BlastLikeAligner {
                 continue;
             }
             stats.gapped_extensions += 1;
+            probe.add_work(1);
             let gapped = gapped_extend(text, query, &ungapped, &config.scheme, config.gapped_pad);
             let best = if gapped.score >= ungapped.score {
                 gapped
@@ -167,6 +190,7 @@ impl BlastLikeAligner {
         BlastResult {
             hits: hits.into_hits(config.threshold),
             stats,
+            termination: probe.termination(),
         }
     }
 

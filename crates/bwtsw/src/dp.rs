@@ -7,6 +7,7 @@
 //! allocation once the scratch is warm.
 
 use crate::stats::BwtswStats;
+use alae_bioseq::guard::{SearchGuard, Termination};
 use alae_bioseq::hits::{AlignmentHit, HitMap};
 use alae_bioseq::{ScoringScheme, SequenceDatabase};
 use alae_suffix::{ChildBuf, SuffixTrieCursor, TextIndex};
@@ -52,6 +53,17 @@ impl BwtswScratch {
             self.row_pool.push(row);
         }
     }
+
+    /// Current scratch footprint in bytes (pooled rows, live stack rows,
+    /// the root row and the occurrence buffer) — the quantity a request's
+    /// memory budget caps.
+    fn bytes_in_use(&self) -> usize {
+        let cell = std::mem::size_of::<Cell>();
+        let pooled: usize = self.row_pool.iter().map(Vec::capacity).sum();
+        let stacked: usize = self.stack.iter().map(|(_, row)| row.capacity()).sum();
+        (pooled + stacked + self.root_row.capacity()) * cell
+            + self.occ_buf.capacity() * std::mem::size_of::<usize>()
+    }
 }
 
 thread_local! {
@@ -90,9 +102,15 @@ impl BwtswConfig {
 #[derive(Debug, Clone)]
 pub struct BwtswResult {
     /// All end pairs whose best alignment score reached the threshold.
+    /// When `termination` is not [`Termination::Complete`] these are the
+    /// (still canonically ordered) hits found before the run was cut
+    /// short.
     pub hits: Vec<AlignmentHit>,
     /// Work counters.
     pub stats: BwtswStats,
+    /// Why the run ended (guardrails; [`Termination::Complete`] for the
+    /// unguarded entry point).
+    pub termination: Termination,
 }
 
 /// One sparse dynamic-programming cell: the column `j` (1-based), the main
@@ -145,14 +163,27 @@ impl BwtswAligner {
     /// Uses (and warms) the calling thread's pooled DFS scratch, so
     /// repeated calls on one thread perform no per-node heap allocation.
     pub fn align(&self, query: &[u8]) -> BwtswResult {
+        self.align_guarded(query, &SearchGuard::none())
+    }
+
+    /// Align under request guardrails: the DFS polls `guard` once per
+    /// trie-node expansion (amortized; see [`SearchGuard`]) and unwinds
+    /// cleanly when a deadline, budget or cancellation trips, returning
+    /// the hits found so far with the matching [`Termination`].
+    pub fn align_guarded(&self, query: &[u8], guard: &SearchGuard) -> BwtswResult {
         THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
-            Ok(mut scratch) => self.align_with_scratch(query, &mut scratch),
+            Ok(mut scratch) => self.align_with_scratch(query, &mut scratch, guard),
             // Re-entrant alignment on the same thread: throwaway scratch.
-            Err(_) => self.align_with_scratch(query, &mut BwtswScratch::default()),
+            Err(_) => self.align_with_scratch(query, &mut BwtswScratch::default(), guard),
         })
     }
 
-    fn align_with_scratch(&self, query: &[u8], scratch: &mut BwtswScratch) -> BwtswResult {
+    fn align_with_scratch(
+        &self,
+        query: &[u8],
+        scratch: &mut BwtswScratch,
+        guard: &SearchGuard,
+    ) -> BwtswResult {
         let mut stats = BwtswStats::default();
         // Thread-local scan totals: the whole walk runs on the calling
         // thread, so the snapshot delta attributes exactly this query's
@@ -164,8 +195,10 @@ impl BwtswAligner {
             return BwtswResult {
                 hits: Vec::new(),
                 stats,
+                termination: Termination::Complete,
             };
         }
+        let mut probe = guard.probe(m);
         let scheme = &self.config.scheme;
         let threshold = self.config.threshold;
         let depth_cap = self.config.max_depth.unwrap_or(usize::MAX);
@@ -188,9 +221,17 @@ impl BwtswAligner {
         let root = self.index.root();
         self.index.children_into(root, &mut scratch.child_buf);
         for k in 0..scratch.child_buf.len() {
+            // One poll per root expansion; a trip skips the main walk below
+            // (the stack is still empty or partially filled — `reset` after
+            // the walk reclaims whatever is on it).
+            if probe.poll(|| scratch.bytes_in_use() as u64) {
+                break;
+            }
             let (c, child) = scratch.child_buf.as_slice()[k];
             let mut row = scratch.acquire_row();
+            let entries_before = stats.calculated_entries;
             advance_row_into(&scratch.root_row, c, query, scheme, &mut stats, &mut row);
+            probe.add_work(stats.calculated_entries - entries_before);
             self.visit(child, &row, &mut scratch.occ_buf, &mut hits, &mut stats);
             if !row.is_empty() && child.depth < depth_cap {
                 scratch.stack.push((child, row));
@@ -202,11 +243,21 @@ impl BwtswAligner {
             }
         }
         while let Some((cursor, row)) = scratch.stack.pop() {
+            // One poll per node expansion: on a trip, recycle this frame's
+            // row and every row still on the stack, then unwind — the
+            // scratch is left reusable and the hits recorded so far stand.
+            if probe.poll(|| scratch.bytes_in_use() as u64) {
+                scratch.release_row(row);
+                scratch.reset();
+                break;
+            }
             self.index.children_into(cursor, &mut scratch.child_buf);
             for k in 0..scratch.child_buf.len() {
                 let (c, child) = scratch.child_buf.as_slice()[k];
                 let mut child_row = scratch.acquire_row();
+                let entries_before = stats.calculated_entries;
                 advance_row_into(&row, c, query, scheme, &mut stats, &mut child_row);
+                probe.add_work(stats.calculated_entries - entries_before);
                 self.visit(
                     child,
                     &child_row,
@@ -233,6 +284,7 @@ impl BwtswAligner {
         BwtswResult {
             hits: hits.into_hits(threshold),
             stats,
+            termination: probe.termination(),
         }
     }
 

@@ -36,6 +36,7 @@ use crate::fork::{
     ForkPhase, PhaseRef,
 };
 use crate::qgram::QGramIndex;
+use alae_bioseq::guard::{GuardProbe, SearchGuard, Termination};
 use alae_bioseq::hits::{AlignmentHit, HitMap};
 use alae_bioseq::{Alphabet, Sequence, SequenceDatabase};
 use alae_suffix::{SuffixTrieCursor, TextIndex};
@@ -54,12 +55,18 @@ thread_local! {
 #[derive(Debug, Clone)]
 pub struct AlaeResult {
     /// All end pairs whose best alignment score reached the threshold.
+    /// When `termination` is not [`Termination::Complete`] these are the
+    /// (still canonically ordered) hits found before the run was cut
+    /// short.
     pub hits: Vec<AlignmentHit>,
     /// Work counters.
     pub stats: AlaeStats,
     /// The threshold `H` that was actually applied (resolved from the
     /// E-value when the configuration uses one).
     pub threshold: i64,
+    /// Why the run ended (guardrails; [`Termination::Complete`] for the
+    /// unguarded entry points).
+    pub termination: Termination,
 }
 
 /// The ALAE aligner: a compressed-suffix-array text index, the offline
@@ -147,11 +154,19 @@ impl AlaeAligner {
     /// Uses (and warms) the calling thread's [`ForkArena`], so repeated
     /// calls on one thread perform no per-node heap allocation.
     pub fn align(&self, query: &[u8]) -> AlaeResult {
+        self.align_guarded(query, &SearchGuard::none())
+    }
+
+    /// Align under request guardrails: the fork DFS polls `guard` once per
+    /// trie-node expansion (amortized; see [`SearchGuard`]) and unwinds
+    /// cleanly when a deadline, budget or cancellation trips, returning
+    /// the hits found so far with the matching [`Termination`].
+    pub fn align_guarded(&self, query: &[u8], guard: &SearchGuard) -> AlaeResult {
         THREAD_ARENA.with(|cell| match cell.try_borrow_mut() {
-            Ok(mut arena) => self.align_with_arena(query, &mut arena),
+            Ok(mut arena) => self.align_with_arena_guarded(query, &mut arena, guard),
             // Re-entrant alignment on the same thread (not reachable through
             // the facade); fall back to a throwaway arena.
-            Err(_) => self.align_with_arena(query, &mut ForkArena::new()),
+            Err(_) => self.align_with_arena_guarded(query, &mut ForkArena::new(), guard),
         })
     }
 
@@ -163,6 +178,16 @@ impl AlaeAligner {
     /// threads; each `search_batch` worker owns one (via the thread-local
     /// used by [`AlaeAligner::align`]).
     pub fn align_with_arena(&self, query: &[u8], arena: &mut ForkArena) -> AlaeResult {
+        self.align_with_arena_guarded(query, arena, &SearchGuard::none())
+    }
+
+    /// [`AlaeAligner::align_with_arena`] under request guardrails.
+    pub fn align_with_arena_guarded(
+        &self,
+        query: &[u8],
+        arena: &mut ForkArena,
+        guard: &SearchGuard,
+    ) -> AlaeResult {
         let mut stats = AlaeStats::default();
         // Thread-local scan totals: one align call runs entirely on the
         // calling thread, so the snapshot delta counts exactly this run's
@@ -178,8 +203,10 @@ impl AlaeAligner {
                 hits: Vec::new(),
                 stats,
                 threshold,
+                termination: Termination::Complete,
             };
         }
+        let mut probe = guard.probe(m);
 
         let q = scheme.q();
         let filters = self.config.filters;
@@ -209,9 +236,12 @@ impl AlaeAligner {
         };
 
         for (gram_key, positions) in qgram.iter() {
+            if probe.is_tripped() {
+                break;
+            }
             self.process_gram(
                 gram_key, positions, &qgram, q, threshold, max_depth, &filters, &ctx, arena,
-                &mut hits, &mut stats,
+                &mut hits, &mut stats, &mut probe,
             );
         }
         arena.qgram = qgram;
@@ -226,6 +256,7 @@ impl AlaeAligner {
             hits: hits.into_hits(threshold),
             stats,
             threshold,
+            termination: probe.termination(),
         }
     }
 
@@ -246,6 +277,7 @@ impl AlaeAligner {
         arena: &mut ForkArena,
         hits: &mut HitMap,
         stats: &mut AlaeStats,
+        probe: &mut GuardProbe,
     ) {
         let query = ctx.query;
         let m = query.len();
@@ -256,6 +288,10 @@ impl AlaeAligner {
             stats.grams_without_text_match += 1;
             return;
         };
+        // One poll per gram root (the per-node polls cover the descent).
+        if probe.poll(|| arena.bytes_in_use() as u64) {
+            return;
+        }
 
         // Global filtering via q-prefix domination (Lemma 1): skip fork
         // starts whose q-gram is dominated by the q-gram one column to the
@@ -285,6 +321,7 @@ impl AlaeAligner {
         // EMR entries (cost 1): q per started fork, assigned without
         // computation.
         stats.emr_entries += (q as u64) * arena.active.len() as u64;
+        probe.add_work((q as u64) * arena.active.len() as u64);
 
         // Initial fork groups at depth q (the whole EMR has score q·sa).
         // When q·sa already exceeds |sg + ss| the EMR's last entry is itself
@@ -306,6 +343,7 @@ impl AlaeAligner {
                 &mut arena.advance.cells,
             );
             stats.ngr_entries += boundary_entries;
+            probe.add_work(boundary_entries);
         }
         let mut ids = arena.acquire_ids();
         let group_count = if filters.reuse { 1 } else { arena.active.len() };
@@ -355,6 +393,18 @@ impl AlaeAligner {
             group_ids: ids,
         });
         while let Some(frame) = arena.frames.pop() {
+            // One poll per node expansion: on a trip, recycle this frame's
+            // groups and every frame still on the stack, then unwind — the
+            // arena is left reusable and the hits recorded so far stand.
+            if probe.poll(|| arena.bytes_in_use() as u64) {
+                arena.release_slots_of(&frame.group_ids);
+                arena.release_ids(frame.group_ids);
+                while let Some(rest) = arena.frames.pop() {
+                    arena.release_slots_of(&rest.group_ids);
+                    arena.release_ids(rest.group_ids);
+                }
+                return;
+            }
             self.index.children_into(frame.cursor, &mut arena.child_buf);
             for k in 0..arena.child_buf.len() {
                 let (c, child) = arena.child_buf.as_slice()[k];
@@ -368,6 +418,7 @@ impl AlaeAligner {
                         filters.reuse,
                         ctx,
                         stats,
+                        probe,
                         &mut child_ids,
                     );
                 }
@@ -419,6 +470,7 @@ impl AlaeAligner {
         reuse: bool,
         ctx: &AdvanceContext<'_>,
         stats: &mut AlaeStats,
+        probe: &mut GuardProbe,
         out_ids: &mut Vec<u32>,
     ) {
         let m = ctx.query.len();
@@ -451,6 +503,7 @@ impl AlaeAligner {
             }
             stats.ngr_entries += arena.advance.ngr_entries;
             stats.gap_entries += arena.advance.gap_entries;
+            probe.add_work(arena.advance.ngr_entries + arena.advance.gap_entries);
             if arena.advance.alive {
                 let sid = arena.acquire_slot();
                 let slot = &mut arena.slots[sid as usize];
@@ -504,6 +557,7 @@ impl AlaeAligner {
             stats.ngr_entries += arena.advance.ngr_entries;
             stats.gap_entries += arena.advance.gap_entries;
             let computed = arena.advance.ngr_entries + arena.advance.gap_entries;
+            probe.add_work(computed);
 
             // Members whose query agrees at every consulted offset share the
             // representative's outcome (Section 4, Lemma 2).
@@ -642,6 +696,7 @@ impl AlaeAligner {
                 hits: Vec::new(),
                 stats,
                 threshold,
+                termination: Termination::Complete,
             };
         }
 
@@ -682,6 +737,7 @@ impl AlaeAligner {
             hits: hits.into_hits(threshold),
             stats,
             threshold,
+            termination: Termination::Complete,
         }
     }
 

@@ -31,8 +31,9 @@ use crate::experiments::ExperimentOptions;
 use crate::rank_bench::{field_num, field_str, snapshot_path};
 use crate::runners::run_request;
 use crate::setup::{prepare_dna, prepare_dna_sparse, PreparedWorkload};
-use alae::search::{EngineKind, SearchRequest};
+use alae::search::{build_engine, CancelToken, EngineKind, SearchGuard, SearchRequest};
 use alae_bioseq::ScoringScheme;
+use std::time::{Duration, Instant};
 
 /// Workload shape at `--scale 1` (text length and query length multiply by
 /// the scale; the query count stays fixed so per-query times stay
@@ -56,6 +57,14 @@ const THRESHOLD: i64 = 30;
 /// gate keeps it flipped.  Only enforced at full scale (tiny test scales
 /// are too noisy to gate an absolute ratio).
 pub const HIT_DENSE_BWTSW_FLOOR: f64 = 1.0;
+
+/// Absolute floor on the guarded-vs-unguarded ALAE throughput ratio on the
+/// hit-dense workload: running under a fully armed [`SearchGuard`]
+/// (deadline + work budget + memory budget + live cancel token) must cost
+/// less than 2% versus `SearchGuard::none()`.  The guard polls are
+/// amortized (one clock read per [`SearchGuard::DEFAULT_POLL_INTERVAL`]
+/// node expansions) precisely so this holds.  Only enforced at full scale.
+pub const GUARD_OVERHEAD_FLOOR: f64 = 0.98;
 
 /// One engine's measurement.
 #[derive(Debug, Clone)]
@@ -108,6 +117,10 @@ pub struct SearchBenchReport {
     pub seed: u64,
     /// The reporting threshold applied by every engine.
     pub threshold: i64,
+    /// ALAE throughput under a fully armed guard (deadline + budgets +
+    /// cancel token) divided by throughput under `SearchGuard::none()`, on
+    /// the hit-dense workload.  Gated against [`GUARD_OVERHEAD_FLOOR`].
+    pub guarded_vs_unguarded: f64,
     /// Per-workload measurements (`hit-dense`, then `sparse-hit`).
     pub workloads: Vec<WorkloadBench>,
 }
@@ -126,6 +139,10 @@ impl SearchBenchReport {
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"threshold\": {},\n", self.threshold));
+        out.push_str(&format!(
+            "  \"guarded_vs_unguarded\": {:.3},\n",
+            self.guarded_vs_unguarded
+        ));
         out.push_str("  \"workloads\": [\n");
         for (w, workload) in self.workloads.iter().enumerate() {
             out.push_str("    {\n");
@@ -204,18 +221,64 @@ fn run_workload(prepared: &PreparedWorkload) -> Vec<SearchBenchEntry> {
         .collect()
 }
 
+/// Measure the guard-poll overhead: ALAE over the hit-dense workload under
+/// a fully armed guard (far-future deadline, effectively-infinite work and
+/// memory budgets, live cancel token — every poll branch active) versus
+/// `SearchGuard::none()`.  The two passes are interleaved within each
+/// best-of-N repetition so machine drift cancels out of the ratio.
+///
+/// Returns guarded/unguarded throughput (1.0 = free, < 1 = guard costs).
+fn measure_guard_overhead(prepared: &PreparedWorkload) -> f64 {
+    let request =
+        SearchRequest::with_threshold(ScoringScheme::DEFAULT, THRESHOLD).engine(EngineKind::Alae);
+    let engine = build_engine(&prepared.indexed, &request);
+    let cancel = CancelToken::new();
+    let armed = SearchGuard {
+        deadline: Some(Instant::now() + Duration::from_secs(3600)),
+        // One below the unlimited sentinel, so every slow poll genuinely
+        // compares the budget and evaluates the memory probe.
+        work_budget: Some(u64::MAX - 1),
+        memory_budget: Some(u64::MAX - 1),
+        cancel: Some(cancel.clone()),
+        poll_interval: None,
+        #[cfg(feature = "fault-inject")]
+        fault: None,
+    };
+    let none = SearchGuard::none();
+    let mut best_guarded = f64::INFINITY;
+    let mut best_unguarded = f64::INFINITY;
+    for _ in 0..REPETITIONS {
+        for (guard, best) in [(&none, &mut best_unguarded), (&armed, &mut best_guarded)] {
+            let start = Instant::now();
+            for query in &prepared.queries {
+                std::hint::black_box(engine.align_codes_guarded(query.codes(), guard));
+            }
+            *best = best.min(start.elapsed().as_secs_f64());
+        }
+    }
+    if best_guarded > 0.0 {
+        best_unguarded / best_guarded
+    } else {
+        1.0
+    }
+}
+
 /// Run the benchmark: every engine over the hit-dense and the sparse-hit
 /// workload.
 pub fn run(options: &ExperimentOptions) -> SearchBenchReport {
     let text_len = ((BASE_TEXT_LEN as f64 * options.scale) as usize).max(2_000);
     let query_len = ((BASE_QUERY_LEN as f64 * options.scale.min(4.0)) as usize).max(100);
     let mut workloads = Vec::new();
+    let mut guarded_vs_unguarded = 1.0;
     for (name, sparse) in [("hit-dense", false), ("sparse-hit", true)] {
         let prepared = if sparse {
             prepare_dna_sparse(text_len, query_len, QUERY_COUNT, options.seed)
         } else {
             prepare_dna(text_len, query_len, QUERY_COUNT, options.seed)
         };
+        if !sparse {
+            guarded_vs_unguarded = measure_guard_overhead(&prepared);
+        }
         workloads.push(WorkloadBench {
             workload: name,
             text_len: prepared.text_len(),
@@ -228,6 +291,7 @@ pub fn run(options: &ExperimentOptions) -> SearchBenchReport {
         scale: options.scale,
         seed: options.seed,
         threshold: THRESHOLD,
+        guarded_vs_unguarded,
         workloads,
     }
 }
@@ -259,6 +323,11 @@ fn print_report(report: &SearchBenchReport) {
         }
         println!();
     }
+    println!(
+        "guarded-vs-unguarded ALAE throughput (hit-dense): {:.3}x",
+        report.guarded_vs_unguarded
+    );
+    println!();
 }
 
 fn write_snapshot(report: &SearchBenchReport) {
@@ -371,6 +440,25 @@ pub fn check_against_baseline(
     let comparable = base_scale == Some(fresh.scale)
         && field_str(baseline_json, "benchmark").as_deref() == Some("search");
 
+    // Guardrail polling must stay effectively free (full-scale runs only;
+    // tiny test scales are too noisy for an absolute ratio).  The committed
+    // baseline cannot grandfather a breach in: the floor is absolute.
+    if fresh.scale >= 1.0 {
+        if fresh.guarded_vs_unguarded < GUARD_OVERHEAD_FLOOR {
+            outcome.failures.push(format!(
+                "guarded-vs-unguarded ALAE throughput {:.3}x fell below the absolute \
+                 {GUARD_OVERHEAD_FLOOR:.2}x floor (guard polling costs > {:.0}%)",
+                fresh.guarded_vs_unguarded,
+                (1.0 - GUARD_OVERHEAD_FLOOR) * 100.0
+            ));
+        } else {
+            outcome.notes.push(format!(
+                "guarded-vs-unguarded {:.3}x holds the absolute {GUARD_OVERHEAD_FLOOR:.2}x floor",
+                fresh.guarded_vs_unguarded
+            ));
+        }
+    }
+
     for workload in &fresh.workloads {
         let label = workload.workload;
 
@@ -482,6 +570,11 @@ mod tests {
         assert!(json.contains("\"engine\": \"ALAE\""));
         assert!(json.contains("speedup_alae_vs_sw"));
         assert!(json.contains("speedup_alae_vs_bwtsw"));
+        assert!(json.contains("guarded_vs_unguarded"));
+        assert!(
+            report.guarded_vs_unguarded > 0.0,
+            "guard overhead ratio must be measured"
+        );
         // The two workloads genuinely differ: random queries report fewer
         // hits than homologous ones.
         let dense = report.workload("hit-dense").unwrap();
@@ -560,6 +653,33 @@ mod tests {
                 .failures
                 .iter()
                 .any(|f| f.contains("absolute") && f.contains("floor")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn check_flags_a_guard_overhead_breach_at_full_scale() {
+        let mut report = run(&tiny_options());
+        report.scale = 1.0;
+        report.guarded_vs_unguarded = 0.90;
+        let outcome = check_against_baseline(&report.to_json(), &report, 0.20);
+        assert!(
+            outcome
+                .failures
+                .iter()
+                .any(|f| f.contains("guarded-vs-unguarded")),
+            "{:?}",
+            outcome.failures
+        );
+        // And a healthy ratio passes the same gate.
+        report.guarded_vs_unguarded = 0.999;
+        let outcome = check_against_baseline(&report.to_json(), &report, 0.20);
+        assert!(
+            !outcome
+                .failures
+                .iter()
+                .any(|f| f.contains("guarded-vs-unguarded")),
             "{:?}",
             outcome.failures
         );

@@ -54,6 +54,22 @@ if ! grep -q '#!\[allow(unsafe_code)\]' tests/alloc_steady_state.rs; then
     fail=1
 fi
 
+# 4. Panic policy: the search facade promises never to panic on user input
+# (invalid queries come back as Termination::Invalid, engine panics are
+# isolated per query), so its non-test code must not contain `.unwrap()` or
+# `.expect(`.  Fallible lookups use `let ... else { continue }` or typed
+# errors instead.  Test code (everything from `#[cfg(test)]` down) is
+# exempt, as are the non-panicking `.unwrap_or*` combinators (the pattern
+# matches the exact call forms only).
+panics=$(awk '/#\[cfg\(test\)\]/ { exit }
+              /^[[:space:]]*\/\// { next }
+              /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $0 }' src/search.rs)
+if [ -n "$panics" ]; then
+    echo "panic-policy violation: .unwrap()/.expect( in non-test src/search.rs:"
+    echo "$panics"
+    fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
     echo "unsafe-code lint OK"
 fi

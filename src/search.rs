@@ -22,6 +22,13 @@
 //! * [`HitSink`] — streaming delivery with early termination.
 //! * [`Searcher::search_batch`] — multi-threaded fan-out of a query batch
 //!   over the shared index, bit-identical to the sequential path.
+//! * **Request guardrails** — [`SearchRequest::deadline`],
+//!   [`SearchRequest::work_budget`], [`SearchRequest::memory_budget`] and a
+//!   shared [`CancelToken`] bound every query; a tripped run returns the
+//!   hits found so far with a typed [`Termination`], worker panics inside
+//!   [`Searcher::search_batch`] are isolated per query
+//!   ([`Termination::EnginePanicked`]), and invalid requests are rejected
+//!   up front with [`Termination::Invalid`] instead of panicking.
 //!
 //! # Quickstart
 //!
@@ -44,15 +51,21 @@
 //! assert_eq!(&*best.name, "chr1");
 //! ```
 
-use alae_align_baseline::{local_alignment_hits, LocalDpStats};
+use alae_align_baseline::{local_alignment_hits_guarded, LocalDpStats};
 use alae_bioseq::hits::AlignmentHit;
 use alae_bioseq::{Alphabet, KarlinAltschul, ScoringScheme, Sequence, SequenceDatabase};
 use alae_blast_like::{BlastConfig, BlastLikeAligner, BlastStats};
 use alae_bwtsw::{BwtswAligner, BwtswConfig, BwtswStats};
 use alae_core::{AlaeAligner, AlaeConfig, AlaeStats, FilterToggles, ThresholdSpec};
 use alae_suffix::TextIndex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "fault-inject")]
+pub use alae_bioseq::guard::FaultPlan;
+pub use alae_bioseq::guard::{CancelOnDrop, CancelToken, SearchError, SearchGuard, Termination};
 
 // ---------------------------------------------------------------------------
 // Shared index
@@ -198,6 +211,27 @@ pub struct SearchRequest {
     /// Optional hard cap on the trie depth (testing aid; exact engines
     /// only).
     pub max_depth: Option<usize>,
+    /// Wall-clock deadline per query, measured from the moment the engine
+    /// starts.  A query that exceeds it returns its partial hits with
+    /// [`Termination::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Work budget per query, in the engine's own work units (DP cells
+    /// calculated / extension attempts — the counters
+    /// [`EngineCounters::calculated_entries`] reports).  Exceeding it
+    /// returns partial hits with [`Termination::BudgetExhausted`].
+    pub work_budget: Option<u64>,
+    /// Memory budget per query, in bytes of engine scratch (fork-arena
+    /// bytes, pooled DP rows).  Exceeding it returns partial hits with
+    /// [`Termination::BudgetExhausted`].
+    pub memory_budget: Option<u64>,
+    /// How many node expansions between deadline/cancellation/memory polls
+    /// (default [`SearchGuard::DEFAULT_POLL_INTERVAL`]).  Budget accounting
+    /// is exact regardless.
+    pub poll_interval: Option<u32>,
+    /// Deterministic fault injection for tests (`fault-inject` feature
+    /// only; see [`FaultPlan`]).
+    #[cfg(feature = "fault-inject")]
+    pub fault: Option<FaultPlan>,
 }
 
 impl SearchRequest {
@@ -225,6 +259,12 @@ impl SearchRequest {
             min_score: None,
             max_hits_per_record: None,
             max_depth: None,
+            deadline: None,
+            work_budget: None,
+            memory_budget: None,
+            poll_interval: None,
+            #[cfg(feature = "fault-inject")]
+            fault: None,
         }
     }
 
@@ -265,6 +305,53 @@ impl SearchRequest {
         self
     }
 
+    /// Bound each query's wall-clock time; see [`SearchRequest::deadline`].
+    pub fn deadline(mut self, per_query: Duration) -> Self {
+        self.deadline = Some(per_query);
+        self
+    }
+
+    /// Bound each query's engine work; see [`SearchRequest::work_budget`].
+    pub fn work_budget(mut self, units: u64) -> Self {
+        self.work_budget = Some(units);
+        self
+    }
+
+    /// Bound each query's scratch memory; see
+    /// [`SearchRequest::memory_budget`].
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Set the guardrail poll interval; see
+    /// [`SearchRequest::poll_interval`].
+    pub fn poll_interval(mut self, node_expansions: u32) -> Self {
+        self.poll_interval = Some(node_expansions);
+        self
+    }
+
+    /// Inject a deterministic fault into each query (tests only).
+    #[cfg(feature = "fault-inject")]
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Resolve the request's guardrails into a run-form [`SearchGuard`]
+    /// (the relative deadline becomes absolute *now*).
+    pub fn guard(&self, cancel: Option<CancelToken>) -> SearchGuard {
+        SearchGuard {
+            deadline: self.deadline.map(|timeout| Instant::now() + timeout),
+            work_budget: self.work_budget,
+            memory_budget: self.memory_budget,
+            cancel,
+            poll_interval: self.poll_interval,
+            #[cfg(feature = "fault-inject")]
+            fault: self.fault,
+        }
+    }
+
     /// Resolve the reporting threshold `H` for a query of length `m`
     /// against a text of length `n` — the same resolution (including the
     /// `q·sa` exactness floor of Theorem 3) for every engine, so the exact
@@ -303,6 +390,17 @@ pub enum EngineCounters {
 }
 
 impl EngineCounters {
+    /// Zeroed counters for `kind` (responses that never ran an engine:
+    /// invalid requests, isolated panics).
+    pub fn empty(kind: EngineKind) -> Self {
+        match kind {
+            EngineKind::Alae => EngineCounters::Alae(AlaeStats::default()),
+            EngineKind::Bwtsw => EngineCounters::Bwtsw(BwtswStats::default()),
+            EngineKind::BlastLike => EngineCounters::BlastLike(BlastStats::default()),
+            EngineKind::SmithWaterman => EngineCounters::SmithWaterman(LocalDpStats::default()),
+        }
+    }
+
     /// Dynamic-programming entries the engine actually computed — the
     /// paper's primary work measure, comparable across engines.
     pub fn calculated_entries(&self) -> u64 {
@@ -352,6 +450,9 @@ pub struct EngineRun {
     pub threshold: i64,
     /// Engine work counters.
     pub counters: EngineCounters,
+    /// Why the run ended ([`Termination::Complete`] unless a guardrail
+    /// tripped; the hits above are valid partial results either way).
+    pub termination: Termination,
 }
 
 /// The engine-agnostic local-alignment interface.
@@ -368,7 +469,15 @@ pub trait LocalAligner: Send + Sync {
 
     /// Align one query (given as alphabet codes) and report every end pair
     /// reaching the threshold, in canonical hit order.
-    fn align_codes(&self, query: &[u8]) -> EngineRun;
+    fn align_codes(&self, query: &[u8]) -> EngineRun {
+        self.align_codes_guarded(query, &SearchGuard::none())
+    }
+
+    /// [`LocalAligner::align_codes`] under request guardrails: the engine
+    /// polls `guard` in its hot loop (amortized) and unwinds cleanly when a
+    /// deadline, budget or cancellation trips, reporting the hits found so
+    /// far with the matching [`Termination`].
+    fn align_codes_guarded(&self, query: &[u8], guard: &SearchGuard) -> EngineRun;
 }
 
 /// Build the engine selected by `request` over `db`.
@@ -434,12 +543,13 @@ impl LocalAligner for AlaeEngine {
         self.shared.resolve_threshold(query_len)
     }
 
-    fn align_codes(&self, query: &[u8]) -> EngineRun {
-        let result = self.aligner.align(query);
+    fn align_codes_guarded(&self, query: &[u8], guard: &SearchGuard) -> EngineRun {
+        let result = self.aligner.align_guarded(query, guard);
         EngineRun {
             hits: result.hits,
             threshold: result.threshold,
             counters: EngineCounters::Alae(result.stats),
+            termination: result.termination,
         }
     }
 }
@@ -458,16 +568,18 @@ impl LocalAligner for BwtswEngine {
         self.shared.resolve_threshold(query_len)
     }
 
-    fn align_codes(&self, query: &[u8]) -> EngineRun {
+    fn align_codes_guarded(&self, query: &[u8], guard: &SearchGuard) -> EngineRun {
         let threshold = self.resolve_threshold(query.len());
         let mut config = BwtswConfig::new(self.shared.request.scheme, threshold);
         config.max_depth = self.shared.request.max_depth;
         // Constructing the aligner is one `Arc` clone; the index is shared.
-        let result = BwtswAligner::with_index(self.index.clone(), config).align(query);
+        let result =
+            BwtswAligner::with_index(self.index.clone(), config).align_guarded(query, guard);
         EngineRun {
             hits: result.hits,
             threshold,
             counters: EngineCounters::Bwtsw(result.stats),
+            termination: result.termination,
         }
     }
 }
@@ -486,16 +598,18 @@ impl LocalAligner for BlastEngine {
         self.shared.resolve_threshold(query_len)
     }
 
-    fn align_codes(&self, query: &[u8]) -> EngineRun {
+    fn align_codes_guarded(&self, query: &[u8], guard: &SearchGuard) -> EngineRun {
         let threshold = self.resolve_threshold(query.len());
         let config =
             BlastConfig::for_alphabet(self.shared.alphabet, self.shared.request.scheme, threshold);
         // Constructing the aligner is one `Arc` clone; the text is shared.
-        let result = BlastLikeAligner::with_database(self.database.clone(), config).align(query);
+        let result = BlastLikeAligner::with_database(self.database.clone(), config)
+            .align_guarded(query, guard);
         EngineRun {
             hits: result.hits,
             threshold,
             counters: EngineCounters::BlastLike(result.stats),
+            termination: result.termination,
         }
     }
 }
@@ -514,18 +628,20 @@ impl LocalAligner for SmithWatermanEngine {
         self.shared.resolve_threshold(query_len)
     }
 
-    fn align_codes(&self, query: &[u8]) -> EngineRun {
+    fn align_codes_guarded(&self, query: &[u8], guard: &SearchGuard) -> EngineRun {
         let threshold = self.resolve_threshold(query.len());
-        let (hits, stats) = local_alignment_hits(
+        let (hits, stats, termination) = local_alignment_hits_guarded(
             self.database.text(),
             query,
             &self.shared.request.scheme,
             threshold,
+            guard,
         );
         EngineRun {
             hits,
             threshold,
             counters: EngineCounters::SmithWaterman(stats),
+            termination,
         }
     }
 }
@@ -575,6 +691,14 @@ pub struct SearchResponse {
     /// per-thread snapshots — are exact per-query values, even inside a
     /// concurrent [`Searcher::search_batch`].
     pub counters: EngineCounters,
+    /// Why the run ended.
+    ///
+    /// [`Termination::Complete`] means the hit set is exhaustive. Any other
+    /// variant means a guardrail tripped (deadline, budget, cancellation),
+    /// the request was invalid, or the engine panicked; the hits above are
+    /// still valid alignments — a graceful partial result — but the set may
+    /// be incomplete.
+    pub termination: Termination,
 }
 
 impl SearchResponse {
@@ -586,6 +710,11 @@ impl SearchResponse {
     /// The best hit, if any (the first one — hits are in canonical order).
     pub fn best(&self) -> Option<&SearchHit> {
         self.hits.first()
+    }
+
+    /// True when the engine ran to completion (the hit set is exhaustive).
+    pub fn is_complete(&self) -> bool {
+        self.termination.is_complete()
     }
 }
 
@@ -646,6 +775,8 @@ pub struct SinkSummary {
     pub stopped_early: bool,
     /// Engine work counters for this query.
     pub counters: EngineCounters,
+    /// Why the engine run ended (see [`SearchResponse::termination`]).
+    pub termination: Termination,
 }
 
 // ---------------------------------------------------------------------------
@@ -661,18 +792,35 @@ pub struct Searcher {
     /// Karlin–Altschul statistics for per-hit E-values (absent when they do
     /// not exist for the scheme/alphabet combination).
     ka: Option<KarlinAltschul>,
+    /// Shared cancellation token every search run polls; [`Searcher::cancel`]
+    /// trips it from any thread.
+    cancel: CancelToken,
 }
 
 impl Searcher {
     /// Build the engine selected by `request` over `db`.
     pub fn new(db: IndexedDatabase, request: SearchRequest) -> Self {
         let engine = build_engine(&db, &request);
+        Self::with_engine(db, request, engine)
+    }
+
+    /// Build a searcher around an explicit engine implementation.
+    ///
+    /// The facade's own constructors cover the four built-in engines; this
+    /// entry point exists for wrapping or instrumenting an engine (fault
+    /// injection in tests, metering, tracing).
+    pub fn with_engine(
+        db: IndexedDatabase,
+        request: SearchRequest,
+        engine: Box<dyn LocalAligner>,
+    ) -> Self {
         let ka = KarlinAltschul::estimate(db.alphabet(), &request.scheme).ok();
         Self {
             db,
             request,
             engine,
             ka,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -691,21 +839,122 @@ impl Searcher {
         self.engine.as_ref()
     }
 
+    /// The shared cancellation token (clone it into whatever thread or
+    /// callback should be able to abort in-flight searches).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Cancel every in-flight and future search on this searcher.
+    ///
+    /// Running engines unwind at their next guard poll and return the hits
+    /// found so far with [`Termination::Cancelled`]. Call
+    /// [`CancelToken::reset`] on [`Searcher::cancel_token`] to resume
+    /// normal service afterwards.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The minimum query length the selected engine can align: the q-prefix
+    /// length for ALAE (Theorem 3 — shorter queries have no q-gram seeds)
+    /// and the seed word size for the BLAST-like engine; 1 otherwise.
+    fn min_query_len(&self) -> usize {
+        match self.engine.kind() {
+            EngineKind::Alae => self.request.scheme.q(),
+            EngineKind::BlastLike => {
+                BlastConfig::for_alphabet(self.db.alphabet(), self.request.scheme, 1).word_size
+            }
+            EngineKind::Bwtsw | EngineKind::SmithWaterman => 1,
+        }
+    }
+
+    /// Validate a query sequence against the database and engine.
+    fn validate_sequence(&self, query: &Sequence) -> Result<(), SearchError> {
+        if query.alphabet() != self.db.alphabet() {
+            return Err(SearchError::AlphabetMismatch {
+                query: query.alphabet(),
+                database: self.db.alphabet(),
+            });
+        }
+        self.validate_len(query.codes().len())
+    }
+
+    /// Validate raw alphabet codes (the codes themselves are checked too —
+    /// sequences arriving via [`Sequence`] are validated at construction).
+    fn validate_codes(&self, query: &[u8]) -> Result<(), SearchError> {
+        self.validate_len(query.len())?;
+        let alphabet = self.db.alphabet();
+        for (position, &code) in query.iter().enumerate() {
+            if !alphabet.is_character(code) {
+                return Err(SearchError::InvalidCode { code, position });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_len(&self, len: usize) -> Result<(), SearchError> {
+        if len == 0 {
+            return Err(SearchError::EmptyQuery);
+        }
+        let min = self.min_query_len();
+        if len < min {
+            return Err(SearchError::QueryTooShort { len, min });
+        }
+        Ok(())
+    }
+
+    /// The empty response carrying a typed rejection.
+    fn invalid_response(&self, error: SearchError) -> SearchResponse {
+        SearchResponse {
+            engine: self.engine.kind(),
+            threshold: 0,
+            hits: Vec::new(),
+            raw_hit_count: 0,
+            counters: EngineCounters::empty(self.engine.kind()),
+            termination: Termination::Invalid(error),
+        }
+    }
+
+    /// The empty response for a query whose engine run panicked.
+    fn panicked_response(&self) -> SearchResponse {
+        SearchResponse {
+            engine: self.engine.kind(),
+            threshold: 0,
+            hits: Vec::new(),
+            raw_hit_count: 0,
+            counters: EngineCounters::empty(self.engine.kind()),
+            termination: Termination::EnginePanicked,
+        }
+    }
+
     /// Run one query eagerly.
     ///
-    /// Panics if the query's alphabet differs from the database's.
+    /// Never panics on bad input: an alphabet mismatch or a query the engine
+    /// cannot align (empty, or shorter than its seed length) comes back as
+    /// an empty response with [`Termination::Invalid`] naming the reason.
     pub fn search(&self, query: &Sequence) -> SearchResponse {
-        assert_eq!(
-            query.alphabet(),
-            self.db.alphabet(),
-            "query alphabet must match the database alphabet"
-        );
-        self.search_codes(query.codes())
+        match self.validate_sequence(query) {
+            Ok(()) => self.search_validated(query.codes()),
+            Err(error) => self.invalid_response(error),
+        }
     }
 
     /// Run one query given as raw alphabet codes.
+    ///
+    /// Codes outside the database's alphabet are rejected with
+    /// [`SearchError::InvalidCode`] (see [`Searcher::search`] for the
+    /// infallible-rejection contract).
     pub fn search_codes(&self, query: &[u8]) -> SearchResponse {
-        let run = self.engine.align_codes(query);
+        match self.validate_codes(query) {
+            Ok(()) => self.search_validated(query),
+            Err(error) => self.invalid_response(error),
+        }
+    }
+
+    /// Run an already-validated query under the request's guardrails.
+    fn search_validated(&self, query: &[u8]) -> SearchResponse {
+        let guard = self.request.guard(Some(self.cancel.clone()));
+        let run = self.engine.align_codes_guarded(query, &guard);
         let raw_hit_count = run.hits.len();
         let hits = self.shape_hits(query.len(), &run);
         SearchResponse {
@@ -714,18 +963,27 @@ impl Searcher {
             hits,
             raw_hit_count,
             counters: run.counters,
+            termination: run.termination,
         }
     }
 
     /// Run one query and stream its hits into `sink` (canonical order, best
     /// first), stopping as soon as the sink asks to.
+    ///
+    /// Invalid queries deliver nothing and report [`Termination::Invalid`].
     pub fn search_into(&self, query: &Sequence, sink: &mut dyn HitSink) -> SinkSummary {
-        assert_eq!(
-            query.alphabet(),
-            self.db.alphabet(),
-            "query alphabet must match the database alphabet"
-        );
-        let run = self.engine.align_codes(query.codes());
+        if let Err(error) = self.validate_sequence(query) {
+            return SinkSummary {
+                engine: self.engine.kind(),
+                threshold: 0,
+                delivered: 0,
+                stopped_early: false,
+                counters: EngineCounters::empty(self.engine.kind()),
+                termination: Termination::Invalid(error),
+            };
+        }
+        let guard = self.request.guard(Some(self.cancel.clone()));
+        let run = self.engine.align_codes_guarded(query.codes(), &guard);
         let (delivered, stopped_early) =
             self.for_each_shaped_hit(query.len(), &run, &mut |hit| sink.accept(hit));
         SinkSummary {
@@ -734,7 +992,20 @@ impl Searcher {
             delivered,
             stopped_early,
             counters: run.counters,
+            termination: run.termination,
         }
+    }
+
+    /// Run one query with panic isolation: an engine panic is caught and
+    /// converted into an empty [`Termination::EnginePanicked`] response
+    /// instead of unwinding into the caller.
+    ///
+    /// `&self` is safe to reuse afterwards: engines take no locks and keep
+    /// their mutable state in per-call (or per-thread, fully reinitialized)
+    /// scratch, so no shared invariant can be left broken mid-update.
+    fn search_isolated(&self, query: &Sequence) -> SearchResponse {
+        catch_unwind(AssertUnwindSafe(|| self.search(query)))
+            .unwrap_or_else(|_| self.panicked_response())
     }
 
     /// Fan a batch of queries out over `threads` OS threads sharing this
@@ -745,22 +1016,22 @@ impl Searcher {
     /// every engine emits the canonical total hit order, and the work
     /// counters (including the per-thread occurrence-scan deltas) are exact
     /// per query.
+    ///
+    /// Each query is panic-isolated: if an engine run panics, that query
+    /// comes back as an empty [`Termination::EnginePanicked`] response and
+    /// every other query in the batch is unaffected.
     pub fn search_batch(&self, queries: &[Sequence], threads: usize) -> Vec<SearchResponse> {
-        for query in queries {
-            assert_eq!(
-                query.alphabet(),
-                self.db.alphabet(),
-                "query alphabet must match the database alphabet"
-            );
-        }
         let threads = threads.clamp(1, queries.len().max(1));
         if threads == 1 {
-            return queries.iter().map(|q| self.search(q)).collect();
+            return queries.iter().map(|q| self.search_isolated(q)).collect();
         }
         // Work-stealing over an atomic cursor: each worker claims the next
-        // unprocessed query, so long and short queries balance out.
+        // unprocessed query, so long and short queries balance out. Results
+        // land in per-query slots so a worker thread dying (a panic escaping
+        // even the per-query isolation) costs only the queries it claimed —
+        // their slots stay `None` and are backfilled below.
         let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, SearchResponse)> = std::thread::scope(|scope| {
+        let mut slots: Vec<Option<SearchResponse>> = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
@@ -770,19 +1041,25 @@ impl Searcher {
                             if i >= queries.len() {
                                 break;
                             }
-                            mine.push((i, self.search_codes(queries[i].codes())));
+                            mine.push((i, self.search_isolated(&queries[i])));
                         }
                         mine
                     })
                 })
                 .collect();
-            workers
-                .into_iter()
-                .flat_map(|w| w.join().expect("search worker panicked"))
-                .collect()
+            let mut slots: Vec<Option<SearchResponse>> = Vec::new();
+            slots.resize_with(queries.len(), || None);
+            for worker in workers {
+                for (i, response) in worker.join().unwrap_or_default() {
+                    slots[i] = Some(response);
+                }
+            }
+            slots
         });
-        indexed.sort_by_key(|(i, _)| *i);
-        indexed.into_iter().map(|(_, response)| response).collect()
+        slots
+            .iter_mut()
+            .map(|slot| slot.take().unwrap_or_else(|| self.panicked_response()))
+            .collect()
     }
 
     /// Resolve offset-keyed engine hits to records and apply the request's
@@ -824,11 +1101,11 @@ impl Searcher {
                 // Canonical order is score-descending: nothing later passes.
                 break;
             }
-            let location = self
-                .db
-                .database
-                .locate(hit.end_text)
-                .expect("engine hits always end inside a record");
+            // Engine hits always end inside a record; under the panic-free
+            // facade policy an out-of-range offset is dropped, not unwrapped.
+            let Some(location) = self.db.database.locate(hit.end_text) else {
+                continue;
+            };
             if let Some(counts) = per_record.as_mut() {
                 if counts[location.record] >= per_record_cap {
                     continue;

@@ -1,0 +1,163 @@
+//! Deterministic fault injection (`--features fault-inject`): force panics
+//! and guardrail trips at exact node counts deep inside real engine runs,
+//! proving the unwind paths and the batch panic isolation work mid-DFS —
+//! not just at the loop boundaries the timing-based tests can reach.
+#![cfg(feature = "fault-inject")]
+
+use alae::bioseq::{Alphabet, ScoringScheme, Sequence};
+use alae::search::{EngineKind, FaultPlan, IndexedDatabase, SearchRequest, Searcher, Termination};
+use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
+
+fn workload(
+    text_len: usize,
+    queries: usize,
+    query_len: usize,
+    seed: u64,
+) -> (IndexedDatabase, Vec<Sequence>) {
+    let built = WorkloadBuilder::new(
+        TextSpec::dna(text_len, seed),
+        QuerySpec {
+            count: queries,
+            length: query_len,
+            mutation: MutationProfile::HOMOLOGOUS,
+            seed: seed + 1,
+        },
+    )
+    .build();
+    (IndexedDatabase::build(built.database), built.queries)
+}
+
+fn request(kind: EngineKind) -> SearchRequest {
+    SearchRequest::with_threshold(ScoringScheme::DEFAULT, 30).engine(kind)
+}
+
+#[test]
+fn forced_mid_dfs_panic_is_isolated_in_a_batch_of_real_queries() {
+    let (db, mut queries) = workload(6_000, 7, 120, 13);
+    // Poison one query by length: the plan only fires inside its DFS.  The
+    // poison query is spliced from real homologous queries so its descent
+    // is deep enough to reach the planned node count.
+    let poison_len = 137;
+    let poisoned_index = 2;
+    let mut codes = queries[0].codes().to_vec();
+    codes.extend_from_slice(queries[1].codes());
+    codes.truncate(poison_len);
+    queries.insert(poisoned_index, Sequence::from_codes(Alphabet::Dna, codes));
+    assert_eq!(queries.len(), 8);
+
+    let sequential: Vec<_> = {
+        let clean = Searcher::new(db.clone(), request(EngineKind::Alae));
+        queries.iter().map(|q| clean.search(q)).collect()
+    };
+
+    let plan = FaultPlan {
+        panic_at_node: Some(40),
+        only_query_len: Some(poison_len),
+        ..FaultPlan::default()
+    };
+    for threads in [1, 2, 4] {
+        let searcher = Searcher::new(db.clone(), request(EngineKind::Alae).fault(plan));
+        let responses = searcher.search_batch(&queries, threads);
+        assert_eq!(responses.len(), queries.len());
+        for (i, response) in responses.iter().enumerate() {
+            if i == poisoned_index {
+                assert_eq!(
+                    response.termination,
+                    Termination::EnginePanicked,
+                    "threads {threads}: forced panic not isolated"
+                );
+                assert!(response.hits.is_empty());
+            } else {
+                assert!(response.is_complete(), "threads {threads}: sibling {i}");
+                assert_eq!(
+                    response.hits, sequential[i].hits,
+                    "threads {threads}: sibling {i} differs from sequential"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_deadline_and_budget_trips_unwind_mid_dfs_with_valid_partials() {
+    let (db, queries) = workload(8_000, 1, 150, 29);
+    let query = &queries[0];
+    for kind in EngineKind::ALL {
+        let full = Searcher::new(db.clone(), request(kind)).search(query);
+        assert!(full.is_complete());
+        for (plan, expected) in [
+            (
+                FaultPlan {
+                    deadline_at_node: Some(25),
+                    ..FaultPlan::default()
+                },
+                Termination::DeadlineExceeded,
+            ),
+            (
+                FaultPlan {
+                    budget_at_node: Some(25),
+                    ..FaultPlan::default()
+                },
+                Termination::BudgetExhausted,
+            ),
+        ] {
+            let searcher = Searcher::new(db.clone(), request(kind).fault(plan));
+            let response = searcher.search(query);
+            assert_eq!(
+                response.termination, expected,
+                "{kind:?}: forced trip not observed"
+            );
+            // Partial hits remain valid: each end pair appears in the full
+            // run at least as strong.
+            for hit in &response.hits {
+                let matched = full
+                    .hits
+                    .iter()
+                    .find(|f| f.text_end == hit.text_end && f.query_end == hit.query_end)
+                    .unwrap_or_else(|| panic!("{kind:?}: spurious partial hit {hit:?}"));
+                assert!(matched.score >= hit.score);
+            }
+        }
+    }
+}
+
+#[test]
+fn later_trip_points_never_shrink_the_partial_hit_set_on_alae() {
+    let (db, queries) = workload(8_000, 1, 150, 37);
+    let query = &queries[0];
+    let mut last = 0usize;
+    for node in [10u64, 50, 200, 1_000, 10_000] {
+        let plan = FaultPlan {
+            budget_at_node: Some(node),
+            ..FaultPlan::default()
+        };
+        let searcher = Searcher::new(db.clone(), request(EngineKind::Alae).fault(plan));
+        let response = searcher.search(query);
+        assert!(
+            response.hits.len() >= last,
+            "trip at node {node} reported fewer hits than an earlier trip"
+        );
+        last = response.hits.len();
+    }
+}
+
+#[test]
+fn fault_plan_parses_the_env_syntax() {
+    assert_eq!(
+        FaultPlan::parse("panic@120,len=33"),
+        Some(FaultPlan {
+            panic_at_node: Some(120),
+            only_query_len: Some(33),
+            ..FaultPlan::default()
+        })
+    );
+    assert_eq!(
+        FaultPlan::parse("deadline@7"),
+        Some(FaultPlan {
+            deadline_at_node: Some(7),
+            ..FaultPlan::default()
+        })
+    );
+    assert_eq!(FaultPlan::parse(""), None);
+    assert_eq!(FaultPlan::parse("explode@9"), None);
+}

@@ -1,0 +1,432 @@
+//! Integration tests for the request guardrails: deadlines, work/memory
+//! budgets, cooperative cancellation, typed input validation, and panic
+//! isolation in `search_batch` — across all four engines.
+
+use alae::bioseq::{Alphabet, ScoringScheme, Sequence};
+use alae::search::{
+    CancelOnDrop, CancelToken, EngineKind, EngineRun, IndexedDatabase, LocalAligner, SearchError,
+    SearchGuard, SearchHit, SearchRequest, Searcher, Termination,
+};
+use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
+use std::time::Duration;
+
+fn workload(
+    text_len: usize,
+    queries: usize,
+    query_len: usize,
+    seed: u64,
+) -> (IndexedDatabase, Vec<Sequence>) {
+    let built = WorkloadBuilder::new(
+        TextSpec::dna(text_len, seed),
+        QuerySpec {
+            count: queries,
+            length: query_len,
+            mutation: MutationProfile::HOMOLOGOUS,
+            seed: seed + 1,
+        },
+    )
+    .build();
+    (IndexedDatabase::build(built.database), built.queries)
+}
+
+fn request(kind: EngineKind) -> SearchRequest {
+    SearchRequest::with_threshold(ScoringScheme::DEFAULT, 30).engine(kind)
+}
+
+/// Every partial hit's end pair must reappear in the full run, scored at
+/// least as high (a longer run can only improve the best alignment ending
+/// at a given `(text, query)` pair, never lose it).
+fn assert_hits_subset(partial: &[SearchHit], full: &[SearchHit], label: &str) {
+    for hit in partial {
+        let matched = full
+            .iter()
+            .find(|f| f.text_end == hit.text_end && f.query_end == hit.query_end)
+            .unwrap_or_else(|| panic!("{label}: partial hit {hit:?} not in the full hit set"));
+        assert!(
+            matched.score >= hit.score,
+            "{label}: full run scores {} < partial {} at the same end pair",
+            matched.score,
+            hit.score
+        );
+    }
+}
+
+/// Hits must come out in canonical order (score desc, then text, query).
+fn assert_canonical_order(hits: &[SearchHit], label: &str) {
+    for pair in hits.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        let a_key = (-a.score, a.text_end, a.query_end);
+        let b_key = (-b.score, b.text_end, b.query_end);
+        assert!(a_key <= b_key, "{label}: hits out of canonical order");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+#[test]
+fn expired_deadline_returns_promptly_with_partial_results_on_every_engine() {
+    let (db, queries) = workload(8_000, 1, 150, 7);
+    let query = &queries[0];
+    for kind in EngineKind::ALL {
+        let full = Searcher::new(db.clone(), request(kind)).search(query);
+        assert!(full.is_complete());
+
+        // A deadline in the past with per-node polling trips at the first
+        // expansion; the response must still be well-formed.
+        let searcher = Searcher::new(
+            db.clone(),
+            request(kind).deadline(Duration::ZERO).poll_interval(1),
+        );
+        let started = std::time::Instant::now();
+        let cut = searcher.search(query);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "{kind:?}: expired deadline did not return promptly"
+        );
+        assert_eq!(
+            cut.termination,
+            Termination::DeadlineExceeded,
+            "{kind:?}: wrong termination"
+        );
+        assert!(cut.termination.is_partial());
+        assert_canonical_order(&cut.hits, &format!("{kind:?} deadline"));
+        assert_hits_subset(&cut.hits, &full.hits, &format!("{kind:?} deadline"));
+    }
+}
+
+#[test]
+fn generous_deadline_leaves_results_complete_and_identical() {
+    let (db, queries) = workload(4_000, 2, 120, 11);
+    for kind in EngineKind::ALL {
+        let plain = Searcher::new(db.clone(), request(kind));
+        let guarded = Searcher::new(
+            db.clone(),
+            request(kind)
+                .deadline(Duration::from_secs(3600))
+                .work_budget(u64::MAX - 1)
+                .memory_budget(u64::MAX - 1),
+        );
+        for query in &queries {
+            let a = plain.search(query);
+            let b = guarded.search(query);
+            assert!(b.is_complete(), "{kind:?}: generous guard tripped");
+            assert_eq!(a.hits, b.hits, "{kind:?}: guard changed the hit set");
+            assert_eq!(a.threshold, b.threshold);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Work budgets: injected cutoffs yield consistent subsets
+// ---------------------------------------------------------------------------
+
+#[test]
+fn budget_cutoffs_yield_canonical_subsets_on_every_engine() {
+    let (db, queries) = workload(6_000, 1, 140, 23);
+    let query = &queries[0];
+    for kind in EngineKind::ALL {
+        let full = Searcher::new(db.clone(), request(kind)).search(query);
+        assert!(full.is_complete());
+        let mut saw_cutoff = false;
+        let mut saw_complete = false;
+        for budget in [0u64, 50, 500, 5_000, 50_000, 5_000_000, u64::MAX - 1] {
+            let searcher = Searcher::new(
+                db.clone(),
+                request(kind).work_budget(budget).poll_interval(1),
+            );
+            let response = searcher.search(query);
+            let label = format!("{kind:?} budget {budget}");
+            match &response.termination {
+                Termination::Complete => {
+                    saw_complete = true;
+                    assert_eq!(response.hits, full.hits, "{label}: complete run differs");
+                }
+                Termination::BudgetExhausted => {
+                    saw_cutoff = true;
+                    assert_canonical_order(&response.hits, &label);
+                    assert_hits_subset(&response.hits, &full.hits, &label);
+                    assert!(
+                        response.hits.len() <= full.hits.len(),
+                        "{label}: more hits than the full run"
+                    );
+                }
+                other => panic!("{label}: unexpected termination {other:?}"),
+            }
+        }
+        assert!(saw_cutoff, "{kind:?}: no budget in the sweep tripped");
+        assert!(saw_complete, "{kind:?}: no budget in the sweep completed");
+    }
+}
+
+#[test]
+fn memory_budget_of_zero_trips_on_arena_backed_engines() {
+    let (db, queries) = workload(4_000, 1, 120, 31);
+    let query = &queries[0];
+    for kind in EngineKind::ALL {
+        let full = Searcher::new(db.clone(), request(kind)).search(query);
+        let searcher = Searcher::new(db.clone(), request(kind).memory_budget(0).poll_interval(1));
+        let response = searcher.search(query);
+        // Every engine accounts some live bytes (arena, DP rows, or seed
+        // buffer), so a zero budget must cut the run short.
+        assert_eq!(
+            response.termination,
+            Termination::BudgetExhausted,
+            "{kind:?}: zero memory budget did not trip"
+        );
+        assert_hits_subset(&response.hits, &full.hits, &format!("{kind:?} memory"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cancellation_is_observed_and_resettable() {
+    let (db, queries) = workload(4_000, 1, 120, 43);
+    let query = &queries[0];
+    for kind in EngineKind::ALL {
+        let searcher = Searcher::new(db.clone(), request(kind).poll_interval(1));
+        let full = searcher.search(query);
+        assert!(full.is_complete());
+
+        // Trip the shared token: the next search unwinds at its first poll.
+        searcher.cancel();
+        let cancelled = searcher.search(query);
+        assert_eq!(
+            cancelled.termination,
+            Termination::Cancelled,
+            "{kind:?}: cancellation not observed"
+        );
+        assert_hits_subset(&cancelled.hits, &full.hits, &format!("{kind:?} cancel"));
+
+        // Reset restores normal service.
+        searcher.cancel_token().reset();
+        let again = searcher.search(query);
+        assert!(again.is_complete(), "{kind:?}: reset did not restore");
+        assert_eq!(again.hits, full.hits);
+    }
+}
+
+#[test]
+fn cancellation_from_another_thread_stops_an_in_flight_batch() {
+    // A large workload with many queries; a sibling thread cancels while
+    // the batch is in flight. Every response must be well-formed: either
+    // complete (finished before the cancel landed) or Cancelled with a
+    // valid partial hit set.
+    let (db, queries) = workload(30_000, 12, 300, 57);
+    let searcher = Searcher::new(db.clone(), request(EngineKind::Alae).poll_interval(1));
+    let full: Vec<_> = {
+        let clean = Searcher::new(db, request(EngineKind::Alae));
+        queries.iter().map(|q| clean.search(q)).collect()
+    };
+    let token = searcher.cancel_token();
+    let responses = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            token.cancel();
+        });
+        searcher.search_batch(&queries, 4)
+    });
+    assert_eq!(responses.len(), queries.len());
+    for (i, response) in responses.iter().enumerate() {
+        match &response.termination {
+            Termination::Complete => assert_eq!(response.hits, full[i].hits),
+            Termination::Cancelled => {
+                assert_canonical_order(&response.hits, "cancelled batch");
+                assert_hits_subset(&response.hits, &full[i].hits, "cancelled batch");
+            }
+            other => panic!("query {i}: unexpected termination {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn cancel_on_drop_arms_and_disarms() {
+    let token = CancelToken::new();
+    {
+        let guard = CancelOnDrop::new(token.clone());
+        drop(guard);
+    }
+    assert!(token.is_cancelled(), "drop should cancel");
+
+    let token = CancelToken::new();
+    {
+        let guard = CancelOnDrop::new(token.clone());
+        let _token = guard.disarm();
+    }
+    assert!(!token.is_cancelled(), "disarm should prevent cancellation");
+}
+
+// ---------------------------------------------------------------------------
+// Typed validation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn invalid_queries_come_back_typed_not_panicking() {
+    let (db, _) = workload(2_000, 1, 100, 71);
+
+    // Alphabet mismatch.
+    let searcher = Searcher::new(db.clone(), request(EngineKind::Alae));
+    let protein = Sequence::from_ascii(Alphabet::Protein, b"MKVLAAGILTARPWWD").unwrap();
+    let response = searcher.search(&protein);
+    assert_eq!(
+        response.termination,
+        Termination::Invalid(SearchError::AlphabetMismatch {
+            query: Alphabet::Protein,
+            database: Alphabet::Dna,
+        })
+    );
+    assert!(response.hits.is_empty());
+    assert_eq!(response.raw_hit_count, 0);
+
+    // Empty query.
+    let response = searcher.search_codes(&[]);
+    assert_eq!(
+        response.termination,
+        Termination::Invalid(SearchError::EmptyQuery)
+    );
+
+    // Query shorter than ALAE's q-gram seed length.
+    let q = ScoringScheme::DEFAULT.q();
+    assert!(q > 1, "DEFAULT scheme should have a multi-char q-prefix");
+    let response = searcher.search_codes(&vec![1u8; q - 1]);
+    assert_eq!(
+        response.termination,
+        Termination::Invalid(SearchError::QueryTooShort { len: q - 1, min: q })
+    );
+
+    // Raw codes outside the alphabet (code 0 is the separator, codes above
+    // sigma do not exist).
+    let response = searcher.search_codes(&[1, 2, 3, 4, 99, 1, 2, 3, 4, 1, 2]);
+    assert_eq!(
+        response.termination,
+        Termination::Invalid(SearchError::InvalidCode {
+            code: 99,
+            position: 4
+        })
+    );
+
+    // The BLAST-like engine's minimum is its word size.
+    let blast = Searcher::new(db, request(EngineKind::BlastLike));
+    let response = blast.search_codes(&[1, 2]);
+    match response.termination {
+        Termination::Invalid(SearchError::QueryTooShort { len: 2, min }) => {
+            assert!(min > 2, "DNA word size should exceed 2")
+        }
+        other => panic!("unexpected termination {other:?}"),
+    }
+}
+
+#[test]
+fn streaming_path_reports_termination() {
+    let (db, queries) = workload(2_000, 1, 100, 83);
+    let searcher = Searcher::new(db, request(EngineKind::Alae));
+    let mut sink = alae::search::CollectSink::default();
+    let summary = searcher.search_into(&queries[0], &mut sink);
+    assert!(summary.termination.is_complete());
+
+    let protein = Sequence::from_ascii(Alphabet::Protein, b"MKVLAAGILTARPWWD").unwrap();
+    let mut sink = alae::search::CollectSink::default();
+    let summary = searcher.search_into(&protein, &mut sink);
+    assert!(matches!(summary.termination, Termination::Invalid(_)));
+    assert_eq!(summary.delivered, 0);
+    assert!(sink.hits.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Batch panic isolation
+// ---------------------------------------------------------------------------
+
+/// An engine wrapper that panics on queries of one specific length and
+/// delegates everything else — the facade-level stand-in for a latent
+/// engine bug tripping on one poisoned query in a batch.
+struct PanicOnLength {
+    inner: Box<dyn LocalAligner>,
+    panic_len: usize,
+}
+
+impl LocalAligner for PanicOnLength {
+    fn kind(&self) -> EngineKind {
+        self.inner.kind()
+    }
+
+    fn resolve_threshold(&self, query_len: usize) -> i64 {
+        self.inner.resolve_threshold(query_len)
+    }
+
+    fn align_codes_guarded(&self, query: &[u8], guard: &SearchGuard) -> EngineRun {
+        assert_ne!(query.len(), self.panic_len, "injected engine panic");
+        self.inner.align_codes_guarded(query, guard)
+    }
+}
+
+#[test]
+fn batch_isolates_a_panicking_query_on_every_thread_count() {
+    let (db, mut queries) = workload(4_000, 7, 120, 97);
+    // Poison one query by giving it a unique length the wrapper targets.
+    let poison_len = 133;
+    let poisoned_index = 3;
+    let codes = vec![1u8; poison_len];
+    queries.insert(poisoned_index, Sequence::from_codes(Alphabet::Dna, codes));
+    assert_eq!(queries.len(), 8);
+
+    let sequential: Vec<_> = {
+        let clean = Searcher::new(db.clone(), request(EngineKind::Alae));
+        queries.iter().map(|q| clean.search(q)).collect()
+    };
+
+    for threads in [1, 2, 4] {
+        let req = request(EngineKind::Alae);
+        let engine = alae::search::build_engine(&db, &req);
+        let searcher = Searcher::with_engine(
+            db.clone(),
+            req,
+            Box::new(PanicOnLength {
+                inner: engine,
+                panic_len: poison_len,
+            }),
+        );
+        let responses = searcher.search_batch(&queries, threads);
+        assert_eq!(responses.len(), queries.len());
+        for (i, response) in responses.iter().enumerate() {
+            if i == poisoned_index {
+                assert_eq!(
+                    response.termination,
+                    Termination::EnginePanicked,
+                    "threads {threads}: poisoned query not isolated"
+                );
+                assert!(response.hits.is_empty());
+            } else {
+                assert!(
+                    response.is_complete(),
+                    "threads {threads}: sibling {i} not complete"
+                );
+                assert_eq!(
+                    response.hits, sequential[i].hits,
+                    "threads {threads}: sibling {i} hits differ from sequential"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guard plumbing details
+// ---------------------------------------------------------------------------
+
+#[test]
+fn engine_run_and_response_terminations_agree() {
+    let (db, queries) = workload(3_000, 1, 110, 101);
+    let query = &queries[0];
+    for kind in EngineKind::ALL {
+        let searcher = Searcher::new(db.clone(), request(kind).work_budget(0).poll_interval(1));
+        let response = searcher.search(query);
+        assert_eq!(response.termination, Termination::BudgetExhausted);
+        // The unguarded trait entry point still defaults to no limits.
+        let run = searcher.engine().align_codes(query.codes());
+        assert!(run.termination.is_complete(), "{kind:?}: default not none");
+    }
+}
