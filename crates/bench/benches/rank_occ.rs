@@ -5,7 +5,7 @@
 use alae_bench::{
     collect_trie_nodes, extend_all_pass, extend_left_pass, protein_workload, reduce_alphabet,
 };
-use alae_suffix::{CheckpointScheme, ChildBuf, RankLayout, TextIndex};
+use alae_suffix::{CheckpointScheme, ChildBuf, IndexOptions, RankLayout};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -30,12 +30,13 @@ fn bench_rank_occ(c: &mut Criterion) {
 
     // Same text with the flat u32 checkpoint rows the two-level scheme
     // replaced: the delta is pure checkpoint-row width.
-    let flat_index = TextIndex::with_occ_options(
-        workload.database.text().to_vec(),
-        workload.database.alphabet().code_count(),
-        RankLayout::Auto,
-        CheckpointScheme::FlatU32,
-    );
+    let flat_index = IndexOptions::new()
+        .layout(RankLayout::Auto)
+        .checkpoints(CheckpointScheme::FlatU32)
+        .build_text_index(
+            workload.database.text().to_vec(),
+            workload.database.alphabet().code_count(),
+        );
     let flat_nodes = collect_trie_nodes(&flat_index, 2, 2_000);
     group.bench_function("extend_all_flat_u32", |b| {
         let mut buf = ChildBuf::new();
@@ -45,7 +46,9 @@ fn bench_rank_occ(c: &mut Criterion) {
     // Reduced protein alphabet (σ = 15 + separator) on the 4-bit
     // nibble-packed popcount path.
     let reduced = reduce_alphabet(workload.database.text(), 15);
-    let nibble_index = TextIndex::with_layout(reduced, 16, RankLayout::PackedNibble);
+    let nibble_index = IndexOptions::new()
+        .layout(RankLayout::PackedNibble)
+        .build_text_index(reduced, 16);
     let nibble_nodes = collect_trie_nodes(&nibble_index, 2, 2_000);
     group.bench_function("extend_all_reduced15_nibble", |b| {
         let mut buf = ChildBuf::new();

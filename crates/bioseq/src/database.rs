@@ -9,6 +9,7 @@
 
 use crate::alphabet::{Alphabet, SEPARATOR_CODE};
 use crate::sequence::Sequence;
+use crate::shared::SharedBytes;
 use std::sync::Arc;
 
 /// Location of a text position inside the original database records.
@@ -55,15 +56,16 @@ impl RecordSpan {
 
 /// A collection of sequences concatenated into one searchable text.
 ///
-/// The concatenated text lives behind an [`Arc`] so index builders and
+/// The concatenated text is a [`SharedBytes`] view, so index builders and
 /// aligners can share the database's copy instead of duplicating it (see
 /// [`SequenceDatabase::shared_text`]); cloning the database is cheap on the
-/// text side.
+/// text side.  A database opened from an on-disk index views the mapped
+/// file directly.
 #[derive(Debug, Clone)]
 pub struct SequenceDatabase {
     alphabet: Alphabet,
     /// Concatenated codes: `rec1 $ rec2 $ … $ recK` (no trailing separator).
-    text: Arc<Vec<u8>>,
+    text: SharedBytes,
     /// Names of the records, parallel to `starts` (shared so locations can
     /// carry them without copying).
     names: Vec<Arc<str>>,
@@ -78,11 +80,68 @@ impl SequenceDatabase {
     pub fn new(alphabet: Alphabet) -> Self {
         Self {
             alphabet,
-            text: Arc::new(Vec::new()),
+            text: SharedBytes::new(),
             names: Vec::new(),
             starts: Vec::new(),
             lengths: Vec::new(),
         }
+    }
+
+    /// Reassemble a database from its serialized parts (the `alae-store`
+    /// crate's open path).  The text may be a zero-copy view into a mapped
+    /// file.
+    ///
+    /// Validates the record table against the text layout: records must be
+    /// contiguous, separated by exactly one separator code, and cover the
+    /// text exactly.
+    pub fn from_parts(
+        alphabet: Alphabet,
+        text: SharedBytes,
+        names: Vec<Arc<str>>,
+        starts: Vec<usize>,
+        lengths: Vec<usize>,
+    ) -> Result<Self, String> {
+        if names.len() != starts.len() || names.len() != lengths.len() {
+            return Err(format!(
+                "record table arity mismatch: {} names, {} starts, {} lengths",
+                names.len(),
+                starts.len(),
+                lengths.len()
+            ));
+        }
+        let mut expected_start = 0usize;
+        for (record, (&start, &len)) in starts.iter().zip(&lengths).enumerate() {
+            if start != expected_start {
+                return Err(format!(
+                    "record {record} starts at {start}, expected {expected_start}"
+                ));
+            }
+            let end = start
+                .checked_add(len)
+                .filter(|&end| end <= text.len())
+                .ok_or_else(|| format!("record {record} overruns the text"))?;
+            if record + 1 < starts.len() {
+                if text.get(end) != Some(&SEPARATOR_CODE) {
+                    return Err(format!("missing separator after record {record}"));
+                }
+                expected_start = end + 1;
+            } else {
+                expected_start = end;
+            }
+        }
+        if expected_start != text.len() {
+            return Err(format!(
+                "record table covers {expected_start} of {} text bytes",
+                text.len()
+            ));
+        }
+        Ok(Self {
+            alphabet,
+            text,
+            names,
+            starts,
+            lengths,
+        })
     }
 
     /// Build a database from a list of sequences.
@@ -104,18 +163,21 @@ impl SequenceDatabase {
             self.alphabet,
             "record alphabet must match database alphabet"
         );
-        // While the database is being built the `Arc` is unshared, so
-        // `make_mut` is a plain mutable borrow; pushing after the text has
-        // been shared with an index copies once (and the copy is then the
-        // new canonical text).
-        let text = Arc::make_mut(&mut self.text);
-        if !text.is_empty() {
-            text.push(SEPARATOR_CODE);
-        }
-        self.starts.push(text.len());
+        // While the database is being built the text is unshared, so the
+        // mutation happens in place; pushing after the text has been shared
+        // with an index copies once (and the copy is then the new canonical
+        // text).
+        let start = self.text.with_mut(|text| {
+            if !text.is_empty() {
+                text.push(SEPARATOR_CODE);
+            }
+            let start = text.len();
+            text.extend_from_slice(sequence.codes());
+            start
+        });
+        self.starts.push(start);
         self.lengths.push(sequence.len());
         self.names.push(Arc::from(sequence.name()));
-        text.extend_from_slice(sequence.codes());
     }
 
     /// The alphabet of the database.
@@ -143,11 +205,26 @@ impl SequenceDatabase {
         &self.text
     }
 
-    /// The concatenated text behind its `Arc`, for consumers that want to
-    /// share the database's copy instead of duplicating it (index builders,
-    /// aligners over multi-megabyte databases).
-    pub fn shared_text(&self) -> Arc<Vec<u8>> {
-        Arc::clone(&self.text)
+    /// The concatenated text as a cheaply cloneable view, for consumers
+    /// that want to share the database's copy instead of duplicating it
+    /// (index builders, aligners over multi-megabyte databases).
+    pub fn shared_text(&self) -> SharedBytes {
+        self.text.clone()
+    }
+
+    /// Record names in insertion order (serialization support).
+    pub fn record_names(&self) -> &[Arc<str>] {
+        &self.names
+    }
+
+    /// 0-based start offset of each record inside the text.
+    pub fn record_starts(&self) -> &[usize] {
+        &self.starts
+    }
+
+    /// Length of each record.
+    pub fn record_lengths(&self) -> &[usize] {
+        &self.lengths
     }
 
     /// Length of the concatenated text `n` (including separators).
@@ -340,6 +417,55 @@ mod tests {
         // The shared snapshot still sees the old text; the database moved on.
         assert_eq!(before.len(), 8);
         assert_eq!(db.text_len(), 8 + 1 + 2);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let db = db_two_records();
+        let rebuilt = SequenceDatabase::from_parts(
+            db.alphabet(),
+            db.shared_text(),
+            db.record_names().to_vec(),
+            db.record_starts().to_vec(),
+            db.record_lengths().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.to_ascii(), db.to_ascii());
+        assert_eq!(rebuilt.record_name(1), "r2");
+        // The reassembled database shares the text, it does not copy it.
+        assert!(std::ptr::eq(rebuilt.text(), db.text()));
+
+        // Arity mismatch, bad start, overrun and missing separator all fail.
+        let names = db.record_names().to_vec();
+        let text = db.shared_text();
+        assert!(SequenceDatabase::from_parts(
+            db.alphabet(),
+            text.clone(),
+            names.clone(),
+            vec![0],
+            db.record_lengths().to_vec(),
+        )
+        .is_err());
+        assert!(SequenceDatabase::from_parts(
+            db.alphabet(),
+            text.clone(),
+            names.clone(),
+            vec![0, 6],
+            db.record_lengths().to_vec(),
+        )
+        .is_err());
+        assert!(SequenceDatabase::from_parts(
+            db.alphabet(),
+            text.clone(),
+            names.clone(),
+            vec![0, 5],
+            vec![4, 9]
+        )
+        .is_err());
+        assert!(
+            SequenceDatabase::from_parts(db.alphabet(), text, names, vec![0, 5], vec![4, 2])
+                .is_err()
+        );
     }
 
     #[test]

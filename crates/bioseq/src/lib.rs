@@ -26,6 +26,7 @@ pub mod hash;
 pub mod hits;
 pub mod scoring;
 pub mod sequence;
+pub mod shared;
 
 pub use alphabet::Alphabet;
 pub use database::{RecordLocation, RecordSpan, SequenceDatabase};
@@ -34,6 +35,7 @@ pub use guard::{CancelOnDrop, CancelToken, GuardProbe, SearchError, SearchGuard,
 pub use hits::{AlignmentHit, HitMap};
 pub use scoring::ScoringScheme;
 pub use sequence::Sequence;
+pub use shared::SharedBytes;
 
 /// Errors produced by this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]

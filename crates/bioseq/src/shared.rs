@@ -1,0 +1,328 @@
+//! Cheaply cloneable, immutable byte buffers with pluggable owners.
+//!
+//! The concatenated database text and the occurrence-table byte storage are
+//! shared between the database, the text index and every aligner built on
+//! top of them.  Historically that sharing was expressed as `Arc<Vec<u8>>`,
+//! which forces every buffer to live on the heap as an owned `Vec`.  The
+//! on-disk index format (the `alae-store` crate) wants those same buffers to
+//! be *views into a memory-mapped file* so a saved index opens without
+//! copying its largest sections.
+//!
+//! [`SharedBytes`] abstracts over both: a reference-counted owner (either a
+//! plain `Vec<u8>` or any `AsRef<[u8]>` owner such as an mmap) plus an
+//! `(offset, len)` window.  Clones share the owner; `Deref` yields the
+//! window as `&[u8]`.
+
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// The backing allocation of a [`SharedBytes`].
+#[derive(Clone)]
+enum Owner {
+    /// An ordinary heap vector (the mutable/default backing).
+    Heap(Arc<Vec<u8>>),
+    /// Any shared byte owner — in practice a memory-mapped file region.
+    Raw(Arc<dyn AsRef<[u8]> + Send + Sync>),
+}
+
+impl Owner {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Owner::Heap(vec) => vec,
+            Owner::Raw(raw) => (**raw).as_ref(),
+        }
+    }
+}
+
+/// An immutable, cheaply cloneable `[u8]` view backed by a shared owner.
+///
+/// Equality, ordering and hashing all go through the viewed bytes, so two
+/// views over different owners compare equal when their windows hold the
+/// same content.
+#[derive(Clone)]
+pub struct SharedBytes {
+    owner: Owner,
+    offset: usize,
+    len: usize,
+}
+
+impl SharedBytes {
+    /// An empty view.
+    pub fn new() -> Self {
+        Self::from_vec(Vec::new())
+    }
+
+    /// Take ownership of a vector.
+    pub fn from_vec(vec: Vec<u8>) -> Self {
+        Self::from_arc_vec(Arc::new(vec))
+    }
+
+    /// View an already shared vector (the view covers the whole vector).
+    pub fn from_arc_vec(vec: Arc<Vec<u8>>) -> Self {
+        let len = vec.len();
+        Self {
+            owner: Owner::Heap(vec),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// View `owner.as_ref()[offset..offset + len]` without copying.
+    ///
+    /// This is how the store crate wraps sections of a memory-mapped file.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window does not fit inside the owner's bytes.
+    pub fn from_owner(
+        owner: Arc<dyn AsRef<[u8]> + Send + Sync>,
+        offset: usize,
+        len: usize,
+    ) -> Self {
+        let total = (*owner).as_ref().len();
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= total),
+            "SharedBytes window {offset}..{offset}+{len} out of bounds for owner of {total} bytes"
+        );
+        Self {
+            owner: Owner::Raw(owner),
+            offset,
+            len,
+        }
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.owner.as_bytes()[self.offset..self.offset + self.len]
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-view sharing the same owner (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is out of bounds for this view.
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "SharedBytes sub-slice {}..{} out of bounds for view of {} bytes",
+            range.start,
+            range.end,
+            self.len
+        );
+        Self {
+            owner: self.owner.clone(),
+            offset: self.offset + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Mutate the bytes through a `Vec<u8>`, copying on write.
+    ///
+    /// When this view is the sole owner of a heap vector and covers it
+    /// entirely, the closure receives that vector in place (no copy) — the
+    /// common "database still being built" case.  Otherwise (the owner is
+    /// shared, a sub-view, or a raw owner such as an mmap) the window is
+    /// first copied into a fresh vector, so existing clones keep seeing the
+    /// old bytes.  After the closure returns, this view covers the whole
+    /// (possibly resized) vector.
+    pub fn with_mut<R>(&mut self, f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+        let covers_whole =
+            self.offset == 0 && matches!(&self.owner, Owner::Heap(v) if v.len() == self.len);
+        if !covers_whole {
+            self.owner = Owner::Heap(Arc::new(self.as_slice().to_vec()));
+            self.offset = 0;
+        }
+        let Owner::Heap(vec) = &mut self.owner else {
+            unreachable!("with_mut always normalizes to a heap owner");
+        };
+        let vec = Arc::make_mut(vec);
+        let result = f(vec);
+        self.len = vec.len();
+        result
+    }
+}
+
+impl Default for SharedBytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(vec: Vec<u8>) -> Self {
+        Self::from_vec(vec)
+    }
+}
+
+impl From<Arc<Vec<u8>>> for SharedBytes {
+    fn from(vec: Arc<Vec<u8>>) -> Self {
+        Self::from_arc_vec(vec)
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(bytes: &[u8]) -> Self {
+        Self::from_vec(bytes.to_vec())
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedBytes")
+            .field("len", &self.len)
+            .field("offset", &self.offset)
+            .field(
+                "owner",
+                &match &self.owner {
+                    Owner::Heap(_) => "heap",
+                    Owner::Raw(_) => "raw",
+                },
+            )
+            .finish()
+    }
+}
+
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl PartialEq<[u8]> for SharedBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for SharedBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for SharedBytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_same_allocation() {
+        let a = SharedBytes::from_vec(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_slice(), b.as_slice()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slicing_shares_the_owner() {
+        let a = SharedBytes::from_vec(vec![10, 20, 30, 40, 50]);
+        let mid = a.slice(1..4);
+        assert_eq!(mid.as_slice(), &[20, 30, 40]);
+        assert!(std::ptr::eq(mid.as_slice().as_ptr(), &a[1] as *const u8));
+        let inner = mid.slice(1..2);
+        assert_eq!(inner.as_slice(), &[30]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_slice_panics() {
+        SharedBytes::from_vec(vec![1, 2]).slice(1..3).slice(0..3);
+    }
+
+    #[test]
+    fn with_mut_in_place_when_unshared() {
+        let mut a = SharedBytes::from_vec(vec![1, 2, 3]);
+        let before = a.as_slice().as_ptr();
+        a.with_mut(|v| v.push(4));
+        assert_eq!(a.as_slice(), &[1, 2, 3, 4]);
+        // No reallocation is not guaranteed (Vec growth), but the owner must
+        // still be the original Arc — mutating again must not copy.
+        a.with_mut(|v| v.push(5));
+        assert_eq!(a.len(), 5);
+        let _ = before;
+    }
+
+    #[test]
+    fn with_mut_copies_when_shared() {
+        let mut a = SharedBytes::from_vec(vec![1, 2, 3]);
+        let snapshot = a.clone();
+        a.with_mut(|v| v.push(4));
+        assert_eq!(snapshot.as_slice(), &[1, 2, 3]);
+        assert_eq!(a.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn with_mut_copies_out_of_sub_views_and_raw_owners() {
+        let base = SharedBytes::from_vec(vec![1, 2, 3, 4]);
+        let mut sub = base.slice(1..3);
+        sub.with_mut(|v| v.push(9));
+        assert_eq!(sub.as_slice(), &[2, 3, 9]);
+        assert_eq!(base.as_slice(), &[1, 2, 3, 4]);
+
+        let owner: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(vec![7u8, 8, 9]);
+        let mut raw = SharedBytes::from_owner(owner, 0, 3);
+        raw.with_mut(|v| v[0] = 0);
+        assert_eq!(raw.as_slice(), &[0, 8, 9]);
+    }
+
+    #[test]
+    fn raw_owner_windows() {
+        let owner: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(vec![1u8, 2, 3, 4, 5]);
+        let view = SharedBytes::from_owner(owner.clone(), 1, 3);
+        assert_eq!(view.as_slice(), &[2, 3, 4]);
+        assert_eq!(view.len(), 3);
+        let whole = SharedBytes::from_owner(owner, 0, 5);
+        assert!(std::ptr::eq(
+            view.as_slice().as_ptr(),
+            &whole[1] as *const u8
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn raw_owner_window_out_of_bounds_panics() {
+        let owner: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(vec![1u8, 2, 3]);
+        let _ = SharedBytes::from_owner(owner, 2, 2);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = SharedBytes::from_vec(vec![1, 2, 3]);
+        let b = SharedBytes::from_vec(vec![0, 1, 2, 3]).slice(1..4);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(a, *[1u8, 2, 3].as_slice());
+    }
+}

@@ -39,7 +39,7 @@ use crate::qgram::QGramIndex;
 use alae_bioseq::guard::{GuardProbe, SearchGuard, Termination};
 use alae_bioseq::hits::{AlignmentHit, HitMap};
 use alae_bioseq::{Alphabet, Sequence, SequenceDatabase};
-use alae_suffix::{SuffixTrieCursor, TextIndex};
+use alae_suffix::{IndexOptions, SuffixTrieCursor, TextIndex};
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -86,10 +86,10 @@ impl AlaeAligner {
     /// hold the same `Arc`), not copied — constructing an aligner over a
     /// 30 MB database does not duplicate the text.
     pub fn build(database: &SequenceDatabase, config: AlaeConfig) -> Self {
-        let index = Arc::new(TextIndex::from_shared(
-            database.shared_text(),
-            database.alphabet().code_count(),
-        ));
+        let index = Arc::new(
+            IndexOptions::new()
+                .build_text_index(database.shared_text(), database.alphabet().code_count()),
+        );
         Self::with_index(index, database.alphabet(), config)
     }
 

@@ -22,6 +22,7 @@ pub const EXPERIMENT_NAMES: &[&str] = &[
     "sw-anchor",
     "rank",
     "search",
+    "store",
 ];
 
 /// Options shared by every experiment.
@@ -87,6 +88,7 @@ pub fn run_experiment(name: &str, options: &ExperimentOptions) -> bool {
         "sw-anchor" => sw_anchor(options),
         "rank" => rank(options, true),
         "search" => search(options, true),
+        "store" => store_timing(options),
         _ => return false,
     }
     true
@@ -158,6 +160,55 @@ fn default_config() -> AlaeConfig {
 
 /// Table 2: alignment time and number of results when varying the query
 /// length (paper: m = 1K … 10M against n = 1 billion).
+/// Open-vs-rebuild timing for the single-file index store: the point of
+/// `IndexedDatabase::save`/`open` is that reopening memory-maps the file
+/// and skips the O(n log n) suffix-array build entirely, so `open` should
+/// be orders of magnitude cheaper than `IndexBuilder::index` at any
+/// interesting scale.  Prints a small machine-greppable summary; the CI
+/// store leg captures it as the timing artifact.
+fn store_timing(options: &ExperimentOptions) {
+    use alae::search::{IndexBuilder, IndexedDatabase};
+    use std::time::Instant;
+
+    header("store — open a persisted index vs rebuilding it from text");
+    let n = options.len(500_000);
+    let database = text_only(Alphabet::Dna, n, options.seed);
+
+    let build_started = Instant::now();
+    let fresh = IndexBuilder::new().index(database);
+    let build = build_started.elapsed();
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("alae-store-timing-{}.idx", std::process::id()));
+    let save_started = Instant::now();
+    fresh.save(&path).expect("save index");
+    let save = save_started.elapsed();
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    let open_started = Instant::now();
+    let opened = IndexedDatabase::open(&path).expect("open index");
+    let open = open_started.elapsed();
+    assert_eq!(opened.text_len(), fresh.text_len());
+    std::fs::remove_file(&path).ok();
+
+    let speedup = build.as_secs_f64() / open.as_secs_f64().max(1e-9);
+    println!("  text_len:        {n}");
+    println!("  file_bytes:      {file_bytes}");
+    println!("  build_seconds:   {:.4}", build.as_secs_f64());
+    println!("  save_seconds:    {:.4}", save.as_secs_f64());
+    println!("  open_seconds:    {:.6}", open.as_secs_f64());
+    println!("  open_speedup:    {speedup:.0}x (rebuild / open)");
+    println!(
+        "{{\"experiment\": \"store\", \"text_len\": {n}, \"file_bytes\": {file_bytes}, \
+         \"build_seconds\": {:.6}, \"save_seconds\": {:.6}, \"open_seconds\": {:.6}, \
+         \"open_speedup\": {:.1}}}",
+        build.as_secs_f64(),
+        save.as_secs_f64(),
+        open.as_secs_f64(),
+        speedup,
+    );
+}
+
 fn table2(options: &ExperimentOptions) {
     header("Table 2 - time and #results vs query length (scheme <1,-3,-5,-2>, H = 30)");
     let n = options.len(100_000);

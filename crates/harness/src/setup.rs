@@ -1,6 +1,6 @@
 //! Workload construction and shared index setup for the experiments.
 
-use alae::search::IndexedDatabase;
+use alae::search::{IndexBuilder, IndexedDatabase};
 use alae_bioseq::{Alphabet, Sequence, SequenceDatabase};
 use alae_suffix::TextIndex;
 use alae_workload::{MutationProfile, QuerySpec, TextSpec, Workload, WorkloadBuilder};
@@ -66,7 +66,7 @@ pub fn prepare_dna_sparse(
     let Workload { database, queries } =
         WorkloadBuilder::new(text_spec, query_spec).build_segmented(0);
     PreparedWorkload {
-        indexed: IndexedDatabase::build(database),
+        indexed: IndexBuilder::new().index(database),
         queries,
     }
 }
@@ -105,7 +105,7 @@ fn prepare(
     let Workload { database, queries } =
         WorkloadBuilder::new(text_spec, query_spec).build_segmented(segments);
     PreparedWorkload {
-        indexed: IndexedDatabase::build(database),
+        indexed: IndexBuilder::new().index(database),
         queries,
     }
 }

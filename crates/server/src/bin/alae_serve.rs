@@ -1,0 +1,97 @@
+//! `alae-serve` — serve a persisted ALAE index over TCP.
+//!
+//! ```text
+//! alae-serve --index db.alae [--addr 127.0.0.1:7878] [--workers 2]
+//!            [--max-deadline-ms N] [--max-top-k N] [--max-work-budget N]
+//! ```
+//!
+//! The index file comes from [`IndexedDatabase::save`]; opening it maps the
+//! file read-only and skips the suffix-array build entirely, so start-up is
+//! I/O-bound, not CPU-bound.  Clients connect with [`alae::client::Client`]
+//! or anything speaking the [`alae::wire`] frame protocol.
+
+use alae::search::IndexedDatabase;
+use alae_server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("alae-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut index_path: Option<String> = None;
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut config = ServerConfig::default();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--index" => index_path = Some(value("--index")?),
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                config.workers = parse(&value("--workers")?, "--workers")?;
+            }
+            "--max-pending" => {
+                config.max_pending = parse(&value("--max-pending")?, "--max-pending")?;
+            }
+            "--max-deadline-ms" => {
+                let ms: u64 = parse(&value("--max-deadline-ms")?, "--max-deadline-ms")?;
+                config.max_deadline = Some(Duration::from_millis(ms));
+            }
+            "--max-top-k" => {
+                config.max_top_k = Some(parse(&value("--max-top-k")?, "--max-top-k")?);
+            }
+            "--max-work-budget" => {
+                config.max_work_budget =
+                    Some(parse(&value("--max-work-budget")?, "--max-work-budget")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: alae-serve --index <file> [--addr HOST:PORT] [--workers N] \
+                     [--max-pending N] [--max-deadline-ms N] [--max-top-k N] \
+                     [--max-work-budget N]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+
+    let index_path = index_path.ok_or("--index <file> is required (see --help)")?;
+    let started = Instant::now();
+    let db = IndexedDatabase::open(&index_path)
+        .map_err(|err| format!("cannot open {index_path}: {err}"))?;
+    eprintln!(
+        "alae-serve: opened {index_path} in {:?} ({} records, {} text bytes; no rebuild)",
+        started.elapsed(),
+        db.record_count(),
+        db.text_len(),
+    );
+
+    let server =
+        Server::bind(&addr, db, config).map_err(|err| format!("cannot bind {addr}: {err}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|err| format!("cannot resolve bound address: {err}"))?;
+    eprintln!("alae-serve: listening on {local}");
+    server
+        .serve()
+        .map_err(|err| format!("accept loop failed: {err}"))
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: cannot parse {value:?}"))
+}

@@ -1,0 +1,415 @@
+//! A TCP search service over one shared [`IndexedDatabase`].
+//!
+//! The server speaks the [`alae::wire`] protocol (length-prefixed frames
+//! over `std::net::TcpStream` — no external dependencies) and maps each
+//! wire request onto the existing [`alae::search`] facade:
+//!
+//! * Every connection gets a lightweight handler thread that decodes
+//!   request frames, applies the server-side guardrail caps
+//!   ([`ServerConfig::max_deadline`], `max_top_k`, `max_work_budget`) and
+//!   enqueues the query for the worker pool.
+//! * A bounded pool of **search workers** drains the queue in *waves*:
+//!   requests whose clamped configuration prefixes are byte-identical
+//!   (same engine, scheme, threshold, shaping and guardrails) are coalesced
+//!   into one [`Searcher`] and, when more than one query is waiting, one
+//!   [`Searcher::search_batch`] call — concurrent clients asking comparable
+//!   questions share the engine setup and the fan-out machinery instead of
+//!   racing four separate engines over the same index.
+//! * Hits stream back incrementally: single-query waves run through
+//!   [`Searcher::search_into`] with a [`HitSink`] that forwards each hit to
+//!   the connection as its own frame the moment the engine shapes it.
+//! * Guardrail outcomes ([`Termination::DeadlineExceeded`], budget
+//!   exhaustion) travel in the closing done frame next to the partial hits,
+//!   exactly as the in-process facade reports them.
+//! * A client that disconnects mid-query only stops its own delivery: the
+//!   forwarding sink observes the closed channel, returns
+//!   [`SinkFlow::Stop`], and every other request in the wave is untouched.
+
+#![forbid(unsafe_code)]
+
+use alae::bioseq::Sequence;
+use alae::search::{
+    EngineCounters, HitSink, IndexedDatabase, SearchError, SearchHit, SearchRequest, Searcher,
+    SinkFlow, Termination,
+};
+use alae::wire::{
+    decode_request, encode_done, encode_error, encode_hit, encode_request_config, read_frame,
+    write_frame, DoneSummary, FrameKind,
+};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Server-side policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Search worker threads draining the request queue.
+    pub workers: usize,
+    /// Requests allowed to queue before new ones are refused with an error
+    /// frame (per server, across all connections).
+    pub max_pending: usize,
+    /// Cap applied to every request's [`SearchRequest::deadline`]; a
+    /// request with no deadline gets this one.  `None` leaves deadlines to
+    /// the client.
+    pub max_deadline: Option<Duration>,
+    /// Cap applied to every request's `top_k` (`None` = client's choice).
+    pub max_top_k: Option<usize>,
+    /// Cap applied to every request's `work_budget` (`None` = client's
+    /// choice).
+    pub max_work_budget: Option<u64>,
+    /// How long a worker holds the first request of a wave open for
+    /// compatible stragglers before running it.
+    pub batch_window: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_pending: 64,
+            max_deadline: None,
+            max_top_k: None,
+            max_work_budget: None,
+            batch_window: Duration::from_millis(1),
+        }
+    }
+}
+
+/// One queued query: the clamped request plus the channel its frames go
+/// back through.
+struct Pending {
+    config_key: Vec<u8>,
+    request: SearchRequest,
+    codes: Vec<u8>,
+    reply: mpsc::Sender<Event>,
+}
+
+/// What a worker sends back to a connection handler.
+enum Event {
+    Hit(SearchHit),
+    Done(DoneSummary),
+}
+
+struct Shared {
+    db: IndexedDatabase,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    pending_count: AtomicUsize,
+}
+
+/// A running search service bound to a TCP address.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the worker
+    /// pool.  Call [`Server::serve`] to start accepting connections.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        db: IndexedDatabase,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            db,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            pending_count: AtomicUsize::new(0),
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Self {
+            listener,
+            shared,
+            workers,
+        })
+    }
+
+    /// The bound address (the resolved port when bound to port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept connections until the listener fails (runs forever in
+    /// practice; spawn it on a thread to keep the caller responsive).
+    /// Each connection gets its own handler thread.
+    pub fn serve(&self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let shared = Arc::clone(&self.shared);
+            thread::spawn(move || {
+                // A broken connection is the client's problem, not ours.
+                let _ = handle_connection(stream, &shared);
+            });
+        }
+        Ok(())
+    }
+
+    /// Stop the worker pool.  Connections already streaming finish their
+    /// in-flight waves; queued requests are drained and run first.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    while let Some((kind, payload)) = read_frame(&mut reader)? {
+        if kind != FrameKind::Request {
+            write_frame(
+                &mut writer,
+                FrameKind::Error,
+                &encode_error("expected a request frame"),
+            )?;
+            writer.flush()?;
+            continue;
+        }
+        let decoded = match decode_request(&payload) {
+            Ok(decoded) => decoded,
+            Err(err) => {
+                write_frame(&mut writer, FrameKind::Error, &encode_error(err.message()))?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        if shared.pending_count.load(Ordering::SeqCst) >= shared.config.max_pending {
+            write_frame(
+                &mut writer,
+                FrameKind::Error,
+                &encode_error("server at capacity, retry later"),
+            )?;
+            writer.flush()?;
+            continue;
+        }
+
+        let request = clamp_request(decoded.request, &shared.config);
+        // Batch on the *clamped* configuration: two clients may send
+        // different deadlines yet land in the same wave once capped.
+        let config_key = encode_request_config(&request);
+
+        // Codes the database alphabet cannot represent never reach the
+        // engines (`Sequence::from_codes` requires valid codes); answer
+        // with the same typed rejection the in-process facade produces.
+        let alphabet = shared.db.alphabet();
+        if let Some((position, &code)) = decoded
+            .query_codes
+            .iter()
+            .enumerate()
+            .find(|&(_, &code)| !alphabet.is_character(code))
+        {
+            let summary = DoneSummary {
+                engine: request.engine,
+                threshold: 0,
+                delivered: 0,
+                raw_hit_count: 0,
+                termination: Termination::Invalid(SearchError::InvalidCode { code, position }),
+                counters: EngineCounters::empty(request.engine),
+            };
+            write_frame(&mut writer, FrameKind::Done, &encode_done(&summary))?;
+            writer.flush()?;
+            continue;
+        }
+
+        let (reply_tx, reply_rx) = mpsc::channel();
+        shared.pending_count.fetch_add(1, Ordering::SeqCst);
+        shared
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .push_back(Pending {
+                config_key,
+                request,
+                codes: decoded.query_codes,
+                reply: reply_tx,
+            });
+        shared.queue_cv.notify_one();
+
+        // Forward events until the wave finishes.  A write failure means
+        // the client went away: stop forwarding (dropping the receiver
+        // tells the worker's sink to stop) and give up on the connection.
+        let mut result = Ok(());
+        for event in reply_rx.iter() {
+            let done = matches!(event, Event::Done(_));
+            result = match event {
+                Event::Hit(hit) => write_frame(&mut writer, FrameKind::Hit, &encode_hit(&hit)),
+                Event::Done(summary) => {
+                    match write_frame(&mut writer, FrameKind::Done, &encode_done(&summary)) {
+                        Ok(()) => writer.flush(),
+                        Err(err) => Err(err),
+                    }
+                }
+            };
+            if done || result.is_err() {
+                break;
+            }
+        }
+        result?;
+    }
+    Ok(())
+}
+
+/// Apply the server-side guardrail caps to a client request.
+fn clamp_request(mut request: SearchRequest, config: &ServerConfig) -> SearchRequest {
+    if let Some(cap) = config.max_deadline {
+        request.deadline = Some(request.deadline.map_or(cap, |d| d.min(cap)));
+    }
+    if let Some(cap) = config.max_top_k {
+        request.top_k = Some(request.top_k.map_or(cap, |k| k.min(cap)));
+    }
+    if let Some(cap) = config.max_work_budget {
+        request.work_budget = Some(request.work_budget.map_or(cap, |b| b.min(cap)));
+    }
+    request
+}
+
+// ---------------------------------------------------------------------------
+// Search workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let Some(wave) = next_wave(shared) else {
+            return;
+        };
+        shared.pending_count.fetch_sub(wave.len(), Ordering::SeqCst);
+        run_wave(shared, wave);
+    }
+}
+
+/// Block until at least one request is queued, hold the wave open for
+/// [`ServerConfig::batch_window`] so compatible stragglers can join, then
+/// drain every request sharing the head request's configuration key.
+fn next_wave(shared: &Shared) -> Option<Vec<Pending>> {
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    loop {
+        if queue.is_empty() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = shared.queue_cv.wait(queue).expect("queue poisoned");
+            continue;
+        }
+        if !shared.config.batch_window.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
+            // One bounded wait: lets a burst of concurrent clients coalesce
+            // without adding latency when traffic is sparse.
+            let (q, _) = shared
+                .queue_cv
+                .wait_timeout(queue, shared.config.batch_window)
+                .expect("queue poisoned");
+            queue = q;
+        }
+        let head = queue.pop_front().expect("checked non-empty");
+        let mut wave = vec![head];
+        let key = wave[0].config_key.clone();
+        let mut rest = VecDeque::with_capacity(queue.len());
+        while let Some(pending) = queue.pop_front() {
+            if pending.config_key == key {
+                wave.push(pending);
+            } else {
+                rest.push_back(pending);
+            }
+        }
+        *queue = rest;
+        return Some(wave);
+    }
+}
+
+/// A [`HitSink`] forwarding each shaped hit to the connection handler the
+/// moment the engine emits it.  A closed channel (client gone) stops the
+/// stream without disturbing the rest of the wave.
+struct ForwardingSink<'a> {
+    reply: &'a mpsc::Sender<Event>,
+    client_gone: bool,
+}
+
+impl HitSink for ForwardingSink<'_> {
+    fn accept(&mut self, hit: SearchHit) -> SinkFlow {
+        if self.reply.send(Event::Hit(hit)).is_err() {
+            self.client_gone = true;
+            return SinkFlow::Stop;
+        }
+        SinkFlow::Continue
+    }
+}
+
+fn run_wave(shared: &Shared, wave: Vec<Pending>) {
+    let request = wave[0].request;
+    let searcher = Searcher::new(shared.db.clone(), request);
+    let alphabet = shared.db.alphabet();
+
+    if wave.len() == 1 {
+        // Stream hits as the engine shapes them.
+        let pending = wave.into_iter().next().expect("length checked");
+        let query = Sequence::from_codes(alphabet, pending.codes);
+        let mut sink = ForwardingSink {
+            reply: &pending.reply,
+            client_gone: false,
+        };
+        let summary = searcher.search_into(&query, &mut sink);
+        let _ = pending.reply.send(Event::Done(DoneSummary {
+            engine: summary.engine,
+            threshold: summary.threshold,
+            delivered: summary.delivered as u64,
+            raw_hit_count: summary.raw_hit_count as u64,
+            termination: summary.termination,
+            counters: summary.counters,
+        }));
+        return;
+    }
+
+    // A coalesced wave: one Searcher, one multi-threaded batch over the
+    // shared index, then per-client delivery.
+    let queries: Vec<Sequence> = wave
+        .iter()
+        .map(|p| Sequence::from_codes(alphabet, p.codes.clone()))
+        .collect();
+    let threads = wave.len().min(shared.config.workers.max(1) * 2);
+    let responses = searcher.search_batch(&queries, threads);
+    for (pending, response) in wave.into_iter().zip(responses) {
+        let delivered = response.hits.len() as u64;
+        let mut client_gone = false;
+        for hit in response.hits {
+            if pending.reply.send(Event::Hit(hit)).is_err() {
+                client_gone = true;
+                break;
+            }
+        }
+        if !client_gone {
+            let _ = pending.reply.send(Event::Done(DoneSummary {
+                engine: response.engine,
+                threshold: response.threshold,
+                delivered,
+                raw_hit_count: response.raw_hit_count as u64,
+                termination: response.termination,
+                counters: response.counters,
+            }));
+        }
+    }
+}

@@ -119,6 +119,12 @@ impl RankBitVec {
         self.ones as usize
     }
 
+    /// The raw bit words (serialization support; the rank directories are
+    /// rebuilt from them via [`RankBitVec::from_words`], not stored).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn size_in_bytes(&self) -> usize {
         self.words.len() * 8 + self.superblocks.len() * 4 + self.blocks.len() * 2

@@ -68,29 +68,46 @@ pub struct FmIndex {
 impl FmIndex {
     /// Build an FM-index for `text`, whose codes must all be `< code_count`.
     pub fn new(text: &[u8], code_count: usize) -> Self {
-        Self::with_sample_rate(text, code_count, DEFAULT_SA_SAMPLE_RATE)
+        Self::build(
+            text,
+            code_count,
+            DEFAULT_SA_SAMPLE_RATE,
+            RankLayout::Auto,
+            CheckpointScheme::default(),
+            simd::default_backend(),
+        )
     }
 
     /// Build with an explicit suffix-array sampling rate (≥ 1).
+    #[deprecated(note = "use IndexOptions::new().sample_rate(..).build_fm_index(..)")]
     pub fn with_sample_rate(text: &[u8], code_count: usize, sample_rate: usize) -> Self {
-        Self::with_options(text, code_count, sample_rate, RankLayout::Auto)
+        Self::build(
+            text,
+            code_count,
+            sample_rate,
+            RankLayout::Auto,
+            CheckpointScheme::default(),
+            simd::default_backend(),
+        )
     }
 
     /// Build with an explicit sampling rate and rank-storage layout (the
     /// layout applies to the occurrence table over the BWT; see
     /// [`RankLayout`]).  Checkpoints use the default two-level scheme.
+    #[deprecated(note = "use IndexOptions::new().sample_rate(..).layout(..).build_fm_index(..)")]
     pub fn with_options(
         text: &[u8],
         code_count: usize,
         sample_rate: usize,
         layout: RankLayout,
     ) -> Self {
-        Self::with_full_options(
+        Self::build(
             text,
             code_count,
             sample_rate,
             layout,
             CheckpointScheme::default(),
+            simd::default_backend(),
         )
     }
 
@@ -98,6 +115,7 @@ impl FmIndex {
     /// rank-storage layout, and checkpoint scheme (see [`CheckpointScheme`];
     /// the flat scheme exists for layout-comparison benchmarks).  The scan
     /// backend comes from [`simd::default_backend`].
+    #[deprecated(note = "use IndexOptions::new().checkpoints(..).build_fm_index(..)")]
     pub fn with_full_options(
         text: &[u8],
         code_count: usize,
@@ -105,7 +123,7 @@ impl FmIndex {
         layout: RankLayout,
         scheme: CheckpointScheme,
     ) -> Self {
-        Self::with_scan_backend(
+        Self::build(
             text,
             code_count,
             sample_rate,
@@ -118,7 +136,21 @@ impl FmIndex {
     /// Build with every knob explicit *including* the in-block scan backend
     /// (forced-SWAR and forced-SIMD tables for agreement tests and
     /// per-backend benchmarks).
+    #[deprecated(note = "use IndexOptions::new().backend(..).build_fm_index(..)")]
     pub fn with_scan_backend(
+        text: &[u8],
+        code_count: usize,
+        sample_rate: usize,
+        layout: RankLayout,
+        scheme: CheckpointScheme,
+        backend: ScanBackend,
+    ) -> Self {
+        Self::build(text, code_count, sample_rate, layout, scheme, backend)
+    }
+
+    /// The one real constructor (every public constructor and
+    /// [`crate::IndexOptions`] funnel here).
+    pub(crate) fn build(
         text: &[u8],
         code_count: usize,
         sample_rate: usize,
@@ -155,7 +187,7 @@ impl FmIndex {
         for &c in &shifted_bwt {
             counts[c as usize] += 1;
         }
-        let occ = OccTable::with_backend(shifted_bwt, shifted_code_count, layout, scheme, backend);
+        let occ = OccTable::build(shifted_bwt, shifted_code_count, layout, scheme, backend);
         let mut c_array = vec![0usize; shifted_code_count];
         let mut running = 0usize;
         for c in 1..shifted_code_count {
@@ -351,11 +383,112 @@ impl FmIndex {
     pub fn sample_rate(&self) -> usize {
         self.sample_rate
     }
+
+    /// The occurrence table over the BWT of the shifted text (serialization
+    /// support).
+    pub fn occ_table(&self) -> &OccTable {
+        &self.occ
+    }
+
+    /// The C array over shifted codes (serialization support).
+    pub fn c_array(&self) -> &[usize] {
+        &self.c_array
+    }
+
+    /// The sampled-row marker bit vector (serialization support).
+    pub fn sampled_rows(&self) -> &RankBitVec {
+        &self.sampled_rows
+    }
+
+    /// The sampled suffix-array values (serialization support).
+    pub fn samples(&self) -> &[u32] {
+        &self.samples
+    }
+
+    /// Reassemble an index from serialized parts without rebuilding the
+    /// suffix array or the BWT (the `alae-store` open path).
+    ///
+    /// Shapes are validated (the occurrence table must cover `text_len + 1`
+    /// rows of `code_count + 1` shifted codes, the C array must be a
+    /// non-decreasing prefix-sum row, the sample list must match the marker
+    /// bit vector); content integrity is covered by the store's per-section
+    /// checksums.
+    pub fn from_parts(
+        text_len: usize,
+        code_count: usize,
+        occ: OccTable,
+        c_array: Vec<usize>,
+        sampled_rows: RankBitVec,
+        samples: Vec<u32>,
+        sample_rate: usize,
+    ) -> Result<Self, String> {
+        if sample_rate < 1 {
+            return Err("sample_rate must be ≥ 1".into());
+        }
+        if !(1..=MAX_CODE_COUNT).contains(&code_count) {
+            return Err(format!(
+                "code_count {code_count} outside 1..={MAX_CODE_COUNT}"
+            ));
+        }
+        let rows = text_len + 1;
+        if occ.len() != rows {
+            return Err(format!(
+                "occurrence table covers {} positions, expected {rows}",
+                occ.len()
+            ));
+        }
+        if occ.code_count() != code_count + 1 {
+            return Err(format!(
+                "occurrence table built for {} codes, expected {}",
+                occ.code_count(),
+                code_count + 1
+            ));
+        }
+        if c_array.len() != code_count + 1 {
+            return Err(format!(
+                "C array holds {} entries, expected {}",
+                c_array.len(),
+                code_count + 1
+            ));
+        }
+        if c_array.first() != Some(&0)
+            || c_array.windows(2).any(|w| w[0] > w[1])
+            || c_array.last().is_some_and(|&last| last > rows)
+        {
+            return Err("C array is not a non-decreasing prefix-sum row".into());
+        }
+        if sampled_rows.len() != rows {
+            return Err(format!(
+                "sampled-row bit vector covers {} rows, expected {rows}",
+                sampled_rows.len()
+            ));
+        }
+        if samples.len() != sampled_rows.count_ones() {
+            return Err(format!(
+                "{} samples for {} marked rows",
+                samples.len(),
+                sampled_rows.count_ones()
+            ));
+        }
+        if samples.iter().any(|&pos| pos as usize > text_len) {
+            return Err("sample position past the end of the text".into());
+        }
+        Ok(Self {
+            text_len,
+            code_count,
+            occ,
+            c_array,
+            sampled_rows,
+            samples,
+            sample_rate,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::IndexOptions;
 
     fn naive_occurrences(text: &[u8], pattern: &[u8]) -> Vec<usize> {
         if pattern.is_empty() || pattern.len() > text.len() {
@@ -443,7 +576,7 @@ mod tests {
             state
         };
         let text: Vec<u8> = (0..800).map(|_| (next() % 4) as u8 + 1).collect();
-        let fm = FmIndex::with_sample_rate(&text, 5, 8);
+        let fm = IndexOptions::new().sample_rate(8).build_fm_index(&text, 5);
         for len in [1usize, 2, 3, 5, 8] {
             for _ in 0..20 {
                 let start = (next() as usize) % (text.len() - len);
@@ -493,7 +626,9 @@ mod tests {
     fn locate_every_row_is_a_permutation() {
         let text: Vec<u8> = (0..100).map(|i| (i % 4) as u8 + 1).collect();
         for rate in [1usize, 4, 16, 64] {
-            let fm = FmIndex::with_sample_rate(&text, 5, rate);
+            let fm = IndexOptions::new()
+                .sample_rate(rate)
+                .build_fm_index(&text, 5);
             let mut positions: Vec<usize> = (0..fm.row_count()).map(|row| fm.locate(row)).collect();
             positions.sort_unstable();
             let expected: Vec<usize> = (0..=text.len()).collect();

@@ -40,13 +40,20 @@
 pub mod bitvec;
 pub mod bwt;
 pub mod fm_index;
+pub mod options;
 pub mod rank;
 pub mod sais;
 pub mod simd;
 pub mod trie;
 
 pub use fm_index::{FmIndex, SaRange, MAX_CODE_COUNT};
-pub use rank::{thread_scan_snapshot, CheckpointScheme, RankLayout, ScanSnapshot};
+pub use options::IndexOptions;
+pub use sais::suffix_array_build_count;
+
+pub use rank::{
+    thread_scan_snapshot, CheckpointRows, CheckpointRowsRef, CheckpointScheme, RankLayout,
+    ScanSnapshot, StorageData, StorageDataRef,
+};
 pub use simd::{ActiveBackend, ScanBackend};
 pub use trie::{ChildBuf, SuffixTrieCursor, TextIndex, MAX_CHILDREN};
 

@@ -81,6 +81,7 @@
 //! from every rank call (`scan_snapshot` then reports zeros).
 
 use crate::simd::{self, ActiveBackend, ScanBackend, CHARS_PER_WORD, NIBBLE_CHARS_PER_WORD};
+use alae_bioseq::SharedBytes;
 #[cfg(feature = "occ-counters")]
 use std::cell::Cell;
 #[cfg(feature = "occ-counters")]
@@ -390,6 +391,41 @@ struct ExceptionList {
 }
 
 impl ExceptionList {
+    /// Reassemble from serialized positions and codes (the per-block
+    /// cumulative counts are derived, not stored).
+    fn from_parts(
+        pos: Vec<u32>,
+        code: Vec<u8>,
+        len: usize,
+        dense_base: u8,
+    ) -> Result<Self, String> {
+        if pos.len() != code.len() {
+            return Err(format!(
+                "exception list arity mismatch: {} positions, {} codes",
+                pos.len(),
+                code.len()
+            ));
+        }
+        if !pos.windows(2).all(|w| w[0] < w[1]) {
+            return Err("exception positions must be strictly ascending".into());
+        }
+        if pos.last().is_some_and(|&p| p as usize >= len) {
+            return Err("exception position past the end of the sequence".into());
+        }
+        if code.iter().any(|&c| c >= dense_base) {
+            return Err(format!(
+                "exception code not below the dense base {dense_base}"
+            ));
+        }
+        let mut exc = Self {
+            pos,
+            code,
+            block_starts: Vec::new(),
+        };
+        exc.finish(len);
+        Ok(exc)
+    }
+
     /// Derive the per-block cumulative counts once the sorted positions are
     /// complete; `len` is the underlying sequence length.
     fn finish(&mut self, len: usize) {
@@ -459,9 +495,93 @@ impl ExceptionList {
 /// The in-block scan layouts.
 #[derive(Debug, Clone)]
 enum OccStorage {
-    Bytes(Vec<u8>),
+    Bytes(SharedBytes),
     Packed(PackedDna),
     Nibble(PackedNibble),
+}
+
+/// Owned checkpoint rows, as serialized by the `alae-store` crate.
+#[derive(Debug, Clone)]
+pub enum CheckpointRows {
+    /// Flat `u32` absolute counts ([`CheckpointScheme::FlatU32`]).
+    Flat(Vec<u32>),
+    /// Two-level `u64` super rows + `u16` deltas
+    /// ([`CheckpointScheme::TwoLevel`]).
+    TwoLevel {
+        /// Absolute counts every `BLOCKS_PER_SUPER` blocks.
+        supers: Vec<u64>,
+        /// Per-block counts since the enclosing super row.
+        deltas: Vec<u16>,
+    },
+}
+
+/// Borrowed view of the checkpoint rows (the save path's counterpart of
+/// [`CheckpointRows`]).
+#[derive(Debug, Clone, Copy)]
+pub enum CheckpointRowsRef<'a> {
+    /// Flat `u32` absolute counts.
+    Flat(&'a [u32]),
+    /// Two-level super rows + deltas.
+    TwoLevel {
+        /// Absolute counts every `BLOCKS_PER_SUPER` blocks.
+        supers: &'a [u64],
+        /// Per-block counts since the enclosing super row.
+        deltas: &'a [u16],
+    },
+}
+
+/// Owned storage payload, as serialized by the `alae-store` crate.  The
+/// derived quantities (dense base, dense-code count, per-block exception
+/// offsets) are reconstructed by [`OccTable::from_parts`], not stored.
+#[derive(Debug, Clone)]
+pub enum StorageData {
+    /// One byte per character (possibly a zero-copy view into a mapped
+    /// file).
+    Bytes(SharedBytes),
+    /// 2-bit packed words plus the sparse-code exception list.
+    PackedDna {
+        /// 32 characters per word, 2 bits each.
+        words: Vec<u64>,
+        /// Exception positions, sorted ascending.
+        exc_pos: Vec<u32>,
+        /// The sparse code at each exception position.
+        exc_code: Vec<u8>,
+    },
+    /// 4-bit packed words plus the sparse-code exception list.
+    PackedNibble {
+        /// 16 characters per word, 4 bits each.
+        words: Vec<u64>,
+        /// Exception positions, sorted ascending.
+        exc_pos: Vec<u32>,
+        /// The sparse code at each exception position.
+        exc_code: Vec<u8>,
+    },
+}
+
+/// Borrowed view of the storage payload (the save path's counterpart of
+/// [`StorageData`]).
+#[derive(Debug, Clone, Copy)]
+pub enum StorageDataRef<'a> {
+    /// One byte per character.
+    Bytes(&'a SharedBytes),
+    /// 2-bit packed words plus the exception list.
+    PackedDna {
+        /// 32 characters per word, 2 bits each.
+        words: &'a [u64],
+        /// Exception positions, sorted ascending.
+        exc_pos: &'a [u32],
+        /// The sparse code at each exception position.
+        exc_code: &'a [u8],
+    },
+    /// 4-bit packed words plus the exception list.
+    PackedNibble {
+        /// 16 characters per word, 4 bits each.
+        words: &'a [u64],
+        /// Exception positions, sorted ascending.
+        exc_pos: &'a [u32],
+        /// The sparse code at each exception position.
+        exc_code: &'a [u8],
+    },
 }
 
 /// 2-bit packed characters plus an exception list for sparse codes.
@@ -641,31 +761,58 @@ impl OccTable {
     /// auto-selecting the storage layout and the default (two-level)
     /// checkpoint scheme.
     pub fn new(data: Vec<u8>, code_count: usize) -> Self {
-        Self::with_layout(data, code_count, RankLayout::Auto)
+        Self::build(
+            data,
+            code_count,
+            RankLayout::Auto,
+            CheckpointScheme::default(),
+            simd::default_backend(),
+        )
     }
 
     /// Build with an explicit storage layout (used by tests and benchmarks
     /// to compare the scan paths).
+    #[deprecated(note = "use IndexOptions::new().layout(..).build_occ_table(..)")]
     pub fn with_layout(data: Vec<u8>, code_count: usize, layout: RankLayout) -> Self {
-        Self::with_options(data, code_count, layout, CheckpointScheme::default())
+        Self::build(
+            data,
+            code_count,
+            layout,
+            CheckpointScheme::default(),
+            simd::default_backend(),
+        )
     }
 
     /// Build with an explicit storage layout *and* checkpoint scheme; the
     /// scan backend comes from [`simd::default_backend`] (the
     /// `ALAE_SCAN_BACKEND` environment variable, else auto-detection).
+    #[deprecated(note = "use IndexOptions::new().layout(..).checkpoints(..).build_occ_table(..)")]
     pub fn with_options(
         data: Vec<u8>,
         code_count: usize,
         layout: RankLayout,
         scheme: CheckpointScheme,
     ) -> Self {
-        Self::with_backend(data, code_count, layout, scheme, simd::default_backend())
+        Self::build(data, code_count, layout, scheme, simd::default_backend())
     }
 
     /// Build with every knob explicit, including the scan backend (used by
     /// the backend-agreement tests and the per-backend benchmark
     /// configurations).
+    #[deprecated(note = "use IndexOptions::new().backend(..).build_occ_table(..)")]
     pub fn with_backend(
+        data: Vec<u8>,
+        code_count: usize,
+        layout: RankLayout,
+        scheme: CheckpointScheme,
+        backend: ScanBackend,
+    ) -> Self {
+        Self::build(data, code_count, layout, scheme, backend)
+    }
+
+    /// The one real constructor (every public constructor and
+    /// [`crate::IndexOptions`] funnel here).
+    pub(crate) fn build(
         data: Vec<u8>,
         code_count: usize,
         layout: RankLayout,
@@ -705,7 +852,7 @@ impl OccTable {
         let storage = match layout {
             RankLayout::PackedDna => OccStorage::Packed(PackedDna::build(&data, code_count)),
             RankLayout::PackedNibble => OccStorage::Nibble(PackedNibble::build(&data, code_count)),
-            _ => OccStorage::Bytes(data),
+            _ => OccStorage::Bytes(SharedBytes::from_vec(data)),
         };
         Self {
             code_count,
@@ -907,11 +1054,189 @@ impl OccTable {
             OccStorage::Nibble(nibble) => nibble.exc.len(),
         }
     }
+
+    /// Borrowed view of the checkpoint rows (serialization support).
+    pub fn checkpoint_rows(&self) -> CheckpointRowsRef<'_> {
+        match &self.checkpoints {
+            Checkpoints::Flat(flat) => CheckpointRowsRef::Flat(flat),
+            Checkpoints::TwoLevel { supers, deltas } => {
+                CheckpointRowsRef::TwoLevel { supers, deltas }
+            }
+        }
+    }
+
+    /// Borrowed view of the storage payload (serialization support).
+    pub fn storage_data(&self) -> StorageDataRef<'_> {
+        match &self.storage {
+            OccStorage::Bytes(data) => StorageDataRef::Bytes(data),
+            OccStorage::Packed(packed) => StorageDataRef::PackedDna {
+                words: &packed.words,
+                exc_pos: &packed.exc.pos,
+                exc_code: &packed.exc.code,
+            },
+            OccStorage::Nibble(nibble) => StorageDataRef::PackedNibble {
+                words: &nibble.words,
+                exc_pos: &nibble.exc.pos,
+                exc_code: &nibble.exc.code,
+            },
+        }
+    }
+
+    /// Reassemble a table from serialized parts without rescanning the data
+    /// (the `alae-store` open path).  Derived quantities — the dense base,
+    /// the per-block exception offsets — are reconstructed; the checkpoint
+    /// rows are validated for shape (content integrity is the store's
+    /// per-section checksums' job).  The scan `backend` is resolved fresh
+    /// because it is machine-specific and never serialized.
+    pub fn from_parts(
+        len: usize,
+        code_count: usize,
+        rows: CheckpointRows,
+        storage: StorageData,
+        backend: ScanBackend,
+    ) -> Result<Self, String> {
+        if code_count == 0 {
+            return Err("code_count must be positive".into());
+        }
+        let block_count = len / BLOCK + 1;
+        let checkpoints = match rows {
+            CheckpointRows::Flat(flat) => {
+                if flat.len() != block_count * code_count {
+                    return Err(format!(
+                        "flat checkpoint rows hold {} entries, expected {}",
+                        flat.len(),
+                        block_count * code_count
+                    ));
+                }
+                Checkpoints::Flat(flat)
+            }
+            CheckpointRows::TwoLevel { supers, deltas } => {
+                let super_count = block_count.div_ceil(BLOCKS_PER_SUPER);
+                if deltas.len() != block_count * code_count {
+                    return Err(format!(
+                        "checkpoint deltas hold {} entries, expected {}",
+                        deltas.len(),
+                        block_count * code_count
+                    ));
+                }
+                if supers.len() != super_count * code_count {
+                    return Err(format!(
+                        "checkpoint super rows hold {} entries, expected {}",
+                        supers.len(),
+                        super_count * code_count
+                    ));
+                }
+                Checkpoints::TwoLevel { supers, deltas }
+            }
+        };
+        let storage = match storage {
+            StorageData::Bytes(data) => {
+                if data.len() != len {
+                    return Err(format!(
+                        "byte storage holds {} bytes, expected {len}",
+                        data.len()
+                    ));
+                }
+                OccStorage::Bytes(data)
+            }
+            StorageData::PackedDna {
+                words,
+                exc_pos,
+                exc_code,
+            } => {
+                if code_count > PACKED_MAX_CODES {
+                    return Err(format!(
+                        "packed layout supports at most {PACKED_MAX_CODES} codes, got {code_count}"
+                    ));
+                }
+                if words.len() != len.div_ceil(CHARS_PER_WORD) {
+                    return Err(format!(
+                        "packed storage holds {} words, expected {}",
+                        words.len(),
+                        len.div_ceil(CHARS_PER_WORD)
+                    ));
+                }
+                let dense_base = code_count.saturating_sub(DENSE_CODES) as u8;
+                let exc = ExceptionList::from_parts(exc_pos, exc_code, len, dense_base)?;
+                OccStorage::Packed(PackedDna {
+                    words,
+                    dense_base,
+                    exc,
+                })
+            }
+            StorageData::PackedNibble {
+                words,
+                exc_pos,
+                exc_code,
+            } => {
+                if code_count > NIBBLE_MAX_CODES {
+                    return Err(format!(
+                        "nibble layout supports at most {NIBBLE_MAX_CODES} codes, got {code_count}"
+                    ));
+                }
+                if words.len() != len.div_ceil(NIBBLE_CHARS_PER_WORD) {
+                    return Err(format!(
+                        "nibble storage holds {} words, expected {}",
+                        words.len(),
+                        len.div_ceil(NIBBLE_CHARS_PER_WORD)
+                    ));
+                }
+                let dense_base = code_count.saturating_sub(NIBBLE_DENSE_CODES) as u8;
+                let dense_used = code_count - dense_base as usize;
+                let exc = ExceptionList::from_parts(exc_pos, exc_code, len, dense_base)?;
+                OccStorage::Nibble(PackedNibble {
+                    words,
+                    dense_base,
+                    dense_used,
+                    exc,
+                })
+            }
+        };
+        Ok(Self {
+            code_count,
+            len,
+            checkpoints,
+            storage,
+            backend: backend.resolve(),
+            scans: ScanCounter::default(),
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::IndexOptions;
+
+    fn table(
+        data: Vec<u8>,
+        code_count: usize,
+        layout: RankLayout,
+        scheme: CheckpointScheme,
+    ) -> OccTable {
+        IndexOptions::new()
+            .layout(layout)
+            .checkpoints(scheme)
+            .build_occ_table(data, code_count)
+    }
+
+    fn table_with_layout(data: Vec<u8>, code_count: usize, layout: RankLayout) -> OccTable {
+        table(data, code_count, layout, CheckpointScheme::default())
+    }
+
+    fn table_with_backend(
+        data: Vec<u8>,
+        code_count: usize,
+        layout: RankLayout,
+        scheme: CheckpointScheme,
+        backend: ScanBackend,
+    ) -> OccTable {
+        IndexOptions::new()
+            .layout(layout)
+            .checkpoints(scheme)
+            .backend(backend)
+            .build_occ_table(data, code_count)
+    }
 
     fn naive_rank(data: &[u8], c: u8, i: usize) -> usize {
         data[..i].iter().filter(|&&b| b == c).count()
@@ -938,7 +1263,7 @@ mod tests {
         let data = vec![1u8, 2, 1, 3, 0, 1, 2, 2, 3, 1];
         for layout in LAYOUTS {
             for scheme in SCHEMES {
-                let table = OccTable::with_options(data.clone(), 4, layout, scheme);
+                let table = table(data.clone(), 4, layout, scheme);
                 for c in 0..4u8 {
                     for i in 0..=data.len() {
                         assert_eq!(
@@ -960,7 +1285,7 @@ mod tests {
             .collect();
         for layout in LAYOUTS {
             for scheme in SCHEMES {
-                let table = OccTable::with_options(data.clone(), 5, layout, scheme);
+                let table = table(data.clone(), 5, layout, scheme);
                 for c in 0..5u8 {
                     for i in (0..=data.len()).step_by(7) {
                         assert_eq!(
@@ -991,7 +1316,7 @@ mod tests {
         let data: Vec<u8> = (0..SUPER_SPAN * 2 + 3 * BLOCK + 41)
             .map(|_| (xorshift(&mut state) % 6) as u8)
             .collect();
-        let table = OccTable::with_options(
+        let table = table(
             data.clone(),
             6,
             RankLayout::Bytes,
@@ -1018,8 +1343,7 @@ mod tests {
                 .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
                 .collect();
             for scheme in SCHEMES {
-                let table =
-                    OccTable::with_options(data.clone(), code_count, RankLayout::Auto, scheme);
+                let table = table(data.clone(), code_count, RankLayout::Auto, scheme);
                 let mut counts = vec![0u32; code_count];
                 for i in (0..=data.len()).step_by(13) {
                     table.rank_all(i, &mut counts);
@@ -1042,8 +1366,8 @@ mod tests {
             let data: Vec<u8> = (0..BLOCK * 2 + 93)
                 .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
                 .collect();
-            let bytes = OccTable::with_layout(data.clone(), code_count, RankLayout::Bytes);
-            let packed = OccTable::with_layout(data.clone(), code_count, RankLayout::PackedDna);
+            let bytes = table_with_layout(data.clone(), code_count, RankLayout::Bytes);
+            let packed = table_with_layout(data.clone(), code_count, RankLayout::PackedDna);
             assert_eq!(bytes.layout(), RankLayout::Bytes);
             assert_eq!(packed.layout(), RankLayout::PackedDna);
             let mut counts_b = vec![0u32; code_count];
@@ -1070,8 +1394,8 @@ mod tests {
             let data: Vec<u8> = (0..BLOCK * 3 + 55)
                 .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
                 .collect();
-            let bytes = OccTable::with_layout(data.clone(), code_count, RankLayout::Bytes);
-            let nibble = OccTable::with_layout(data.clone(), code_count, RankLayout::PackedNibble);
+            let bytes = table_with_layout(data.clone(), code_count, RankLayout::Bytes);
+            let nibble = table_with_layout(data.clone(), code_count, RankLayout::PackedNibble);
             assert_eq!(nibble.layout(), RankLayout::PackedNibble);
             let mut counts_b = vec![0u32; code_count];
             let mut counts_n = vec![0u32; code_count];
@@ -1096,13 +1420,13 @@ mod tests {
             let data: Vec<u8> = (0..SUPER_SPAN + 5 * BLOCK + 7)
                 .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
                 .collect();
-            let flat = OccTable::with_options(
+            let flat = table(
                 data.clone(),
                 code_count,
                 RankLayout::Auto,
                 CheckpointScheme::FlatU32,
             );
-            let two_level = OccTable::with_options(
+            let two_level = table(
                 data.clone(),
                 code_count,
                 RankLayout::Auto,
@@ -1134,13 +1458,13 @@ mod tests {
         let data: Vec<u8> = (0..SUPER_SPAN * 16)
             .map(|_| (xorshift(&mut state) % code_count as u64) as u8)
             .collect();
-        let flat = OccTable::with_options(
+        let flat = table(
             data.clone(),
             code_count,
             RankLayout::Bytes,
             CheckpointScheme::FlatU32,
         );
-        let two_level = OccTable::with_options(
+        let two_level = table(
             data,
             code_count,
             RankLayout::Bytes,
@@ -1188,7 +1512,7 @@ mod tests {
             data[37] = 1;
             data[BLOCK] = 1;
             data[BLOCK + 1] = 1;
-            let table = OccTable::with_layout(data.clone(), code_count, layout);
+            let table = table_with_layout(data.clone(), code_count, layout);
             assert_eq!(table.exception_count(), 4);
             for c in 0..code_count as u8 {
                 for i in (0..=data.len()).step_by(3) {
@@ -1222,7 +1546,7 @@ mod tests {
             })
             .collect();
         for layout in [RankLayout::PackedDna, RankLayout::PackedNibble] {
-            let table = OccTable::with_layout(data.clone(), code_count, layout);
+            let table = table_with_layout(data.clone(), code_count, layout);
             let mut counts = vec![0u32; code_count];
             for i in (0..=data.len()).step_by(5) {
                 table.rank_all(i, &mut counts);
@@ -1289,7 +1613,7 @@ mod tests {
     #[test]
     fn empty_sequence() {
         for layout in LAYOUTS {
-            let table = OccTable::with_layout(Vec::new(), 3, layout);
+            let table = table_with_layout(Vec::new(), 3, layout);
             assert!(table.is_empty());
             assert_eq!(table.rank(0, 0), 0);
             assert_eq!(table.len(), 0);
@@ -1310,12 +1634,12 @@ mod tests {
 
     #[test]
     fn size_accounting_is_positive() {
-        let bytes = OccTable::with_layout(vec![1u8; 1000], 2, RankLayout::Bytes);
+        let bytes = table_with_layout(vec![1u8; 1000], 2, RankLayout::Bytes);
         assert!(bytes.size_in_bytes() >= 1000);
         // The packed layouts store the same data in a fraction of the space.
-        let packed = OccTable::with_layout(vec![1u8; 1000], 2, RankLayout::PackedDna);
+        let packed = table_with_layout(vec![1u8; 1000], 2, RankLayout::PackedDna);
         assert!(packed.size_in_bytes() < bytes.size_in_bytes());
-        let nibble = OccTable::with_layout(vec![1u8; 1000], 2, RankLayout::PackedNibble);
+        let nibble = table_with_layout(vec![1u8; 1000], 2, RankLayout::PackedNibble);
         assert!(nibble.size_in_bytes() < bytes.size_in_bytes());
         assert!(packed.size_in_bytes() < nibble.size_in_bytes());
     }
@@ -1365,7 +1689,7 @@ mod tests {
         ] {
             for scheme in SCHEMES {
                 for data in backend_test_texts(code_count, SUPER_SPAN + 2 * BLOCK + 37, 0xA1AE) {
-                    let reference = OccTable::with_backend(
+                    let reference = table_with_backend(
                         data.clone(),
                         code_count,
                         layout,
@@ -1373,13 +1697,8 @@ mod tests {
                         ScanBackend::Swar,
                     );
                     for backend in forced_backends() {
-                        let table = OccTable::with_backend(
-                            data.clone(),
-                            code_count,
-                            layout,
-                            scheme,
-                            backend,
-                        );
+                        let table =
+                            table_with_backend(data.clone(), code_count, layout, scheme, backend);
                         assert_eq!(table.layout(), layout);
                         let ref_before = reference.scan_snapshot();
                         let mut counts_ref = vec![0u32; code_count];
@@ -1419,7 +1738,7 @@ mod tests {
 
     #[test]
     fn forced_swar_tables_report_the_swar_backend() {
-        let table = OccTable::with_backend(
+        let table = table_with_backend(
             vec![1u8; 300],
             4,
             RankLayout::Auto,
@@ -1436,12 +1755,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "packed layout")]
     fn packed_layout_rejects_large_alphabets() {
-        let _ = OccTable::with_layout(vec![0u8; 10], 7, RankLayout::PackedDna);
+        let _ = table_with_layout(vec![0u8; 10], 7, RankLayout::PackedDna);
     }
 
     #[test]
     #[should_panic(expected = "nibble layout")]
     fn nibble_layout_rejects_large_alphabets() {
-        let _ = OccTable::with_layout(vec![0u8; 10], 19, RankLayout::PackedNibble);
+        let _ = table_with_layout(vec![0u8; 10], 19, RankLayout::PackedNibble);
     }
 }

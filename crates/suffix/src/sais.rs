@@ -9,6 +9,20 @@
 //! is always `text.len()`, the empty suffix, matching the `$`-terminated
 //! convention of the paper).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of suffix-array constructions.
+///
+/// Exists so the persistence tests can prove that opening a saved index
+/// performs **no** build work: the counter must not move across
+/// `IndexedDatabase::open`.
+static SA_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of suffix-array constructions performed by this process so far.
+pub fn suffix_array_build_count() -> u64 {
+    SA_BUILDS.load(Ordering::Relaxed)
+}
+
 /// Build the suffix array of `text ⊕ $` where `$` is an implicit sentinel
 /// strictly smaller than every byte value.
 ///
@@ -20,6 +34,7 @@ pub fn suffix_array(text: &[u8]) -> Vec<u32> {
         text.len() < u32::MAX as usize - 2,
         "text too long for u32 suffix array"
     );
+    SA_BUILDS.fetch_add(1, Ordering::Relaxed);
     // Shift bytes up by one so value 0 is free for the sentinel.
     let mut shifted: Vec<u32> = Vec::with_capacity(text.len() + 1);
     shifted.extend(text.iter().map(|&b| b as u32 + 1));

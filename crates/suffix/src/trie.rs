@@ -12,8 +12,10 @@
 //! occurrences.
 
 use crate::fm_index::{FmIndex, SaRange, MAX_CODE_COUNT};
+use crate::options::IndexOptions;
 use crate::rank::{CheckpointScheme, RankLayout, ScanSnapshot};
-use crate::simd::{self, ActiveBackend, ScanBackend};
+use crate::simd::{ActiveBackend, ScanBackend};
+use alae_bioseq::SharedBytes;
 use std::sync::Arc;
 
 /// Largest number of children a trie node can have (`MAX_CODE_COUNT` minus
@@ -91,14 +93,14 @@ impl Default for ChildBuf {
 /// A searchable text: the forward code sequence plus the FM-index of its
 /// reversal.
 ///
-/// The forward text is held behind an [`Arc`], so an index built with
-/// [`TextIndex::from_shared`] shares the caller's copy (e.g. a
-/// `SequenceDatabase`'s concatenated text) instead of duplicating a
-/// multi-megabyte buffer, and [`TextIndex::shared_text`] lets further
-/// consumers share it onward.
+/// The forward text is a [`SharedBytes`] view, so an index built through
+/// [`IndexOptions::build_text_index`] shares the caller's copy (e.g. a
+/// `SequenceDatabase`'s concatenated text, or a window of a memory-mapped
+/// index file) instead of duplicating a multi-megabyte buffer, and
+/// [`TextIndex::shared_text`] lets further consumers share it onward.
 #[derive(Debug, Clone)]
 pub struct TextIndex {
-    text: Arc<Vec<u8>>,
+    text: SharedBytes,
     code_count: usize,
     fm_reverse: FmIndex,
 }
@@ -124,44 +126,47 @@ impl SuffixTrieCursor {
 impl TextIndex {
     /// Build the index for a code sequence whose codes are `< code_count`.
     pub fn new(text: Vec<u8>, code_count: usize) -> Self {
-        Self::with_layout(text, code_count, RankLayout::Auto)
+        IndexOptions::new().build_text_index(text, code_count)
     }
 
     /// Build the index around an already-shared text without copying it —
     /// the constructor for aligners over a shared `SequenceDatabase` text.
+    #[deprecated(note = "use IndexOptions::new().build_text_index(..)")]
     pub fn from_shared(text: Arc<Vec<u8>>, code_count: usize) -> Self {
-        Self::with_scan_backend_shared(
-            text,
-            code_count,
-            RankLayout::Auto,
-            CheckpointScheme::default(),
-            simd::default_backend(),
-        )
+        IndexOptions::new().build_text_index(text, code_count)
     }
 
     /// Build with an explicit rank-storage layout (see [`RankLayout`]); used
     /// to compare the packed and generic scan paths on the same text.
+    #[deprecated(note = "use IndexOptions::new().layout(..).build_text_index(..)")]
     pub fn with_layout(text: Vec<u8>, code_count: usize, layout: RankLayout) -> Self {
-        Self::with_occ_options(text, code_count, layout, CheckpointScheme::default())
+        IndexOptions::new()
+            .layout(layout)
+            .build_text_index(text, code_count)
     }
 
     /// Build with an explicit rank-storage layout *and* checkpoint scheme
     /// (the flat `u32` scheme exists for comparison benchmarks; see
     /// [`CheckpointScheme`]).  The scan backend comes from
-    /// [`simd::default_backend`].
+    /// [`crate::simd::default_backend`].
+    #[deprecated(note = "use IndexOptions::new().layout(..).checkpoints(..).build_text_index(..)")]
     pub fn with_occ_options(
         text: Vec<u8>,
         code_count: usize,
         layout: RankLayout,
         scheme: CheckpointScheme,
     ) -> Self {
-        Self::with_scan_backend(text, code_count, layout, scheme, simd::default_backend())
+        IndexOptions::new()
+            .layout(layout)
+            .checkpoints(scheme)
+            .build_text_index(text, code_count)
     }
 
     /// Build with an explicit in-block scan backend on top of the layout and
     /// checkpoint knobs (forced-SWAR/forced-SIMD indexes for the
     /// backend-agreement tests and the per-backend rank benchmarks; see
     /// [`ScanBackend`]).
+    #[deprecated(note = "use IndexOptions::new().backend(..).build_text_index(..)")]
     pub fn with_scan_backend(
         text: Vec<u8>,
         code_count: usize,
@@ -169,11 +174,15 @@ impl TextIndex {
         scheme: CheckpointScheme,
         backend: ScanBackend,
     ) -> Self {
-        Self::with_scan_backend_shared(Arc::new(text), code_count, layout, scheme, backend)
+        IndexOptions::new()
+            .layout(layout)
+            .checkpoints(scheme)
+            .backend(backend)
+            .build_text_index(text, code_count)
     }
 
-    /// The fully-explicit constructor over a shared text (all other
-    /// constructors funnel here).
+    /// The fully-explicit constructor over a shared text.
+    #[deprecated(note = "use IndexOptions::new().backend(..).build_text_index(..)")]
     pub fn with_scan_backend_shared(
         text: Arc<Vec<u8>>,
         code_count: usize,
@@ -181,14 +190,24 @@ impl TextIndex {
         scheme: CheckpointScheme,
         backend: ScanBackend,
     ) -> Self {
+        IndexOptions::new()
+            .layout(layout)
+            .checkpoints(scheme)
+            .backend(backend)
+            .build_text_index(text, code_count)
+    }
+
+    /// The one real constructor ([`IndexOptions::build_text_index`] and
+    /// every deprecated constructor funnel here).
+    pub(crate) fn build(text: SharedBytes, code_count: usize, options: &IndexOptions) -> Self {
         let reversed: Vec<u8> = text.iter().rev().copied().collect();
-        let fm_reverse = FmIndex::with_scan_backend(
+        let fm_reverse = FmIndex::build(
             &reversed,
             code_count,
-            crate::fm_index::DEFAULT_SA_SAMPLE_RATE,
-            layout,
-            scheme,
-            backend,
+            options.sample_rate,
+            options.layout,
+            options.checkpoints,
+            options.backend,
         );
         Self {
             text,
@@ -197,9 +216,44 @@ impl TextIndex {
         }
     }
 
+    /// Reassemble an index from its serialized parts without rebuilding
+    /// anything (the `alae-store` open path): the forward text (possibly a
+    /// zero-copy view into a mapped file) plus the reversed-text FM-index
+    /// restored via [`FmIndex::from_parts`].
+    pub fn from_parts(
+        text: SharedBytes,
+        code_count: usize,
+        fm_reverse: FmIndex,
+    ) -> Result<Self, String> {
+        if fm_reverse.text_len() != text.len() {
+            return Err(format!(
+                "FM-index covers {} positions, text holds {}",
+                fm_reverse.text_len(),
+                text.len()
+            ));
+        }
+        if fm_reverse.code_count() != code_count {
+            return Err(format!(
+                "FM-index built for {} codes, expected {code_count}",
+                fm_reverse.code_count()
+            ));
+        }
+        Ok(Self {
+            text,
+            code_count,
+            fm_reverse,
+        })
+    }
+
     /// Scan-work counters of the underlying occurrence table.
     pub fn scan_snapshot(&self) -> ScanSnapshot {
         self.fm_reverse.scan_snapshot()
+    }
+
+    /// The FM-index over the **reversed** text (serialization support; all
+    /// search traffic should go through the cursor API instead).
+    pub fn fm_index(&self) -> &FmIndex {
+        &self.fm_reverse
     }
 
     /// The rank-storage layout selected at construction.
@@ -229,9 +283,9 @@ impl TextIndex {
         &self.text
     }
 
-    /// The forward text behind its `Arc` (shared, not copied).
-    pub fn shared_text(&self) -> Arc<Vec<u8>> {
-        Arc::clone(&self.text)
+    /// The forward text as a cheaply cloneable view (shared, not copied).
+    pub fn shared_text(&self) -> SharedBytes {
+        self.text.clone()
     }
 
     /// Text length `n`.

@@ -9,7 +9,7 @@
 //! ```
 
 use alae::bioseq::ScoringScheme;
-use alae::search::{EngineKind, IndexedDatabase, SearchRequest, Searcher};
+use alae::search::{EngineKind, IndexBuilder, SearchRequest, Searcher};
 use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
 use std::time::Instant;
 
@@ -38,7 +38,7 @@ fn main() {
 
     // Index once; every engine (and every thread) shares this handle.
     let build_start = Instant::now();
-    let db = IndexedDatabase::build(workload.database);
+    let db = IndexBuilder::new().index(workload.database);
     println!("index built in {:.2?}", build_start.elapsed());
 
     let scheme = ScoringScheme::DEFAULT;

@@ -8,7 +8,7 @@
 //! ```
 
 use alae::bioseq::{Alphabet, KarlinAltschul, ScoringScheme};
-use alae::search::{IndexedDatabase, SearchRequest, Searcher};
+use alae::search::{IndexBuilder, SearchRequest, Searcher};
 use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
         ka.lambda, ka.k
     );
 
-    let db = IndexedDatabase::build(workload.database);
+    let db = IndexBuilder::new().index(workload.database);
     // Keep only the three best hits per query — the facade shapes results
     // before they reach the caller.
     let request = SearchRequest::with_evalue(scheme, evalue).top_k(3);

@@ -9,7 +9,7 @@
 
 use alae::bioseq::{Alphabet, ScoringScheme};
 use alae::core::analysis::{bwtsw_default_bound, expected_entry_bound};
-use alae::search::{IndexedDatabase, SearchRequest, Searcher};
+use alae::search::{IndexBuilder, SearchRequest, Searcher};
 use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
 use std::time::Instant;
 
@@ -29,7 +29,7 @@ fn main() {
     let query = &workload.queries[0];
 
     // The suffix-trie index is built once; every scheme's searcher shares it.
-    let db = IndexedDatabase::build(workload.database);
+    let db = IndexBuilder::new().index(workload.database);
 
     println!(
         "{:>16} {:>6} {:>22} {:>14} {:>12} {:>10}",

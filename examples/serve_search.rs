@@ -1,0 +1,86 @@
+//! Persist an index, serve it over TCP, and search it with the client —
+//! the full `save -> open -> serve -> search` life cycle in one process.
+//!
+//! ```bash
+//! cargo run --release --example serve_search
+//! ```
+//!
+//! In production the three roles live in separate processes: an indexing
+//! job calls [`IndexedDatabase::save`] once, the `alae-serve` binary opens
+//! the file (memory-mapped, no suffix-array rebuild) and listens, and any
+//! number of clients connect with [`alae::client::Client`].  This example
+//! runs them all in-process so it needs no free well-known port.
+
+use alae::bioseq::{Alphabet, ScoringScheme, Sequence};
+use alae::client::Client;
+use alae::search::{IndexBuilder, IndexedDatabase, SearchRequest};
+use alae_server::{Server, ServerConfig};
+use std::time::Instant;
+
+fn main() {
+    // 1. Build an index and persist it to a single file.
+    let records = [
+        Sequence::from_ascii_named(
+            Alphabet::Dna,
+            "chr1",
+            b"TTGACCATTGCAGTCAGGTTCAACGGTACTGACGGTCAGTTCAGGATCCAGTTGACCATTGCA",
+        )
+        .unwrap(),
+        Sequence::from_ascii_named(
+            Alphabet::Dna,
+            "chr2",
+            b"ACGGTCAGTTCAGGATCCAGTTGACCATTGCAGTCAGGTTCAACGGTACT",
+        )
+        .unwrap(),
+    ];
+    let db = IndexBuilder::new().index(alae::bioseq::SequenceDatabase::from_sequences(
+        Alphabet::Dna,
+        records,
+    ));
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("alae-serve-example-{}.idx", std::process::id()));
+    db.save(&path).expect("save index");
+    println!("saved index to {}", path.display());
+
+    // 2. Reopen it the way `alae-serve --index <file>` does: memory-mapped,
+    //    checksum-verified, no suffix-array rebuild.
+    let started = Instant::now();
+    let reopened = IndexedDatabase::open(&path).expect("open index");
+    println!(
+        "reopened in {:?} ({} records, {} text bytes)",
+        started.elapsed(),
+        reopened.record_count(),
+        reopened.text_len()
+    );
+
+    // 3. Serve it on an ephemeral port.
+    let server = Server::bind("127.0.0.1:0", reopened, ServerConfig::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    println!("serving on {addr}");
+    std::thread::spawn(move || {
+        let _ = server.serve();
+    });
+
+    // 4. Search over TCP.  The response is the same `SearchResponse` the
+    //    in-process facade returns — hits, counters, termination and all.
+    let request = SearchRequest::with_threshold(ScoringScheme::DEFAULT, 12).top_k(5);
+    let query = Sequence::from_ascii(Alphabet::Dna, b"CAGGATCCAGTTGACCATTACAGTCAGG").unwrap();
+    let mut client = Client::connect(addr).expect("connect");
+    let response = client.search(&request, &query).expect("search over TCP");
+
+    println!(
+        "{} hits over the wire (threshold H = {}):",
+        response.hits.len(),
+        response.threshold
+    );
+    for hit in &response.hits {
+        println!(
+            "  {}: ends at record offset {}, query offset {}, score {}",
+            hit.name, hit.record_end, hit.query_end, hit.score
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+}

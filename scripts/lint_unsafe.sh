@@ -2,13 +2,16 @@
 # Workspace unsafe-code lint (run by CI's lint job and usable locally).
 #
 # The only modules in the workspace allowed to contain `unsafe` are the SIMD
-# kernel module `crates/suffix/src/simd.rs` (std::arch intrinsics) and the
-# test-only counting allocator `tests/alloc_steady_state.rs` (implementing
+# kernel module `crates/suffix/src/simd.rs` (std::arch intrinsics), the
+# store crate's mapping module `crates/store/src/mmap.rs` (raw mmap/munmap
+# for zero-copy index opens; audited in its module docs) and the test-only
+# counting allocator `tests/alloc_steady_state.rs` (implementing
 # `GlobalAlloc` requires unsafe; the allocator only counts and forwards to
 # `System`).  This script fails when:
 #   1. any other .rs file contains the `unsafe` keyword outside a comment,
-#   2. any non-suffix crate root is missing `#![forbid(unsafe_code)]`,
-#   3. the suffix crate root stops denying unsafe code, or either
+#   2. any crate root other than suffix/store is missing
+#      `#![forbid(unsafe_code)]`,
+#   3. the suffix or store crate root stops denying unsafe code, or any
 #      allowed module stops scoping its allowance explicitly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,18 +23,19 @@ fail=0
 # mentions are filtered by the leading // check.
 strays=$(grep -rn --include='*.rs' -E '\bunsafe\b' src crates tests examples 2>/dev/null |
     grep -v '^crates/suffix/src/simd.rs:' |
+    grep -v '^crates/store/src/mmap.rs:' |
     grep -v '^tests/alloc_steady_state.rs:' |
     grep -vE '^[^:]+:[0-9]+:[[:space:]]*(//|//!|///)' || true)
 if [ -n "$strays" ]; then
-    echo "stray \`unsafe\` outside crates/suffix/src/simd.rs and tests/alloc_steady_state.rs:"
+    echo "stray \`unsafe\` outside the audited modules (suffix/simd.rs, store/mmap.rs, alloc_steady_state.rs):"
     echo "$strays"
     fail=1
 fi
 
-# 2. Every non-suffix crate root forbids unsafe code outright.
+# 2. Every crate root outside suffix and store forbids unsafe code outright.
 for root in src/lib.rs crates/*/src/lib.rs; do
     case "$root" in
-    crates/suffix/*) continue ;;
+    crates/suffix/* | crates/store/*) continue ;;
     esac
     if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
         echo "missing #![forbid(unsafe_code)] in $root"
@@ -51,6 +55,17 @@ if ! grep -q '#!\[allow(unsafe_code)\]' crates/suffix/src/simd.rs; then
 fi
 if ! grep -q '#!\[allow(unsafe_code)\]' tests/alloc_steady_state.rs; then
     echo "tests/alloc_steady_state.rs must scope its unsafe allowance explicitly"
+    fail=1
+fi
+
+# 3b. Same containment for the store crate: deny at the root, one audited
+# mapping module with a scoped allowance.
+if ! grep -q '#!\[deny(unsafe_code)\]' crates/store/src/lib.rs; then
+    echo "crates/store/src/lib.rs must carry #![deny(unsafe_code)]"
+    fail=1
+fi
+if ! grep -q '#!\[allow(unsafe_code)\]' crates/store/src/mmap.rs; then
+    echo "crates/store/src/mmap.rs must scope its unsafe allowance explicitly"
     fail=1
 fi
 

@@ -1,0 +1,109 @@
+//! A blocking TCP client for the `alae-serve` daemon.
+//!
+//! The client speaks the [`crate::wire`] protocol over one
+//! [`std::net::TcpStream`].  Each [`Client::search`] call is a complete
+//! request/response exchange: the request frame goes out, hit frames are
+//! collected as they stream in, and the closing done frame is folded into a
+//! regular [`SearchResponse`] — so code written against [`crate::search`]
+//! works unchanged whether the index lives in-process or behind a socket.
+//!
+//! ```no_run
+//! use alae::bioseq::{Alphabet, ScoringScheme, Sequence};
+//! use alae::client::Client;
+//! use alae::search::SearchRequest;
+//!
+//! let mut client = Client::connect("127.0.0.1:7878")?;
+//! let request = SearchRequest::with_threshold(ScoringScheme::DEFAULT, 6);
+//! let query = Sequence::from_ascii(Alphabet::Dna, b"GCTAGCAT").unwrap();
+//! let response = client.search(&request, &query)?;
+//! for hit in &response.hits {
+//!     println!("{} @ {}..{} score {}", hit.name, hit.record_end, hit.query_end, hit.score);
+//! }
+//! # std::io::Result::Ok(())
+//! ```
+
+use crate::bioseq::Sequence;
+use crate::search::{SearchHit, SearchRequest, SearchResponse};
+use crate::wire::{
+    decode_done, decode_error, decode_hit, encode_request, read_frame, response_from_stream,
+    write_frame, FrameKind,
+};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connection to a running `alae-serve` instance.
+///
+/// The connection is used serially: one in-flight request at a time.  Open
+/// several clients for concurrency — the server batches compatible
+/// in-flight requests across connections into shared search waves.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server address (e.g. `"127.0.0.1:7878"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Bound how long [`Client::search`] may block waiting on the server
+    /// for a single read.  `None` (the default) waits indefinitely.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Run one search against the server's index.
+    ///
+    /// Hits stream in best-first within each record wave and are returned
+    /// as a regular [`SearchResponse`]; server-side guardrail outcomes
+    /// (deadline, budget) arrive through the response's `termination`, and
+    /// requests the server refuses outright (malformed, over capacity)
+    /// surface as [`io::Error`]s.
+    pub fn search(
+        &mut self,
+        request: &SearchRequest,
+        query: &Sequence,
+    ) -> io::Result<SearchResponse> {
+        let payload = encode_request(request, query.codes());
+        write_frame(&mut self.writer, FrameKind::Request, &payload)?;
+        self.writer.flush()?;
+
+        let mut hits: Vec<SearchHit> = Vec::new();
+        loop {
+            let (kind, payload) = read_frame(&mut self.reader)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                )
+            })?;
+            match kind {
+                FrameKind::Hit => hits.push(decode_hit(&payload)?),
+                FrameKind::Done => {
+                    let summary = decode_done(&payload)?;
+                    return Ok(response_from_stream(hits, summary));
+                }
+                FrameKind::Error => {
+                    let message = decode_error(&payload)?;
+                    return Err(io::Error::other(format!(
+                        "server refused request: {message}"
+                    )));
+                }
+                FrameKind::Request => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "server sent a request frame",
+                    ));
+                }
+            }
+        }
+    }
+}

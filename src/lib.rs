@@ -54,12 +54,15 @@
 //! * [`workload`] — synthetic DNA/protein workload generators.
 #![forbid(unsafe_code)]
 
+pub mod client;
 pub mod search;
+pub mod wire;
 
 pub use alae_align_baseline as baseline;
 pub use alae_bioseq as bioseq;
 pub use alae_blast_like as blast;
 pub use alae_bwtsw as bwtsw;
 pub use alae_core as core;
+pub use alae_store as store;
 pub use alae_suffix as suffix;
 pub use alae_workload as workload;

@@ -57,7 +57,7 @@ use alae_bioseq::{Alphabet, KarlinAltschul, ScoringScheme, Sequence, SequenceDat
 use alae_blast_like::{BlastConfig, BlastLikeAligner, BlastStats};
 use alae_bwtsw::{BwtswAligner, BwtswConfig, BwtswStats};
 use alae_core::{AlaeAligner, AlaeConfig, AlaeStats, FilterToggles, ThresholdSpec};
-use alae_suffix::TextIndex;
+use alae_suffix::{CheckpointScheme, IndexOptions, RankLayout, ScanBackend, TextIndex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -71,6 +71,88 @@ pub use alae_bioseq::guard::{CancelOnDrop, CancelToken, SearchError, SearchGuard
 // Shared index
 // ---------------------------------------------------------------------------
 
+/// The one way to turn a [`SequenceDatabase`] into an [`IndexedDatabase`].
+///
+/// Every index-construction knob lives here — occurrence-table layout,
+/// checkpoint scheme, scan backend, suffix-array sample rate — replacing
+/// the former constructor zoo (`TextIndex::with_layout`,
+/// `with_occ_options`, `with_scan_backend`, …), which survives only as
+/// deprecated shims.  There is deliberately **no** q-gram knob: `q` is a
+/// property of the scoring scheme (Equation 2 of the paper), derived per
+/// request from [`ScoringScheme::q`], and the q-gram inverted lists are
+/// built per *query*, not stored with the database.
+///
+/// ```
+/// use alae::bioseq::{Alphabet, Sequence, SequenceDatabase};
+/// use alae::search::IndexBuilder;
+/// use alae::suffix::RankLayout;
+///
+/// let db = SequenceDatabase::from_sequences(
+///     Alphabet::Dna,
+///     [Sequence::from_ascii(Alphabet::Dna, b"GCTAGCTAGG").unwrap()],
+/// );
+/// let indexed = IndexBuilder::new()
+///     .layout(RankLayout::Bytes)
+///     .sample_rate(8)
+///     .index(db);
+/// assert_eq!(indexed.record_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IndexBuilder {
+    options: IndexOptions,
+}
+
+impl IndexBuilder {
+    /// A builder with the default options (auto layout, default checkpoint
+    /// scheme, auto-detected scan backend, default sample rate).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Occurrence-table storage layout.
+    pub fn layout(mut self, layout: RankLayout) -> Self {
+        self.options = self.options.layout(layout);
+        self
+    }
+
+    /// Checkpoint (rank directory) scheme.
+    pub fn checkpoints(mut self, scheme: CheckpointScheme) -> Self {
+        self.options = self.options.checkpoints(scheme);
+        self
+    }
+
+    /// In-block scan backend.
+    pub fn backend(mut self, backend: ScanBackend) -> Self {
+        self.options = self.options.backend(backend);
+        self
+    }
+
+    /// Suffix-array sample rate (every `rate`-th row is sampled).
+    pub fn sample_rate(mut self, rate: usize) -> Self {
+        self.options = self.options.sample_rate(rate);
+        self
+    }
+
+    /// Build the index over `database` (consuming it into an `Arc`).
+    ///
+    /// The database's concatenated text is *shared* with the index (one
+    /// buffer serves both), so an [`IndexedDatabase`] holds exactly one
+    /// copy of the text no matter how many engines and threads search
+    /// through it.
+    pub fn index(self, database: SequenceDatabase) -> IndexedDatabase {
+        self.index_shared(Arc::new(database))
+    }
+
+    /// Build the index over an already-shared database.
+    pub fn index_shared(self, database: Arc<SequenceDatabase>) -> IndexedDatabase {
+        let index = Arc::new(
+            self.options
+                .build_text_index(database.shared_text(), database.alphabet().code_count()),
+        );
+        IndexedDatabase { database, index }
+    }
+}
+
 /// A sequence database bundled with its suffix-trie index, behind `Arc`s so
 /// clones are cheap and every engine (and every thread) shares one copy of
 /// the text and index memory.
@@ -82,25 +164,22 @@ pub struct IndexedDatabase {
 
 impl IndexedDatabase {
     /// Index a database (builds the compressed suffix array once).
-    ///
-    /// The database's concatenated text is *shared* with the index (one
-    /// `Arc`'d buffer serves both), so an [`IndexedDatabase`] holds exactly
-    /// one copy of the text no matter how many engines and threads search
-    /// through it.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `IndexBuilder::new().index(database)` — the one \
+                construction path with all layout/backend/sampling knobs"
+    )]
     pub fn build(database: SequenceDatabase) -> Self {
-        let index = Arc::new(TextIndex::from_shared(
-            database.shared_text(),
-            database.alphabet().code_count(),
-        ));
-        Self::from_parts(Arc::new(database), index)
+        IndexBuilder::new().index(database)
     }
 
-    /// Convenience: collect sequences into a database and index it.
+    /// Convenience: collect sequences into a database and index it with the
+    /// default [`IndexBuilder`] options.
     pub fn from_sequences<I>(alphabet: Alphabet, sequences: I) -> Self
     where
         I: IntoIterator<Item = Sequence>,
     {
-        Self::build(SequenceDatabase::from_sequences(alphabet, sequences))
+        IndexBuilder::new().index(SequenceDatabase::from_sequences(alphabet, sequences))
     }
 
     /// Assemble from an existing database and a matching index (the index
@@ -137,6 +216,28 @@ impl IndexedDatabase {
     /// Number of records.
     pub fn record_count(&self) -> usize {
         self.database.record_count()
+    }
+
+    /// Persist the database and index to a single file (see `alae-store`
+    /// for the format).  The file can be reopened with
+    /// [`IndexedDatabase::open`] without rebuilding the suffix array.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), alae_store::StoreError> {
+        alae_store::save_index(path.as_ref(), &self.database, &self.index)
+    }
+
+    /// Reopen an index file written by [`IndexedDatabase::save`].
+    ///
+    /// The heavy byte sections (text, BWT storage) are zero-copy views of a
+    /// read-only memory mapping of the file; no suffix array is built.
+    /// Every section is checksum-verified before use, and a corrupt,
+    /// truncated or incompatible file is rejected with a typed
+    /// [`alae_store::StoreError`].
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, alae_store::StoreError> {
+        let opened = alae_store::open_index(path.as_ref())?;
+        Ok(Self {
+            database: opened.database,
+            index: opened.index,
+        })
     }
 }
 
@@ -771,6 +872,9 @@ pub struct SinkSummary {
     pub threshold: i64,
     /// Hits delivered to the sink.
     pub delivered: usize,
+    /// Alignments found before result shaping (top-k, per-record caps) and
+    /// before the sink stopped the stream.
+    pub raw_hit_count: usize,
     /// True when the sink stopped the stream before it was exhausted.
     pub stopped_early: bool,
     /// Engine work counters for this query.
@@ -977,6 +1081,7 @@ impl Searcher {
                 engine: self.engine.kind(),
                 threshold: 0,
                 delivered: 0,
+                raw_hit_count: 0,
                 stopped_early: false,
                 counters: EngineCounters::empty(self.engine.kind()),
                 termination: Termination::Invalid(error),
@@ -990,6 +1095,7 @@ impl Searcher {
             engine: self.engine.kind(),
             threshold: run.threshold,
             delivered,
+            raw_hit_count: run.hits.len(),
             stopped_early,
             counters: run.counters,
             termination: run.termination,

@@ -159,11 +159,11 @@ fn all_rank_layouts_report_identical_hits() {
         alae::suffix::RankLayout::PackedNibble,
         alae::suffix::RankLayout::Bytes,
     ] {
-        let index = Arc::new(alae::suffix::TextIndex::with_layout(
-            database.text().to_vec(),
-            database.alphabet().code_count(),
-            layout,
-        ));
+        let index = Arc::new(
+            alae::suffix::IndexOptions::new()
+                .layout(layout)
+                .build_text_index(database.text().to_vec(), database.alphabet().code_count()),
+        );
         assert_eq!(index.rank_layout(), layout);
         for (i, query) in workload.queries.iter().enumerate() {
             let alae = AlaeAligner::with_index(

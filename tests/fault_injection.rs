@@ -5,7 +5,9 @@
 #![cfg(feature = "fault-inject")]
 
 use alae::bioseq::{Alphabet, ScoringScheme, Sequence};
-use alae::search::{EngineKind, FaultPlan, IndexedDatabase, SearchRequest, Searcher, Termination};
+use alae::search::{
+    EngineKind, FaultPlan, IndexBuilder, IndexedDatabase, SearchRequest, Searcher, Termination,
+};
 use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
 
 fn workload(
@@ -24,7 +26,7 @@ fn workload(
         },
     )
     .build();
-    (IndexedDatabase::build(built.database), built.queries)
+    (IndexBuilder::new().index(built.database), built.queries)
 }
 
 fn request(kind: EngineKind) -> SearchRequest {

@@ -4,8 +4,8 @@
 
 use alae::bioseq::{Alphabet, ScoringScheme, Sequence};
 use alae::search::{
-    CancelOnDrop, CancelToken, EngineKind, EngineRun, IndexedDatabase, LocalAligner, SearchError,
-    SearchGuard, SearchHit, SearchRequest, Searcher, Termination,
+    CancelOnDrop, CancelToken, EngineKind, EngineRun, IndexBuilder, IndexedDatabase, LocalAligner,
+    SearchError, SearchGuard, SearchHit, SearchRequest, Searcher, Termination,
 };
 use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
 use std::time::Duration;
@@ -26,7 +26,7 @@ fn workload(
         },
     )
     .build();
-    (IndexedDatabase::build(built.database), built.queries)
+    (IndexBuilder::new().index(built.database), built.queries)
 }
 
 fn request(kind: EngineKind) -> SearchRequest {

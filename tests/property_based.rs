@@ -11,9 +11,8 @@ use alae::bioseq::hits::diff_hits;
 use alae::bioseq::{Alphabet, KarlinAltschul, ScoringScheme, Sequence, SequenceDatabase};
 use alae::bwtsw::{BwtswAligner, BwtswConfig};
 use alae::core::{AlaeAligner, AlaeConfig, DominationIndex, QGramIndex};
-use alae::suffix::rank::OccTable;
 use alae::suffix::sais::{suffix_array, suffix_array_naive};
-use alae::suffix::{CheckpointScheme, ChildBuf, RankLayout, TextIndex};
+use alae::suffix::{CheckpointScheme, ChildBuf, IndexOptions, RankLayout, TextIndex};
 
 /// Deterministic case generator (xorshift64*).
 struct Gen(u64);
@@ -207,7 +206,9 @@ fn extend_all_agrees_with_extend_left_on_random_dfs() {
         let text: Vec<u8> = (0..len)
             .map(|_| (g.next() % sigma as u64) as u8 + 1)
             .collect();
-        let index = TextIndex::with_layout(text, code_count, layout);
+        let index = IndexOptions::new()
+            .layout(layout)
+            .build_text_index(text, code_count);
         let mut buf = ChildBuf::new();
         let mut stack = vec![index.root()];
         let mut visited = 0usize;
@@ -256,8 +257,12 @@ fn packed_and_generic_rank_paths_agree_on_random_texts() {
                 }
             })
             .collect();
-        let bytes = OccTable::with_layout(data.clone(), code_count, RankLayout::Bytes);
-        let packed = OccTable::with_layout(data.clone(), code_count, RankLayout::PackedDna);
+        let bytes = IndexOptions::new()
+            .layout(RankLayout::Bytes)
+            .build_occ_table(data.clone(), code_count);
+        let packed = IndexOptions::new()
+            .layout(RankLayout::PackedDna)
+            .build_occ_table(data.clone(), code_count);
         let mut counts_b = vec![0u32; code_count];
         let mut counts_p = vec![0u32; code_count];
         for _ in 0..40 {
@@ -300,18 +305,14 @@ fn nibble_and_two_level_agree_with_generic_on_random_texts() {
                 }
             })
             .collect();
-        let reference = OccTable::with_options(
-            data.clone(),
-            code_count,
-            RankLayout::Bytes,
-            CheckpointScheme::FlatU32,
-        );
-        let nibble = OccTable::with_options(
-            data.clone(),
-            code_count,
-            RankLayout::PackedNibble,
-            CheckpointScheme::TwoLevel,
-        );
+        let reference = IndexOptions::new()
+            .layout(RankLayout::Bytes)
+            .checkpoints(CheckpointScheme::FlatU32)
+            .build_occ_table(data.clone(), code_count);
+        let nibble = IndexOptions::new()
+            .layout(RankLayout::PackedNibble)
+            .checkpoints(CheckpointScheme::TwoLevel)
+            .build_occ_table(data.clone(), code_count);
         let mut counts_r = vec![0u32; code_count];
         let mut counts_n = vec![0u32; code_count];
         for _ in 0..60 {
@@ -341,14 +342,14 @@ fn two_level_protein_index_is_smaller_than_flat_u32() {
     // makes a reduced-alphabet table smaller still than its byte twin.
     let mut g = Gen::new(0x5eed_000e);
     let protein: Vec<u8> = (0..40_000).map(|_| (g.next() % 22) as u8).collect();
-    let flat = OccTable::with_options(
-        protein.clone(),
-        22,
-        RankLayout::Bytes,
-        CheckpointScheme::FlatU32,
-    );
-    let two_level =
-        OccTable::with_options(protein, 22, RankLayout::Bytes, CheckpointScheme::TwoLevel);
+    let flat = IndexOptions::new()
+        .layout(RankLayout::Bytes)
+        .checkpoints(CheckpointScheme::FlatU32)
+        .build_occ_table(protein.clone(), 22);
+    let two_level = IndexOptions::new()
+        .layout(RankLayout::Bytes)
+        .checkpoints(CheckpointScheme::TwoLevel)
+        .build_occ_table(protein, 22);
     assert!(
         two_level.size_in_bytes() < flat.size_in_bytes(),
         "two-level {} vs flat {}",
@@ -358,18 +359,14 @@ fn two_level_protein_index_is_smaller_than_flat_u32() {
     assert!(two_level.checkpoint_bytes() < flat.checkpoint_bytes());
 
     let reduced: Vec<u8> = (0..40_000).map(|_| (g.next() % 16) as u8).collect();
-    let bytes16 = OccTable::with_options(
-        reduced.clone(),
-        16,
-        RankLayout::Bytes,
-        CheckpointScheme::TwoLevel,
-    );
-    let nibble16 = OccTable::with_options(
-        reduced,
-        16,
-        RankLayout::PackedNibble,
-        CheckpointScheme::TwoLevel,
-    );
+    let bytes16 = IndexOptions::new()
+        .layout(RankLayout::Bytes)
+        .checkpoints(CheckpointScheme::TwoLevel)
+        .build_occ_table(reduced.clone(), 16);
+    let nibble16 = IndexOptions::new()
+        .layout(RankLayout::PackedNibble)
+        .checkpoints(CheckpointScheme::TwoLevel)
+        .build_occ_table(reduced, 16);
     assert!(nibble16.size_in_bytes() < bytes16.size_in_bytes());
 }
 
@@ -387,7 +384,9 @@ fn trie_expansion_performs_two_block_scans_per_node() {
         let text: Vec<u8> = (0..300)
             .map(|_| (g.next() % sigma as u64) as u8 + 1)
             .collect();
-        let index = TextIndex::with_layout(text, code_count, layout);
+        let index = IndexOptions::new()
+            .layout(layout)
+            .build_text_index(text, code_count);
         let mut buf = ChildBuf::new();
         let mut nodes = 0u64;
         let mut stack = vec![index.root()];
@@ -487,20 +486,16 @@ fn scan_backends_agree_through_the_text_index() {
                         text.push((g.next() % (code_count as u64 - 1)) as u8 + 1);
                     }
                 }
-                let reference = TextIndex::with_scan_backend(
-                    text.clone(),
-                    code_count,
-                    layout,
-                    scheme,
-                    ScanBackend::Swar,
-                );
-                let simd = TextIndex::with_scan_backend(
-                    text.clone(),
-                    code_count,
-                    layout,
-                    scheme,
-                    ScanBackend::Simd,
-                );
+                let reference = IndexOptions::new()
+                    .layout(layout)
+                    .checkpoints(scheme)
+                    .backend(ScanBackend::Swar)
+                    .build_text_index(text.clone(), code_count);
+                let simd = IndexOptions::new()
+                    .layout(layout)
+                    .checkpoints(scheme)
+                    .backend(ScanBackend::Simd)
+                    .build_text_index(text.clone(), code_count);
                 // DFS over the top of the trie: identical children at every
                 // node (ranges and labels), so identical walks everywhere.
                 let mut buf_ref = ChildBuf::new();

@@ -4,8 +4,8 @@
 
 use alae::bioseq::{Alphabet, ScoringScheme, Sequence};
 use alae::search::{
-    build_engine, CollectSink, EngineKind, FnSink, IndexedDatabase, SearchRequest, Searcher,
-    SinkFlow,
+    build_engine, CollectSink, EngineKind, FnSink, IndexBuilder, IndexedDatabase, SearchRequest,
+    Searcher, SinkFlow,
 };
 use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
 
@@ -31,7 +31,7 @@ fn workload(
         },
     )
     .build();
-    (IndexedDatabase::build(built.database), built.queries)
+    (IndexBuilder::new().index(built.database), built.queries)
 }
 
 /// The exact engines (ALAE, BWT-SW, Smith–Waterman) must report
