@@ -35,6 +35,7 @@ struct BwtswScratch {
 }
 
 impl BwtswScratch {
+    // lint: no-alloc — pooled-row reuse (tests/alloc_steady_state.rs)
     #[inline]
     fn acquire_row(&mut self) -> Vec<Cell> {
         let mut row = self.row_pool.pop().unwrap_or_default();
@@ -42,6 +43,7 @@ impl BwtswScratch {
         row
     }
 
+    // lint: no-alloc — returns the row to the pool, never allocates
     #[inline]
     fn release_row(&mut self, row: Vec<Cell>) {
         self.row_pool.push(row);
@@ -324,6 +326,7 @@ impl BwtswAligner {
 /// `prev` holds only the cells whose scores survived the positivity pruning;
 /// every other cell of the previous row is exactly `−∞` for the purposes of
 /// the recurrence (Section 3.1.2, case (i)).
+// lint: no-alloc — pooled-row hot path (tests/alloc_steady_state.rs)
 fn advance_row_into(
     prev: &[Cell],
     text_char: u8,

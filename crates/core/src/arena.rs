@@ -116,6 +116,7 @@ impl ForkArena {
     }
 
     /// Acquire a cleared slot (recycled when possible).
+    // lint: no-alloc — steady-state slot reuse (tests/alloc_steady_state.rs)
     #[inline]
     pub(crate) fn acquire_slot(&mut self) -> u32 {
         if let Some(id) = self.free_slots.pop() {
@@ -132,6 +133,7 @@ impl ForkArena {
     }
 
     /// Acquire a cleared group-id list from the pool.
+    // lint: no-alloc — steady-state pool reuse (tests/alloc_steady_state.rs)
     #[inline]
     pub(crate) fn acquire_ids(&mut self) -> Vec<u32> {
         let mut ids = self.id_list_pool.pop().unwrap_or_default();
@@ -141,12 +143,14 @@ impl ForkArena {
 
     /// Return a group-id list to the pool (the referenced slots must have
     /// been released separately).
+    // lint: no-alloc — returns capacity to the pool, never allocates
     #[inline]
     pub(crate) fn release_ids(&mut self, ids: Vec<u32>) {
         self.id_list_pool.push(ids);
     }
 
     /// Release every slot in `ids` back to the free list.
+    // lint: no-alloc — returns slots to the free list, never allocates
     #[inline]
     pub(crate) fn release_slots_of(&mut self, ids: &[u32]) {
         self.free_slots.extend_from_slice(ids);

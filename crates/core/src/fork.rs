@@ -210,6 +210,7 @@ pub fn open_gap_region(
 /// extension entries to `cells` (cleared first) and returns the number of
 /// boundary entries computed.  The hot path calls this with an arena-pooled
 /// buffer.
+// lint: no-alloc — pooled-buffer hot path (tests/alloc_steady_state.rs)
 pub fn open_gap_region_into(
     fgoe_offset: u32,
     score: i64,
@@ -301,6 +302,7 @@ pub fn advance_fork(
 
 /// Advance the representative fork, writing the result into `out`'s reused
 /// buffers — the allocation-free hot-path form of [`advance_fork`].
+// lint: no-alloc — pooled-buffer hot path (tests/alloc_steady_state.rs)
 #[allow(clippy::too_many_arguments)]
 pub fn advance_fork_into(
     phase: PhaseRef<'_>,
@@ -322,6 +324,7 @@ pub fn advance_fork_into(
     }
 }
 
+// lint: no-alloc — pooled-buffer hot path (tests/alloc_steady_state.rs)
 #[allow(clippy::too_many_arguments)]
 fn advance_diagonal_into(
     score: i64,
@@ -378,6 +381,7 @@ fn advance_diagonal_into(
     }
 }
 
+// lint: no-alloc — pooled-buffer hot path (tests/alloc_steady_state.rs)
 #[allow(clippy::too_many_arguments)]
 fn advance_gap_into(
     cells: &[GapCell],

@@ -1,0 +1,523 @@
+//! A hand-rolled Rust surface lexer.
+//!
+//! The rules do not need a full parse — they need to know, for every byte
+//! of a source file, whether it is *code*, *comment* or *literal*, plus a
+//! few structural facts: line numbers, brace nesting, and which byte ranges
+//! belong to `#[cfg(test)]` / `#[test]` items.  [`lex`] produces two masks
+//! of the same length as the input:
+//!
+//! * `code` — the source with every comment and every string/char literal
+//!   blanked to spaces (newlines preserved), so substring searches over it
+//!   can never match inside a comment, a doc example or a string.
+//! * `comments` — the inverse: comment text only, everything else blanked.
+//!   `// SAFETY:` justifications and region marker comments are found here.
+//!
+//! Handled syntax: line comments (`//`, `///`, `//!`), nested block
+//! comments, string literals with escapes, byte strings, raw (byte) strings
+//! with arbitrary `#` fences, char literals (including escapes) and the
+//! char-versus-lifetime ambiguity (`'a'` is a literal, `'a` in `<'a>` is
+//! code).
+
+/// The lexed view of one source file.
+pub struct Lexed {
+    /// Source bytes with comments and literals blanked (newlines kept).
+    pub code: Vec<u8>,
+    /// Comment bytes only, everything else blanked (newlines kept).
+    pub comments: Vec<u8>,
+    /// Byte offset where each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<usize>,
+    /// Byte ranges (start inclusive, end exclusive) of test-only items.
+    test_regions: Vec<(usize, usize)>,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl Lexed {
+    /// 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx,
+        }
+    }
+
+    /// Byte range `[start, end)` of 1-based `line` (without the newline).
+    pub fn line_span(&self, line: usize) -> (usize, usize) {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.code.len(), |&next| next.saturating_sub(1));
+        (start, end)
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The code mask of `line` (1-based).
+    pub fn code_line(&self, line: usize) -> &[u8] {
+        let (start, end) = self.line_span(line);
+        &self.code[start..end]
+    }
+
+    /// The comment mask of `line` (1-based).
+    pub fn comment_line(&self, line: usize) -> &[u8] {
+        let (start, end) = self.line_span(line);
+        &self.comments[start..end]
+    }
+
+    /// Whether byte `offset` falls inside a `#[cfg(test)]`/`#[test]` item.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    /// Offset of the matching `}` for the `{` at `open` (or end of file
+    /// when unbalanced).
+    pub fn matching_brace(&self, open: usize) -> usize {
+        debug_assert_eq!(self.code[open], b'{');
+        let mut depth = 0usize;
+        for (i, &b) in self.code.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.code.len()
+    }
+
+    /// Innermost `{ ... }` block enclosing `offset`: returns the offset of
+    /// its closing brace, or the end of file at top level.
+    pub fn enclosing_block_end(&self, offset: usize) -> usize {
+        let mut stack: Vec<usize> = Vec::new();
+        let mut best: Option<usize> = None;
+        let mut depth_at_offset: Option<usize> = None;
+        for (i, &b) in self.code.iter().enumerate() {
+            if i == offset {
+                depth_at_offset = Some(stack.len());
+            }
+            match b {
+                b'{' => stack.push(i),
+                b'}' => {
+                    if let Some(open) = stack.pop() {
+                        if let Some(depth) = depth_at_offset {
+                            // The first close that brings nesting below the
+                            // depth observed at `offset` ends its block.
+                            if open < offset && i > offset && stack.len() < depth && best.is_none()
+                            {
+                                best = Some(i);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        best.unwrap_or(self.code.len())
+    }
+}
+
+/// Lex `src` into code/comment masks plus test-region spans.
+pub fn lex(src: &[u8]) -> Lexed {
+    let n = src.len();
+    let mut code = vec![b' '; n];
+    let mut comments = vec![b' '; n];
+    for (i, &b) in src.iter().enumerate() {
+        if b == b'\n' {
+            code[i] = b'\n';
+            comments[i] = b'\n';
+        }
+    }
+
+    let mut i = 0usize;
+    while i < n {
+        let b = src[i];
+        if b == b'/' && i + 1 < n && src[i + 1] == b'/' {
+            while i < n && src[i] != b'\n' {
+                comments[i] = src[i];
+                i += 1;
+            }
+        } else if b == b'/' && i + 1 < n && src[i + 1] == b'*' {
+            let mut depth = 0usize;
+            while i < n {
+                if src[i] == b'/' && i + 1 < n && src[i + 1] == b'*' {
+                    depth += 1;
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    i += 2;
+                } else if src[i] == b'*' && i + 1 < n && src[i + 1] == b'/' {
+                    depth = depth.saturating_sub(1);
+                    comments[i] = b'*';
+                    comments[i + 1] = b'/';
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if src[i] != b'\n' {
+                        comments[i] = src[i];
+                    }
+                    i += 1;
+                }
+            }
+        } else if let Some(end) = string_end(src, i) {
+            i = end;
+        } else if b == b'\'' {
+            i = char_or_lifetime(src, i, &mut code);
+        } else {
+            code[i] = b;
+            i += 1;
+        }
+    }
+
+    let mut line_starts = vec![0usize];
+    for (i, &b) in src.iter().enumerate() {
+        if b == b'\n' && i + 1 < n {
+            line_starts.push(i + 1);
+        }
+    }
+
+    let test_regions = find_test_regions(&code);
+    Lexed {
+        code,
+        comments,
+        line_starts,
+        test_regions,
+    }
+}
+
+/// If a string literal starts at `i`, return the offset just past it.
+/// Handles `"`, `b"`, `c"`, `r"`, `r#"`, `br#"`, `cr#"` (any fence width).
+fn string_end(src: &[u8], i: usize) -> Option<usize> {
+    let n = src.len();
+    let prev_ident = i > 0 && is_ident(src[i - 1]);
+    match src[i] {
+        b'"' => Some(cooked_string_end(src, i)),
+        b'r' | b'b' | b'c' if !prev_ident => {
+            // Longest prefix of [bc]?r#*" or [bc]" starting here.
+            let mut j = i;
+            if (src[j] == b'b' || src[j] == b'c') && j + 1 < n {
+                j += 1;
+            }
+            if src[j] == b'r' {
+                let mut k = j + 1;
+                let mut fence = 0usize;
+                while k < n && src[k] == b'#' {
+                    fence += 1;
+                    k += 1;
+                }
+                if k < n && src[k] == b'"' {
+                    return Some(raw_string_end(src, k, fence));
+                }
+                None
+            } else if src[j] == b'"' && j > i {
+                Some(cooked_string_end(src, j))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// End of a `"..."` literal whose opening quote is at `open`.
+fn cooked_string_end(src: &[u8], open: usize) -> usize {
+    let n = src.len();
+    let mut i = open + 1;
+    while i < n {
+        match src[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// End of a raw literal whose opening quote is at `open` with `fence` hashes.
+fn raw_string_end(src: &[u8], open: usize, fence: usize) -> usize {
+    let n = src.len();
+    let mut i = open + 1;
+    while i < n {
+        if src[i] == b'"' {
+            let hashes = src[i + 1..].iter().take_while(|&&b| b == b'#').count();
+            if hashes >= fence {
+                return i + 1 + fence;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Disambiguate a `'` at `i`: blank a char literal, or copy a lifetime into
+/// the code mask.  Returns the offset to continue from.
+fn char_or_lifetime(src: &[u8], i: usize, code: &mut [u8]) -> usize {
+    let n = src.len();
+    let j = i + 1;
+    if j >= n {
+        code[i] = b'\'';
+        return i + 1;
+    }
+    if src[j] == b'\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut k = j;
+        while k < n {
+            match src[k] {
+                b'\\' => k += 2,
+                b'\'' => return k + 1,
+                _ => k += 1,
+            }
+        }
+        return n;
+    }
+    // Identifier run after the quote: `'a'` is a literal, `'a` a lifetime.
+    let mut k = j;
+    while k < n && is_ident(src[k]) {
+        k += 1;
+    }
+    if k > j && k < n && src[k] == b'\'' {
+        return k + 1; // char literal like 'x'
+    }
+    if k > j {
+        // Lifetime: the quote and identifier are code.
+        code[i] = b'\'';
+        code[i + 1..k].copy_from_slice(&src[i + 1..k]);
+        return k;
+    }
+    // Non-identifier char literal like '(' or a multibyte char: find the
+    // closing quote within a short window.
+    let mut m = j;
+    while m < n && m < j + 6 {
+        if src[m] == b'\'' {
+            return m + 1;
+        }
+        m += 1;
+    }
+    code[i] = b'\'';
+    i + 1
+}
+
+/// Find `#[cfg(test)]`-style items: the attribute plus the item body (to
+/// the matching `}` or the terminating `;`).  `#[test]` and
+/// `#[cfg(all(test, ...))]` count; `#[cfg(not(test))]` does not.
+fn find_test_regions(code: &[u8]) -> Vec<(usize, usize)> {
+    let n = code.len();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if code[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let Some((attr_end, content_start)) = attribute_bounds(code, i) else {
+            i += 1;
+            continue;
+        };
+        let content = &code[content_start..attr_end];
+        if !attr_is_test(content) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip whitespace and any further attributes to the item itself.
+        let mut j = attr_end + 1;
+        loop {
+            while j < n && code[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < n && code[j] == b'#' {
+                if let Some((end, _)) = attribute_bounds(code, j) {
+                    j = end + 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        // The item ends at the matching `}` of its first body brace, or at
+        // a `;` outside parens/braces (e.g. a `use` or an extern item).
+        let mut paren = 0isize;
+        let mut end = n;
+        while j < n {
+            match code[j] {
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren -= 1,
+                b'{' => {
+                    let mut depth = 0usize;
+                    while j < n {
+                        match code[j] {
+                            b'{' => depth += 1,
+                            b'}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    end = (j + 1).min(n);
+                    break;
+                }
+                b';' if paren == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((i, end));
+        i = end;
+    }
+    regions
+}
+
+/// For a `#` at `i` opening an attribute, return `(closing_bracket,
+/// content_start)`.
+fn attribute_bounds(code: &[u8], i: usize) -> Option<(usize, usize)> {
+    let n = code.len();
+    let mut j = i + 1;
+    if j < n && code[j] == b'!' {
+        j += 1;
+    }
+    while j < n && code[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    if j >= n || code[j] != b'[' {
+        return None;
+    }
+    let content_start = j + 1;
+    let mut depth = 0isize;
+    while j < n {
+        match code[j] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((j, content_start));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+fn attr_is_test(content: &[u8]) -> bool {
+    contains_word(content, b"test") && !contains_subslice(content, b"not")
+}
+
+/// Whether `needle` occurs in `haystack` with identifier boundaries.
+pub fn contains_word(haystack: &[u8], needle: &[u8]) -> bool {
+    find_word_from(haystack, needle, 0).is_some()
+}
+
+/// First word-boundary occurrence of `needle` at or after `from`.
+pub fn find_word_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    let mut start = from;
+    while let Some(pos) = find_subslice(&haystack[start..], needle) {
+        let at = start + pos;
+        let left_ok = at == 0 || !is_ident(haystack[at - 1]);
+        let right = at + needle.len();
+        let right_ok = right >= haystack.len() || !is_ident(haystack[right]);
+        if left_ok && right_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+pub fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+pub fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+    find_subslice(haystack, needle).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = b"let x = \"unsafe\"; // unsafe here\nlet y = 1;";
+        let lexed = lex(src);
+        assert!(!contains_word(&lexed.code, b"unsafe"));
+        assert!(contains_word(&lexed.comments, b"unsafe"));
+        assert!(contains_word(&lexed.code, b"let"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = br##"let s = r#"panic!()"#; let c = '"'; let l: &'static str = "x";"##;
+        let lexed = lex(src);
+        assert!(!contains_subslice(&lexed.code, b"panic!"));
+        // The lifetime survives as code.
+        assert!(contains_subslice(&lexed.code, b"'static"));
+    }
+
+    #[test]
+    fn escaped_char_literal_does_not_swallow_code() {
+        let src = b"let q = '\\''; let x = 1.unwrap_marker();";
+        let lexed = lex(src);
+        assert!(contains_subslice(&lexed.code, b"unwrap_marker"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = b"/* outer /* inner */ still comment */ fn f() {}";
+        let lexed = lex(src);
+        assert!(!contains_word(&lexed.code, b"outer"));
+        assert!(!contains_word(&lexed.code, b"still"));
+        assert!(contains_word(&lexed.code, b"fn"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = b"fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}";
+        let lexed = lex(src);
+        let first = find_subslice(&lexed.code, b"x.unwrap").unwrap();
+        let second = find_subslice(&lexed.code, b"y.unwrap").unwrap();
+        assert!(!lexed.in_test_region(first));
+        assert!(lexed.in_test_region(second));
+        let last = find_subslice(&lexed.code, b"fn c").unwrap();
+        assert!(!lexed.in_test_region(last));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = b"#[cfg(not(test))]\nfn a() { x.unwrap(); }";
+        let lexed = lex(src);
+        let pos = find_subslice(&lexed.code, b"x.unwrap").unwrap();
+        assert!(!lexed.in_test_region(pos));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let src = b"a\nbb\nccc\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.line_of(0), 1);
+        assert_eq!(lexed.line_of(2), 2);
+        assert_eq!(lexed.line_of(5), 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! The `alae-lint` binary: lint the workspace, print findings, exit
+//! nonzero when any invariant is violated.
+//!
+//! ```text
+//! alae-lint [--config PATH] [ROOT]
+//! ```
+//!
+//! `ROOT` defaults to the current directory (CI and the wrapper script run
+//! from the workspace root); the config defaults to `ROOT/lint.toml`.
+
+#![forbid(unsafe_code)]
+
+use alae_lint::config::LintConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut config_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => match args.next() {
+                Some(path) => config_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("alae-lint: --config requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: alae-lint [--config PATH] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() => root = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("alae-lint: unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("alae-lint: cannot read {}: {err}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match LintConfig::parse(&config_text) {
+        Ok(config) => config,
+        Err(err) => {
+            eprintln!("alae-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match alae_lint::lint_workspace(&root, &config) {
+        Ok((findings, files)) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            if findings.is_empty() {
+                println!("alae-lint: workspace clean ({files} source files checked)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "alae-lint: {} finding(s) across {files} source files",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("alae-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

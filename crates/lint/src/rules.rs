@@ -1,0 +1,343 @@
+//! The five rule families, applied to one lexed source file.
+//!
+//! 1. **unsafe confinement** — the `unsafe` keyword may appear only in the
+//!    allowlisted modules, and every occurrence there must be justified by
+//!    an adjacent `// SAFETY:` comment.
+//! 2. **panic policy** — serving-path files must not call `.unwrap()`,
+//!    `.expect(`, `panic!`, `todo!` or `unreachable!` outside test code.
+//! 3. **zero-alloc discipline** — regions opened by a marker comment
+//!    (`lint:` followed by `no-alloc`) must not contain allocating
+//!    constructors; a trailing `lint:` + `allow` comment suppresses one
+//!    line.
+//! 4. **blocking-while-locked** — in server files, a scope holding a
+//!    `.lock()` guard must not reach a configured blocking call.
+//!
+//! (Family 5, workspace consistency, lives in [`crate::manifest`] because
+//! it reads `Cargo.toml`s rather than Rust sources.)
+
+use crate::config::LintConfig;
+use crate::lexer::{self, Lexed};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Marker comment opening a zero-alloc region (applies to the next
+/// `{ ... }` block).  Built as a constant so the lint's own sources never
+/// spell the phrase in a comment and trip rule 3 on themselves.
+const NO_ALLOC_MARKER: &[u8] = b"lint: no-alloc";
+/// Trailing comment suppressing rule-3 findings on its line.
+const ALLOW_MARKER: &[u8] = b"lint: allow";
+
+/// Which rule family produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    UnsafeConfinement,
+    SafetyComment,
+    PanicPolicy,
+    NoAlloc,
+    BlockingLock,
+    Consistency,
+}
+
+impl Rule {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::UnsafeConfinement => "unsafe-confinement",
+            Rule::SafetyComment => "safety-comment",
+            Rule::PanicPolicy => "panic-policy",
+            Rule::NoAlloc => "no-alloc",
+            Rule::BlockingLock => "blocking-while-locked",
+            Rule::Consistency => "consistency",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One violation: `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Apply rule families 1–4 to one source file (`rel` is the
+/// `/`-separated path relative to the workspace root).
+pub fn lint_source(rel: &str, src: &[u8], config: &LintConfig) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let mut findings = Vec::new();
+    check_unsafe(rel, &lexed, config, &mut findings);
+    if config.under_panic_policy(rel) {
+        check_panics(rel, &lexed, &mut findings);
+    }
+    check_no_alloc(rel, &lexed, config, &mut findings);
+    if config.under_lock_policy(rel) {
+        check_locks(rel, &lexed, config, &mut findings);
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: unsafe confinement + SAFETY justification
+// ---------------------------------------------------------------------------
+
+fn check_unsafe(rel: &str, lexed: &Lexed, config: &LintConfig, findings: &mut Vec<Finding>) {
+    let allowed = config.unsafe_is_allowed(rel);
+    let mut seen_lines = BTreeSet::new();
+    let mut from = 0usize;
+    while let Some(at) = lexer::find_word_from(&lexed.code, b"unsafe", from) {
+        from = at + 6;
+        let line = lexed.line_of(at);
+        if !seen_lines.insert(line) {
+            continue;
+        }
+        if !allowed {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line,
+                rule: Rule::UnsafeConfinement,
+                message: "`unsafe` outside the allowlisted modules (see lint.toml [unsafe])"
+                    .to_string(),
+            });
+        } else if !has_safety_justification(lexed, line) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line,
+                rule: Rule::SafetyComment,
+                message: "`unsafe` without an adjacent `// SAFETY:` justification".to_string(),
+            });
+        }
+    }
+}
+
+/// A SAFETY comment counts when it sits on the `unsafe` line itself or on a
+/// run of comment / attribute / blank lines directly above it.
+fn has_safety_justification(lexed: &Lexed, line: usize) -> bool {
+    if lexer::contains_subslice(lexed.comment_line(line), b"SAFETY:") {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if lexer::contains_subslice(lexed.comment_line(l), b"SAFETY:") {
+            return true;
+        }
+        let code = trim(lexed.code_line(l));
+        if code.is_empty() || code.starts_with(b"#[") || code.starts_with(b"#![") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: panic policy
+// ---------------------------------------------------------------------------
+
+const PANIC_PATTERNS: [&str; 5] = [".unwrap()", ".expect(", "panic!", "todo!", "unreachable!"];
+
+fn check_panics(rel: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for pattern in PANIC_PATTERNS {
+        for at in find_pattern(&lexed.code, pattern.as_bytes(), 0, usize::MAX) {
+            if lexed.in_test_region(at) {
+                continue;
+            }
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: lexed.line_of(at),
+                rule: Rule::PanicPolicy,
+                message: format!(
+                    "`{pattern}` in non-test serving-path code (use typed errors or let-else)"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: zero-alloc regions
+// ---------------------------------------------------------------------------
+
+fn check_no_alloc(rel: &str, lexed: &Lexed, config: &LintConfig, findings: &mut Vec<Finding>) {
+    let mut from = 0usize;
+    while let Some(marker) = next_subslice(&lexed.comments, NO_ALLOC_MARKER, from) {
+        from = marker + NO_ALLOC_MARKER.len();
+        let marker_line = lexed.line_of(marker);
+        // The region is the next `{ ... }` block after the marker comment.
+        let (_, line_end) = lexed.line_span(marker_line);
+        let Some(open_rel) = lexed.code[line_end..].iter().position(|&b| b == b'{') else {
+            continue;
+        };
+        let open = line_end + open_rel;
+        let close = lexed.matching_brace(open);
+        for pattern in &config.no_alloc_banned {
+            for at in find_pattern(&lexed.code, pattern.as_bytes(), open, close) {
+                let line = lexed.line_of(at);
+                if lexer::contains_subslice(lexed.comment_line(line), ALLOW_MARKER) {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line,
+                    rule: Rule::NoAlloc,
+                    message: format!(
+                        "allocating call `{pattern}` inside the zero-alloc region opened at line {marker_line}"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: blocking calls while a lock guard is live
+// ---------------------------------------------------------------------------
+
+fn check_locks(rel: &str, lexed: &Lexed, config: &LintConfig, findings: &mut Vec<Finding>) {
+    let mut from = 0usize;
+    while let Some(lock_at) = next_subslice(&lexed.code, b".lock()", from) {
+        from = lock_at + 7;
+        if lexed.in_test_region(lock_at) {
+            continue;
+        }
+        let lock_line = lexed.line_of(lock_at);
+        let (binding, scope_end) = guard_scope(lexed, lock_at);
+        for call in &config.blocking_calls {
+            for at in find_pattern(&lexed.code, call.as_bytes(), lock_at, scope_end) {
+                if let Some(name) = &binding {
+                    // An explicit drop of the guard before the call ends
+                    // its liveness.
+                    let drop_pat = format!("drop({name})");
+                    if next_subslice(&lexed.code[..at], drop_pat.as_bytes(), lock_at).is_some() {
+                        continue;
+                    }
+                }
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lexed.line_of(at),
+                    rule: Rule::BlockingLock,
+                    message: format!(
+                        "blocking call `{call}` while the lock guard acquired at line {lock_line} is live"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The guard's liveness scope: for a `let` binding, to the end of the
+/// enclosing block (plus the binding name for drop detection); for a
+/// temporary in an expression statement, to the end of that statement.
+fn guard_scope(lexed: &Lexed, lock_at: usize) -> (Option<String>, usize) {
+    // Find the start of the statement containing the lock call.
+    let mut start = lock_at;
+    while start > 0 {
+        match lexed.code[start - 1] {
+            b';' | b'{' | b'}' => break,
+            _ => start -= 1,
+        }
+    }
+    let head = trim(&lexed.code[start..lock_at]);
+    if head.starts_with(b"let ") || head == b"let" {
+        let name = binding_name(&head[3..]);
+        (name, lexed.enclosing_block_end(lock_at))
+    } else {
+        // Temporary guard: dies at the end of the statement (`;` at the
+        // same brace depth).
+        let mut depth = 0isize;
+        for (i, &b) in lexed.code.iter().enumerate().skip(lock_at) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                b';' if depth <= 0 => return (None, i),
+                _ => {}
+            }
+        }
+        (None, lexed.code.len())
+    }
+}
+
+/// Extract the identifier from `let [mut] name = ...` (None for tuple or
+/// struct patterns, where drop detection is skipped).
+fn binding_name(after_let: &[u8]) -> Option<String> {
+    let mut rest = trim(after_let);
+    if let Some(stripped) = rest.strip_prefix(b"mut ") {
+        rest = trim(stripped);
+    }
+    let end = rest
+        .iter()
+        .position(|&b| !(b.is_ascii_alphanumeric() || b == b'_'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&rest[..end]).into_owned())
+}
+
+// ---------------------------------------------------------------------------
+// Shared pattern helpers
+// ---------------------------------------------------------------------------
+
+/// All occurrences of `pattern` in `code[start..end)` honoring identifier
+/// boundaries on whichever ends of the pattern are identifier characters.
+fn find_pattern(code: &[u8], pattern: &[u8], start: usize, end: usize) -> Vec<usize> {
+    let end = end.min(code.len());
+    let needs_left = pattern
+        .first()
+        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_');
+    let needs_right = pattern
+        .last()
+        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_');
+    let mut out = Vec::new();
+    let mut from = start;
+    while let Some(at) = next_subslice(&code[..end], pattern, from) {
+        from = at + 1;
+        if needs_left && at > 0 && (code[at - 1].is_ascii_alphanumeric() || code[at - 1] == b'_') {
+            continue;
+        }
+        let right = at + pattern.len();
+        if needs_right
+            && right < code.len()
+            && (code[right].is_ascii_alphanumeric() || code[right] == b'_')
+        {
+            continue;
+        }
+        out.push(at);
+    }
+    out
+}
+
+fn next_subslice(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    lexer::find_subslice(&haystack[from..], needle).map(|pos| from + pos)
+}
+
+fn trim(bytes: &[u8]) -> &[u8] {
+    let start = bytes
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())
+        .unwrap_or(bytes.len());
+    let end = bytes
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+        .map_or(start, |i| i + 1);
+    &bytes[start..end]
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: a blocking write while a mutex guard is live
+//! (rule: blocking-while-locked).
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn flush_stats(stats: &Mutex<Vec<u8>>, out: &mut impl Write) -> std::io::Result<()> {
+    let guard = stats.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    out.write_all(&guard)?;
+    Ok(())
+}

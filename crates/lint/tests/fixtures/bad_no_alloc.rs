@@ -1,0 +1,24 @@
+//! Known-bad fixture: an allocating constructor inside a marked
+//! zero-alloc region (rule: no-alloc).  The region is the `{ ... }`
+//! block that follows the marker comment; `seed` below it allocates
+//! legally because it sits outside the region.
+
+pub struct Pool {
+    rows: Vec<Vec<u32>>,
+}
+
+impl Pool {
+    // lint: no-alloc — the steady-state hot path must reuse pooled rows
+    pub fn acquire(&mut self) -> Vec<u32> {
+        let mut row = Vec::new();
+        if let Some(pooled) = self.rows.pop() {
+            row = pooled;
+        }
+        row
+    }
+
+    /// Allocation outside the marked region is fine.
+    pub fn seed(&mut self) {
+        self.rows.push(Vec::with_capacity(64));
+    }
+}

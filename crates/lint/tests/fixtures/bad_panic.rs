@@ -1,0 +1,28 @@
+//! Known-bad fixture: panics in non-test serving-path code
+//! (rule: panic-policy).  The `#[cfg(test)]` module at the bottom may
+//! unwrap freely — only the three non-test sites are flagged.
+
+pub fn parse_len(header: &[u8]) -> u32 {
+    let bytes: [u8; 4] = header[..4].try_into().unwrap();
+    u32::from_le_bytes(bytes)
+}
+
+pub fn must_have(slot: Option<u32>) -> u32 {
+    slot.expect("slot is always populated")
+}
+
+pub fn dispatch(tag: u8) -> u32 {
+    match tag {
+        0 => 0,
+        _ => unreachable!("tags above zero are rejected earlier"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: allowlisted `unsafe` with no adjacent `SAFETY:`
+//! justification (rule: safety-comment).
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.get_unchecked(0) }
+}

@@ -1,0 +1,8 @@
+//! Known-bad fixture: `unsafe` outside the allowlisted modules
+//! (rule: unsafe-confinement).  The fixture config does not allowlist
+//! this file, so the block is flagged even with a SAFETY justification.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    // SAFETY: caller guarantees `bytes` is non-empty.
+    unsafe { *bytes.get_unchecked(0) }
+}

@@ -1,0 +1,2 @@
+// Missing the crate-root forbid-unsafe header — flagged at line 1.
+pub fn noop() {}

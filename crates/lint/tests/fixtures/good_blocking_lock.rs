@@ -1,0 +1,25 @@
+//! Known-good twin: snapshot under the lock inside its own block, then
+//! write after the guard has been dropped (rule: blocking-while-locked).
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn flush_stats(stats: &Mutex<Vec<u8>>, out: &mut impl Write) -> std::io::Result<()> {
+    let mut snapshot = [0u8; 64];
+    let len = {
+        let guard = stats.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let len = guard.len().min(snapshot.len());
+        snapshot[..len].copy_from_slice(&guard[..len]);
+        len
+    };
+    out.write_all(&snapshot[..len])?;
+    Ok(())
+}
+
+pub fn flush_dropped(stats: &Mutex<Vec<u8>>, out: &mut impl Write) -> std::io::Result<()> {
+    let guard = stats.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let head = guard.first().copied().unwrap_or(0);
+    drop(guard);
+    out.write_all(&[head])?;
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Known-good twin: the marked region only reuses pooled capacity, and a
+//! waived cold-start allocation carries a trailing allow marker
+//! (rule: no-alloc).
+
+pub struct Pool {
+    rows: Vec<Vec<u32>>,
+}
+
+impl Pool {
+    // lint: no-alloc — pops pooled capacity, never allocates
+    pub fn acquire(&mut self) -> Vec<u32> {
+        let mut row = self.rows.pop().unwrap_or_default();
+        row.clear();
+        row
+    }
+
+    // lint: no-alloc — cold-start growth is explicitly waived on its line
+    pub fn acquire_or_grow(&mut self) -> Vec<u32> {
+        match self.rows.pop() {
+            Some(row) => row,
+            None => Vec::with_capacity(64), // lint: allow — cold start only
+        }
+    }
+}

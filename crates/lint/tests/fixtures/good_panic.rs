@@ -1,0 +1,15 @@
+//! Known-good twin: typed errors and let-else instead of unwrap/expect
+//! (rule: panic-policy).  A doc-comment mention of `.unwrap()` is not
+//! code and is never flagged.
+
+pub fn parse_len(header: &[u8]) -> Result<u32, &'static str> {
+    let Ok(bytes) = <[u8; 4]>::try_from(&header[..4]) else {
+        return Err("truncated header");
+    };
+    Ok(u32::from_le_bytes(bytes))
+}
+
+/// Returns the slot value, or an error — never `.unwrap()`s.
+pub fn must_have(slot: Option<u32>) -> Result<u32, &'static str> {
+    slot.ok_or("slot missing")
+}

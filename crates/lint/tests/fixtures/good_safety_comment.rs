@@ -1,0 +1,10 @@
+//! Known-good twin: the justification may sit above attributes and blank
+//! lines — the walk-up still finds it (rule: safety-comment).
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    // SAFETY: caller guarantees `bytes` is non-empty.
+
+    #[allow(clippy::let_and_return)]
+    let byte = unsafe { *bytes.get_unchecked(0) };
+    byte
+}

@@ -1,0 +1,7 @@
+//! Known-good twin: identical code, but the fixture config allowlists
+//! this file, and the block carries a SAFETY justification — no findings.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    // SAFETY: caller guarantees `bytes` is non-empty.
+    unsafe { *bytes.get_unchecked(0) }
+}

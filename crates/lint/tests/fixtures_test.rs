@@ -1,0 +1,119 @@
+//! Fixture-driven tests: every known-bad fixture must be flagged at the
+//! exact line by the exact rule, and every known-good twin must lint
+//! clean under the same configuration.
+//!
+//! Each rule family gets a minimal fixture config so the test pins the
+//! rule's own behavior, not the shape of the real `lint.toml`.
+
+use alae_lint::config::LintConfig;
+use alae_lint::manifest;
+use alae_lint::rules::{self, Rule};
+use std::path::{Path, PathBuf};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn config(text: &str) -> LintConfig {
+    LintConfig::parse(text).expect("fixture config parses")
+}
+
+/// Lint one fixture file and return its `(line, rule)` pairs, sorted.
+fn lint(name: &str, cfg: &LintConfig) -> Vec<(usize, Rule)> {
+    let path = fixture_path(name);
+    let src = std::fs::read(&path).unwrap_or_else(|err| panic!("read {}: {err}", path.display()));
+    let mut found: Vec<(usize, Rule)> = rules::lint_source(name, &src, cfg)
+        .into_iter()
+        .map(|f| (f.line, f.rule))
+        .collect();
+    found.sort();
+    found
+}
+
+#[test]
+fn unsafe_confinement_flags_non_allowlisted_files() {
+    let cfg = config("[unsafe]\nallowed = [\"good_unsafe_confinement.rs\"]\n");
+    assert_eq!(
+        lint("bad_unsafe_confinement.rs", &cfg),
+        vec![(7, Rule::UnsafeConfinement)]
+    );
+    assert_eq!(lint("good_unsafe_confinement.rs", &cfg), vec![]);
+}
+
+#[test]
+fn safety_comment_required_on_allowlisted_unsafe() {
+    let cfg =
+        config("[unsafe]\nallowed = [\"bad_safety_comment.rs\", \"good_safety_comment.rs\"]\n");
+    assert_eq!(
+        lint("bad_safety_comment.rs", &cfg),
+        vec![(5, Rule::SafetyComment)]
+    );
+    // The good twin's justification sits above a blank line and an
+    // attribute; the walk-up still accepts it.
+    assert_eq!(lint("good_safety_comment.rs", &cfg), vec![]);
+}
+
+#[test]
+fn panic_policy_flags_non_test_sites_only() {
+    let cfg = config("[panic]\npaths = [\"bad_panic.rs\", \"good_panic.rs\"]\n");
+    assert_eq!(
+        lint("bad_panic.rs", &cfg),
+        vec![
+            (6, Rule::PanicPolicy),  // .unwrap()
+            (11, Rule::PanicPolicy), // .expect(
+            (17, Rule::PanicPolicy), // unreachable!
+        ]
+    );
+    // The unwrap inside `#[cfg(test)]` was not flagged above, and the
+    // good twin's doc-comment mention of `.unwrap()` is not code.
+    assert_eq!(lint("good_panic.rs", &cfg), vec![]);
+}
+
+#[test]
+fn no_alloc_regions_ban_allocating_constructors() {
+    let cfg = config("[no_alloc]\nbanned = [\"Vec::new\", \"Vec::with_capacity\", \"vec!\"]\n");
+    // Only the constructor inside the marked region is flagged; `seed`
+    // allocates legally below the region.
+    assert_eq!(lint("bad_no_alloc.rs", &cfg), vec![(13, Rule::NoAlloc)]);
+    // The good twin's cold-start allocation carries a trailing allow
+    // marker and is suppressed.
+    assert_eq!(lint("good_no_alloc.rs", &cfg), vec![]);
+}
+
+#[test]
+fn blocking_calls_under_a_live_guard_are_flagged() {
+    let cfg = config(
+        "[locks]\npaths = [\"bad_blocking_lock.rs\", \"good_blocking_lock.rs\"]\nblocking = [\"write_all\"]\n",
+    );
+    assert_eq!(
+        lint("bad_blocking_lock.rs", &cfg),
+        vec![(9, Rule::BlockingLock)]
+    );
+    // The good twin scopes the guard in an inner block (first fn) and
+    // drops it explicitly before writing (second fn).
+    assert_eq!(lint("good_blocking_lock.rs", &cfg), vec![]);
+}
+
+#[test]
+fn consistency_flags_missing_header_and_feature_forward() {
+    let cfg = config("[consistency]\nfeatures = [\"fast\"]\n");
+    let mut found: Vec<(String, usize, Rule)> =
+        manifest::check_workspace(&fixture_path("consistency_bad"), &cfg)
+            .into_iter()
+            .map(|f| (f.file, f.line, f.rule))
+            .collect();
+    found.sort();
+    assert_eq!(
+        found,
+        vec![
+            ("a/Cargo.toml".to_string(), 8, Rule::Consistency),
+            ("a/src/lib.rs".to_string(), 1, Rule::Consistency),
+        ]
+    );
+    assert_eq!(
+        manifest::check_workspace(&fixture_path("consistency_good"), &cfg),
+        vec![]
+    );
+}

@@ -1,0 +1,29 @@
+//! The real workspace must lint clean under the checked-in `lint.toml` —
+//! the same gate CI runs via `cargo run -p alae-lint --release`.
+
+use alae_lint::config::LintConfig;
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_under_checked_in_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let config_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml at the workspace root");
+    let config = LintConfig::parse(&config_text).expect("lint.toml parses");
+    let (findings, files_checked) =
+        alae_lint::lint_workspace(&root, &config).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk really visited the workspace sources.
+    assert!(
+        files_checked > 50,
+        "only {files_checked} files checked — walk looks broken"
+    );
+}

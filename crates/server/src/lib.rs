@@ -239,10 +239,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
 
         let (reply_tx, reply_rx) = mpsc::channel();
         shared.pending_count.fetch_add(1, Ordering::SeqCst);
+        // A poisoned queue only means another worker panicked while
+        // holding it; the VecDeque itself is still structurally sound, so
+        // serving continues rather than panicking every connection.
         shared
             .queue
             .lock()
-            .expect("queue poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .push_back(Pending {
                 config_key,
                 request,
@@ -307,13 +310,21 @@ fn worker_loop(shared: &Shared) {
 /// [`ServerConfig::batch_window`] so compatible stragglers can join, then
 /// drain every request sharing the head request's configuration key.
 fn next_wave(shared: &Shared) -> Option<Vec<Pending>> {
-    let mut queue = shared.queue.lock().expect("queue poisoned");
+    // Poisoning is recovered everywhere in this loop: the queue stays
+    // structurally valid across a worker panic and service must continue.
+    let mut queue = shared
+        .queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     loop {
         if queue.is_empty() {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return None;
             }
-            queue = shared.queue_cv.wait(queue).expect("queue poisoned");
+            queue = shared
+                .queue_cv
+                .wait(queue)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             continue;
         }
         if !shared.config.batch_window.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
@@ -322,10 +333,13 @@ fn next_wave(shared: &Shared) -> Option<Vec<Pending>> {
             let (q, _) = shared
                 .queue_cv
                 .wait_timeout(queue, shared.config.batch_window)
-                .expect("queue poisoned");
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             queue = q;
         }
-        let head = queue.pop_front().expect("checked non-empty");
+        let Some(head) = queue.pop_front() else {
+            // Emptied while we held the batch window open; wait again.
+            continue;
+        };
         let mut wave = vec![head];
         let key = wave[0].config_key.clone();
         let mut rest = VecDeque::with_capacity(queue.len());
@@ -366,7 +380,9 @@ fn run_wave(shared: &Shared, wave: Vec<Pending>) {
 
     if wave.len() == 1 {
         // Stream hits as the engine shapes them.
-        let pending = wave.into_iter().next().expect("length checked");
+        let Some(pending) = wave.into_iter().next() else {
+            return;
+        };
         let query = Sequence::from_codes(alphabet, pending.codes);
         let mut sink = ForwardingSink {
             reply: &pending.reply,

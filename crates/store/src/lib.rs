@@ -332,11 +332,13 @@ fn parse_sections(buffer: FileBuffer) -> Result<Sections, StoreError> {
     if bytes[0..8] != MAGIC {
         return Err(StoreError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    // Indexing each byte keeps the header parse free of any panic path
+    // (the length was bounds-checked against HEADER_LEN above).
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
     if version != VERSION {
         return Err(StoreError::UnsupportedVersion(version));
     }
-    let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+    let count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
     if count > 1024 {
         return Err(corrupt(format!("implausible section count {count}")));
     }

@@ -118,8 +118,11 @@ mod unix {
     }
 
     // SAFETY: the mapping is immutable (PROT_READ) and owned uniquely by
-    // this struct; reading the pages from any thread is race-free.
+    // this struct; moving it to another thread moves only the pointer and
+    // length, and the kernel keeps the pages valid until munmap.
     unsafe impl Send for Mapping {}
+    // SAFETY: all access is read-only (no interior mutability), so shared
+    // references from any number of threads are race-free.
     unsafe impl Sync for Mapping {}
 
     impl Mapping {

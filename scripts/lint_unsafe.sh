@@ -1,91 +1,13 @@
 #!/usr/bin/env bash
-# Workspace unsafe-code lint (run by CI's lint job and usable locally).
+# Workspace static-analysis gate (run by CI's lint job and usable locally).
 #
-# The only modules in the workspace allowed to contain `unsafe` are the SIMD
-# kernel module `crates/suffix/src/simd.rs` (std::arch intrinsics), the
-# store crate's mapping module `crates/store/src/mmap.rs` (raw mmap/munmap
-# for zero-copy index opens; audited in its module docs) and the test-only
-# counting allocator `tests/alloc_steady_state.rs` (implementing
-# `GlobalAlloc` requires unsafe; the allocator only counts and forwards to
-# `System`).  This script fails when:
-#   1. any other .rs file contains the `unsafe` keyword outside a comment,
-#   2. any crate root other than suffix/store is missing
-#      `#![forbid(unsafe_code)]`,
-#   3. the suffix or store crate root stops denying unsafe code, or any
-#      allowed module stops scoping its allowance explicitly.
+# Thin wrapper around the `alae-lint` binary (crates/lint), which replaced
+# the grep/awk checks that used to live here.  Rules are configured by the
+# checked-in lint.toml; see README.md "Static analysis" for the rule
+# families (unsafe confinement + SAFETY comments, serving-path panic
+# policy, zero-alloc regions, blocking-while-locked, workspace
+# consistency).  Findings print as `file:line: rule: message` and the exit
+# status is nonzero when any are found.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-
-fail=0
-
-# 1. No `unsafe` outside the SIMD kernel module.  `unsafe_code` (the lint
-# name) has a trailing word character, so \bunsafe\b skips it; comment-only
-# mentions are filtered by the leading // check.
-strays=$(grep -rn --include='*.rs' -E '\bunsafe\b' src crates tests examples 2>/dev/null |
-    grep -v '^crates/suffix/src/simd.rs:' |
-    grep -v '^crates/store/src/mmap.rs:' |
-    grep -v '^tests/alloc_steady_state.rs:' |
-    grep -vE '^[^:]+:[0-9]+:[[:space:]]*(//|//!|///)' || true)
-if [ -n "$strays" ]; then
-    echo "stray \`unsafe\` outside the audited modules (suffix/simd.rs, store/mmap.rs, alloc_steady_state.rs):"
-    echo "$strays"
-    fail=1
-fi
-
-# 2. Every crate root outside suffix and store forbids unsafe code outright.
-for root in src/lib.rs crates/*/src/lib.rs; do
-    case "$root" in
-    crates/suffix/* | crates/store/*) continue ;;
-    esac
-    if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
-        echo "missing #![forbid(unsafe_code)] in $root"
-        fail=1
-    fi
-done
-
-# 3. The suffix crate denies unsafe everywhere except the kernel module,
-# which must carry the scoped allowance.
-if ! grep -q '#!\[deny(unsafe_code)\]' crates/suffix/src/lib.rs; then
-    echo "crates/suffix/src/lib.rs must carry #![deny(unsafe_code)]"
-    fail=1
-fi
-if ! grep -q '#!\[allow(unsafe_code)\]' crates/suffix/src/simd.rs; then
-    echo "crates/suffix/src/simd.rs must scope its unsafe allowance explicitly"
-    fail=1
-fi
-if ! grep -q '#!\[allow(unsafe_code)\]' tests/alloc_steady_state.rs; then
-    echo "tests/alloc_steady_state.rs must scope its unsafe allowance explicitly"
-    fail=1
-fi
-
-# 3b. Same containment for the store crate: deny at the root, one audited
-# mapping module with a scoped allowance.
-if ! grep -q '#!\[deny(unsafe_code)\]' crates/store/src/lib.rs; then
-    echo "crates/store/src/lib.rs must carry #![deny(unsafe_code)]"
-    fail=1
-fi
-if ! grep -q '#!\[allow(unsafe_code)\]' crates/store/src/mmap.rs; then
-    echo "crates/store/src/mmap.rs must scope its unsafe allowance explicitly"
-    fail=1
-fi
-
-# 4. Panic policy: the search facade promises never to panic on user input
-# (invalid queries come back as Termination::Invalid, engine panics are
-# isolated per query), so its non-test code must not contain `.unwrap()` or
-# `.expect(`.  Fallible lookups use `let ... else { continue }` or typed
-# errors instead.  Test code (everything from `#[cfg(test)]` down) is
-# exempt, as are the non-panicking `.unwrap_or*` combinators (the pattern
-# matches the exact call forms only).
-panics=$(awk '/#\[cfg\(test\)\]/ { exit }
-              /^[[:space:]]*\/\// { next }
-              /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $0 }' src/search.rs)
-if [ -n "$panics" ]; then
-    echo "panic-policy violation: .unwrap()/.expect( in non-test src/search.rs:"
-    echo "$panics"
-    fail=1
-fi
-
-if [ "$fail" -eq 0 ]; then
-    echo "unsafe-code lint OK"
-fi
-exit "$fail"
+exec cargo run -q --release -p alae-lint -- "$@"

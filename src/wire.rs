@@ -219,20 +219,29 @@ impl<'a> PayloadReader<'a> {
         Ok(slice)
     }
 
+    /// `take`, as a fixed-size array (the serving path is panic-free, so
+    /// the length mismatch arm is a typed error even though `take(N)`
+    /// always returns exactly `N` bytes).
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| WireError::new("payload truncated"))
+    }
+
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     pub fn get_i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     pub fn get_f64(&mut self) -> Result<f64, WireError> {

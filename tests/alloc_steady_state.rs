@@ -32,23 +32,37 @@ struct CountingAllocator;
 
 static ALLOCATION_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method forwards verbatim to `System` after bumping a
+// relaxed counter — the allocator upholds `GlobalAlloc`'s contract exactly
+// as far as `System` does, and the counter has no failure modes.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same contract as the wrapped `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged from our caller, who
+        // guarantees it is valid per the `GlobalAlloc` contract.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as the wrapped `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from our caller, who guarantees the
+        // block was allocated by this allocator with this layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same contract as the wrapped `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: arguments forwarded unchanged under the caller's
+        // `GlobalAlloc` obligations (live block, matching layout).
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: same contract as the wrapped `System.alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATION_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged from our caller.
         unsafe { System.alloc_zeroed(layout) }
     }
 }
