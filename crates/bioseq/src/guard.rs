@@ -80,6 +80,47 @@ impl Termination {
             Termination::DeadlineExceeded | Termination::BudgetExhausted | Termination::Cancelled
         )
     }
+
+    /// Stable `snake_case` identifier for this outcome, suitable as a
+    /// metric label value or a trace-record field.  Exactly one label per
+    /// variant, never localized, never changed once published — the
+    /// `alae_query_terminations_total{outcome=...}` metric exported by the
+    /// server's observability layer is keyed on these strings (see
+    /// `docs/metrics.md`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Termination::Complete => "complete",
+            Termination::DeadlineExceeded => "deadline_exceeded",
+            Termination::BudgetExhausted => "budget_exhausted",
+            Termination::Cancelled => "cancelled",
+            Termination::EnginePanicked => "engine_panicked",
+            Termination::Invalid(_) => "invalid",
+        }
+    }
+
+    /// Every label [`Termination::label`] can produce, in rendering order.
+    /// Metric registries pre-register one counter per label so a scrape
+    /// always shows the full outcome space, zeros included.
+    pub const LABELS: [&'static str; 6] = [
+        "complete",
+        "deadline_exceeded",
+        "budget_exhausted",
+        "cancelled",
+        "engine_panicked",
+        "invalid",
+    ];
+
+    /// Position of this outcome's label inside [`Termination::LABELS`].
+    pub fn label_index(&self) -> usize {
+        match self {
+            Termination::Complete => 0,
+            Termination::DeadlineExceeded => 1,
+            Termination::BudgetExhausted => 2,
+            Termination::Cancelled => 3,
+            Termination::EnginePanicked => 4,
+            Termination::Invalid(_) => 5,
+        }
+    }
 }
 
 impl std::fmt::Display for Termination {

@@ -178,8 +178,15 @@ fn store_timing(options: &ExperimentOptions) {
     let fresh = IndexBuilder::new().index(database);
     let build = build_started.elapsed();
 
-    let mut path = std::env::temp_dir();
-    path.push(format!("alae-store-timing-{}.idx", std::process::id()));
+    // `ALAE_STORE_KEEP=<path>` persists the index file there instead of
+    // deleting it — the CI serve smoke test points `alae-serve --index`
+    // at it right after this experiment.
+    let keep = std::env::var_os("ALAE_STORE_KEEP").map(std::path::PathBuf::from);
+    let path = keep.clone().unwrap_or_else(|| {
+        let mut path = std::env::temp_dir();
+        path.push(format!("alae-store-timing-{}.idx", std::process::id()));
+        path
+    });
     let save_started = Instant::now();
     fresh.save(&path).expect("save index");
     let save = save_started.elapsed();
@@ -189,7 +196,12 @@ fn store_timing(options: &ExperimentOptions) {
     let opened = IndexedDatabase::open(&path).expect("open index");
     let open = open_started.elapsed();
     assert_eq!(opened.text_len(), fresh.text_len());
-    std::fs::remove_file(&path).ok();
+    match keep {
+        Some(kept) => println!("  kept index at:   {}", kept.display()),
+        None => {
+            std::fs::remove_file(&path).ok();
+        }
+    }
 
     let speedup = build.as_secs_f64() / open.as_secs_f64().max(1e-9);
     println!("  text_len:        {n}");

@@ -1,18 +1,26 @@
-//! `alae-serve` — serve a persisted ALAE index over TCP.
+//! `alae-serve` — serve a persisted ALAE index over TCP (and HTTP).
 //!
 //! ```text
-//! alae-serve --index db.alae [--addr 127.0.0.1:7878] [--workers 2]
-//!            [--max-deadline-ms N] [--max-top-k N] [--max-work-budget N]
+//! alae-serve --index db.alae [--addr 127.0.0.1:7878] [--http 127.0.0.1:7879]
+//!            [--workers 2] [--max-deadline-ms N] [--max-top-k N]
+//!            [--max-work-budget N] [--trace-log FILE]
 //! ```
 //!
 //! The index file comes from [`IndexedDatabase::save`]; opening it maps the
 //! file read-only and skips the suffix-array build entirely, so start-up is
 //! I/O-bound, not CPU-bound.  Clients connect with [`alae::client::Client`]
 //! or anything speaking the [`alae::wire`] frame protocol.
+//!
+//! With `--http HOST:PORT` the server also answers `GET /metrics`
+//! (Prometheus text), `GET /healthz`, `GET /debug/last-queries` and
+//! `POST /search` on a second listener — see `docs/metrics.md`.
+//! `--trace-log FILE` appends one line per completed query to `FILE`
+//! (requires the default `trace` feature).
 
 use alae::search::IndexedDatabase;
 use alae_server::{Server, ServerConfig};
 use std::process::ExitCode;
+use std::thread;
 use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
@@ -28,6 +36,8 @@ fn main() -> ExitCode {
 fn run() -> Result<(), String> {
     let mut index_path: Option<String> = None;
     let mut addr = String::from("127.0.0.1:7878");
+    let mut http_addr: Option<String> = None;
+    let mut trace_log: Option<String> = None;
     let mut config = ServerConfig::default();
 
     let mut argv = std::env::args().skip(1);
@@ -39,6 +49,8 @@ fn run() -> Result<(), String> {
         match flag.as_str() {
             "--index" => index_path = Some(value("--index")?),
             "--addr" => addr = value("--addr")?,
+            "--http" => http_addr = Some(value("--http")?),
+            "--trace-log" => trace_log = Some(value("--trace-log")?),
             "--workers" => {
                 config.workers = parse(&value("--workers")?, "--workers")?;
             }
@@ -56,11 +68,14 @@ fn run() -> Result<(), String> {
                 config.max_work_budget =
                     Some(parse(&value("--max-work-budget")?, "--max-work-budget")?);
             }
+            "--trace-capacity" => {
+                config.trace_capacity = parse(&value("--trace-capacity")?, "--trace-capacity")?;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: alae-serve --index <file> [--addr HOST:PORT] [--workers N] \
-                     [--max-pending N] [--max-deadline-ms N] [--max-top-k N] \
-                     [--max-work-budget N]"
+                    "usage: alae-serve --index <file> [--addr HOST:PORT] [--http HOST:PORT] \
+                     [--workers N] [--max-pending N] [--max-deadline-ms N] [--max-top-k N] \
+                     [--max-work-budget N] [--trace-log FILE] [--trace-capacity N]"
                 );
                 return Ok(());
             }
@@ -72,19 +87,54 @@ fn run() -> Result<(), String> {
     let started = Instant::now();
     let db = IndexedDatabase::open(&index_path)
         .map_err(|err| format!("cannot open {index_path}: {err}"))?;
+    let open_time = started.elapsed();
     eprintln!(
-        "alae-serve: opened {index_path} in {:?} ({} records, {} text bytes; no rebuild)",
-        started.elapsed(),
+        "alae-serve: opened {index_path} in {open_time:?} ({} records, {} text bytes; no rebuild)",
         db.record_count(),
         db.text_len(),
     );
 
     let server =
         Server::bind(&addr, db, config).map_err(|err| format!("cannot bind {addr}: {err}"))?;
+    server
+        .metrics()
+        .index_open_seconds
+        .set(open_time.as_secs_f64());
     let local = server
         .local_addr()
         .map_err(|err| format!("cannot resolve bound address: {err}"))?;
     eprintln!("alae-serve: listening on {local}");
+
+    if let Some(path) = trace_log {
+        if !server.trace_log().enabled() {
+            return Err(
+                "--trace-log needs the `trace` feature (on by default; this binary \
+                        was built with --no-default-features)"
+                    .to_string(),
+            );
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|err| format!("cannot open trace log {path}: {err}"))?;
+        server.trace_log().set_sink(Some(Box::new(file)));
+        eprintln!("alae-serve: tracing queries to {path}");
+    }
+
+    if let Some(http_addr) = http_addr {
+        let front = server
+            .http_front(&http_addr)
+            .map_err(|err| format!("cannot bind http front {http_addr}: {err}"))?;
+        let http_local = front
+            .local_addr()
+            .map_err(|err| format!("cannot resolve http address: {err}"))?;
+        eprintln!("alae-serve: http front on {http_local} (/metrics /healthz /search)");
+        thread::spawn(move || {
+            let _ = front.serve();
+        });
+    }
+
     server
         .serve()
         .map_err(|err| format!("accept loop failed: {err}"))

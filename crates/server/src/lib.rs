@@ -24,17 +24,40 @@
 //! * A client that disconnects mid-query only stops its own delivery: the
 //!   forwarding sink observes the closed channel, returns
 //!   [`SinkFlow::Stop`], and every other request in the wave is untouched.
+//!
+//! Two companion fronts make the service operable without a wire client:
+//!
+//! * [`metrics`] — a dependency-free registry of atomic counters, gauges
+//!   and histograms threaded through the admission queue, the worker
+//!   pool and every termination path; every query increments exactly one
+//!   termination counter.  Rendered in the Prometheus text exposition
+//!   format (see `docs/metrics.md`).
+//! * [`http`] — a hand-rolled HTTP/1.1 front ([`Server::http_front`])
+//!   serving `GET /metrics`, `GET /healthz`, `GET /debug/last-queries`
+//!   and `POST /search`; search requests go through the *same* admission
+//!   queue, clamping and coalescing as TCP frame requests.
+//! * [`trace`] — a feature-gated (default-on) ring buffer of per-query
+//!   span records: admission → clamp → wave → engine → sink.
+//!
+//! The crate map and the life of a query across these layers are drawn
+//! in `docs/architecture.md`.
 
 #![forbid(unsafe_code)]
 
+pub mod http;
+pub mod metrics;
+pub mod trace;
+
+use crate::metrics::Metrics;
+use crate::trace::{QueryTrace, TraceLog, DEFAULT_TRACE_CAPACITY};
 use alae::bioseq::Sequence;
 use alae::search::{
-    EngineCounters, HitSink, IndexedDatabase, SearchError, SearchHit, SearchRequest, Searcher,
-    SinkFlow, Termination,
+    EngineCounters, EngineKind, HitSink, IndexedDatabase, SearchError, SearchHit, SearchRequest,
+    Searcher, SinkFlow, Termination,
 };
 use alae::wire::{
     decode_request, encode_done, encode_error, encode_hit, encode_request_config, read_frame,
-    write_frame, DoneSummary, FrameKind,
+    write_frame, CountingReader, CountingWriter, DoneSummary, FrameKind,
 };
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -43,7 +66,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server-side policy knobs.
 #[derive(Debug, Clone)]
@@ -65,6 +88,9 @@ pub struct ServerConfig {
     /// How long a worker holds the first request of a wave open for
     /// compatible stragglers before running it.
     pub batch_window: Duration,
+    /// Queries retained in the [`trace`] ring buffer (ignored when the
+    /// crate is built without the `trace` feature).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -76,32 +102,140 @@ impl Default for ServerConfig {
             max_top_k: None,
             max_work_budget: None,
             batch_window: Duration::from_millis(1),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
 
 /// One queued query: the clamped request plus the channel its frames go
-/// back through.
-struct Pending {
+/// back through, and what the observability layer needs to describe it.
+pub(crate) struct Pending {
     config_key: Vec<u8>,
     request: SearchRequest,
     codes: Vec<u8>,
     reply: mpsc::Sender<Event>,
+    /// Which front admitted the query (`"tcp"` or `"http"`).
+    proto: &'static str,
+    /// Whether server-side clamping tightened any guardrail field.
+    clamped: bool,
+    /// When the query entered the admission queue.
+    enqueued: Instant,
 }
 
 /// What a worker sends back to a connection handler.
-enum Event {
+pub(crate) enum Event {
     Hit(SearchHit),
     Done(DoneSummary),
 }
 
-struct Shared {
-    db: IndexedDatabase,
-    config: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) db: IndexedDatabase,
+    pub(crate) config: ServerConfig,
     queue: Mutex<VecDeque<Pending>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
     pending_count: AtomicUsize,
+    pub(crate) metrics: Metrics,
+    pub(crate) trace: TraceLog,
+    /// Flipped by [`Server::set_ready`]; `GET /healthz` keys off this
+    /// together with worker-pool liveness.
+    pub(crate) ready: AtomicBool,
+    /// Workers currently alive (decremented by a drop guard, so a worker
+    /// that dies by panic takes the health check down with it).
+    pub(crate) live_workers: AtomicUsize,
+}
+
+/// What [`submit`] did with a query.
+pub(crate) enum Submission {
+    /// The admission queue is full; nothing was counted as a query.
+    Rejected,
+    /// The query codes do not fit the database alphabet; the typed
+    /// summary carries [`Termination::Invalid`] and the termination
+    /// counter has already been incremented.
+    Invalid(DoneSummary),
+    /// Enqueued; events arrive on the receiver, ending with
+    /// [`Event::Done`].
+    Enqueued(mpsc::Receiver<Event>),
+}
+
+/// The one admission path both fronts share: capacity check, guardrail
+/// clamping, alphabet validation, then the queue.  Keeping TCP and HTTP
+/// on the same path is what makes their hits identical by construction
+/// and lets every metric apply uniformly.
+pub(crate) fn submit(
+    shared: &Shared,
+    request: SearchRequest,
+    codes: Vec<u8>,
+    proto: &'static str,
+) -> Submission {
+    if shared.pending_count.load(Ordering::SeqCst) >= shared.config.max_pending {
+        shared.metrics.rejected_capacity.inc();
+        return Submission::Rejected;
+    }
+
+    let original = request;
+    let request = clamp_request(request, &shared.config);
+    let clamped = request.deadline != original.deadline
+        || request.top_k != original.top_k
+        || request.work_budget != original.work_budget;
+    // Batch on the *clamped* configuration: two clients may send
+    // different deadlines yet land in the same wave once capped.
+    let config_key = encode_request_config(&request);
+
+    // Codes the database alphabet cannot represent never reach the
+    // engines (`Sequence::from_codes` requires valid codes); answer
+    // with the same typed rejection the in-process facade produces.
+    let alphabet = shared.db.alphabet();
+    if let Some((position, &code)) = codes
+        .iter()
+        .enumerate()
+        .find(|&(_, &code)| !alphabet.is_character(code))
+    {
+        let termination = Termination::Invalid(SearchError::InvalidCode { code, position });
+        shared.metrics.termination_counter(&termination).inc();
+        shared.trace.record(QueryTrace {
+            id: 0,
+            proto,
+            engine: request.engine.label(),
+            query_len: codes.len(),
+            clamped,
+            wave_size: 0,
+            queue_wait_us: 0,
+            engine_us: 0,
+            hits: 0,
+            termination: termination.label(),
+        });
+        return Submission::Invalid(DoneSummary {
+            engine: request.engine,
+            threshold: 0,
+            delivered: 0,
+            raw_hit_count: 0,
+            termination,
+            counters: EngineCounters::empty(request.engine),
+        });
+    }
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    shared.pending_count.fetch_add(1, Ordering::SeqCst);
+    shared.metrics.queue_depth.add(1);
+    // A poisoned queue only means another worker panicked while
+    // holding it; the VecDeque itself is still structurally sound, so
+    // serving continues rather than panicking every connection.
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .push_back(Pending {
+            config_key,
+            request,
+            codes,
+            reply: reply_tx,
+            proto,
+            clamped,
+            enqueued: Instant::now(),
+        });
+    shared.queue_cv.notify_one();
+    Submission::Enqueued(reply_rx)
 }
 
 /// A running search service bound to a TCP address.
@@ -120,6 +254,7 @@ impl Server {
         config: ServerConfig,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let trace_capacity = config.trace_capacity;
         let shared = Arc::new(Shared {
             db,
             config,
@@ -127,10 +262,16 @@ impl Server {
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             pending_count: AtomicUsize::new(0),
+            metrics: Metrics::new(),
+            trace: TraceLog::new(trace_capacity),
+            ready: AtomicBool::new(true),
+            live_workers: AtomicUsize::new(0),
         });
+        shared.metrics.index_loaded.set(1);
         let workers = (0..shared.config.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
+                shared.live_workers.fetch_add(1, Ordering::SeqCst);
                 thread::spawn(move || worker_loop(&shared))
             })
             .collect();
@@ -146,12 +287,41 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The server's metric registry (scraped by `GET /metrics`; readable
+    /// in-process for tests and embedders).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The per-query trace ring (`GET /debug/last-queries`); a no-op
+    /// stand-in when built without the `trace` feature.
+    pub fn trace_log(&self) -> &TraceLog {
+        &self.shared.trace
+    }
+
+    /// Mark the service ready (the default) or not.  While not ready,
+    /// `GET /healthz` answers 503; search paths keep working — readiness
+    /// is advisory, for load balancers and rolling restarts.
+    pub fn set_ready(&self, ready: bool) {
+        self.shared.ready.store(ready, Ordering::SeqCst);
+        self.shared.metrics.index_loaded.set(i64::from(ready));
+    }
+
+    /// Bind an HTTP/1.1 front on `addr` sharing this server's index,
+    /// admission queue and metrics.  Call [`http::HttpFront::serve`] (on
+    /// its own thread) to start answering; see `docs/metrics.md` for the
+    /// routes.
+    pub fn http_front(&self, addr: impl ToSocketAddrs) -> io::Result<http::HttpFront> {
+        http::HttpFront::bind(addr, Arc::clone(&self.shared))
+    }
+
     /// Accept connections until the listener fails (runs forever in
     /// practice; spawn it on a thread to keep the caller responsive).
     /// Each connection gets its own handler thread.
     pub fn serve(&self) -> io::Result<()> {
         for stream in self.listener.incoming() {
             let stream = stream?;
+            self.shared.metrics.tcp_connections.inc();
             let shared = Arc::clone(&self.shared);
             thread::spawn(move || {
                 // A broken connection is the client's problem, not ours.
@@ -178,11 +348,18 @@ impl Server {
 
 fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let mut reader = BufReader::new(CountingReader::new(
+        stream.try_clone()?,
+        Arc::clone(&shared.metrics.tcp_bytes_read),
+    ));
+    let mut writer = BufWriter::new(CountingWriter::new(
+        stream,
+        Arc::clone(&shared.metrics.tcp_bytes_written),
+    ));
 
     while let Some((kind, payload)) = read_frame(&mut reader)? {
         if kind != FrameKind::Request {
+            shared.metrics.rejected_malformed.inc();
             write_frame(
                 &mut writer,
                 FrameKind::Error,
@@ -194,65 +371,30 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
         let decoded = match decode_request(&payload) {
             Ok(decoded) => decoded,
             Err(err) => {
+                shared.metrics.rejected_malformed.inc();
                 write_frame(&mut writer, FrameKind::Error, &encode_error(err.message()))?;
                 writer.flush()?;
                 continue;
             }
         };
-        if shared.pending_count.load(Ordering::SeqCst) >= shared.config.max_pending {
-            write_frame(
-                &mut writer,
-                FrameKind::Error,
-                &encode_error("server at capacity, retry later"),
-            )?;
-            writer.flush()?;
-            continue;
-        }
 
-        let request = clamp_request(decoded.request, &shared.config);
-        // Batch on the *clamped* configuration: two clients may send
-        // different deadlines yet land in the same wave once capped.
-        let config_key = encode_request_config(&request);
-
-        // Codes the database alphabet cannot represent never reach the
-        // engines (`Sequence::from_codes` requires valid codes); answer
-        // with the same typed rejection the in-process facade produces.
-        let alphabet = shared.db.alphabet();
-        if let Some((position, &code)) = decoded
-            .query_codes
-            .iter()
-            .enumerate()
-            .find(|&(_, &code)| !alphabet.is_character(code))
-        {
-            let summary = DoneSummary {
-                engine: request.engine,
-                threshold: 0,
-                delivered: 0,
-                raw_hit_count: 0,
-                termination: Termination::Invalid(SearchError::InvalidCode { code, position }),
-                counters: EngineCounters::empty(request.engine),
-            };
-            write_frame(&mut writer, FrameKind::Done, &encode_done(&summary))?;
-            writer.flush()?;
-            continue;
-        }
-
-        let (reply_tx, reply_rx) = mpsc::channel();
-        shared.pending_count.fetch_add(1, Ordering::SeqCst);
-        // A poisoned queue only means another worker panicked while
-        // holding it; the VecDeque itself is still structurally sound, so
-        // serving continues rather than panicking every connection.
-        shared
-            .queue
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .push_back(Pending {
-                config_key,
-                request,
-                codes: decoded.query_codes,
-                reply: reply_tx,
-            });
-        shared.queue_cv.notify_one();
+        let reply_rx = match submit(shared, decoded.request, decoded.query_codes, "tcp") {
+            Submission::Rejected => {
+                write_frame(
+                    &mut writer,
+                    FrameKind::Error,
+                    &encode_error("server at capacity, retry later"),
+                )?;
+                writer.flush()?;
+                continue;
+            }
+            Submission::Invalid(summary) => {
+                write_frame(&mut writer, FrameKind::Done, &encode_done(&summary))?;
+                writer.flush()?;
+                continue;
+            }
+            Submission::Enqueued(rx) => rx,
+        };
 
         // Forward events until the wave finishes.  A write failure means
         // the client went away: stop forwarding (dropping the receiver
@@ -296,12 +438,25 @@ fn clamp_request(mut request: SearchRequest, config: &ServerConfig) -> SearchReq
 // Search workers
 // ---------------------------------------------------------------------------
 
+/// Decrements the live-worker count however the worker exits — normal
+/// shutdown or a panic unwinding through `run_wave` — so `GET /healthz`
+/// reports a dead pool instead of a healthy façade.
+struct WorkerAlive<'a>(&'a Shared);
+
+impl Drop for WorkerAlive<'_> {
+    fn drop(&mut self) {
+        self.0.live_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn worker_loop(shared: &Shared) {
+    let _alive = WorkerAlive(shared);
     loop {
         let Some(wave) = next_wave(shared) else {
             return;
         };
         shared.pending_count.fetch_sub(wave.len(), Ordering::SeqCst);
+        shared.metrics.queue_depth.add(-(wave.len() as i64));
         run_wave(shared, wave);
     }
 }
@@ -373,22 +528,75 @@ impl HitSink for ForwardingSink<'_> {
     }
 }
 
+/// The single place a completed query is accounted: exactly one
+/// termination counter, one latency observation, one trace record.
+#[allow(clippy::too_many_arguments)]
+fn finish_query(
+    shared: &Shared,
+    pending: &Pending,
+    engine: EngineKind,
+    wave_size: usize,
+    queue_wait: Duration,
+    engine_time: Duration,
+    hits: usize,
+    termination: &Termination,
+) {
+    shared.metrics.termination_counter(termination).inc();
+    shared
+        .metrics
+        .latency_histogram(engine)
+        .observe_duration(engine_time);
+    shared.trace.record(QueryTrace {
+        id: 0,
+        proto: pending.proto,
+        engine: engine.label(),
+        query_len: pending.codes.len(),
+        clamped: pending.clamped,
+        wave_size,
+        queue_wait_us: queue_wait.as_micros().min(u128::from(u64::MAX)) as u64,
+        engine_us: engine_time.as_micros().min(u128::from(u64::MAX)) as u64,
+        hits,
+        termination: termination.label(),
+    });
+}
+
 fn run_wave(shared: &Shared, wave: Vec<Pending>) {
     let request = wave[0].request;
     let searcher = Searcher::new(shared.db.clone(), request);
     let alphabet = shared.db.alphabet();
+    let picked_up = Instant::now();
+    let wave_size = wave.len();
+    shared.metrics.wave_size.observe(wave_size as f64);
+    for pending in &wave {
+        shared
+            .metrics
+            .queue_wait_seconds
+            .observe_duration(picked_up.duration_since(pending.enqueued));
+    }
 
-    if wave.len() == 1 {
+    if wave_size == 1 {
         // Stream hits as the engine shapes them.
         let Some(pending) = wave.into_iter().next() else {
             return;
         };
-        let query = Sequence::from_codes(alphabet, pending.codes);
+        let queue_wait = picked_up.duration_since(pending.enqueued);
+        let query = Sequence::from_codes(alphabet, pending.codes.clone());
         let mut sink = ForwardingSink {
             reply: &pending.reply,
             client_gone: false,
         };
         let summary = searcher.search_into(&query, &mut sink);
+        let engine_time = picked_up.elapsed();
+        finish_query(
+            shared,
+            &pending,
+            summary.engine,
+            1,
+            queue_wait,
+            engine_time,
+            summary.delivered,
+            &summary.termination,
+        );
         let _ = pending.reply.send(Event::Done(DoneSummary {
             engine: summary.engine,
             threshold: summary.threshold,
@@ -406,10 +614,22 @@ fn run_wave(shared: &Shared, wave: Vec<Pending>) {
         .iter()
         .map(|p| Sequence::from_codes(alphabet, p.codes.clone()))
         .collect();
-    let threads = wave.len().min(shared.config.workers.max(1) * 2);
+    let threads = wave_size.min(shared.config.workers.max(1) * 2);
     let responses = searcher.search_batch(&queries, threads);
+    let engine_time = picked_up.elapsed();
     for (pending, response) in wave.into_iter().zip(responses) {
+        let queue_wait = picked_up.duration_since(pending.enqueued);
         let delivered = response.hits.len() as u64;
+        finish_query(
+            shared,
+            &pending,
+            response.engine,
+            wave_size,
+            queue_wait,
+            engine_time,
+            response.hits.len(),
+            &response.termination,
+        );
         let mut client_gone = false;
         for hit in response.hits {
             if pending.reply.send(Event::Hit(hit)).is_err() {

@@ -1,0 +1,264 @@
+//! Per-query trace records (feature `trace`, on by default).
+//!
+//! Every query that reaches the admission queue leaves one
+//! [`QueryTrace`] describing its path through the pipeline — admission →
+//! clamp → wave → engine → sink — in a fixed-capacity ring buffer.  The
+//! newest records are dumpable over HTTP (`GET /debug/last-queries`) and
+//! appendable to a file via `alae-serve --trace-log`.
+//!
+//! Building with `--no-default-features` compiles the no-op stub below:
+//! the serving path calls the same API, records vanish, and the debug
+//! endpoint reports tracing as disabled.
+
+use std::fmt::Write as _;
+
+/// Default number of queries the ring buffer retains.
+pub const DEFAULT_TRACE_CAPACITY: usize = 64;
+
+/// One query's path through the server, admission to sink.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// Monotone id assigned at record time (0 when tracing is disabled).
+    pub id: u64,
+    /// Which front admitted the query: `"tcp"` or `"http"`.
+    pub proto: &'static str,
+    /// Engine label (`EngineKind::label`).
+    pub engine: &'static str,
+    /// Query length in residues, after decoding.
+    pub query_len: usize,
+    /// Whether server-side clamping tightened any guardrail field.
+    pub clamped: bool,
+    /// Size of the coalesced wave this query ran in (1 = alone).
+    pub wave_size: usize,
+    /// Microseconds spent in the admission queue before wave pickup.
+    pub queue_wait_us: u64,
+    /// Microseconds of engine wall-clock, wave pickup to termination.
+    pub engine_us: u64,
+    /// Hits delivered to the sink.
+    pub hits: usize,
+    /// Termination label (`Termination::label`).
+    pub termination: &'static str,
+}
+
+impl QueryTrace {
+    /// One-line rendering used by both `/debug/last-queries` and the
+    /// `--trace-log` file (stable field order, `key=value` pairs).
+    pub fn render_line(&self) -> String {
+        let mut line = String::with_capacity(128);
+        let _ = write!(
+            line,
+            "query id={} proto={} engine={} len={} clamped={} wave={} queue_wait_us={} engine_us={} hits={} termination={}",
+            self.id,
+            self.proto,
+            self.engine,
+            self.query_len,
+            self.clamped,
+            self.wave_size,
+            self.queue_wait_us,
+            self.engine_us,
+            self.hits,
+            self.termination,
+        );
+        line
+    }
+}
+
+#[cfg(feature = "trace")]
+mod enabled {
+    use super::QueryTrace;
+    use std::collections::VecDeque;
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Fixed-capacity ring of the most recent [`QueryTrace`] records,
+    /// with an optional line-per-query sink (`alae-serve --trace-log`).
+    pub struct TraceLog {
+        capacity: usize,
+        next_id: AtomicU64,
+        ring: Mutex<VecDeque<QueryTrace>>,
+        sink: Mutex<Option<Box<dyn Write + Send>>>,
+    }
+
+    impl std::fmt::Debug for TraceLog {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("TraceLog")
+                .field("capacity", &self.capacity)
+                .finish_non_exhaustive()
+        }
+    }
+
+    impl TraceLog {
+        /// A ring retaining the last `capacity` queries (at least 1).
+        pub fn new(capacity: usize) -> Self {
+            let capacity = capacity.max(1);
+            Self {
+                capacity,
+                next_id: AtomicU64::new(1),
+                ring: Mutex::new(VecDeque::with_capacity(capacity)),
+                sink: Mutex::new(None),
+            }
+        }
+
+        /// Whether this build records traces.
+        pub fn enabled(&self) -> bool {
+            true
+        }
+
+        /// Mirror every record as one [`QueryTrace::render_line`] line to
+        /// `sink` (pass `None` to stop mirroring).
+        pub fn set_sink(&self, sink: Option<Box<dyn Write + Send>>) {
+            let mut slot = self
+                .sink
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            *slot = sink;
+        }
+
+        /// Record one query, assigning and returning its id.
+        pub fn record(&self, mut trace: QueryTrace) -> u64 {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            trace.id = id;
+            {
+                let mut sink = self
+                    .sink
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                if let Some(out) = sink.as_mut() {
+                    // Formatted writes are the one I/O the lock-discipline
+                    // lint allows under a guard; a full trace line is one
+                    // short buffered write.
+                    let _ = writeln!(out, "{}", trace.render_line());
+                    let _ = out.flush();
+                }
+            }
+            let mut ring = self
+                .ring
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if ring.len() == self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(trace);
+            id
+        }
+
+        /// The retained records, oldest first.
+        pub fn snapshot(&self) -> Vec<QueryTrace> {
+            let ring = self
+                .ring
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            ring.iter().cloned().collect()
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod enabled {
+    use super::QueryTrace;
+    use std::io::Write;
+
+    /// No-op stand-in compiled when the `trace` feature is off; the
+    /// serving path calls the same API and nothing is retained.
+    #[derive(Debug)]
+    pub struct TraceLog;
+
+    impl TraceLog {
+        /// Accepts (and ignores) the capacity so callers are identical
+        /// across feature configurations.
+        pub fn new(_capacity: usize) -> Self {
+            Self
+        }
+
+        /// Always `false` in this build.
+        pub fn enabled(&self) -> bool {
+            false
+        }
+
+        /// Drops the sink; nothing is ever written in this build.
+        pub fn set_sink(&self, _sink: Option<Box<dyn Write + Send>>) {}
+
+        /// Drops the record; the id is always 0.
+        pub fn record(&self, _trace: QueryTrace) -> u64 {
+            0
+        }
+
+        /// Always empty in this build.
+        pub fn snapshot(&self) -> Vec<QueryTrace> {
+            Vec::new()
+        }
+    }
+}
+
+pub use enabled::TraceLog;
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+
+    fn sample(engine: &'static str) -> QueryTrace {
+        QueryTrace {
+            id: 0,
+            proto: "tcp",
+            engine,
+            query_len: 32,
+            clamped: false,
+            wave_size: 1,
+            queue_wait_us: 10,
+            engine_us: 250,
+            hits: 2,
+            termination: "complete",
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_ids_are_monotone() {
+        let log = TraceLog::new(3);
+        for _ in 0..5 {
+            log.record(sample("alae"));
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 3);
+        let ids: Vec<u64> = snap.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn sink_mirrors_one_line_per_record() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Capture(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Capture {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let capture = Capture(Arc::new(Mutex::new(Vec::new())));
+        let log = TraceLog::new(2);
+        log.set_sink(Some(Box::new(capture.clone())));
+        log.record(sample("alae"));
+        log.record(sample("sw"));
+        let text = String::from_utf8(capture.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with("query id=")));
+    }
+
+    #[test]
+    fn render_line_is_single_line_key_value() {
+        let log = TraceLog::new(4);
+        log.record(sample("bwtsw"));
+        let snap = log.snapshot();
+        let line = snap[0].render_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("engine=bwtsw"));
+        assert!(line.contains("termination=complete"));
+        assert!(line.starts_with("query id=1 "));
+    }
+}

@@ -1,0 +1,94 @@
+//! Guardrails: deadlines, work budgets and cancellation on a real
+//! workload — the runnable version of the README's "Guardrails &
+//! graceful degradation" snippet.
+//!
+//! ```bash
+//! cargo run --release --example guardrails
+//! ```
+//!
+//! Every engine polls its guard cooperatively: a tripped limit unwinds
+//! cleanly and returns the hits found so far (a valid partial result in
+//! canonical order) plus a typed `Termination` saying why the run ended.
+
+use alae::bioseq::ScoringScheme;
+use alae::search::{EngineKind, IndexBuilder, SearchRequest, Searcher, Termination};
+use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
+use std::time::Duration;
+
+fn main() {
+    // A deterministic 80 kb DNA database with homologous queries, so the
+    // searches below do real work and find real hits.
+    let built = WorkloadBuilder::new(
+        TextSpec::dna(80_000, 5),
+        QuerySpec {
+            count: 4,
+            length: 48,
+            mutation: MutationProfile::HOMOLOGOUS,
+            seed: 42,
+        },
+    )
+    .build();
+    let db = IndexBuilder::new().index(built.database);
+    let query = &built.queries[0];
+
+    // The README snippet: a request carrying every limit at once.  Units
+    // are machine-independent where possible — the work budget counts the
+    // same DP cells / extension attempts the engines' counters report.
+    let request = SearchRequest::with_threshold(ScoringScheme::DEFAULT, 30)
+        .engine(EngineKind::Alae)
+        .deadline(Duration::from_millis(50)) // wall-clock cap per query
+        .work_budget(5_000_000) // DP cells / extension attempts
+        .memory_budget(64 << 20); // live arena + DP-row bytes
+
+    let searcher = Searcher::new(db.clone(), request);
+    let response = searcher.search(query);
+    match &response.termination {
+        Termination::Complete => println!(
+            "complete: {} hits (exhaustive), {} work units",
+            response.hits.len(),
+            response.counters.calculated_entries(),
+        ),
+        Termination::DeadlineExceeded | Termination::BudgetExhausted | Termination::Cancelled => {
+            println!(
+                "partial: {} valid hits before the guardrail tripped",
+                response.hits.len()
+            )
+        }
+        Termination::EnginePanicked => println!("isolated panic; sibling queries unaffected"),
+        Termination::Invalid(err) => eprintln!("rejected: {err}"),
+    }
+
+    // Force a budget trip: a budget far below what the query needs still
+    // returns whatever was found within it, never an error.
+    let strict = SearchRequest::with_threshold(ScoringScheme::DEFAULT, 30)
+        .engine(EngineKind::Alae)
+        .work_budget(500);
+    let partial = Searcher::new(db.clone(), strict).search(query);
+    println!(
+        "work_budget=500 -> {:?} with {} hits after {} work units",
+        partial.termination,
+        partial.hits.len(),
+        partial.counters.calculated_entries(),
+    );
+    assert!(matches!(
+        partial.termination,
+        Termination::BudgetExhausted | Termination::Complete
+    ));
+
+    // Cooperative cancellation: any thread holding the token can stop
+    // every in-flight and future search on this searcher...
+    let searcher = Searcher::new(db, request);
+    searcher.cancel();
+    let cancelled = searcher.search(query);
+    println!("after cancel() -> {:?}", cancelled.termination);
+    assert_eq!(cancelled.termination, Termination::Cancelled);
+
+    // ...and resetting the token restores service.
+    searcher.cancel_token().reset();
+    let resumed = searcher.search(query);
+    println!(
+        "after reset -> {:?} with {} hits",
+        resumed.termination,
+        resumed.hits.len()
+    );
+}

@@ -54,13 +54,23 @@ fn main() {
         reopened.text_len()
     );
 
-    // 3. Serve it on an ephemeral port.
+    // 3. Serve it on an ephemeral port, plus the HTTP front (`/metrics`,
+    //    `/healthz`, `POST /search`) the way `alae-serve --http` does.
     let server = Server::bind("127.0.0.1:0", reopened, ServerConfig::default())
         .expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr");
-    println!("serving on {addr}");
+    let http = server.http_front("127.0.0.1:0").expect("bind http front");
+    let http_addr = http.local_addr().expect("http addr");
+    println!("serving on {addr} (http on {http_addr})");
+    let server = std::sync::Arc::new(server);
+    {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = server.serve();
+        });
+    }
     std::thread::spawn(move || {
-        let _ = server.serve();
+        let _ = http.serve();
     });
 
     // 4. Search over TCP.  The response is the same `SearchResponse` the
@@ -80,6 +90,17 @@ fn main() {
             "  {}: ends at record offset {}, query offset {}, score {}",
             hit.name, hit.record_end, hit.query_end, hit.score
         );
+    }
+
+    // 5. The query above is already on the scrape: one termination
+    //    counter moved, and the latency histogram saw the engine time.
+    //    (Over the wire this is `curl http://{http_addr}/metrics`.)
+    let scrape = server.metrics().render();
+    for line in scrape
+        .lines()
+        .filter(|l| l.starts_with("alae_query_terminations_total") && !l.ends_with(" 0"))
+    {
+        println!("metrics: {line}");
     }
 
     std::fs::remove_file(&path).ok();

@@ -1,0 +1,71 @@
+//! Streaming hits through a `HitSink` — the runnable version of the
+//! README's `FnSink` snippet.
+//!
+//! ```bash
+//! cargo run --release --example stream_hits
+//! ```
+//!
+//! `Searcher::search_into` delivers hits to a sink as the engine shapes
+//! them, best score first, so a consumer that only wants the top hit can
+//! stop the engine after one delivery instead of collecting everything.
+
+use alae::bioseq::ScoringScheme;
+use alae::search::{
+    CollectSink, EngineKind, FnSink, IndexBuilder, SearchHit, SearchRequest, Searcher, SinkFlow,
+};
+use alae::workload::{MutationProfile, QuerySpec, TextSpec, WorkloadBuilder};
+
+fn main() {
+    let built = WorkloadBuilder::new(
+        TextSpec::dna(40_000, 3),
+        QuerySpec {
+            count: 1,
+            length: 40,
+            mutation: MutationProfile::HOMOLOGOUS,
+            seed: 7,
+        },
+    )
+    .build();
+    let db = IndexBuilder::new().index(built.database);
+    let query = &built.queries[0];
+
+    let request =
+        SearchRequest::with_threshold(ScoringScheme::DEFAULT, 20).engine(EngineKind::Alae);
+    let searcher = Searcher::new(db, request);
+
+    // The README snippet: take only the best hit, then tell the engine to
+    // stop — hits arrive best-first, so early termination is cheap.
+    let mut best = None;
+    let summary = searcher.search_into(
+        query,
+        &mut FnSink(|hit: SearchHit| {
+            println!(
+                "best hit: {}:{} score {} (E {:.2e})",
+                hit.name,
+                hit.record_end,
+                hit.score,
+                hit.evalue.unwrap_or(f64::NAN),
+            );
+            best = Some(hit);
+            SinkFlow::Stop // take only the best hit
+        }),
+    );
+    println!(
+        "delivered {} of {} raw hits, stopped early: {}",
+        summary.delivered, summary.raw_hit_count, summary.stopped_early,
+    );
+    assert!(summary.delivered <= 1);
+
+    // A sink that keeps everything: `CollectSink` is the buffering
+    // counterpart (`searcher.search()` is the same thing plus shaping).
+    let mut all = CollectSink::default();
+    let summary = searcher.search_into(query, &mut all);
+    println!(
+        "collected {} hits, termination {:?}",
+        all.hits.len(),
+        summary.termination,
+    );
+    if let Some(best) = best {
+        assert_eq!(all.hits.first(), Some(&best));
+    }
+}

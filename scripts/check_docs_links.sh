@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Fail on broken relative links in the markdown docs.
+#
+# Scans README.md and docs/**/*.md for [text](target) links, skips
+# absolute URLs and pure #fragments, resolves each remaining target
+# against the linking file's directory (dropping any #fragment) and
+# requires the file or directory to exist.  Dependency-free: bash +
+# grep + sed, same philosophy as alae-lint.
+#
+# Usage: scripts/check_docs_links.sh [repo-root]
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+failures=0
+checked=0
+
+files=(README.md)
+if [ -d docs ]; then
+    while IFS= read -r f; do
+        files+=("$f")
+    done < <(find docs -name '*.md' | sort)
+fi
+
+for file in "${files[@]}"; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # One link per line: inline [text](target) markdown links.  The
+    # target group stops at ')' or whitespace, which also keeps
+    # "[text](url "title")" forms working.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Drop a trailing #fragment (intra-file anchors aren't checked).
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "$file: broken link: ($target) -> $dir/$path" >&2
+            failures=$((failures + 1))
+        fi
+    done < <(grep -o '\[[^]]*\]([^) ]*)' "$file" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "check_docs_links: $failures broken link(s) across ${#files[@]} file(s)" >&2
+    exit 1
+fi
+echo "check_docs_links: $checked relative link(s) OK across ${#files[@]} file(s)"

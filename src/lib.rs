@@ -38,12 +38,19 @@
 //! [`search::Searcher::search_batch`]; streaming consumers implement
 //! [`search::HitSink`] and use [`search::Searcher::search_into`].
 //!
+//! Beyond in-process search: [`store`] persists an index to a single
+//! file and reopens it memory-mapped without a suffix-array rebuild
+//! (`docs/store-format.md`), and the `alae-server` crate serves a saved
+//! index over TCP ([`wire`], `docs/wire-protocol.md`, [`client`]) and
+//! HTTP (`docs/metrics.md`).  How the crates fit together — and the
+//! life of one query from socket to hit — is `docs/architecture.md`.
+//!
 //! # Engine crates
 //!
 //! The facade is a thin layer over the per-engine crates, which remain
-//! available for direct use (their bespoke entry points are kept as
-//! compatibility shims for one release — new code should go through
-//! [`search`]):
+//! available for direct use — embedders needing arena control or
+//! engine-specific knobs call them directly; everything else should go
+//! through [`search`]:
 //!
 //! * [`bioseq`] — alphabets, sequences, scoring schemes, E-values, FASTA.
 //! * [`suffix`] — suffix array, BWT, FM-index / compressed suffix array.

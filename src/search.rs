@@ -76,8 +76,9 @@ pub use alae_bioseq::guard::{CancelOnDrop, CancelToken, SearchError, SearchGuard
 /// Every index-construction knob lives here — occurrence-table layout,
 /// checkpoint scheme, scan backend, suffix-array sample rate — replacing
 /// the former constructor zoo (`TextIndex::with_layout`,
-/// `with_occ_options`, `with_scan_backend`, …), which survives only as
-/// deprecated shims.  There is deliberately **no** q-gram knob: `q` is a
+/// `with_scan_backend`, `FmIndex::with_sample_rate`, …), which survives
+/// only as `#[deprecated]` shims forwarding to
+/// [`alae_suffix::IndexOptions`].  There is deliberately **no** q-gram knob: `q` is a
 /// property of the scoring scheme (Equation 2 of the paper), derived per
 /// request from [`ScoringScheme::q`], and the q-gram inverted lists are
 /// built per *query*, not stored with the database.
@@ -280,6 +281,30 @@ impl EngineKind {
             EngineKind::Bwtsw => "BWT-SW",
             EngineKind::BlastLike => "BLAST-like",
             EngineKind::SmithWaterman => "Smith-Waterman",
+        }
+    }
+
+    /// Stable `snake_case` identifier: the metric label value
+    /// (`alae_query_latency_seconds{engine=...}`), trace-record field and
+    /// HTTP request `"engine"` value for this engine (see `docs/metrics.md`).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Alae => "alae",
+            EngineKind::Bwtsw => "bwtsw",
+            EngineKind::BlastLike => "blast_like",
+            EngineKind::SmithWaterman => "smith_waterman",
+        }
+    }
+
+    /// Parse a [`EngineKind::label`] back into an engine, accepting the
+    /// common short aliases the HTTP front documents (`"blast"`, `"sw"`).
+    pub fn from_label(label: &str) -> Option<EngineKind> {
+        match label {
+            "alae" => Some(EngineKind::Alae),
+            "bwtsw" | "bwt_sw" => Some(EngineKind::Bwtsw),
+            "blast_like" | "blast" => Some(EngineKind::BlastLike),
+            "smith_waterman" | "sw" => Some(EngineKind::SmithWaterman),
+            _ => None,
         }
     }
 }

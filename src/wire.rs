@@ -32,12 +32,86 @@ use alae_blast_like::BlastStats;
 use alae_bwtsw::BwtswStats;
 use alae_core::{AlaeStats, ThresholdSpec};
 use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Largest accepted frame payload (64 MiB) — caps memory a malformed or
 /// hostile peer can make either side allocate.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Bytes a frame with a `len`-byte payload occupies on the wire (the u32
+/// length prefix, the kind byte, the payload).
+pub const FRAME_OVERHEAD: usize = 5;
+
+// ---------------------------------------------------------------------------
+// Byte accounting
+// ---------------------------------------------------------------------------
+
+/// A [`Read`] adapter adding every byte read from the inner reader to a
+/// shared atomic cell.
+///
+/// The server wraps each connection's stream in one of these so the
+/// `alae_wire_bytes_total{direction="read"}` metric counts real socket
+/// traffic — partial reads, aborted frames and all — instead of
+/// reconstructing sizes from decoded frames.
+#[derive(Debug)]
+pub struct CountingReader<R> {
+    inner: R,
+    count: Arc<AtomicU64>,
+}
+
+impl<R: Read> CountingReader<R> {
+    /// Wrap `inner`; every byte read is added to `count`.
+    pub fn new(inner: R, count: Arc<AtomicU64>) -> Self {
+        Self { inner, count }
+    }
+
+    /// The wrapped reader.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+/// The [`Write`] twin of [`CountingReader`]: adds every byte accepted by
+/// the inner writer to a shared atomic cell (flushes pass through).
+#[derive(Debug)]
+pub struct CountingWriter<W> {
+    inner: W,
+    count: Arc<AtomicU64>,
+}
+
+impl<W: Write> CountingWriter<W> {
+    /// Wrap `inner`; every byte written is added to `count`.
+    pub fn new(inner: W, count: Arc<AtomicU64>) -> Self {
+        Self { inner, count }
+    }
+
+    /// The wrapped writer.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.count.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
 
 /// Frame kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -857,6 +931,28 @@ mod tests {
         buf.push(200);
         buf.push(0);
         assert!(read_frame(&mut io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn counting_adapters_see_every_wire_byte() {
+        let written = Arc::new(AtomicU64::new(0));
+        let mut buf = Vec::new();
+        {
+            let mut writer = CountingWriter::new(&mut buf, written.clone());
+            write_frame(&mut writer, FrameKind::Error, &encode_error("busy")).unwrap();
+        }
+        assert_eq!(written.load(Ordering::Relaxed), buf.len() as u64);
+        assert_eq!(
+            buf.len(),
+            FRAME_OVERHEAD + encode_error("busy").len(),
+            "frame overhead constant must match the writer"
+        );
+
+        let read = Arc::new(AtomicU64::new(0));
+        let mut reader = CountingReader::new(io::Cursor::new(&buf), read.clone());
+        let (kind, _) = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Error);
+        assert_eq!(read.load(Ordering::Relaxed), buf.len() as u64);
     }
 
     #[test]
