@@ -271,6 +271,17 @@ pub struct FaultPlan {
     /// Restrict the plan to queries of exactly this length (lets a batch
     /// poison one query while its siblings run clean).
     pub only_query_len: Option<usize>,
+    /// Server I/O fault: stall for a fixed pause before handling this
+    /// 1-based frame count on a connection (simulates a wedged disk or a
+    /// peer that stops draining its socket).
+    pub io_stall_at_frame: Option<u64>,
+    /// Server I/O fault: drop the connection outright before handling
+    /// this 1-based frame count (simulates a mid-stream disconnect /
+    /// half-closed socket).
+    pub drop_conn_at_frame: Option<u64>,
+    /// Server I/O fault: throttle connection reads to this many bytes per
+    /// second (simulates a slow-loris peer on the server's own read path).
+    pub slow_read_bytes_per_sec: Option<u64>,
 }
 
 #[cfg(feature = "fault-inject")]
@@ -280,8 +291,17 @@ impl FaultPlan {
         self.only_query_len.is_none_or(|len| len == query_len)
     }
 
+    /// Whether the plan carries any server-side I/O fault (the engine
+    /// probe ignores these; the server's connection layer consumes them).
+    pub fn has_io_fault(&self) -> bool {
+        self.io_stall_at_frame.is_some()
+            || self.drop_conn_at_frame.is_some()
+            || self.slow_read_bytes_per_sec.is_some()
+    }
+
     /// Parse a plan from the `ALAE_FAULT_PLAN` syntax:
-    /// `<panic|deadline|budget>@<node>[,len=<query_len>]`.
+    /// `<panic|deadline|budget>@<node>`, `<io-stall|drop-conn>@<frame>`,
+    /// `slow-read=<bytes_per_sec>`, `len=<query_len>` — comma-separated.
     pub fn parse(spec: &str) -> Option<Self> {
         let mut plan = FaultPlan::default();
         for part in spec.split(',') {
@@ -290,12 +310,18 @@ impl FaultPlan {
                 plan.only_query_len = Some(len.parse().ok()?);
                 continue;
             }
+            if let Some(rate) = part.strip_prefix("slow-read=") {
+                plan.slow_read_bytes_per_sec = Some(rate.parse().ok()?);
+                continue;
+            }
             let (kind, node) = part.split_once('@')?;
             let node: u64 = node.parse().ok()?;
             match kind {
                 "panic" => plan.panic_at_node = Some(node),
                 "deadline" => plan.deadline_at_node = Some(node),
                 "budget" => plan.budget_at_node = Some(node),
+                "io-stall" => plan.io_stall_at_frame = Some(node),
+                "drop-conn" => plan.drop_conn_at_frame = Some(node),
                 _ => return None,
             }
         }
@@ -677,6 +703,25 @@ mod tests {
         assert!(FaultPlan::parse("nonsense@5").is_none());
         assert!(FaultPlan::parse("panic@notanumber").is_none());
         assert!(FaultPlan::parse("").is_none());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn io_fault_plans_parse() {
+        let plan = FaultPlan::parse("io-stall@2").expect("well-formed plan");
+        assert_eq!(plan.io_stall_at_frame, Some(2));
+        assert!(plan.has_io_fault());
+
+        let plan = FaultPlan::parse("drop-conn@3,slow-read=512").expect("well-formed plan");
+        assert_eq!(plan.drop_conn_at_frame, Some(3));
+        assert_eq!(plan.slow_read_bytes_per_sec, Some(512));
+        assert!(plan.has_io_fault());
+
+        let engine_only = FaultPlan::parse("panic@7").expect("well-formed plan");
+        assert!(!engine_only.has_io_fault());
+
+        assert!(FaultPlan::parse("slow-read=fast").is_none());
+        assert!(FaultPlan::parse("io-stall@").is_none());
     }
 
     #[cfg(feature = "fault-inject")]

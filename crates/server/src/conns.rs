@@ -1,0 +1,207 @@
+//! Connection accounting: a global ceiling with LRU eviction of idle
+//! connections.
+//!
+//! Every accepted TCP frame connection registers here.  When the
+//! ceiling is reached, the registry evicts the idle connection that has
+//! been quiet longest — its blocked `read_frame` observes the socket
+//! shutdown as a clean EOF and the handler unwinds normally — so one
+//! slow scraper fleet cannot starve fresh clients.  Connections that
+//! are mid-exchange (`busy`) are never evicted.
+
+use crate::metrics::Metrics;
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug)]
+struct ConnEntry {
+    /// A clone of the connection's stream, kept only to `shutdown` it on
+    /// eviction.
+    stream: TcpStream,
+    last_activity: Instant,
+    busy: bool,
+}
+
+/// The registry.  Lives in an `Arc` so [`ConnToken`]s can deregister
+/// from their handler threads.
+pub(crate) struct ConnRegistry {
+    max: usize,
+    next_id: AtomicU64,
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+}
+
+/// RAII registration; dropping it removes the connection.
+pub(crate) struct ConnToken {
+    registry: Arc<ConnRegistry>,
+    id: u64,
+}
+
+impl ConnToken {
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for ConnToken {
+    fn drop(&mut self) {
+        let mut conns = self
+            .registry
+            .conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        conns.remove(&self.id);
+    }
+}
+
+impl ConnRegistry {
+    pub(crate) fn new(max: usize) -> Self {
+        Self {
+            max: max.max(1),
+            next_id: AtomicU64::new(1),
+            conns: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Register a new connection.  At the ceiling, the longest-idle
+    /// non-busy connection is evicted to make room; if every connection
+    /// is busy, `None` — the caller refuses the newcomer.
+    pub(crate) fn register(
+        self: &Arc<Self>,
+        stream: &TcpStream,
+        metrics: &Metrics,
+    ) -> Option<ConnToken> {
+        let clone = stream.try_clone().ok()?;
+        let mut conns = self
+            .conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if conns.len() >= self.max {
+            let lru = conns
+                .iter()
+                .filter(|(_, entry)| !entry.busy)
+                .min_by_key(|(_, entry)| entry.last_activity)
+                .map(|(&id, _)| id);
+            let Some(victim) = lru else {
+                return None; // everyone is mid-exchange; refuse the newcomer
+            };
+            if let Some(entry) = conns.remove(&victim) {
+                // The victim's handler sees EOF and unwinds on its own.
+                let _ = entry.stream.shutdown(Shutdown::Both);
+                metrics.connections_evicted.inc();
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        conns.insert(
+            id,
+            ConnEntry {
+                stream: clone,
+                last_activity: Instant::now(),
+                busy: false,
+            },
+        );
+        drop(conns);
+        Some(ConnToken {
+            registry: Arc::clone(self),
+            id,
+        })
+    }
+
+    /// Mark a connection busy (mid-exchange) or idle, refreshing its
+    /// LRU position.
+    pub(crate) fn set_busy(&self, id: u64, busy: bool) {
+        let mut conns = self
+            .conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(entry) = conns.get_mut(&id) {
+            entry.busy = busy;
+            entry.last_activity = Instant::now();
+        }
+    }
+
+    /// Live registered connections (tests and debug).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn local_pair(listener: &TcpListener) -> TcpStream {
+        let addr = listener.local_addr().expect("listener addr");
+        let stream = TcpStream::connect(addr).expect("connect");
+        // Accept and drop the server half; the client half is all the
+        // registry needs for bookkeeping.
+        let _ = listener.accept().expect("accept");
+        stream
+    }
+
+    #[test]
+    fn ceiling_evicts_the_longest_idle_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let registry = Arc::new(ConnRegistry::new(2));
+        let metrics = Metrics::new();
+
+        let s1 = local_pair(&listener);
+        let s2 = local_pair(&listener);
+        let s3 = local_pair(&listener);
+
+        let t1 = registry.register(&s1, &metrics).expect("register 1");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let _t2 = registry.register(&s2, &metrics).expect("register 2");
+        assert_eq!(registry.len(), 2);
+
+        // At the ceiling: the oldest idle conn (t1) is evicted.
+        let _t3 = registry.register(&s3, &metrics).expect("register 3");
+        assert_eq!(registry.len(), 2);
+        assert_eq!(metrics.connections_evicted.get(), 1);
+        drop(t1); // its handler would deregister; the entry is already gone
+
+        // Its socket was shut down: a read on s1 sees EOF.
+        use std::io::Read;
+        let mut s1 = s1;
+        let mut buf = [0u8; 1];
+        assert_eq!(s1.read(&mut buf).unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn busy_connections_are_never_evicted() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let registry = Arc::new(ConnRegistry::new(1));
+        let metrics = Metrics::new();
+
+        let s1 = local_pair(&listener);
+        let s2 = local_pair(&listener);
+        let t1 = registry.register(&s1, &metrics).expect("register 1");
+        registry.set_busy(t1.id(), true);
+
+        // The only resident is busy: the newcomer is refused.
+        assert!(registry.register(&s2, &metrics).is_none());
+        assert_eq!(metrics.connections_evicted.get(), 0);
+
+        registry.set_busy(t1.id(), false);
+        assert!(registry.register(&s2, &metrics).is_some());
+        assert_eq!(metrics.connections_evicted.get(), 1);
+    }
+
+    #[test]
+    fn token_drop_deregisters() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let registry = Arc::new(ConnRegistry::new(4));
+        let metrics = Metrics::new();
+        let s1 = local_pair(&listener);
+        let token = registry.register(&s1, &metrics).expect("register");
+        assert_eq!(registry.len(), 1);
+        drop(token);
+        assert_eq!(registry.len(), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-peer fairness: a token bucket plus a concurrent-query cap per
+//! client IP, enforced at admission.
+//!
+//! One greedy client used to be able to fill the whole admission queue
+//! and monopolize the worker pool.  The gate charges every admission to
+//! the peer's bucket (refilled continuously at
+//! [`FairnessConfig::rate_per_sec`], capped at [`FairnessConfig::burst`])
+//! and bounds how many of the peer's queries may be in flight at once.
+//! A refusal is *typed*: the caller turns it into a
+//! `Rejected::Fairness` frame on the TCP front or an HTTP 429 with a
+//! `Retry-After` hint, so well-behaved clients know exactly how long to
+//! back off.
+
+use crate::metrics::Metrics;
+use alae::wire::{RejectReason, Rejection};
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Knobs of the per-peer fairness gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessConfig {
+    /// Tokens (admissions) a peer earns per second.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: the largest burst a quiet peer may spend at once.
+    pub burst: f64,
+    /// Queries one peer may have in flight concurrently.
+    pub max_concurrent: usize,
+}
+
+impl Default for FairnessConfig {
+    fn default() -> Self {
+        // Generous by default: a polite client never notices the gate;
+        // a flooder hits it within a second.
+        Self {
+            rate_per_sec: 200.0,
+            burst: 400.0,
+            max_concurrent: 64,
+        }
+    }
+}
+
+/// Per-peer accounting: bucket level, refill bookkeeping, in-flight
+/// queries.
+#[derive(Debug)]
+struct PeerState {
+    tokens: f64,
+    refilled: Instant,
+    in_flight: usize,
+    last_seen: Instant,
+}
+
+/// Entries beyond this trigger an opportunistic sweep of stale peers.
+const SWEEP_THRESHOLD: usize = 1024;
+/// A peer with no in-flight work and no traffic for this long is swept.
+const STALE_AFTER: Duration = Duration::from_secs(300);
+
+/// The admission gate.  Lives in an `Arc` so [`PeerPermit`]s can release
+/// their slot from wherever they are dropped.
+pub(crate) struct FairnessGate {
+    config: FairnessConfig,
+    peers: Mutex<HashMap<IpAddr, PeerState>>,
+}
+
+/// RAII lease on one per-peer concurrency slot; dropping it releases
+/// the slot.
+pub(crate) struct PeerPermit {
+    gate: Arc<FairnessGate>,
+    peer: IpAddr,
+}
+
+impl Drop for PeerPermit {
+    fn drop(&mut self) {
+        let mut peers = self
+            .gate
+            .peers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(state) = peers.get_mut(&self.peer) {
+            state.in_flight = state.in_flight.saturating_sub(1);
+        }
+    }
+}
+
+impl std::fmt::Debug for PeerPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerPermit")
+            .field("peer", &self.peer)
+            .finish()
+    }
+}
+
+impl FairnessGate {
+    pub(crate) fn new(config: FairnessConfig) -> Self {
+        Self {
+            config,
+            peers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Charge one admission to `peer`.  `Ok` carries the concurrency
+    /// lease to hold for the query's lifetime; `Err` carries the typed
+    /// rejection (with a `Retry-After` hint) and increments the matching
+    /// fairness metric.
+    pub(crate) fn admit(
+        self: &Arc<Self>,
+        peer: IpAddr,
+        metrics: &Metrics,
+    ) -> Result<PeerPermit, Rejection> {
+        let now = Instant::now();
+        let mut peers = self
+            .peers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if peers.len() > SWEEP_THRESHOLD {
+            peers.retain(|_, state| {
+                state.in_flight > 0 || now.duration_since(state.last_seen) < STALE_AFTER
+            });
+        }
+        let state = peers.entry(peer).or_insert_with(|| PeerState {
+            tokens: self.config.burst,
+            refilled: now,
+            in_flight: 0,
+            last_seen: now,
+        });
+        state.last_seen = now;
+        let elapsed = now.duration_since(state.refilled).as_secs_f64();
+        state.tokens = (state.tokens + elapsed * self.config.rate_per_sec).min(self.config.burst);
+        state.refilled = now;
+
+        if state.tokens < 1.0 {
+            metrics.fairness_rejection_counter("rate").inc();
+            let wait = if self.config.rate_per_sec > 0.0 {
+                (1.0 - state.tokens) / self.config.rate_per_sec
+            } else {
+                1.0
+            };
+            return Err(Rejection {
+                reason: RejectReason::Fairness,
+                retry_after: Some(Duration::from_secs_f64(wait.clamp(0.001, 60.0))),
+                message: format!("rate limit exceeded for {peer}"),
+            });
+        }
+        if state.in_flight >= self.config.max_concurrent {
+            metrics.fairness_rejection_counter("concurrency").inc();
+            return Err(Rejection {
+                reason: RejectReason::Fairness,
+                retry_after: Some(Duration::from_millis(100)),
+                message: format!("too many concurrent queries from {peer}"),
+            });
+        }
+        state.tokens -= 1.0;
+        state.in_flight += 1;
+        drop(peers);
+        Ok(PeerPermit {
+            gate: Arc::clone(self),
+            peer,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer() -> IpAddr {
+        IpAddr::from([127, 0, 0, 1])
+    }
+
+    #[test]
+    fn bucket_empties_then_refills() {
+        let gate = Arc::new(FairnessGate::new(FairnessConfig {
+            rate_per_sec: 1000.0,
+            burst: 2.0,
+            max_concurrent: 16,
+        }));
+        let metrics = Metrics::new();
+        let a = gate.admit(peer(), &metrics).expect("first admission");
+        let b = gate.admit(peer(), &metrics).expect("second admission");
+        let rejected = gate.admit(peer(), &metrics).expect_err("bucket empty");
+        assert_eq!(rejected.reason, alae::wire::RejectReason::Fairness);
+        assert!(rejected.retry_after.is_some());
+        assert_eq!(metrics.fairness_rejections[0].get(), 1);
+        drop(a);
+        drop(b);
+        // 1000 tokens/s: a couple of milliseconds refills a whole token.
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(gate.admit(peer(), &metrics).is_ok());
+    }
+
+    #[test]
+    fn concurrency_cap_is_released_by_permit_drop() {
+        let gate = Arc::new(FairnessGate::new(FairnessConfig {
+            rate_per_sec: 1e6,
+            burst: 1e6,
+            max_concurrent: 2,
+        }));
+        let metrics = Metrics::new();
+        let a = gate.admit(peer(), &metrics).expect("slot 1");
+        let _b = gate.admit(peer(), &metrics).expect("slot 2");
+        let rejected = gate.admit(peer(), &metrics).expect_err("cap reached");
+        assert!(rejected.message.contains("concurrent"));
+        assert_eq!(metrics.fairness_rejections[1].get(), 1);
+        drop(a);
+        assert!(gate.admit(peer(), &metrics).is_ok());
+    }
+
+    #[test]
+    fn peers_are_isolated() {
+        let gate = Arc::new(FairnessGate::new(FairnessConfig {
+            rate_per_sec: 0.0001,
+            burst: 1.0,
+            max_concurrent: 16,
+        }));
+        let metrics = Metrics::new();
+        let flooder: IpAddr = IpAddr::from([10, 0, 0, 1]);
+        let polite: IpAddr = IpAddr::from([10, 0, 0, 2]);
+        let _p = gate.admit(flooder, &metrics).expect("first is free");
+        assert!(gate.admit(flooder, &metrics).is_err());
+        // The other peer's bucket is untouched.
+        assert!(gate.admit(polite, &metrics).is_ok());
+    }
+}

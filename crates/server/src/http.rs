@@ -13,6 +13,16 @@
 //!   [`alae::search::SearchRequest`] clamping path; the query runs
 //!   through the **same** admission queue and wave coalescing as TCP
 //!   frame requests, so the hits are identical by construction.
+//! * `POST /admin/reload` — hot-swap the index (optional JSON body
+//!   `{"path": "..."}`, else the path the server was started with);
+//!   the file is fully validated before the epoch flips.
+//! * `POST /admin/drain` — request a graceful drain: readiness flips
+//!   off, new queries are refused with a typed `draining` rejection, and
+//!   the process watcher completes the drain (see `docs/operations.md`).
+//!
+//! Fairness rejections surface as HTTP 429 with a `Retry-After` header.
+//! When [`crate::ServerConfig::trust_forwarded_for`] is set, the first
+//! address in `X-Forwarded-For` is charged instead of the socket peer.
 //!
 //! The parser accepts the subset of HTTP/1.1 a scraper or `curl` emits:
 //! one request line, headers, an optional `Content-Length` body,
@@ -22,11 +32,12 @@
 use crate::{submit, Event, Shared, Submission};
 use alae::bioseq::ScoringScheme;
 use alae::search::{EngineKind, SearchRequest};
-use alae::wire::{CountingReader, CountingWriter, DoneSummary};
+use alae::wire::{CountingReader, CountingWriter, DoneSummary, RejectReason, Rejection};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread;
@@ -84,6 +95,8 @@ struct Response {
     status: u16,
     content_type: &'static str,
     body: Vec<u8>,
+    /// Rendered as a `Retry-After` header (whole seconds) when present.
+    retry_after: Option<u64>,
 }
 
 impl Response {
@@ -92,6 +105,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -100,6 +114,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -118,6 +133,7 @@ fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -125,7 +141,7 @@ fn reason_phrase(status: u16) -> &'static str {
 
 fn handle_http_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+    let peer = stream.peer_addr().ok().map(|addr| addr.ip());
     let mut reader = BufReader::new(CountingReader::new(
         stream.try_clone()?,
         Arc::clone(&shared.metrics.http_bytes_read),
@@ -136,6 +152,15 @@ fn handle_http_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> 
     ));
 
     loop {
+        // Re-arm the idle timeout before *every* request, not just the
+        // first: a keep-alive connection's clock must restart per
+        // request, or a scraper idling between scrapes inherits however
+        // much of the window the previous request left over.
+        reader
+            .get_ref()
+            .get_ref()
+            .set_read_timeout(Some(READ_TIMEOUT))
+            .ok();
         let request = match read_request(&mut reader)? {
             ReadOutcome::Closed => return Ok(()),
             ReadOutcome::Malformed(message) => {
@@ -149,7 +174,7 @@ fn handle_http_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> 
             ReadOutcome::Request(request) => request,
         };
 
-        let response = route(shared, &request);
+        let response = route(shared, &request, peer);
         write_response(&mut writer, shared, &response, request.keep_alive)?;
         if !request.keep_alive {
             return Ok(());
@@ -162,6 +187,9 @@ struct HttpRequest {
     path: String,
     keep_alive: bool,
     body: Vec<u8>,
+    /// First address in `X-Forwarded-For`, if the header parsed as an
+    /// IP.  Only consulted when `trust_forwarded_for` is configured.
+    forwarded_for: Option<IpAddr>,
 }
 
 enum ReadOutcome {
@@ -196,6 +224,7 @@ fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
 
     let mut content_length: usize = 0;
     let mut keep_alive = true;
+    let mut forwarded_for = None;
     for _ in 0..MAX_HEADERS {
         let line = match read_line(reader)? {
             None => {
@@ -218,6 +247,7 @@ fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
                 path,
                 keep_alive,
                 body,
+                forwarded_for,
             }));
         }
         let Some((name, value)) = line.split_once(':') else {
@@ -236,6 +266,14 @@ fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
                 content_length = length;
             }
             "connection" if value.eq_ignore_ascii_case("close") => keep_alive = false,
+            "x-forwarded-for" => {
+                // Only the first (client-most) address matters; a value
+                // that is not an IP is ignored rather than rejected.
+                forwarded_for = value
+                    .split(',')
+                    .next()
+                    .and_then(|first| first.trim().parse::<IpAddr>().ok());
+            }
             "transfer-encoding" => {
                 return Ok(ReadOutcome::Malformed(
                     "chunked bodies are not supported; send content-length".into(),
@@ -295,13 +333,17 @@ fn write_response(
     let mut head = String::with_capacity(128);
     let _ = write!(
         head,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason_phrase(response.status),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    if let Some(seconds) = response.retry_after {
+        let _ = write!(head, "Retry-After: {seconds}\r\n");
+    }
+    head.push_str("\r\n");
     writer.write_all(head.as_bytes())?;
     writer.write_all(&response.body)?;
     writer.flush()
@@ -311,33 +353,129 @@ fn write_response(
 // Routes
 // ---------------------------------------------------------------------------
 
-fn route(shared: &Shared, request: &HttpRequest) -> Response {
+fn route(shared: &Shared, request: &HttpRequest, peer: Option<IpAddr>) -> Response {
+    // Fairness charges the socket peer unless the operator explicitly
+    // trusts a fronting proxy's X-Forwarded-For.
+    let effective_peer = if shared.config.trust_forwarded_for {
+        request.forwarded_for.or(peer)
+    } else {
+        peer
+    };
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/metrics") => Response {
             status: 200,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: shared.metrics.render().into_bytes(),
+            retry_after: None,
         },
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/debug/last-queries") => last_queries(shared),
-        ("POST", "/search") => search(shared, &request.body),
+        ("POST", "/search") => search(shared, &request.body, effective_peer),
+        ("POST", "/admin/reload") => admin_reload(shared, &request.body),
+        ("POST", "/admin/drain") => admin_drain(shared),
         (
             "GET" | "HEAD" | "POST" | "PUT" | "DELETE",
-            "/metrics" | "/healthz" | "/debug/last-queries" | "/search",
+            "/metrics"
+            | "/healthz"
+            | "/debug/last-queries"
+            | "/search"
+            | "/admin/reload"
+            | "/admin/drain",
         ) => Response::text(405, "method not allowed\n"),
         _ => Response::text(404, "not found\n"),
     }
 }
 
+/// `POST /admin/reload`: hot-swap the index.  The body may name a path
+/// (`{"path": "..."}`); with no body the server reloads the path it was
+/// started with.  A rejected file leaves the serving epoch untouched.
+fn admin_reload(shared: &Shared, body: &[u8]) -> Response {
+    let path: PathBuf = if body.is_empty() {
+        let configured = shared
+            .index_path
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone();
+        match configured {
+            Some(path) => path,
+            None => {
+                return Response::bad_request(
+                    "no index path configured; pass {\"path\": \"...\"} in the body",
+                )
+            }
+        }
+    } else {
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(_) => return Response::bad_request("body is not UTF-8"),
+        };
+        let fields = match parse_flat_json(text) {
+            Ok(fields) => fields,
+            Err(message) => return Response::bad_request(&message),
+        };
+        match fields.get("path") {
+            Some(Json::Str(path)) if !path.is_empty() => PathBuf::from(path),
+            _ => return Response::bad_request("body must carry a non-empty string \"path\""),
+        }
+    };
+
+    match crate::reload::reload_index(shared, &path) {
+        Ok(summary) => {
+            let mut body = String::new();
+            push_json_object(&mut body, |obj| {
+                obj.string("status", "reloaded");
+                obj.number("epoch", summary.epoch as f64);
+                obj.number("records", summary.records as f64);
+                obj.number("text_len", summary.text_len as f64);
+                obj.number("took_ms", summary.took.as_secs_f64() * 1000.0);
+            });
+            Response::json(200, body)
+        }
+        Err(message) => Response::bad_request(&message),
+    }
+}
+
+/// `POST /admin/drain`: flip the service into draining mode.  New
+/// queries are refused immediately; the process watcher (`alae-serve`)
+/// observes `drain_requested` and completes the drain + exit.  Embedders
+/// without a watcher call [`crate::Server::drain`] themselves.
+fn admin_drain(shared: &Shared) -> Response {
+    shared.ready.store(false, Ordering::SeqCst);
+    shared.metrics.index_loaded.set(0);
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.drain_requested.store(true, Ordering::SeqCst);
+    shared
+        .trace
+        .record_event("drain", "phase=requested via=http".to_string());
+    let mut body = String::new();
+    push_json_object(&mut body, |obj| {
+        obj.string("status", "draining");
+        obj.bool("draining", true);
+    });
+    Response::json(200, body)
+}
+
 fn healthz(shared: &Shared) -> Response {
     let index_loaded = shared.ready.load(Ordering::SeqCst);
     let live_workers = shared.live_workers.load(Ordering::SeqCst);
-    let healthy = index_loaded && live_workers > 0;
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let healthy = index_loaded && live_workers > 0 && !draining;
     let mut body = String::new();
     push_json_object(&mut body, |obj| {
-        obj.string("status", if healthy { "ok" } else { "unavailable" });
+        obj.string(
+            "status",
+            if healthy {
+                "ok"
+            } else if draining {
+                "draining"
+            } else {
+                "unavailable"
+            },
+        );
         obj.bool("index_loaded", index_loaded);
         obj.number("live_workers", live_workers as f64);
+        obj.bool("draining", draining);
+        obj.number("index_epoch", shared.index.epoch() as f64);
     });
     Response::json(if healthy { 200 } else { 503 }, body)
 }
@@ -350,6 +488,10 @@ fn last_queries(shared: &Shared) -> Response {
         );
     }
     let mut body = String::new();
+    for event in shared.trace.events_snapshot() {
+        body.push_str(&event.render_line());
+        body.push('\n');
+    }
     for record in shared.trace.snapshot() {
         body.push_str(&record.render_line());
         body.push('\n');
@@ -360,7 +502,7 @@ fn last_queries(shared: &Shared) -> Response {
     Response::text(200, body)
 }
 
-fn search(shared: &Shared, body: &[u8]) -> Response {
+fn search(shared: &Shared, body: &[u8], peer: Option<IpAddr>) -> Response {
     let text = match std::str::from_utf8(body) {
         Ok(text) => text,
         Err(_) => {
@@ -376,14 +518,8 @@ fn search(shared: &Shared, body: &[u8]) -> Response {
         }
     };
 
-    match submit(shared, request.request, request.codes, "http") {
-        Submission::Rejected => {
-            let mut body = String::new();
-            push_json_object(&mut body, |obj| {
-                obj.string("error", "server at capacity, retry later");
-            });
-            Response::json(503, body)
-        }
+    match submit(shared, request.request, request.codes, "http", peer) {
+        Submission::Rejected(rejection) => rejection_response(&rejection),
         Submission::Invalid(summary) => render_search_response(&summary, &[]),
         Submission::Enqueued(rx) => {
             let mut hits = Vec::new();
@@ -403,6 +539,30 @@ fn search(shared: &Shared, body: &[u8]) -> Response {
     }
 }
 
+/// Map a typed admission rejection onto HTTP: fairness refusals are 429
+/// (the client's rate, not the server's state), capacity and draining
+/// are 503; every one carries the `Retry-After` hint when there is one.
+fn rejection_response(rejection: &Rejection) -> Response {
+    let status = match rejection.reason {
+        RejectReason::Fairness => 429,
+        RejectReason::Capacity | RejectReason::Draining => 503,
+    };
+    let mut body = String::new();
+    push_json_object(&mut body, |obj| {
+        obj.string("error", &rejection.message);
+        obj.string("reason", rejection.reason.label());
+        match rejection.retry_after {
+            Some(after) => obj.number("retry_after_ms", after.as_millis() as f64),
+            None => obj.null("retry_after_ms"),
+        }
+    });
+    let mut response = Response::json(status, body);
+    response.retry_after = rejection
+        .retry_after
+        .map(|after| after.as_secs_f64().ceil().max(1.0) as u64);
+    response
+}
+
 /// A parsed `POST /search` body: the facade request plus encoded codes.
 struct ParsedSearch {
     request: SearchRequest,
@@ -418,7 +578,11 @@ fn parse_search_body(text: &str, shared: &Shared) -> Result<ParsedSearch, String
         Some(_) => return Err("\"query\" must be a string".into()),
         None => return Err("missing required field \"query\"".into()),
     };
-    let codes = shared
+    // Encode against the currently published epoch; `submit` re-pins and
+    // re-validates, so a reload between here and admission is still safe
+    // (the alphabet is a property of the database format, not the epoch).
+    let pinned = shared.pin_index();
+    let codes = pinned
         .db
         .alphabet()
         .encode(query.as_bytes())

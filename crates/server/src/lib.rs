@@ -10,11 +10,10 @@
 //!   enqueues the query for the worker pool.
 //! * A bounded pool of **search workers** drains the queue in *waves*:
 //!   requests whose clamped configuration prefixes are byte-identical
-//!   (same engine, scheme, threshold, shaping and guardrails) are coalesced
-//!   into one [`Searcher`] and, when more than one query is waiting, one
-//!   [`Searcher::search_batch`] call — concurrent clients asking comparable
-//!   questions share the engine setup and the fan-out machinery instead of
-//!   racing four separate engines over the same index.
+//!   (same engine, scheme, threshold, shaping and guardrails) **and**
+//!   whose queries are pinned to the same index epoch are coalesced into
+//!   one [`Searcher`] and, when more than one query is waiting, one
+//!   [`Searcher::search_batch`] call.
 //! * Hits stream back incrementally: single-query waves run through
 //!   [`Searcher::search_into`] with a [`HitSink`] that forwards each hit to
 //!   the connection as its own frame the moment the engine shapes it.
@@ -25,6 +24,36 @@
 //!   forwarding sink observes the closed channel, returns
 //!   [`SinkFlow::Stop`], and every other request in the wave is untouched.
 //!
+//! On top of that serving core sits the **resilience layer**:
+//!
+//! * [`reload`] — hot index swap.  [`Server::reload`] (also `POST
+//!   /admin/reload` and SIGHUP via `alae-serve`) fully validates the new
+//!   ALAEIDX file — checksums, version — *before* publishing it as a new
+//!   epoch.  Queries pin their epoch at admission: in-flight queries
+//!   finish on the old index, new queries land on the new one, and the
+//!   old index deallocates when its last pin releases.  Zero downtime,
+//!   zero mixed-epoch waves.
+//! * [`fairness`] — a per-peer-IP token bucket and concurrent-query cap
+//!   enforced at admission.  Refusals are typed
+//!   ([`alae::wire::FrameKind::Rejected`] on TCP, HTTP 429 with
+//!   `Retry-After`), so one flooding client is throttled while polite
+//!   clients' latency stays bounded.
+//! * [`conns`] — connection limits: a global ceiling with LRU eviction
+//!   of idle connections, per-connection idle timeouts and a
+//!   max-requests-per-connection bound.
+//! * **Graceful drain** — [`Server::drain`] (also `POST /admin/drain`
+//!   and SIGTERM) flips readiness off (load balancers see `/healthz`
+//!   503), refuses new queries with a typed `draining` rejection, lets
+//!   in-flight queries run to their deadlines, then stops the workers —
+//!   bounded by a hard drain deadline.
+//! * [`signals`] — hand-rolled `SIGHUP`/`SIGTERM`/`SIGINT` flags (no
+//!   `libc` crate) polled by `alae-serve`'s watcher thread.
+//! * Server-side **fault injection** (feature `fault-inject`) — the
+//!   engine-level `FaultPlan` (`alae::search::FaultPlan`) gains I/O
+//!   faults: `io-stall@N`, `drop-conn@N` and `slow-read=BYTES/S` let
+//!   tests force wedged sockets, mid-stream disconnects and slow-loris
+//!   reads deterministically.
+//!
 //! Two companion fronts make the service operable without a wire client:
 //!
 //! * [`metrics`] — a dependency-free registry of atomic counters, gauges
@@ -33,22 +62,35 @@
 //!   termination counter.  Rendered in the Prometheus text exposition
 //!   format (see `docs/metrics.md`).
 //! * [`http`] — a hand-rolled HTTP/1.1 front ([`Server::http_front`])
-//!   serving `GET /metrics`, `GET /healthz`, `GET /debug/last-queries`
-//!   and `POST /search`; search requests go through the *same* admission
+//!   serving `GET /metrics`, `GET /healthz`, `GET /debug/last-queries`,
+//!   `POST /search` and the admin routes `POST /admin/reload` and
+//!   `POST /admin/drain`; search requests go through the *same* admission
 //!   queue, clamping and coalescing as TCP frame requests.
 //! * [`trace`] — a feature-gated (default-on) ring buffer of per-query
-//!   span records: admission → clamp → wave → engine → sink.
+//!   span records plus a separate ring of server lifecycle events
+//!   (reloads, drains, evictions).
 //!
 //! The crate map and the life of a query across these layers are drawn
-//! in `docs/architecture.md`.
+//! in `docs/architecture.md`; the operational contract (signals, drain
+//! semantics, fairness knobs) in `docs/operations.md`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
+pub mod conns;
+pub mod fairness;
 pub mod http;
 pub mod metrics;
+pub mod reload;
+pub mod signals;
 pub mod trace;
 
+pub use fairness::FairnessConfig;
+pub use reload::ReloadSummary;
+
+use crate::conns::ConnRegistry;
+use crate::fairness::{FairnessGate, PeerPermit};
 use crate::metrics::Metrics;
+use crate::reload::{IndexSlot, PinnedIndex};
 use crate::trace::{QueryTrace, TraceLog, DEFAULT_TRACE_CAPACITY};
 use alae::bioseq::Sequence;
 use alae::search::{
@@ -56,25 +98,32 @@ use alae::search::{
     Searcher, SinkFlow, Termination,
 };
 use alae::wire::{
-    decode_request, encode_done, encode_error, encode_hit, encode_request_config, read_frame,
-    write_frame, CountingReader, CountingWriter, DoneSummary, FrameKind,
+    decode_request, encode_done, encode_error, encode_hit, encode_rejection, encode_request_config,
+    read_frame, write_frame, CountingReader, CountingWriter, DoneSummary, FrameKind, RejectReason,
+    Rejection,
 };
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+#[cfg(feature = "fault-inject")]
+use alae::search::FaultPlan;
+#[cfg(feature = "fault-inject")]
+use alae::wire::ThrottledReader;
+
 /// Server-side policy knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Search worker threads draining the request queue.
     pub workers: usize,
-    /// Requests allowed to queue before new ones are refused with an error
-    /// frame (per server, across all connections).
+    /// Requests allowed to queue before new ones are refused with a
+    /// typed `capacity` rejection (per server, across all connections).
     pub max_pending: usize,
     /// Cap applied to every request's [`SearchRequest::deadline`]; a
     /// request with no deadline gets this one.  `None` leaves deadlines to
@@ -91,6 +140,24 @@ pub struct ServerConfig {
     /// Queries retained in the [`trace`] ring buffer (ignored when the
     /// crate is built without the `trace` feature).
     pub trace_capacity: usize,
+    /// Per-peer token bucket and concurrency cap.
+    pub fairness: FairnessConfig,
+    /// Global ceiling on registered TCP frame connections; at the
+    /// ceiling the longest-idle connection is evicted to admit a new one.
+    pub max_connections: usize,
+    /// A TCP frame connection with no traffic for this long is closed
+    /// (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Requests served on one TCP frame connection before it is closed
+    /// (bounds how long one peer can squat a slot).
+    pub max_requests_per_conn: usize,
+    /// Honor `X-Forwarded-For` on the HTTP front for fairness accounting
+    /// (only enable behind a trusted proxy — the header is forgeable).
+    pub trust_forwarded_for: bool,
+    /// Deterministic server-side fault injection (tests only).  `None`
+    /// falls back to the `ALAE_FAULT_PLAN` environment variable.
+    #[cfg(feature = "fault-inject")]
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +170,13 @@ impl Default for ServerConfig {
             max_work_budget: None,
             batch_window: Duration::from_millis(1),
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            fairness: FairnessConfig::default(),
+            max_connections: 256,
+            idle_timeout: Some(Duration::from_secs(60)),
+            max_requests_per_conn: 10_000,
+            trust_forwarded_for: false,
+            #[cfg(feature = "fault-inject")]
+            fault: None,
         }
     }
 }
@@ -120,6 +194,13 @@ pub(crate) struct Pending {
     clamped: bool,
     /// When the query entered the admission queue.
     enqueued: Instant,
+    /// The index epoch pinned at admission; the query runs on exactly
+    /// this index regardless of reloads.
+    pinned: Arc<PinnedIndex>,
+    /// The per-peer concurrency lease, released when the query finishes
+    /// (this struct drops at the end of its wave).
+    #[allow(dead_code)]
+    permit: Option<PeerPermit>,
 }
 
 /// What a worker sends back to a connection handler.
@@ -129,12 +210,19 @@ pub(crate) enum Event {
 }
 
 pub(crate) struct Shared {
-    pub(crate) db: IndexedDatabase,
+    pub(crate) index: IndexSlot,
+    /// Where the index was loaded from (reload target when `POST
+    /// /admin/reload` has no body path; `None` for in-process indexes).
+    pub(crate) index_path: Mutex<Option<PathBuf>>,
     pub(crate) config: ServerConfig,
     queue: Mutex<VecDeque<Pending>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
     pending_count: AtomicUsize,
+    /// Waves currently executing in workers (incremented under the queue
+    /// lock at pickup, so `pending_count + busy_workers` never blips to
+    /// zero while a query is in flight — the drain loop keys off both).
+    busy_workers: AtomicUsize,
     pub(crate) metrics: Metrics,
     pub(crate) trace: TraceLog,
     /// Flipped by [`Server::set_ready`]; `GET /healthz` keys off this
@@ -143,12 +231,36 @@ pub(crate) struct Shared {
     /// Workers currently alive (decremented by a drop guard, so a worker
     /// that dies by panic takes the health check down with it).
     pub(crate) live_workers: AtomicUsize,
+    pub(crate) fairness: Arc<FairnessGate>,
+    pub(crate) conns: Arc<ConnRegistry>,
+    /// Set by [`Server::drain`] / `POST /admin/drain`: new queries are
+    /// refused with a typed `draining` rejection.
+    pub(crate) draining: AtomicBool,
+    /// Set by `POST /admin/drain` for the process watcher (`alae-serve`)
+    /// to pick up and complete the drain.
+    pub(crate) drain_requested: AtomicBool,
+    /// Tells [`Server::serve`] to stop accepting and return.
+    accept_closed: AtomicBool,
+}
+
+impl Shared {
+    /// Pin the current index epoch (one short lock + `Arc` clone).
+    pub(crate) fn pin_index(&self) -> Arc<PinnedIndex> {
+        self.index.pin()
+    }
+
+    /// The effective fault plan: config override, else environment.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn fault_plan(&self) -> Option<FaultPlan> {
+        self.config.fault.or_else(FaultPlan::from_env)
+    }
 }
 
 /// What [`submit`] did with a query.
 pub(crate) enum Submission {
-    /// The admission queue is full; nothing was counted as a query.
-    Rejected,
+    /// Refused at admission with a typed reason (capacity, fairness,
+    /// draining); the metric for the reason has been incremented.
+    Rejected(Rejection),
     /// The query codes do not fit the database alphabet; the typed
     /// summary carries [`Termination::Invalid`] and the termination
     /// counter has already been incremented.
@@ -158,19 +270,42 @@ pub(crate) enum Submission {
     Enqueued(mpsc::Receiver<Event>),
 }
 
-/// The one admission path both fronts share: capacity check, guardrail
-/// clamping, alphabet validation, then the queue.  Keeping TCP and HTTP
-/// on the same path is what makes their hits identical by construction
-/// and lets every metric apply uniformly.
+/// The one admission path both fronts share: drain gate, per-peer
+/// fairness, capacity check, guardrail clamping, alphabet validation,
+/// then the queue.  Keeping TCP and HTTP on the same path is what makes
+/// their hits identical by construction and lets every metric apply
+/// uniformly.
 pub(crate) fn submit(
     shared: &Shared,
     request: SearchRequest,
     codes: Vec<u8>,
     proto: &'static str,
+    peer: Option<IpAddr>,
 ) -> Submission {
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.metrics.rejected_draining.inc();
+        return Submission::Rejected(Rejection {
+            reason: RejectReason::Draining,
+            retry_after: Some(Duration::from_secs(1)),
+            message: "server is draining, not accepting new queries".into(),
+        });
+    }
+
+    let permit = match peer {
+        Some(peer) => match shared.fairness.admit(peer, &shared.metrics) {
+            Ok(permit) => Some(permit),
+            Err(rejection) => return Submission::Rejected(rejection),
+        },
+        None => None,
+    };
+
     if shared.pending_count.load(Ordering::SeqCst) >= shared.config.max_pending {
         shared.metrics.rejected_capacity.inc();
-        return Submission::Rejected;
+        return Submission::Rejected(Rejection {
+            reason: RejectReason::Capacity,
+            retry_after: None,
+            message: "server at capacity, retry later".into(),
+        });
     }
 
     let original = request;
@@ -182,10 +317,14 @@ pub(crate) fn submit(
     // different deadlines yet land in the same wave once capped.
     let config_key = encode_request_config(&request);
 
+    // Pin the index epoch the query will run on; reloads published after
+    // this point do not affect it.
+    let pinned = shared.pin_index();
+
     // Codes the database alphabet cannot represent never reach the
     // engines (`Sequence::from_codes` requires valid codes); answer
     // with the same typed rejection the in-process facade produces.
-    let alphabet = shared.db.alphabet();
+    let alphabet = pinned.db.alphabet();
     if let Some((position, &code)) = codes
         .iter()
         .enumerate()
@@ -233,6 +372,8 @@ pub(crate) fn submit(
             proto,
             clamped,
             enqueued: Instant::now(),
+            pinned,
+            permit,
         });
     shared.queue_cv.notify_one();
     Submission::Enqueued(reply_rx)
@@ -242,7 +383,7 @@ pub(crate) fn submit(
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
-    workers: Vec<thread::JoinHandle<()>>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl Server {
@@ -255,19 +396,29 @@ impl Server {
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let trace_capacity = config.trace_capacity;
+        let fairness = Arc::new(FairnessGate::new(config.fairness));
+        let conns = Arc::new(ConnRegistry::new(config.max_connections));
         let shared = Arc::new(Shared {
-            db,
+            index: IndexSlot::new(db),
+            index_path: Mutex::new(None),
             config,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             pending_count: AtomicUsize::new(0),
+            busy_workers: AtomicUsize::new(0),
             metrics: Metrics::new(),
             trace: TraceLog::new(trace_capacity),
             ready: AtomicBool::new(true),
             live_workers: AtomicUsize::new(0),
+            fairness,
+            conns,
+            draining: AtomicBool::new(false),
+            drain_requested: AtomicBool::new(false),
+            accept_closed: AtomicBool::new(false),
         });
         shared.metrics.index_loaded.set(1);
+        shared.metrics.index_epoch.set(1);
         let workers = (0..shared.config.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -278,7 +429,7 @@ impl Server {
         Ok(Self {
             listener,
             shared,
-            workers,
+            workers: Mutex::new(workers),
         })
     }
 
@@ -307,6 +458,100 @@ impl Server {
         self.shared.metrics.index_loaded.set(i64::from(ready));
     }
 
+    /// Remember where the index was loaded from; `POST /admin/reload`
+    /// with no body path and SIGHUP reload from here.
+    pub fn set_index_path(&self, path: impl Into<PathBuf>) {
+        let mut slot = self
+            .shared
+            .index_path
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *slot = Some(path.into());
+    }
+
+    /// The epoch of the currently published index (1 at startup).
+    pub fn index_epoch(&self) -> u64 {
+        self.shared.index.epoch()
+    }
+
+    /// Hot-swap the index from `path`: fully validate the file
+    /// (checksums, version), open it, publish it as a new epoch.
+    /// In-flight queries finish on their pinned epoch; the old index
+    /// deallocates when its last pin releases.  On error the serving
+    /// epoch is untouched.
+    pub fn reload(&self, path: &Path) -> Result<ReloadSummary, String> {
+        reload::reload_index(&self.shared, path)
+    }
+
+    /// Whether a drain has been requested over HTTP (`POST
+    /// /admin/drain`); a process watcher should complete it with
+    /// [`Server::drain`] and exit.
+    pub fn drain_requested(&self) -> bool {
+        self.shared.drain_requested.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully drain: flip readiness off (`/healthz` goes 503),
+    /// refuse new queries with a typed `draining` rejection, wait for
+    /// in-flight queries to finish (bounded by `hard_deadline`), then
+    /// stop the workers and the accept loop.  Returns how long the drain
+    /// took; the same value lands on the `alae_drain_seconds` gauge.
+    ///
+    /// The HTTP front keeps answering (`/metrics`, `/healthz`) so load
+    /// balancers and final scrapes see the drained state.
+    pub fn drain(&self, hard_deadline: Duration) -> Duration {
+        let started = Instant::now();
+        self.set_ready(false);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared
+            .trace
+            .record_event("drain", "phase=start".to_string());
+        while started.elapsed() < hard_deadline {
+            if self.shared.pending_count.load(Ordering::SeqCst) == 0
+                && self.shared.busy_workers.load(Ordering::SeqCst) == 0
+            {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        self.stop_workers();
+        self.close_accept_loop();
+        let took = started.elapsed();
+        self.shared.metrics.drain_seconds.set(took.as_secs_f64());
+        self.shared.trace.record_event(
+            "drain",
+            format!(
+                "phase=done took_us={} completed_in_flight={}",
+                took.as_micros().min(u128::from(u64::MAX)) as u64,
+                self.shared.pending_count.load(Ordering::SeqCst) == 0,
+            ),
+        );
+        took
+    }
+
+    fn stop_workers(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        // Take the handles out of the lock, then join without holding it.
+        let mut guard = self
+            .workers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let handles = std::mem::take(&mut *guard);
+        drop(guard);
+        for worker in handles {
+            let _ = worker.join();
+        }
+    }
+
+    /// Tell [`Server::serve`] to return: set the flag, then poke the
+    /// blocking `accept` with a throwaway local connection.
+    fn close_accept_loop(&self) {
+        self.shared.accept_closed.store(true, Ordering::SeqCst);
+        if let Ok(addr) = self.listener.local_addr() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
     /// Bind an HTTP/1.1 front on `addr` sharing this server's index,
     /// admission queue and metrics.  Call [`http::HttpFront::serve`] (on
     /// its own thread) to start answering; see `docs/metrics.md` for the
@@ -315,12 +560,23 @@ impl Server {
         http::HttpFront::bind(addr, Arc::clone(&self.shared))
     }
 
-    /// Accept connections until the listener fails (runs forever in
-    /// practice; spawn it on a thread to keep the caller responsive).
-    /// Each connection gets its own handler thread.
+    /// Accept connections until [`Server::drain`] (or a listener error)
+    /// stops the loop.  Each connection gets its own handler thread.
+    /// While draining, newcomers get a typed `draining` rejection frame
+    /// and are closed immediately.
     pub fn serve(&self) -> io::Result<()> {
         for stream in self.listener.incoming() {
+            if self.shared.accept_closed.load(Ordering::SeqCst) {
+                break;
+            }
             let stream = stream?;
+            if self.shared.draining.load(Ordering::SeqCst) {
+                let shared = Arc::clone(&self.shared);
+                thread::spawn(move || {
+                    let _ = refuse_draining(stream, &shared);
+                });
+                continue;
+            }
             self.shared.metrics.tcp_connections.inc();
             let shared = Arc::clone(&self.shared);
             thread::spawn(move || {
@@ -334,11 +590,7 @@ impl Server {
     /// Stop the worker pool.  Connections already streaming finish their
     /// in-flight waves; queued requests are drained and run first.
     pub fn shutdown(self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue_cv.notify_all();
-        for worker in self.workers {
-            let _ = worker.join();
-        }
+        self.stop_workers();
     }
 }
 
@@ -346,78 +598,170 @@ impl Server {
 // Connection handling
 // ---------------------------------------------------------------------------
 
-fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+/// Answer a connection accepted mid-drain with one typed rejection
+/// frame, then close.
+fn refuse_draining(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    shared.metrics.rejected_draining.inc();
+    let mut writer = BufWriter::new(stream);
+    write_frame(
+        &mut writer,
+        FrameKind::Rejected,
+        &encode_rejection(&Rejection {
+            reason: RejectReason::Draining,
+            retry_after: Some(Duration::from_secs(1)),
+            message: "server is draining, not accepting new connections".into(),
+        }),
+    )?;
+    writer.flush()
+}
+
+/// Whether a read error is the idle timeout (close quietly) rather than
+/// a real failure.
+fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(CountingReader::new(
+    let peer = stream.peer_addr().ok().map(|addr| addr.ip());
+
+    // Register against the global ceiling; over it with every resident
+    // busy, the newcomer gets a typed rejection and the door.
+    let Some(token) = shared.conns.register(&stream, &shared.metrics) else {
+        let mut writer = BufWriter::new(stream);
+        write_frame(
+            &mut writer,
+            FrameKind::Rejected,
+            &encode_rejection(&Rejection {
+                reason: RejectReason::Capacity,
+                retry_after: Some(Duration::from_millis(250)),
+                message: "connection ceiling reached".into(),
+            }),
+        )?;
+        return writer.flush();
+    };
+
+    stream.set_read_timeout(shared.config.idle_timeout).ok();
+
+    #[cfg(feature = "fault-inject")]
+    let fault = shared.fault_plan();
+
+    let counting = CountingReader::new(
         stream.try_clone()?,
         Arc::clone(&shared.metrics.tcp_bytes_read),
-    ));
+    );
+    #[cfg(feature = "fault-inject")]
+    let mut reader = {
+        let boxed: Box<dyn io::Read + Send> = match fault.and_then(|p| p.slow_read_bytes_per_sec) {
+            Some(rate) => Box::new(ThrottledReader::new(counting, rate)),
+            None => Box::new(counting),
+        };
+        BufReader::new(boxed)
+    };
+    #[cfg(not(feature = "fault-inject"))]
+    let mut reader = BufReader::new(counting);
+
     let mut writer = BufWriter::new(CountingWriter::new(
         stream,
         Arc::clone(&shared.metrics.tcp_bytes_written),
     ));
 
-    while let Some((kind, payload)) = read_frame(&mut reader)? {
-        if kind != FrameKind::Request {
-            shared.metrics.rejected_malformed.inc();
-            write_frame(
-                &mut writer,
-                FrameKind::Error,
-                &encode_error("expected a request frame"),
-            )?;
-            writer.flush()?;
-            continue;
-        }
-        let decoded = match decode_request(&payload) {
-            Ok(decoded) => decoded,
-            Err(err) => {
-                shared.metrics.rejected_malformed.inc();
-                write_frame(&mut writer, FrameKind::Error, &encode_error(err.message()))?;
-                writer.flush()?;
-                continue;
-            }
+    let mut frames_served: usize = 0;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()),
+            // The idle timeout fired between requests: close quietly.
+            Err(err) if is_timeout(&err) => return Ok(()),
+            Err(err) => return Err(err),
         };
+        frames_served += 1;
 
-        let reply_rx = match submit(shared, decoded.request, decoded.query_codes, "tcp") {
-            Submission::Rejected => {
-                write_frame(
-                    &mut writer,
-                    FrameKind::Error,
-                    &encode_error("server at capacity, retry later"),
-                )?;
-                writer.flush()?;
-                continue;
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = fault {
+            if plan.drop_conn_at_frame == Some(frames_served as u64) {
+                // Simulated mid-stream disconnect: vanish without a frame.
+                return Ok(());
             }
-            Submission::Invalid(summary) => {
-                write_frame(&mut writer, FrameKind::Done, &encode_done(&summary))?;
-                writer.flush()?;
-                continue;
-            }
-            Submission::Enqueued(rx) => rx,
-        };
-
-        // Forward events until the wave finishes.  A write failure means
-        // the client went away: stop forwarding (dropping the receiver
-        // tells the worker's sink to stop) and give up on the connection.
-        let mut result = Ok(());
-        for event in reply_rx.iter() {
-            let done = matches!(event, Event::Done(_));
-            result = match event {
-                Event::Hit(hit) => write_frame(&mut writer, FrameKind::Hit, &encode_hit(&hit)),
-                Event::Done(summary) => {
-                    match write_frame(&mut writer, FrameKind::Done, &encode_done(&summary)) {
-                        Ok(()) => writer.flush(),
-                        Err(err) => Err(err),
-                    }
-                }
-            };
-            if done || result.is_err() {
-                break;
+            if plan.io_stall_at_frame == Some(frames_served as u64) {
+                // Simulated wedged I/O: stall past any reasonable client
+                // read timeout, then continue normally.
+                thread::sleep(Duration::from_secs(2));
             }
         }
+
+        shared.conns.set_busy(token.id(), true);
+        let result = serve_one_frame(frame, shared, peer, &mut writer);
+        shared.conns.set_busy(token.id(), false);
         result?;
+
+        if frames_served >= shared.config.max_requests_per_conn {
+            // The per-connection budget is spent; the client reconnects.
+            return Ok(());
+        }
     }
-    Ok(())
+}
+
+/// Decode, admit and answer one request frame.
+fn serve_one_frame(
+    (kind, payload): (FrameKind, Vec<u8>),
+    shared: &Shared,
+    peer: Option<IpAddr>,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    if kind != FrameKind::Request {
+        shared.metrics.rejected_malformed.inc();
+        write_frame(
+            writer,
+            FrameKind::Error,
+            &encode_error("expected a request frame"),
+        )?;
+        return writer.flush();
+    }
+    let decoded = match decode_request(&payload) {
+        Ok(decoded) => decoded,
+        Err(err) => {
+            shared.metrics.rejected_malformed.inc();
+            write_frame(writer, FrameKind::Error, &encode_error(err.message()))?;
+            return writer.flush();
+        }
+    };
+
+    let reply_rx = match submit(shared, decoded.request, decoded.query_codes, "tcp", peer) {
+        Submission::Rejected(rejection) => {
+            write_frame(writer, FrameKind::Rejected, &encode_rejection(&rejection))?;
+            return writer.flush();
+        }
+        Submission::Invalid(summary) => {
+            write_frame(writer, FrameKind::Done, &encode_done(&summary))?;
+            return writer.flush();
+        }
+        Submission::Enqueued(rx) => rx,
+    };
+
+    // Forward events until the wave finishes.  A write failure means
+    // the client went away: stop forwarding (dropping the receiver
+    // tells the worker's sink to stop) and give up on the connection.
+    let mut result = Ok(());
+    for event in reply_rx.iter() {
+        let done = matches!(event, Event::Done(_));
+        result = match event {
+            Event::Hit(hit) => write_frame(writer, FrameKind::Hit, &encode_hit(&hit)),
+            Event::Done(summary) => {
+                match write_frame(writer, FrameKind::Done, &encode_done(&summary)) {
+                    Ok(()) => writer.flush(),
+                    Err(err) => Err(err),
+                }
+            }
+        };
+        if done || result.is_err() {
+            break;
+        }
+    }
+    result
 }
 
 /// Apply the server-side guardrail caps to a client request.
@@ -449,12 +793,26 @@ impl Drop for WorkerAlive<'_> {
     }
 }
 
+/// Decrements `busy_workers` however the wave exits (including a panic
+/// unwinding through `run_wave`), so a crashed wave cannot wedge a
+/// drain forever.
+struct WaveBusy<'a>(&'a Shared);
+
+impl Drop for WaveBusy<'_> {
+    fn drop(&mut self) {
+        self.0.busy_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let _alive = WorkerAlive(shared);
     loop {
         let Some(wave) = next_wave(shared) else {
             return;
         };
+        // `busy_workers` was incremented inside `next_wave` while the
+        // queue lock was still held; pair it with a drop guard here.
+        let _busy = WaveBusy(shared);
         shared.pending_count.fetch_sub(wave.len(), Ordering::SeqCst);
         shared.metrics.queue_depth.add(-(wave.len() as i64));
         run_wave(shared, wave);
@@ -463,7 +821,9 @@ fn worker_loop(shared: &Shared) {
 
 /// Block until at least one request is queued, hold the wave open for
 /// [`ServerConfig::batch_window`] so compatible stragglers can join, then
-/// drain every request sharing the head request's configuration key.
+/// drain every request sharing the head request's configuration key
+/// **and** index epoch (queries pinned to different epochs never share
+/// a wave — that is what makes hot swaps invisible to in-flight work).
 fn next_wave(shared: &Shared) -> Option<Vec<Pending>> {
     // Poisoning is recovered everywhere in this loop: the queue stays
     // structurally valid across a worker panic and service must continue.
@@ -495,17 +855,22 @@ fn next_wave(shared: &Shared) -> Option<Vec<Pending>> {
             // Emptied while we held the batch window open; wait again.
             continue;
         };
+        let key = head.config_key.clone();
+        let epoch = Arc::clone(&head.pinned);
         let mut wave = vec![head];
-        let key = wave[0].config_key.clone();
         let mut rest = VecDeque::with_capacity(queue.len());
         while let Some(pending) = queue.pop_front() {
-            if pending.config_key == key {
+            if pending.config_key == key && Arc::ptr_eq(&pending.pinned, &epoch) {
                 wave.push(pending);
             } else {
                 rest.push_back(pending);
             }
         }
         *queue = rest;
+        // Mark the worker busy before the queue lock releases: the drain
+        // loop must never observe "queue empty, nobody busy" while this
+        // wave is in hand.
+        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
         return Some(wave);
     }
 }
@@ -562,8 +927,12 @@ fn finish_query(
 
 fn run_wave(shared: &Shared, wave: Vec<Pending>) {
     let request = wave[0].request;
-    let searcher = Searcher::new(shared.db.clone(), request);
-    let alphabet = shared.db.alphabet();
+    // Every member of the wave is pinned to the same epoch (next_wave
+    // guarantees it); the wave runs on that index even if a reload
+    // publishes a newer one mid-flight.
+    let db = wave[0].pinned.db.clone();
+    let searcher = Searcher::new(db.clone(), request);
+    let alphabet = db.alphabet();
     let picked_up = Instant::now();
     let wave_size = wave.len();
     shared.metrics.wave_size.observe(wave_size as f64);

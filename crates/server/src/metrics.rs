@@ -229,10 +229,33 @@ pub struct Metrics {
     /// 1 while the index is loaded and the server is ready to answer
     /// (`GET /healthz` keys off this and the worker-pool liveness).
     pub index_loaded: Gauge,
+    /// Requests refused because the server is draining for shutdown.
+    pub rejected_draining: Counter,
+    /// Hot index reloads that published a new epoch.
+    pub index_reloads_ok: Counter,
+    /// Hot index reloads refused before publication (bad file, missing
+    /// path); the serving epoch is untouched.
+    pub index_reloads_rejected: Counter,
+    /// Epoch of the currently published index (1 at startup; +1 per
+    /// successful reload).
+    pub index_epoch: Gauge,
+    /// Admissions refused by the per-peer fairness gate, in
+    /// [`FAIRNESS_REASONS`] order (`rate` = token bucket empty,
+    /// `concurrency` = per-peer in-flight cap).
+    pub fairness_rejections: [Counter; FAIRNESS_REASONS.len()],
+    /// Idle connections evicted to admit new ones at the connection
+    /// ceiling.
+    pub connections_evicted: Counter,
+    /// Seconds the last graceful drain took, start to worker-pool stop
+    /// (0 until a drain has run).
+    pub drain_seconds: GaugeF64,
 }
 
 /// The HTTP status codes the front can produce, in rendering order.
-pub const HTTP_STATUSES: [u16; 6] = [200, 400, 404, 405, 500, 503];
+pub const HTTP_STATUSES: [u16; 7] = [200, 400, 404, 405, 429, 500, 503];
+
+/// Label values of the `alae_fairness_rejections_total` family.
+pub const FAIRNESS_REASONS: [&str; 2] = ["rate", "concurrency"];
 
 impl Default for Metrics {
     fn default() -> Self {
@@ -260,7 +283,26 @@ impl Metrics {
             http_responses: std::array::from_fn(|_| Counter::new()),
             index_open_seconds: GaugeF64::new(),
             index_loaded: Gauge::new(),
+            rejected_draining: Counter::new(),
+            index_reloads_ok: Counter::new(),
+            index_reloads_rejected: Counter::new(),
+            index_epoch: Gauge::new(),
+            fairness_rejections: std::array::from_fn(|_| Counter::new()),
+            connections_evicted: Counter::new(),
+            drain_seconds: GaugeF64::new(),
         }
+    }
+
+    /// The fairness-rejection counter for `reason` (one of
+    /// [`FAIRNESS_REASONS`]; unknown reasons count as the first).
+    pub fn fairness_rejection_counter(&self, reason: &str) -> &Counter {
+        let slot = FAIRNESS_REASONS
+            .iter()
+            .position(|&r| r == reason)
+            .unwrap_or(0);
+        self.fairness_rejections
+            .get(slot)
+            .unwrap_or(&self.fairness_rejections[0])
     }
 
     /// The termination counter for `termination` (exactly one per query).
@@ -285,7 +327,7 @@ impl Metrics {
 
     /// The HTTP response counter for `status` (unknown codes count as 500).
     pub fn http_response_counter(&self, status: u16) -> &Counter {
-        let slot = HTTP_STATUSES.iter().position(|&s| s == status).unwrap_or(4); // 500
+        let slot = HTTP_STATUSES.iter().position(|&s| s == status).unwrap_or(5); // 500
         self.http_responses
             .get(slot)
             .unwrap_or(&self.http_responses[0])
@@ -333,6 +375,40 @@ impl Metrics {
             "alae_requests_rejected_total",
             &[("reason", "malformed")],
             self.rejected_malformed.get(),
+        );
+        sample(
+            &mut out,
+            "alae_requests_rejected_total",
+            &[("reason", "draining")],
+            self.rejected_draining.get(),
+        );
+
+        family(
+            &mut out,
+            "alae_fairness_rejections_total",
+            "Admissions refused by the per-peer fairness gate, by reason.",
+            "counter",
+        );
+        for (reason, counter) in FAIRNESS_REASONS.iter().zip(&self.fairness_rejections) {
+            sample(
+                &mut out,
+                "alae_fairness_rejections_total",
+                &[("reason", reason)],
+                counter.get(),
+            );
+        }
+
+        family(
+            &mut out,
+            "alae_connections_evicted_total",
+            "Idle connections evicted to admit new ones at the connection ceiling.",
+            "counter",
+        );
+        sample(
+            &mut out,
+            "alae_connections_evicted_total",
+            &[],
+            self.connections_evicted.get(),
         );
 
         family(
@@ -446,6 +522,46 @@ impl Metrics {
             "gauge",
         );
         sample(&mut out, "alae_index_loaded", &[], self.index_loaded.get());
+
+        family(
+            &mut out,
+            "alae_index_epoch",
+            "Epoch of the currently published index (1 at startup, +1 per hot reload).",
+            "gauge",
+        );
+        sample(&mut out, "alae_index_epoch", &[], self.index_epoch.get());
+
+        family(
+            &mut out,
+            "alae_index_reloads_total",
+            "Hot index reload attempts, by outcome.",
+            "counter",
+        );
+        sample(
+            &mut out,
+            "alae_index_reloads_total",
+            &[("outcome", "ok")],
+            self.index_reloads_ok.get(),
+        );
+        sample(
+            &mut out,
+            "alae_index_reloads_total",
+            &[("outcome", "rejected")],
+            self.index_reloads_rejected.get(),
+        );
+
+        family(
+            &mut out,
+            "alae_drain_seconds",
+            "Seconds the last graceful drain took (0 until a drain has run).",
+            "gauge",
+        );
+        sample(
+            &mut out,
+            "alae_drain_seconds",
+            &[],
+            Fmt(self.drain_seconds.get()),
+        );
 
         out
     }
@@ -610,5 +726,35 @@ mod tests {
         // outcome space with zeros, not a shrinking set of series.
         assert!(text.contains("alae_query_terminations_total{outcome=\"cancelled\"} 0"));
         assert!(text.contains("alae_index_loaded 0"));
+        // Resilience families render even before any reload/drain/rejection.
+        assert!(text.contains("alae_index_epoch 0"));
+        assert!(text.contains("alae_index_reloads_total{outcome=\"ok\"} 0"));
+        assert!(text.contains("alae_index_reloads_total{outcome=\"rejected\"} 0"));
+        assert!(text.contains("alae_fairness_rejections_total{reason=\"rate\"} 0"));
+        assert!(text.contains("alae_fairness_rejections_total{reason=\"concurrency\"} 0"));
+        assert!(text.contains("alae_requests_rejected_total{reason=\"draining\"} 0"));
+        assert!(text.contains("alae_connections_evicted_total 0"));
+        assert!(text.contains("alae_drain_seconds 0"));
+    }
+
+    #[test]
+    fn http_429_has_its_own_counter() {
+        let m = Metrics::new();
+        m.http_response_counter(429).inc();
+        m.http_response_counter(999).inc(); // unknown → 500
+        let text = m.render();
+        assert!(text.contains("alae_http_responses_total{status=\"429\"} 1"));
+        assert!(text.contains("alae_http_responses_total{status=\"500\"} 1"));
+        assert!(text.contains("alae_http_responses_total{status=\"200\"} 0"));
+    }
+
+    #[test]
+    fn fairness_reasons_map_to_distinct_counters() {
+        let m = Metrics::new();
+        m.fairness_rejection_counter("rate").inc();
+        m.fairness_rejection_counter("concurrency").inc();
+        m.fairness_rejection_counter("concurrency").inc();
+        assert_eq!(m.fairness_rejections[0].get(), 1);
+        assert_eq!(m.fairness_rejections[1].get(), 2);
     }
 }

@@ -1,0 +1,110 @@
+//! Hand-rolled POSIX signal flags — no `libc` crate, no `signal-hook`.
+//!
+//! `std` already links the C runtime, so declaring `signal(2)` ourselves
+//! costs nothing and keeps the no-dependency discipline.  The handler is
+//! strictly async-signal-safe: it performs one relaxed atomic store and
+//! returns.  Consumers poll the flags from an ordinary watcher thread
+//! (`alae-serve` polls every 100 ms) and do all real work — reload,
+//! drain — in normal thread context.
+//!
+//! This module is the crate's single unsafe island (the crate root is
+//! `#![deny(unsafe_code)]`): two `unsafe` blocks around the foreign
+//! `signal` call, audited by `alae-lint`'s SAFETY-comment rule.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGHUP` — reload the index.
+pub const SIGHUP: i32 = 1;
+/// `SIGINT` — drain and exit.
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` — drain and exit.
+pub const SIGTERM: i32 = 15;
+
+static GOT_SIGHUP: AtomicBool = AtomicBool::new(false);
+static GOT_SIGTERM: AtomicBool = AtomicBool::new(false);
+static GOT_SIGINT: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" {
+    /// `signal(2)` from the C runtime `std` already links.  The handler
+    /// is passed as a plain function address, exactly as C would.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// The installed handler.  Async-signal-safe by construction: one
+/// relaxed store on a static atomic, no allocation, no locks, no I/O.
+#[cfg(unix)]
+extern "C" fn on_signal(signum: i32) {
+    match signum {
+        SIGHUP => GOT_SIGHUP.store(true, Ordering::Relaxed),
+        SIGTERM => GOT_SIGTERM.store(true, Ordering::Relaxed),
+        SIGINT => GOT_SIGINT.store(true, Ordering::Relaxed),
+        _ => {}
+    }
+}
+
+/// Install the flag-setting handler for `SIGHUP`, `SIGTERM` and
+/// `SIGINT`.  Returns `false` (and changes nothing) off Unix.
+pub fn install() -> bool {
+    #[cfg(unix)]
+    {
+        let handler = on_signal as *const () as usize;
+        // SAFETY: `signal` is the C library's own registration call with
+        // the documented signature; `on_signal` is `extern "C"`, never
+        // unwinds, and only performs async-signal-safe atomic stores.
+        // Replacing the process disposition for these three signals is
+        // exactly the intended use.
+        unsafe {
+            signal(SIGHUP, handler);
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+        true
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// Consume a pending `SIGHUP` (true at most once per delivery burst).
+pub fn take_sighup() -> bool {
+    GOT_SIGHUP.swap(false, Ordering::Relaxed)
+}
+
+/// Consume a pending `SIGTERM` or `SIGINT`.
+pub fn take_shutdown() -> bool {
+    GOT_SIGTERM.swap(false, Ordering::Relaxed) | GOT_SIGINT.swap(false, Ordering::Relaxed)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    // `raise(3)`, declared like `signal` above for the test only.
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn raised_signals_set_their_flags_once() {
+        assert!(install());
+        assert!(!take_sighup());
+        // SAFETY: `raise` delivers the signal to this process
+        // synchronously; our handler only flips an atomic flag.
+        unsafe {
+            raise(SIGHUP);
+        }
+        assert!(take_sighup());
+        assert!(!take_sighup());
+
+        // SAFETY: as above, for the shutdown pair.
+        unsafe {
+            raise(SIGTERM);
+        }
+        assert!(take_shutdown());
+        assert!(!take_shutdown());
+    }
+}

@@ -40,6 +40,33 @@ pub struct QueryTrace {
     pub termination: &'static str,
 }
 
+/// One server lifecycle event (reload, drain, eviction, signal) — the
+/// control-plane counterpart of [`QueryTrace`], kept in its own small
+/// ring so a query flood cannot wash recent operational history away.
+#[derive(Debug, Clone)]
+pub struct ServerEvent {
+    /// Monotone id sharing the query-trace sequence (0 when disabled).
+    pub id: u64,
+    /// Stable event kind: `reload`, `drain`, `evict`, `signal`, ….
+    pub kind: &'static str,
+    /// Free-form detail (path, epoch, peer, outcome).
+    pub detail: String,
+}
+
+impl ServerEvent {
+    /// One-line rendering used by `/debug/last-queries` and the
+    /// `--trace-log` file.
+    pub fn render_line(&self) -> String {
+        let mut line = String::with_capacity(64 + self.detail.len());
+        let _ = write!(
+            line,
+            "event id={} kind={} {}",
+            self.id, self.kind, self.detail
+        );
+        line
+    }
+}
+
 impl QueryTrace {
     /// One-line rendering used by both `/debug/last-queries` and the
     /// `--trace-log` file (stable field order, `key=value` pairs).
@@ -63,9 +90,12 @@ impl QueryTrace {
     }
 }
 
+/// Server lifecycle events retained alongside the query ring.
+pub const EVENT_RING_CAPACITY: usize = 32;
+
 #[cfg(feature = "trace")]
 mod enabled {
-    use super::QueryTrace;
+    use super::{QueryTrace, ServerEvent, EVENT_RING_CAPACITY};
     use std::collections::VecDeque;
     use std::io::Write;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,6 +107,7 @@ mod enabled {
         capacity: usize,
         next_id: AtomicU64,
         ring: Mutex<VecDeque<QueryTrace>>,
+        events: Mutex<VecDeque<ServerEvent>>,
         sink: Mutex<Option<Box<dyn Write + Send>>>,
     }
 
@@ -96,6 +127,7 @@ mod enabled {
                 capacity,
                 next_id: AtomicU64::new(1),
                 ring: Mutex::new(VecDeque::with_capacity(capacity)),
+                events: Mutex::new(VecDeque::with_capacity(EVENT_RING_CAPACITY)),
                 sink: Mutex::new(None),
             }
         }
@@ -151,12 +183,51 @@ mod enabled {
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             ring.iter().cloned().collect()
         }
+
+        /// Record one server lifecycle event (reload, drain, eviction,
+        /// signal), assigning and returning its id.
+        pub fn record_event(&self, kind: &'static str, detail: impl Into<String>) -> u64 {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let event = ServerEvent {
+                id,
+                kind,
+                detail: detail.into(),
+            };
+            {
+                let mut sink = self
+                    .sink
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                if let Some(out) = sink.as_mut() {
+                    let _ = writeln!(out, "{}", event.render_line());
+                    let _ = out.flush();
+                }
+            }
+            let mut events = self
+                .events
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if events.len() == EVENT_RING_CAPACITY {
+                events.pop_front();
+            }
+            events.push_back(event);
+            id
+        }
+
+        /// The retained lifecycle events, oldest first.
+        pub fn events_snapshot(&self) -> Vec<ServerEvent> {
+            let events = self
+                .events
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            events.iter().cloned().collect()
+        }
     }
 }
 
 #[cfg(not(feature = "trace"))]
 mod enabled {
-    use super::QueryTrace;
+    use super::{QueryTrace, ServerEvent};
     use std::io::Write;
 
     /// No-op stand-in compiled when the `trace` feature is off; the
@@ -186,6 +257,16 @@ mod enabled {
 
         /// Always empty in this build.
         pub fn snapshot(&self) -> Vec<QueryTrace> {
+            Vec::new()
+        }
+
+        /// Drops the event; the id is always 0.
+        pub fn record_event(&self, _kind: &'static str, _detail: impl Into<String>) -> u64 {
+            0
+        }
+
+        /// Always empty in this build.
+        pub fn events_snapshot(&self) -> Vec<ServerEvent> {
             Vec::new()
         }
     }
@@ -248,6 +329,24 @@ mod tests {
         let text = String::from_utf8(capture.0.lock().unwrap().clone()).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.lines().all(|l| l.starts_with("query id=")));
+    }
+
+    #[test]
+    fn events_keep_their_own_ring_and_share_the_id_sequence() {
+        let log = TraceLog::new(2);
+        log.record(sample("alae"));
+        let event_id = log.record_event("reload", "outcome=ok epoch=2");
+        assert_eq!(event_id, 2);
+        // Query floods do not evict events.
+        for _ in 0..8 {
+            log.record(sample("alae"));
+        }
+        let events = log.events_snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "reload");
+        let line = events[0].render_line();
+        assert!(line.starts_with("event id=2 kind=reload "));
+        assert!(line.contains("epoch=2"));
     }
 
     #[test]

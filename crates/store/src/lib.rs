@@ -373,6 +373,46 @@ fn parse_sections(buffer: FileBuffer) -> Result<Sections, StoreError> {
     })
 }
 
+/// What [`verify_index`] learned about an on-disk index without
+/// materializing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexSummary {
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// Number of sections in the file's table.
+    pub sections: usize,
+    /// Whether the file was examined through a memory mapping.
+    pub mapped: bool,
+    /// Concatenated text length recorded in the metadata.
+    pub text_len: u64,
+    /// Record count recorded in the metadata.
+    pub record_count: u64,
+}
+
+/// Structurally verify an index file without building anything.
+///
+/// Checks the magic, version, section table and **every** section
+/// checksum, plus the metadata section's shape — the same validation
+/// [`open_index`] performs before construction, at a fraction of the
+/// cost.  Intended as a pre-flight for hot reloads: a server can reject a
+/// torn or mismatched file before committing to the full open.
+pub fn verify_index(path: &Path) -> Result<IndexSummary, StoreError> {
+    let buffer = FileBuffer::open(path)?;
+    let mapped = buffer.is_mapped();
+    let bytes: &[u8] = buffer.as_ref();
+    let file_bytes = bytes.len() as u64;
+    let sections = parse_sections(buffer)?;
+    let meta = Meta::from_bytes(sections.bytes(section::META)?)
+        .ok_or_else(|| corrupt("malformed META section"))?;
+    Ok(IndexSummary {
+        file_bytes,
+        sections: sections.entries.len(),
+        mapped,
+        text_len: meta.text_len,
+        record_count: meta.record_count,
+    })
+}
+
 /// Reopen an index saved by [`save_index`].
 ///
 /// Performs **no** build work: the suffix array, BWT and checkpoint rows
@@ -605,6 +645,37 @@ mod tests {
         let path = temp_path("magic");
         std::fs::write(&path, b"NOTANIDX-filler-bytes-past-the-header").unwrap();
         assert!(matches!(open_index(&path), Err(StoreError::BadMagic)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verify_summarizes_a_good_file_and_rejects_a_torn_one() {
+        let path = temp_path("verify");
+        let database = sample_database();
+        let index = build_index(&database, RankLayout::Bytes);
+        save_index(&path, &database, &index).unwrap();
+
+        let summary = verify_index(&path).unwrap();
+        assert_eq!(summary.text_len as usize, database.text().len());
+        assert_eq!(summary.record_count, 2);
+        assert!(summary.sections >= 5);
+        assert_eq!(
+            summary.file_bytes,
+            std::fs::metadata(&path).unwrap().len(),
+            "summary must report the real file size"
+        );
+
+        // Flip one payload byte: verification must fail on a checksum,
+        // exactly like a full open would.
+        let mut bytes = Vec::new();
+        File::open(&path).unwrap().read_to_end(&mut bytes).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            verify_index(&path),
+            Err(StoreError::ChecksumMismatch(_))
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -13,7 +13,10 @@
 //! canonical best-first order) and finishes with one [`FrameKind::Done`]
 //! frame carrying the threshold, termination and engine counters — or a
 //! single [`FrameKind::Error`] frame when the request could not be run at
-//! all (malformed frame, server at capacity).
+//! all (malformed frame), or a typed [`FrameKind::Rejected`] frame when
+//! the server refused admission deliberately (capacity, per-peer
+//! fairness, drain) — the rejection carries a machine-readable reason and
+//! an optional retry-after hint so clients can back off intelligently.
 //!
 //! The request payload opens with a fixed-order encoding of every
 //! [`SearchRequest`] field (the *configuration prefix*), followed by the
@@ -34,7 +37,7 @@ use alae_core::{AlaeStats, ThresholdSpec};
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest accepted frame payload (64 MiB) — caps memory a malformed or
 /// hostile peer can make either side allocate.
@@ -113,6 +116,58 @@ impl<W: Write> Write for CountingWriter<W> {
     }
 }
 
+/// A [`Read`] adapter that caps throughput at `bytes_per_sec`, sleeping
+/// between reads once the current one-second window's budget is spent.
+///
+/// The server's fault-injection layer (`slow-read=BYTES/S` in a
+/// `FaultPlan`) wraps connection streams in one of these to emulate a
+/// peer on a pathologically slow link — deterministic slow-loris
+/// conditions without real packet shaping.
+#[derive(Debug)]
+pub struct ThrottledReader<R> {
+    inner: R,
+    bytes_per_sec: u64,
+    window_started: Option<Instant>,
+    spent_in_window: u64,
+}
+
+impl<R: Read> ThrottledReader<R> {
+    /// Wrap `inner`, allowing at most `bytes_per_sec` bytes through per
+    /// one-second window (a rate of 0 is clamped to 1).
+    pub fn new(inner: R, bytes_per_sec: u64) -> Self {
+        Self {
+            inner,
+            bytes_per_sec: bytes_per_sec.max(1),
+            window_started: None,
+            spent_in_window: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for ThrottledReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let window = Duration::from_secs(1);
+        let mut started = *self.window_started.get_or_insert_with(Instant::now);
+        if self.spent_in_window >= self.bytes_per_sec {
+            let elapsed = started.elapsed();
+            if elapsed < window {
+                std::thread::sleep(window - elapsed);
+            }
+            started = Instant::now();
+            self.window_started = Some(started);
+            self.spent_in_window = 0;
+        } else if started.elapsed() >= window {
+            self.window_started = Some(Instant::now());
+            self.spent_in_window = 0;
+        }
+        let budget = (self.bytes_per_sec - self.spent_in_window) as usize;
+        let cap = budget.min(buf.len()).max(1);
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.spent_in_window += n as u64;
+        Ok(n)
+    }
+}
+
 /// Frame kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -125,6 +180,9 @@ pub enum FrameKind {
     Done = 3,
     /// Server → client: the request could not be run at all.
     Error = 4,
+    /// Server → client: admission was refused deliberately; the payload
+    /// is a typed [`Rejection`] (reason + optional retry-after hint).
+    Rejected = 5,
 }
 
 impl FrameKind {
@@ -134,6 +192,7 @@ impl FrameKind {
             2 => Ok(Self::Hit),
             3 => Ok(Self::Done),
             4 => Ok(Self::Error),
+            5 => Ok(Self::Rejected),
             other => Err(WireError::new(format!("unknown frame kind {other}"))),
         }
     }
@@ -804,6 +863,80 @@ pub fn decode_error(payload: &[u8]) -> Result<String, WireError> {
     Ok(message)
 }
 
+/// Why a server refused a request before running it (the typed payload
+/// of a [`FrameKind::Rejected`] frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The global admission queue is full.
+    Capacity,
+    /// The peer exceeded its fairness allowance (per-IP token bucket or
+    /// concurrent-query cap).
+    Fairness,
+    /// The server is draining for shutdown and takes no new queries.
+    Draining,
+}
+
+impl RejectReason {
+    /// Stable label used in metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Capacity => "capacity",
+            Self::Fairness => "fairness",
+            Self::Draining => "draining",
+        }
+    }
+
+    fn from_u8(byte: u8) -> Result<Self, WireError> {
+        match byte {
+            0 => Ok(Self::Capacity),
+            1 => Ok(Self::Fairness),
+            2 => Ok(Self::Draining),
+            other => Err(WireError::new(format!("unknown reject reason {other}"))),
+        }
+    }
+}
+
+/// A deliberate admission refusal: why, when to retry, and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// The typed reason.
+    pub reason: RejectReason,
+    /// When the peer may reasonably try again (`None` when the server
+    /// has no estimate — e.g. a capacity refusal).
+    pub retry_after: Option<Duration>,
+    /// Human-readable description for logs and error messages.
+    pub message: String,
+}
+
+/// Encode a rejection frame payload.
+pub fn encode_rejection(rejection: &Rejection) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.put_u8(rejection.reason as u8);
+    w.put_opt_u64(
+        rejection
+            .retry_after
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64),
+    );
+    w.put_bytes(rejection.message.as_bytes());
+    w.into_bytes()
+}
+
+/// Decode a rejection frame payload.
+pub fn decode_rejection(payload: &[u8]) -> Result<Rejection, WireError> {
+    let mut r = PayloadReader::new(payload);
+    let reason = RejectReason::from_u8(r.get_u8()?)?;
+    let retry_after = r.get_opt_u64()?.map(Duration::from_millis);
+    let message = std::str::from_utf8(r.get_bytes()?)
+        .map_err(|_| WireError::new("rejection message is not UTF-8"))?
+        .to_string();
+    Ok(Rejection {
+        reason,
+        retry_after,
+        message,
+    })
+}
+
 /// Assemble a [`SearchResponse`] from streamed hits plus the done summary
 /// (what a client hands back from one exchange).
 pub fn response_from_stream(hits: Vec<SearchHit>, summary: DoneSummary) -> SearchResponse {
@@ -961,5 +1094,56 @@ mod tests {
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
         buf.push(FrameKind::Hit as u8);
         assert!(read_frame(&mut io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn rejection_round_trips() {
+        for (reason, retry_after) in [
+            (RejectReason::Capacity, None),
+            (RejectReason::Fairness, Some(Duration::from_millis(250))),
+            (RejectReason::Draining, Some(Duration::from_secs(2))),
+        ] {
+            let rejection = Rejection {
+                reason,
+                retry_after,
+                message: format!("refused: {}", reason.label()),
+            };
+            let decoded = decode_rejection(&encode_rejection(&rejection)).unwrap();
+            assert_eq!(decoded, rejection);
+        }
+        assert!(decode_rejection(&[7]).is_err());
+        assert!(decode_rejection(&[]).is_err());
+    }
+
+    #[test]
+    fn rejected_frame_kind_round_trips() {
+        assert_eq!(FrameKind::from_u8(5).unwrap(), FrameKind::Rejected);
+        let mut buf = Vec::new();
+        let rejection = Rejection {
+            reason: RejectReason::Fairness,
+            retry_after: Some(Duration::from_millis(100)),
+            message: "slow down".to_string(),
+        };
+        write_frame(&mut buf, FrameKind::Rejected, &encode_rejection(&rejection)).unwrap();
+        let (kind, payload) = read_frame(&mut io::Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Rejected);
+        assert_eq!(decode_rejection(&payload).unwrap(), rejection);
+    }
+
+    #[test]
+    fn throttled_reader_caps_bytes_per_window() {
+        let data = vec![0xABu8; 64];
+        let mut reader = ThrottledReader::new(io::Cursor::new(data.clone()), 16);
+        let started = Instant::now();
+        let mut out = Vec::new();
+        io::Read::read_to_end(&mut reader, &mut out).unwrap();
+        assert_eq!(out, data);
+        // 64 bytes at 16 B/s needs at least three full one-second windows
+        // after the first burst.
+        assert!(
+            started.elapsed() >= Duration::from_secs(3),
+            "throttle finished too fast: {:?}",
+            started.elapsed()
+        );
     }
 }
